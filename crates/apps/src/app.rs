@@ -1,0 +1,53 @@
+//! The application interface of the token account framework.
+//!
+//! Section 3.2: "To implement our applications in the framework we have to
+//! provide the application specific implementations of two methods:
+//! `CREATEMESSAGE()` ... and `UPDATESTATE(m)` ... including "defining the
+//! usefulness of the received message". The remaining methods are metric
+//! and churn bookkeeping hooks used by the experiment harness.
+
+use ta_sim::{NodeId, SimTime};
+use token_account::Usefulness;
+
+/// An application running over the token account service.
+pub trait Application {
+    /// The message payload (a copy of the relevant node state).
+    type Msg: Clone;
+
+    /// `CREATEMESSAGE()`: constructs a message from `node`'s current state.
+    fn create_message(&mut self, node: NodeId) -> Self::Msg;
+
+    /// `UPDATESTATE(m)`: updates `node`'s state with a message received
+    /// from `from`, returning its usefulness.
+    fn update_state(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: &Self::Msg,
+        now: SimTime,
+    ) -> Usefulness;
+
+    /// The application's performance metric at `now`, computed over the
+    /// currently online population of size `online_count`.
+    fn metric(&self, online_count: usize, now: SimTime) -> f64;
+
+    /// Injection hook: fresh external data arrives at `target` (used by
+    /// push gossip, which receives a new update every 17.28 s).
+    fn inject(&mut self, target: NodeId, now: SimTime) {
+        let _ = (target, now);
+    }
+
+    /// `node` came online (metric bookkeeping; the paper computes metrics
+    /// over online nodes only).
+    fn on_node_up(&mut self, node: NodeId, now: SimTime) {
+        let _ = (node, now);
+    }
+
+    /// `node` went offline.
+    fn on_node_down(&mut self, node: NodeId, now: SimTime) {
+        let _ = (node, now);
+    }
+
+    /// Short application name for reports.
+    fn name(&self) -> &'static str;
+}

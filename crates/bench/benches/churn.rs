@@ -1,0 +1,35 @@
+//! Churn substrate benchmarks: synthetic smartphone trace generation and
+//! the Figure-1 statistics pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_churn::stats::figure1_series;
+use ta_churn::synthetic::SmartphoneTraceModel;
+use ta_sim::paper;
+use ta_sim::time::SimDuration;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(20);
+    group.bench_function("generate_trace_5000x2days", |b| {
+        let model = SmartphoneTraceModel::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(model.generate(5_000, paper::TWO_DAYS, seed))
+        });
+    });
+    let schedule = SmartphoneTraceModel::default().generate(5_000, paper::TWO_DAYS, 9);
+    group.bench_function("figure1_series_hourly", |b| {
+        b.iter(|| {
+            black_box(figure1_series(
+                &schedule,
+                paper::TWO_DAYS,
+                SimDuration::from_hours(1),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

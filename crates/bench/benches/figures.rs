@@ -1,0 +1,87 @@
+//! Per-figure wall-time benchmarks: scaled-down regenerations of the
+//! paper's artifacts, so regressions in the experiment pipeline (not just
+//! the engine) are caught. One iteration = one full figure at micro scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::{fig1, fig2, fig5, Family};
+use ta_experiments::runner::run_experiment;
+use ta_experiments::spec::{AppKind, ExperimentSpec, TopologyKind};
+use token_account::StrategySpec;
+
+fn micro_opts(tag: &str) -> FigureOpts {
+    FigureOpts {
+        n: Some(120),
+        runs: Some(1),
+        rounds: Some(40),
+        seed: 42,
+        out_dir: std::env::temp_dir().join(format!("ta-bench-figures-{tag}")),
+        full: false,
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let opts = micro_opts("fig1");
+    c.bench_function("fig1_micro", |b| {
+        b.iter(|| black_box(fig1::run(&opts).unwrap()))
+    });
+}
+
+fn bench_fig2_panel(c: &mut Criterion) {
+    let mut base = ExperimentSpec::paper_defaults(
+        AppKind::PushGossip,
+        StrategySpec::Proactive,
+        120,
+    )
+    .with_rounds(40)
+    .with_runs(1)
+    .with_seed(42);
+    base.topology = TopologyKind::KOut { k: 10 };
+    let mut group = c.benchmark_group("fig2_micro");
+    group.sample_size(10);
+    group.bench_function("push_gossip_randomized_panel", |b| {
+        b.iter(|| {
+            black_box(
+                fig2::run_panel(AppKind::PushGossip, Family::Randomized, &base).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let opts = micro_opts("fig5");
+    let mut group = c.benchmark_group("fig5_micro");
+    group.sample_size(10);
+    group.bench_function("tokens_vs_meanfield", |b| {
+        b.iter(|| black_box(fig5::run(&opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_single_experiment(c: &mut Criterion) {
+    let mut spec = ExperimentSpec::paper_defaults(
+        AppKind::GossipLearning,
+        StrategySpec::Randomized { a: 5, c: 10 },
+        120,
+    )
+    .with_rounds(40)
+    .with_runs(1)
+    .with_seed(42);
+    spec.topology = TopologyKind::KOut { k: 10 };
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(20);
+    group.bench_function("gossip_learning_single_run", |b| {
+        b.iter(|| black_box(run_experiment(&spec).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2_panel,
+    bench_fig5,
+    bench_single_experiment
+);
+criterion_main!(benches);

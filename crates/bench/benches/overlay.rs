@@ -1,0 +1,40 @@
+//! Overlay substrate benchmarks: graph generation and the centralized
+//! reference eigenvector (the per-experiment setup cost of chaotic
+//! iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_overlay::generators::{k_out_random, watts_strogatz};
+use ta_overlay::spectral::dominant_eigenvector;
+use ta_overlay::analysis::is_strongly_connected;
+use ta_sim::rng::Xoshiro256pp;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_generation");
+    group.bench_function("k_out_random_5000_20", |b| {
+        let mut rng = Xoshiro256pp::stream(1, 0);
+        b.iter(|| black_box(k_out_random(5_000, 20, &mut rng).unwrap()));
+    });
+    group.bench_function("watts_strogatz_5000_4", |b| {
+        let mut rng = Xoshiro256pp::stream(2, 0);
+        b.iter(|| black_box(watts_strogatz(5_000, 4, 0.01, &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::stream(3, 0);
+    let kout = k_out_random(5_000, 20, &mut rng).unwrap();
+    let ws = watts_strogatz(1_000, 4, 0.01, &mut rng).unwrap();
+    let mut group = c.benchmark_group("overlay_analysis");
+    group.bench_function("strong_connectivity_5000_20", |b| {
+        b.iter(|| black_box(is_strongly_connected(&kout)));
+    });
+    group.sample_size(10);
+    group.bench_function("dominant_eigenvector_ws1000", |b| {
+        b.iter(|| black_box(dominant_eigenvector(&ws, 5_000, 1e-10).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_analysis);
+criterion_main!(benches);

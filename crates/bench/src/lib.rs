@@ -1,0 +1,24 @@
+//! # ta-bench — criterion benchmarks for the token account reproduction
+//!
+//! This crate carries no library code; its `benches/` directory holds the
+//! Criterion harnesses:
+//!
+//! | Bench | What it measures |
+//! |-------|------------------|
+//! | `strategy` | proactive/reactive kernels of all five strategies, `randRound`, Algorithm-4 node steps |
+//! | `event_queue` | binary heap vs. hierarchical timing wheel (the DESIGN.md scheduler ablation) |
+//! | `engine` | end-to-end simulator throughput (events/second) under both queues |
+//! | `overlay` | k-out and Watts–Strogatz generation, reference eigenvector |
+//! | `churn` | synthetic smartphone trace generation |
+//! | `figures` | scaled-down regenerations of Figures 1, 2 and 5 (per-figure wall time) |
+//!
+//! Run with `cargo bench -p ta-bench` (or `cargo bench --workspace`).
+
+/// Common scale constants shared by the benches so results are comparable
+/// across runs.
+pub mod scales {
+    /// Node count for micro-scale simulation benches.
+    pub const BENCH_N: usize = 200;
+    /// Rounds for micro-scale simulation benches.
+    pub const BENCH_ROUNDS: u64 = 50;
+}

@@ -1,0 +1,62 @@
+//! Error types of the token account crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a strategy with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvalidStrategyError {
+    /// The spend-rate parameter `A` must be at least 1 ("parameter A is a
+    /// positive integer", Section 3.3.2).
+    ZeroSpendRate,
+    /// The capacity must satisfy `C >= A` ("the maximal meaningful value
+    /// for A is A = C"; the randomized proactive function needs
+    /// `C - A + 1 > 0`).
+    CapacityBelowSpendRate {
+        /// Spend rate `A`.
+        spend_rate: u64,
+        /// Capacity `C`.
+        capacity: u64,
+    },
+    /// The purely reactive burst size `k` must be at least 1 (Section 3.1).
+    ZeroBurst,
+}
+
+impl fmt::Display for InvalidStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidStrategyError::ZeroSpendRate => {
+                write!(f, "spend rate A must be a positive integer")
+            }
+            InvalidStrategyError::CapacityBelowSpendRate {
+                spend_rate,
+                capacity,
+            } => write!(
+                f,
+                "capacity C = {capacity} must be at least the spend rate A = {spend_rate}"
+            ),
+            InvalidStrategyError::ZeroBurst => {
+                write!(f, "purely reactive burst k must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for InvalidStrategyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(InvalidStrategyError::ZeroSpendRate.to_string().contains("A"));
+        let e = InvalidStrategyError::CapacityBelowSpendRate {
+            spend_rate: 5,
+            capacity: 3,
+        };
+        assert!(e.to_string().contains("C = 3"));
+        assert!(e.to_string().contains("A = 5"));
+    }
+}

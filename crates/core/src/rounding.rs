@@ -1,0 +1,87 @@
+//! Probabilistic rounding (`randRound` in Algorithm 4).
+//!
+//! "The return value r of the reactive function is probabilistically rounded
+//! by sampling ⌊r⌋ + ξ where ξ ~ Bernoulli(r − ⌊r⌋)." The expectation of the
+//! rounded value equals `r`, so fractional reactive functions (like the
+//! randomized strategy's `a/A`) spend the right number of tokens on average.
+
+use rand::Rng;
+
+/// Rounds `value` probabilistically: `⌊value⌋ + Bernoulli(frac(value))`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+/// use token_account::rounding::rand_round;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = rand_round(2.25, &mut rng);
+/// assert!(x == 2 || x == 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `value` is negative, NaN, or not finite.
+pub fn rand_round<R: Rng + ?Sized>(value: f64, rng: &mut R) -> u64 {
+    assert!(
+        value.is_finite() && value >= 0.0,
+        "rand_round requires a finite non-negative value, got {value}"
+    );
+    let floor = value.floor();
+    let frac = value - floor;
+    let base = floor as u64;
+    if frac > 0.0 && rng.gen::<f64>() < frac {
+        base + 1
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn integers_round_exactly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for v in [0.0, 1.0, 5.0, 100.0] {
+            for _ in 0..100 {
+                assert_eq!(rand_round(v, &mut rng), v as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_matches_value() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let sum: u64 = (0..trials).map(|_| rand_round(2.3, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2.3).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn output_is_floor_or_ceil() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rand_round(3.7, &mut rng);
+            assert!(x == 3 || x == 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_value_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rand_round(-0.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rand_round(f64::NAN, &mut rng);
+    }
+}

@@ -1,0 +1,24 @@
+//! The strategy implementations of the paper.
+//!
+//! | Strategy | Section | `PROACTIVE(a)` | `REACTIVE(a, u)` |
+//! |----------|---------|----------------|------------------|
+//! | [`PurelyProactive`] | 3.1 | 1 | 0 |
+//! | [`PurelyReactive`] | 3.1 | 0 | `k` (or `u·k`) |
+//! | [`SimpleTokenAccount`] | 3.3.1 | `a ≥ C` | `a > 0` |
+//! | [`GeneralizedTokenAccount`] | 3.3.2 | `a ≥ C` | `⌊(A−1+a)/A⌋` useful, halved otherwise |
+//! | [`RandomizedTokenAccount`] | 3.3.3 | linear ramp on `[A−1, C]` | `u·a/A` |
+//!
+//! All constructors validate the paper's parameter constraints
+//! (`A ≥ 1`, `C ≥ A`).
+
+mod generalized;
+mod proactive;
+mod randomized;
+mod reactive;
+mod simple;
+
+pub use generalized::GeneralizedTokenAccount;
+pub use proactive::PurelyProactive;
+pub use randomized::RandomizedTokenAccount;
+pub use reactive::PurelyReactive;
+pub use simple::SimpleTokenAccount;

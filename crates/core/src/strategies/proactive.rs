@@ -1,0 +1,77 @@
+//! The purely proactive strategy (the conventional baseline).
+
+use crate::strategy::{Capacity, Strategy};
+use crate::usefulness::Usefulness;
+
+/// The purely proactive strategy: `PROACTIVE(a) ≡ 1`, `REACTIVE(a, u) ≡ 0`
+/// (Section 3.1).
+///
+/// Every round sends exactly one message and no message is ever sent in
+/// reaction, reproducing the classical round-based gossip pattern
+/// (Algorithms 1–3 of the paper). Equivalent to
+/// [`SimpleTokenAccount`](crate::strategies::SimpleTokenAccount) with
+/// `C = 0`; provided as its own type because it is *the* baseline of every
+/// experiment.
+///
+/// ```
+/// use token_account::strategies::PurelyProactive;
+/// use token_account::strategy::{Capacity, Strategy};
+/// use token_account::usefulness::Usefulness;
+///
+/// let s = PurelyProactive;
+/// assert_eq!(s.proactive(0), 1.0);
+/// assert_eq!(s.reactive(10, Usefulness::Useful), 0.0);
+/// assert_eq!(s.capacity(), Capacity::Finite(0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PurelyProactive;
+
+impl Strategy for PurelyProactive {
+    fn proactive(&self, _balance: i64) -> f64 {
+        1.0
+    }
+
+    fn reactive(&self, _balance: i64, _usefulness: Usefulness) -> f64 {
+        0.0
+    }
+
+    fn capacity(&self) -> Capacity {
+        Capacity::Finite(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "proactive"
+    }
+
+    fn proactive_smooth(&self, _balance: f64) -> f64 {
+        1.0
+    }
+
+    fn reactive_smooth(&self, _balance: f64, _usefulness: Usefulness) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_functions() {
+        let s = PurelyProactive;
+        for a in [-5i64, 0, 1, 100] {
+            assert_eq!(s.proactive(a), 1.0);
+            assert_eq!(s.reactive(a, Usefulness::Useful), 0.0);
+            assert_eq!(s.reactive(a, Usefulness::NotUseful), 0.0);
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let s = PurelyProactive;
+        assert_eq!(s.name(), "proactive");
+        assert_eq!(s.label(), "proactive");
+        assert!(!s.allows_debt());
+        assert_eq!(s.capacity(), Capacity::Finite(0));
+    }
+}

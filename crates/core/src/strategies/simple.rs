@@ -1,0 +1,143 @@
+//! The simple token account strategy (Section 3.3.1).
+
+use crate::strategy::{Capacity, Strategy};
+use crate::usefulness::Usefulness;
+
+/// The simple token account strategy of Section 3.3.1:
+///
+/// ```text
+/// PROACTIVE(a) = 1 if a >= C, else 0        (eq. 1)
+/// REACTIVE(a, u) = 1 if a > 0, else 0       (eq. 2)
+/// ```
+///
+/// The reactive side is the classical token bucket; the proactive side
+/// fires only on a full account, which "helps maintain a certain level of
+/// communication rate naturally even under high message drop rates". With
+/// `C = 0` this degenerates to the purely proactive baseline — exactly how
+/// the paper instantiates its baseline (Section 4.1).
+///
+/// ```
+/// use token_account::strategies::SimpleTokenAccount;
+/// use token_account::strategy::Strategy;
+/// use token_account::usefulness::Usefulness;
+///
+/// let s = SimpleTokenAccount::new(10);
+/// assert_eq!(s.proactive(9), 0.0);
+/// assert_eq!(s.proactive(10), 1.0);
+/// assert_eq!(s.reactive(1, Usefulness::NotUseful), 1.0); // u is ignored
+/// assert_eq!(s.reactive(0, Usefulness::Useful), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimpleTokenAccount {
+    capacity: u64,
+}
+
+impl SimpleTokenAccount {
+    /// Creates the strategy with token capacity `C >= 0`.
+    pub fn new(capacity: u64) -> Self {
+        SimpleTokenAccount { capacity }
+    }
+
+    /// The capacity parameter `C`.
+    pub fn capacity_param(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl Strategy for SimpleTokenAccount {
+    fn proactive(&self, balance: i64) -> f64 {
+        if balance >= self.capacity as i64 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn reactive(&self, balance: i64, _usefulness: Usefulness) -> f64 {
+        if balance > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn capacity(&self) -> Capacity {
+        Capacity::Finite(self.capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+
+    fn label(&self) -> String {
+        format!("simple(C={})", self.capacity)
+    }
+
+    fn proactive_smooth(&self, balance: f64) -> f64 {
+        if balance >= self.capacity as f64 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn reactive_smooth(&self, balance: f64, _usefulness: Usefulness) -> f64 {
+        if balance > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proactive_steps_at_capacity() {
+        let s = SimpleTokenAccount::new(5);
+        assert_eq!(s.proactive(4), 0.0);
+        assert_eq!(s.proactive(5), 1.0);
+        assert_eq!(s.proactive(6), 1.0);
+        assert_eq!(s.proactive(-1), 0.0);
+    }
+
+    #[test]
+    fn reactive_is_token_bucket() {
+        let s = SimpleTokenAccount::new(5);
+        for u in [Usefulness::Useful, Usefulness::NotUseful] {
+            assert_eq!(s.reactive(0, u), 0.0);
+            assert_eq!(s.reactive(1, u), 1.0);
+            assert_eq!(s.reactive(5, u), 1.0);
+            assert_eq!(s.reactive(-2, u), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_purely_proactive() {
+        let s = SimpleTokenAccount::new(0);
+        assert_eq!(s.proactive(0), 1.0);
+        // Reactive can never fire: balance stays at zero when every round
+        // sends proactively.
+        assert_eq!(s.reactive(0, Usefulness::Useful), 0.0);
+    }
+
+    #[test]
+    fn reactive_never_overspends() {
+        let s = SimpleTokenAccount::new(100);
+        for a in 0..100i64 {
+            assert!(s.reactive(a, Usefulness::Useful) <= a.max(0) as f64);
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let s = SimpleTokenAccount::new(20);
+        assert_eq!(s.capacity(), Capacity::Finite(20));
+        assert_eq!(s.name(), "simple");
+        assert_eq!(s.label(), "simple(C=20)");
+        assert_eq!(s.capacity_param(), 20);
+        assert!(!s.allows_debt());
+    }
+}

@@ -1,0 +1,26 @@
+//! Runs the protocol design-choice ablations. See `--help` for options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::ablation;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ablation::run(&opts) {
+        Ok(report) => {
+            report.print();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates every artifact of the paper's evaluation in sequence:
+//! Figures 1-5, the Section 4.2 parameter sweep, the fault-injection
+//! extension, and the design-choice ablations. See `--help` for shared
+//! options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    type Step = fn(&FigureOpts) -> Result<ta_experiments::Report, figures::FigureError>;
+    let mut failed = false;
+    match figures::fig1::run(&opts) {
+        Ok(report) => report.print(),
+        Err(e) => {
+            eprintln!("fig1 failed: {e}");
+            failed = true;
+        }
+    }
+    let steps: [(&str, Step); 8] = [
+        ("fig2", figures::fig2::run),
+        ("fig3", figures::fig3::run),
+        ("fig4", figures::fig4::run),
+        ("fig5", figures::fig5::run),
+        ("sweep", figures::sweep::run),
+        ("faults", figures::faults::run),
+        ("ablation", figures::ablation::run),
+        ("burstiness", figures::burstiness::run),
+    ];
+    for (name, step) in steps {
+        println!();
+        match step(&opts) {
+            Ok(report) => report.print(),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

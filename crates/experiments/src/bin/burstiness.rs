@@ -1,0 +1,28 @@
+//! Measures the per-round traffic shape of every strategy family vs. the
+//! purely reactive flood (the Section 3.4 burstiness guarantee). See
+//! `--help` for options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::burstiness;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match burstiness::run(&opts) {
+        Ok(report) => {
+            report.print();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("burstiness failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

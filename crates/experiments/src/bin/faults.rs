@@ -1,0 +1,26 @@
+//! Regenerates the paper's `faults` artifact. See `--help` for options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::faults;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match faults::run(&opts) {
+        Ok(report) => {
+            report.print();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("faults failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

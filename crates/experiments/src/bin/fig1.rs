@@ -1,0 +1,26 @@
+//! Regenerates the paper's `fig1` artifact. See `--help` for options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::fig1;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match fig1::run(&opts) {
+        Ok(report) => {
+            report.print();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fig1 failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

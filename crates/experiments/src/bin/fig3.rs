@@ -1,0 +1,26 @@
+//! Regenerates the paper's `fig3` artifact. See `--help` for options.
+
+use std::process::ExitCode;
+
+use ta_experiments::cli::FigureOpts;
+use ta_experiments::figures::fig3;
+
+fn main() -> ExitCode {
+    let opts = match FigureOpts::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match fig3::run(&opts) {
+        Ok(report) => {
+            report.print();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

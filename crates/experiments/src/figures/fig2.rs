@@ -1,0 +1,129 @@
+//! Figure 2: token account strategies in the failure-free scenario.
+//!
+//! Nine panels — {gossip learning, push gossip, chaotic iteration} ×
+//! {simple, generalized, randomized} — each showing the proactive baseline
+//! and a representative selection of `(A, C)` combinations over 1000
+//! rounds at N = 5000 (Watts–Strogatz N = 5000 for chaotic iteration).
+//!
+//! Expected shape (Section 4.2): *every* parameter combination beats the
+//! proactive baseline significantly for gossip learning and push gossip,
+//! and most do for chaotic iteration; push gossip is insensitive to the
+//! parameters except `A = C`; gossip learning needs a large enough `C`.
+
+use crate::cli::FigureOpts;
+use crate::figures::{comparison_table, plot_series, Family, FigureError};
+use crate::report::Report;
+use crate::runner::{prepare_topology, run_experiment_prepared, ExperimentResult, RunError};
+use crate::spec::{AppKind, ExperimentSpec};
+use token_account::StrategySpec;
+
+/// The applications of Figure 2, in paper row order.
+pub const APPS: [AppKind; 3] = [
+    AppKind::GossipLearning,
+    AppKind::PushGossip,
+    AppKind::ChaoticIteration,
+];
+
+/// Runs one panel (one app × one family): baseline first, then the
+/// family's representative strategies. Returns labelled results.
+pub fn run_panel(
+    app: AppKind,
+    family: Family,
+    base_spec: &ExperimentSpec,
+) -> Result<Vec<(String, ExperimentResult)>, RunError> {
+    debug_assert_eq!(app, base_spec.app, "panel app must match the base spec");
+    let prepared = prepare_topology(base_spec)?;
+    let mut entries = Vec::new();
+    let mut strategies = vec![StrategySpec::Proactive];
+    strategies.extend(family.representative());
+    for strategy in strategies {
+        let spec = ExperimentSpec {
+            strategy,
+            ..base_spec.clone()
+        };
+        let result = run_experiment_prepared(&spec, &prepared)?;
+        entries.push((strategy.label(), result));
+    }
+    Ok(entries)
+}
+
+/// Runs the full Figure 2 regeneration.
+///
+/// # Errors
+///
+/// Returns [`FigureError`] on simulation or I/O failures.
+pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
+    let rounds = opts.effective_rounds(250);
+    let runs = opts.effective_runs(3);
+    let mut report = Report::new(
+        "fig2",
+        format!(
+            "failure-free scenario, {rounds} rounds, {runs} runs per curve"
+        ),
+    );
+    for app in APPS {
+        let n = opts.effective_n(1_000, 5_000);
+        for family in Family::ALL {
+            let base = ExperimentSpec::paper_defaults(app, StrategySpec::Proactive, n)
+                .with_rounds(rounds)
+                .with_runs(runs)
+                .with_seed(opts.seed);
+            let entries = run_panel(app, family, &base)?;
+            report.table(
+                format!("{} / {}", app.name(), family.name()),
+                comparison_table(app, &entries),
+            );
+            let labels: Vec<String> = entries.iter().map(|(l, _)| l.clone()).collect();
+            let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let series: Vec<_> = entries
+                .iter()
+                .map(|(_, r)| plot_series(app, r))
+                .collect();
+            let path = opts
+                .out_dir
+                .join(format!("fig2_{}_{}.dat", app.name(), family.name()));
+            ta_metrics::output::write_dat(
+                &path,
+                &format!(
+                    "Figure 2 panel: {} with {} strategies (failure-free, N={n})",
+                    app.name(),
+                    family.name()
+                ),
+                &label_refs,
+                &series,
+            )?;
+            report.file(path);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologyKind;
+
+    #[test]
+    fn one_panel_runs_and_every_strategy_beats_the_baseline() {
+        let mut base = ExperimentSpec::paper_defaults(
+            AppKind::GossipLearning,
+            StrategySpec::Proactive,
+            80,
+        )
+        .with_rounds(40)
+        .with_runs(1)
+        .with_seed(2);
+        base.topology = TopologyKind::KOut { k: 8 };
+        let entries = run_panel(AppKind::GossipLearning, Family::Randomized, &base).unwrap();
+        // Baseline + 6 representative combos.
+        assert_eq!(entries.len(), 7);
+        let baseline = entries[0].1.metric.last_value().unwrap();
+        for (label, result) in &entries[1..] {
+            let v = result.metric.last_value().unwrap();
+            assert!(
+                v > baseline,
+                "{label} ({v}) should beat proactive ({baseline})"
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # ta-experiments — the figure-regeneration harness
+//!
+//! Declarative [`spec::ExperimentSpec`]s, a parallel multi-run
+//! [`runner`], and one [`figures`] module per artifact of the paper's
+//! evaluation (Figures 1–5, the Section 4.2 parameter sweep, and the
+//! fault-injection extension).
+//!
+//! Each figure is also a binary:
+//!
+//! ```text
+//! cargo run --release -p ta-experiments --bin fig2 -- [--full] [--n N] ...
+//! ```
+//!
+//! Quick defaults reproduce the paper's *shapes* in minutes; `--full`
+//! switches to paper scale (N = 5000 / 500,000, 1000 rounds, 10 runs).
+//! Results are printed as tables and written as gnuplot-ready `.dat`
+//! files under `results/`.
+//!
+//! ```no_run
+//! use ta_experiments::runner::run_experiment;
+//! use ta_experiments::spec::{AppKind, ExperimentSpec};
+//! use token_account::StrategySpec;
+//!
+//! let spec = ExperimentSpec::paper_defaults(
+//!     AppKind::PushGossip,
+//!     StrategySpec::Randomized { a: 10, c: 20 },
+//!     5_000,
+//! );
+//! let result = run_experiment(&spec)?;
+//! println!("steady lag: {:?}", result.metric.last_value());
+//! # Ok::<(), ta_experiments::runner::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cli::FigureOpts;
+pub use report::Report;
+pub use runner::{run_experiment, ExperimentResult};
+pub use spec::{AppKind, ChurnKind, ExperimentSpec, TopologyKind};

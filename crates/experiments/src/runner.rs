@@ -1,0 +1,519 @@
+//! Executing experiment specs: build, run, replicate, average.
+//!
+//! One [`ExperimentSpec`] maps to `spec.runs` independent simulations that
+//! differ only in their per-run seed (fresh protocol randomness, fresh
+//! churn draws), sharing the topology — exactly the Section 4.2 procedure
+//! ("10 independent runs for every parameter combination, and the average
+//! of these runs is shown"). Runs execute in parallel on OS threads via
+//! crossbeam's scoped spawn.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use ta_apps::app::Application;
+use ta_apps::chaotic::ChaoticIteration;
+use ta_apps::gossip_learning::GossipLearning;
+use ta_apps::protocol::{ProtocolStats, TokenProtocol};
+use ta_apps::push_gossip::PushGossip;
+use ta_churn::schedule::AvailabilitySchedule;
+use ta_churn::synthetic::SmartphoneTraceModel;
+use ta_metrics::TimeSeries;
+use ta_overlay::generators::{k_out_random, watts_strogatz_strongly_connected, GenerateError};
+use ta_overlay::spectral::{dominant_eigenvector, NotStochasticError};
+use ta_overlay::Topology;
+use ta_sim::config::{InvalidConfigError, SimConfig};
+use ta_sim::engine::{SimStats, Simulation};
+use ta_sim::rng::{SplitMix64, Xoshiro256pp};
+use ta_sim::NodeId;
+use token_account::InvalidStrategyError;
+
+use crate::spec::{AppKind, ChurnKind, ExperimentSpec, TopologyKind};
+
+/// Error running an experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// Topology generation failed.
+    Topology(GenerateError),
+    /// Strategy parameters invalid.
+    Strategy(InvalidStrategyError),
+    /// Simulator configuration invalid.
+    Config(InvalidConfigError),
+    /// The chaotic-iteration matrix was not column-stochastic.
+    Spectral(NotStochasticError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Topology(e) => write!(f, "topology generation failed: {e}"),
+            RunError::Strategy(e) => write!(f, "invalid strategy: {e}"),
+            RunError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            RunError::Spectral(e) => write!(f, "spectral setup failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Topology(e) => Some(e),
+            RunError::Strategy(e) => Some(e),
+            RunError::Config(e) => Some(e),
+            RunError::Spectral(e) => Some(e),
+        }
+    }
+}
+
+impl From<GenerateError> for RunError {
+    fn from(e: GenerateError) -> Self {
+        RunError::Topology(e)
+    }
+}
+impl From<InvalidStrategyError> for RunError {
+    fn from(e: InvalidStrategyError) -> Self {
+        RunError::Strategy(e)
+    }
+}
+impl From<InvalidConfigError> for RunError {
+    fn from(e: InvalidConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+impl From<NotStochasticError> for RunError {
+    fn from(e: NotStochasticError) -> Self {
+        RunError::Spectral(e)
+    }
+}
+
+/// The outcome of a single simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Metric series of this run.
+    pub metric: TimeSeries,
+    /// Average-token series (empty unless recording was enabled).
+    pub tokens: TimeSeries,
+    /// Protocol message counters.
+    pub protocol: ProtocolStats,
+    /// Engine counters.
+    pub sim: SimStats,
+    /// Messages sent per transfer-time slot (burstiness histogram,
+    /// Section 3.4; the paper's setup has 100 slots per round Δ).
+    pub sends_per_slot: Vec<u64>,
+}
+
+/// Aggregated counters over all runs of an experiment.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Mean messages sent per run (all kinds).
+    pub mean_messages_sent: f64,
+    /// Mean proactive sends per run.
+    pub mean_proactive: f64,
+    /// Mean reactive sends per run.
+    pub mean_reactive: f64,
+    /// Mean round ticks per run.
+    pub mean_ticks: f64,
+}
+
+/// The averaged result of an experiment.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The spec that produced it.
+    pub spec: ExperimentSpec,
+    /// Mean metric over runs (the paper's plotted curves).
+    pub metric: TimeSeries,
+    /// Mean token balance over runs (empty unless recorded).
+    pub tokens: TimeSeries,
+    /// Per-run outcomes.
+    pub runs: Vec<RunOutcome>,
+    /// Aggregated counters.
+    pub stats: AggregateStats,
+}
+
+/// Builds the topology for a spec (shared across runs, as in the paper:
+/// "the same random 20-out network is used").
+pub fn build_topology(spec: &ExperimentSpec) -> Result<Topology, GenerateError> {
+    let mut topo_seed = SplitMix64::new(spec.seed ^ 0x7069_7065);
+    match spec.topology {
+        TopologyKind::KOut { k } => {
+            let mut rng = Xoshiro256pp::stream(topo_seed.next_u64(), 0x70);
+            k_out_random(spec.n, k, &mut rng)
+        }
+        TopologyKind::WattsStrogatz { k, p } => {
+            watts_strogatz_strongly_connected(spec.n, k, p, topo_seed.next_u64(), 50)
+        }
+    }
+}
+
+/// Per-run master seed derivation (stable across spec changes).
+fn run_seed(spec: &ExperimentSpec, run: usize) -> u64 {
+    let mut mixer = SplitMix64::new(spec.seed.wrapping_add(0x9e37 * run as u64));
+    mixer.next_u64()
+}
+
+/// Builds the availability schedule for one run.
+fn build_schedule(spec: &ExperimentSpec, run: usize) -> AvailabilitySchedule {
+    match spec.churn {
+        ChurnKind::None => AvailabilitySchedule::always_on(spec.n),
+        ChurnKind::SmartphoneTrace => SmartphoneTraceModel::default().generate(
+            spec.n,
+            spec.duration,
+            run_seed(spec, run) ^ 0xc4a9,
+        ),
+    }
+}
+
+fn build_config(spec: &ExperimentSpec, run: usize) -> Result<SimConfig, InvalidConfigError> {
+    let mut builder = SimConfig::builder(spec.n)
+        .delta(spec.delta)
+        .transfer_time(spec.transfer)
+        .duration(spec.duration)
+        .sample_period(spec.sample_period)
+        .drop_probability(spec.drop_probability)
+        .tick_phase(spec.tick_phase)
+        .seed(run_seed(spec, run));
+    if let Some(p) = spec.injection_period() {
+        builder = builder.injection_period(p);
+    }
+    builder.build()
+}
+
+fn run_single<A, F>(
+    spec: &ExperimentSpec,
+    run: usize,
+    topo: &Arc<Topology>,
+    make_app: F,
+) -> Result<RunOutcome, RunError>
+where
+    A: Application,
+    F: FnOnce(&[bool]) -> A,
+{
+    let cfg = build_config(spec, run)?;
+    let schedule = build_schedule(spec, run);
+    let initial_online: Vec<bool> = (0..spec.n)
+        .map(|i| schedule.segment(NodeId::from_index(i)).initial_online)
+        .collect();
+    let app = make_app(&initial_online);
+    let strategy = spec.strategy.build()?;
+    let mut proto = TokenProtocol::new(Arc::clone(topo), strategy, app, initial_online)
+        .with_reply_policy(spec.reply_policy);
+    if spec.record_tokens {
+        proto = proto.with_token_recording();
+    }
+    if spec.react_to_injections {
+        proto = proto.with_injection_reaction();
+    }
+    if matches!(spec.app, AppKind::PushGossip) && matches!(spec.churn, ChurnKind::SmartphoneTrace)
+    {
+        proto = proto.with_pull_on_rejoin();
+    }
+    let mut sim = Simulation::new(cfg, &schedule, proto);
+    sim.run_to_end();
+    let (proto, sim_stats) = sim.into_parts();
+    let results = proto.into_results();
+    Ok(RunOutcome {
+        metric: results.metric,
+        tokens: results.tokens,
+        protocol: results.stats,
+        sim: sim_stats,
+        sends_per_slot: results.sends_per_slot,
+    })
+}
+
+fn dispatch_run(
+    spec: &ExperimentSpec,
+    run: usize,
+    topo: &Arc<Topology>,
+    reference: &Option<Arc<Vec<f64>>>,
+) -> Result<RunOutcome, RunError> {
+    match spec.app {
+        AppKind::GossipLearning => run_single::<GossipLearning, _>(
+            spec,
+            run,
+            topo,
+            |online| GossipLearning::new(spec.n, spec.transfer, online),
+        ),
+        AppKind::PushGossip => {
+            run_single::<PushGossip, _>(spec, run, topo, |online| {
+                PushGossip::new(spec.n, online)
+            })
+        }
+        AppKind::ChaoticIteration => {
+            let reference = reference
+                .as_ref()
+                .expect("reference eigenvector precomputed for chaotic runs");
+            run_single::<ChaoticIteration, _>(spec, run, topo, |_online| {
+                let mut app = ChaoticIteration::with_reference(
+                    Arc::clone(topo),
+                    reference.as_ref().clone(),
+                );
+                // Algorithm 3 starts from "any positive value"; a random
+                // start makes the convergence race measurable (constant
+                // buffers begin almost at the fixed point).
+                let mut rng = Xoshiro256pp::stream(run_seed(spec, run), 0xb0f);
+                app.randomize_buffers(&mut rng);
+                app
+            })
+        }
+    }
+}
+
+/// A topology (and, for chaotic iteration, its reference eigenvector)
+/// prepared once and shared across the experiments of a panel or sweep.
+#[derive(Debug, Clone)]
+pub struct PreparedTopology {
+    /// The shared overlay.
+    pub topo: Arc<Topology>,
+    /// Reference dominant eigenvector (chaotic iteration only).
+    pub reference: Option<Arc<Vec<f64>>>,
+}
+
+/// Builds the topology for `spec` and, for chaotic iteration, computes the
+/// reference eigenvector once.
+///
+/// # Errors
+///
+/// Returns [`RunError`] on generation or spectral failures.
+pub fn prepare_topology(spec: &ExperimentSpec) -> Result<PreparedTopology, RunError> {
+    let topo = Arc::new(build_topology(spec)?);
+    let reference = match spec.app {
+        AppKind::ChaoticIteration => Some(Arc::new(dominant_eigenvector(
+            &topo, 200_000, 1e-13,
+        )?)),
+        _ => None,
+    };
+    Ok(PreparedTopology { topo, reference })
+}
+
+/// Runs all replicas of `spec` (in parallel) and averages the series.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the topology, strategy, or configuration is
+/// invalid; individual runs cannot fail once those are validated.
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, RunError> {
+    let prepared = prepare_topology(spec)?;
+    run_experiment_prepared(spec, &prepared)
+}
+
+/// Runs `spec` over an already-prepared topology (sweeps over the `(A, C)`
+/// grid share one overlay and one reference eigenvector, as in the paper).
+///
+/// # Errors
+///
+/// Returns [`RunError`] on invalid strategy or configuration.
+///
+/// # Panics
+///
+/// Panics if `prepared` does not match the spec's network size, or if a
+/// chaotic spec is given a prepared topology without a reference vector.
+pub fn run_experiment_prepared(
+    spec: &ExperimentSpec,
+    prepared: &PreparedTopology,
+) -> Result<ExperimentResult, RunError> {
+    assert!(spec.runs > 0, "an experiment needs at least one run");
+    assert_eq!(
+        prepared.topo.n(),
+        spec.n,
+        "prepared topology size does not match the spec"
+    );
+    let topo = Arc::clone(&prepared.topo);
+    let reference = prepared.reference.clone();
+    if matches!(spec.app, AppKind::ChaoticIteration) {
+        assert!(
+            reference.is_some(),
+            "chaotic iteration needs a prepared reference eigenvector"
+        );
+    }
+
+    // Validate strategy/config once up front so worker threads can't hit
+    // construction errors.
+    spec.strategy.build()?;
+    build_config(spec, 0)?;
+
+    let mut outcomes: Vec<Option<RunOutcome>> = (0..spec.runs).map(|_| None).collect();
+    if spec.runs == 1 {
+        outcomes[0] = Some(dispatch_run(spec, 0, &topo, &reference)?);
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (run, slot) in outcomes.iter_mut().enumerate() {
+                let topo = &topo;
+                let reference = &reference;
+                handles.push(scope.spawn(move |_| {
+                    *slot = Some(
+                        dispatch_run(spec, run, topo, reference)
+                            .expect("validated spec cannot fail at run time"),
+                    );
+                }));
+            }
+            for h in handles {
+                h.join().expect("experiment worker panicked");
+            }
+        })
+        .expect("crossbeam scope");
+    }
+    let runs: Vec<RunOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("all runs completed"))
+        .collect();
+
+    let metric = TimeSeries::mean_of(
+        &runs.iter().map(|r| r.metric.clone()).collect::<Vec<_>>(),
+    );
+    let tokens = if spec.record_tokens {
+        TimeSeries::mean_of(&runs.iter().map(|r| r.tokens.clone()).collect::<Vec<_>>())
+    } else {
+        TimeSeries::new()
+    };
+    let n_runs = runs.len() as f64;
+    let stats = AggregateStats {
+        mean_messages_sent: runs.iter().map(|r| r.sim.messages_sent as f64).sum::<f64>() / n_runs,
+        mean_proactive: runs
+            .iter()
+            .map(|r| r.protocol.proactive_sent as f64)
+            .sum::<f64>()
+            / n_runs,
+        mean_reactive: runs
+            .iter()
+            .map(|r| r.protocol.reactive_sent as f64)
+            .sum::<f64>()
+            / n_runs,
+        mean_ticks: runs.iter().map(|r| r.sim.ticks_fired as f64).sum::<f64>() / n_runs,
+    };
+    Ok(ExperimentResult {
+        spec: spec.clone(),
+        metric,
+        tokens,
+        runs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use token_account::StrategySpec;
+
+    fn tiny(app: AppKind, strategy: StrategySpec) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper_defaults(app, strategy, 60)
+            .with_rounds(40)
+            .with_runs(2)
+            .with_seed(5);
+        // Small networks need a smaller out-degree.
+        if !matches!(app, AppKind::ChaoticIteration) {
+            spec.topology = TopologyKind::KOut { k: 8 };
+        }
+        spec
+    }
+
+    #[test]
+    fn gossip_learning_beats_proactive_baseline() {
+        let baseline =
+            run_experiment(&tiny(AppKind::GossipLearning, StrategySpec::Proactive)).unwrap();
+        let token = run_experiment(&tiny(
+            AppKind::GossipLearning,
+            StrategySpec::Randomized { a: 5, c: 10 },
+        ))
+        .unwrap();
+        let b = baseline.metric.last_value().unwrap();
+        let t = token.metric.last_value().unwrap();
+        assert!(
+            t > b * 1.5,
+            "token account ({t}) should clearly beat proactive ({b})"
+        );
+    }
+
+    #[test]
+    fn push_gossip_reduces_lag() {
+        let baseline =
+            run_experiment(&tiny(AppKind::PushGossip, StrategySpec::Proactive)).unwrap();
+        let token = run_experiment(&tiny(
+            AppKind::PushGossip,
+            StrategySpec::Generalized { a: 5, c: 10 },
+        ))
+        .unwrap();
+        let b = baseline.metric.mean_value_from(1000.0).unwrap();
+        let t = token.metric.mean_value_from(1000.0).unwrap();
+        assert!(t < b, "token account lag {t} should be below proactive {b}");
+    }
+
+    #[test]
+    fn chaotic_iteration_runs_and_converges_downward() {
+        let result = run_experiment(&tiny(
+            AppKind::ChaoticIteration,
+            StrategySpec::Simple { c: 10 },
+        ))
+        .unwrap();
+        let first = result.metric.values()[0];
+        let last = result.metric.last_value().unwrap();
+        assert!(last < first, "angle should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Simple { c: 5 });
+        let a = run_experiment(&spec).unwrap();
+        let b = run_experiment(&spec).unwrap();
+        assert_eq!(a.metric, b.metric);
+        assert_eq!(a.runs[0].protocol, b.runs[0].protocol);
+    }
+
+    #[test]
+    fn seeds_change_results() {
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Simple { c: 5 });
+        let a = run_experiment(&spec).unwrap();
+        let b = run_experiment(&spec.clone().with_seed(6)).unwrap();
+        assert_ne!(a.metric, b.metric);
+    }
+
+    #[test]
+    fn smartphone_churn_scenario_runs() {
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Simple { c: 10 })
+            .with_smartphone_churn();
+        let result = run_experiment(&spec).unwrap();
+        assert!(!result.metric.is_empty());
+        // Pull requests are wired in under churn.
+        let pulls: u64 = result.runs.iter().map(|r| r.protocol.pull_requests).sum();
+        assert!(pulls > 0, "rejoining nodes should send pull requests");
+    }
+
+    #[test]
+    fn token_recording_produces_series() {
+        let spec = tiny(AppKind::GossipLearning, StrategySpec::Randomized { a: 2, c: 5 })
+            .with_token_recording();
+        let result = run_experiment(&spec).unwrap();
+        assert_eq!(result.tokens.len(), result.metric.len());
+        for &v in result.tokens.values() {
+            assert!((0.0..=5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rate_limit_holds_across_all_runs() {
+        // Section 3.4: per node at most rounds + C messages; globally
+        // N·(rounds + C). Pull replies also burn tokens so they count.
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Generalized { a: 1, c: 10 });
+        let result = run_experiment(&spec).unwrap();
+        for run in &result.runs {
+            let bound = run.sim.ticks_fired + 10 * spec.n as u64;
+            assert!(
+                run.protocol.total_sent() <= bound,
+                "sent {} > bound {}",
+                run.protocol.total_sent(),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_strategy_is_reported() {
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Generalized { a: 9, c: 3 });
+        assert!(matches!(
+            run_experiment(&spec).unwrap_err(),
+            RunError::Strategy(_)
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ta-metrics — time series, statistics and reporting
+//!
+//! Support crate for the token account reproduction:
+//!
+//! * [`timeseries::TimeSeries`] — metric samples over virtual time, with
+//!   the paper's multi-run averaging and 15-minute smoothing.
+//! * [`stats::OnlineStats`] — streaming mean/variance/min/max.
+//! * [`table::Table`] — aligned text and CSV tables for reports.
+//! * [`output`] — gnuplot-ready `.dat` files.
+//!
+//! ```
+//! use ta_metrics::timeseries::TimeSeries;
+//!
+//! let run1 = TimeSeries::from_parts(vec![0.0, 60.0], vec![0.25, 0.75]);
+//! let run2 = TimeSeries::from_parts(vec![0.0, 60.0], vec![0.75, 0.25]);
+//! let mean = TimeSeries::mean_of(&[run1, run2]);
+//! assert_eq!(mean.values(), &[0.5, 0.5]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod output;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use stats::OnlineStats;
+pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,113 @@
+//! Writing experiment data files.
+//!
+//! Results are written as whitespace-separated `.dat` files (one column of
+//! time plus one column per labelled series), the format gnuplot and
+//! pandas both read directly — the working format for regenerating the
+//! paper's figures.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::timeseries::TimeSeries;
+
+/// Renders several series sharing one time grid as a `.dat` document.
+///
+/// # Panics
+///
+/// Panics if `series` and `labels` lengths differ, or the time grids of
+/// the series differ.
+pub fn render_dat(title: &str, labels: &[&str], series: &[TimeSeries]) -> String {
+    assert_eq!(
+        labels.len(),
+        series.len(),
+        "one label per series required"
+    );
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str("# time_s");
+    for label in labels {
+        out.push(' ');
+        // Spaces inside labels would break column counting.
+        out.push_str(&label.replace(' ', "_"));
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    let times = series[0].times();
+    for s in series {
+        assert_eq!(s.times(), times, "series time grids differ");
+    }
+    for (i, &t) in times.iter().enumerate() {
+        out.push_str(&format!("{t}"));
+        for s in series {
+            out.push_str(&format!(" {}", s.values()[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`render_dat`] output to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_dat(
+    path: &Path,
+    title: &str,
+    labels: &[&str],
+    series: &[TimeSeries],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, render_dat(title, labels, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_series() -> (TimeSeries, TimeSeries) {
+        let a = TimeSeries::from_parts(vec![0.0, 1.0], vec![10.0, 11.0]);
+        let b = TimeSeries::from_parts(vec![0.0, 1.0], vec![20.0, 21.0]);
+        (a, b)
+    }
+
+    #[test]
+    fn renders_columns() {
+        let (a, b) = two_series();
+        let text = render_dat("demo", &["first", "second run"], &[a, b]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# demo");
+        assert_eq!(lines[1], "# time_s first second_run");
+        assert_eq!(lines[2], "0 10 20");
+        assert_eq!(lines[3], "1 11 21");
+    }
+
+    #[test]
+    fn empty_series_list_renders_header_only() {
+        let text = render_dat("empty", &[], &[]);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per series")]
+    fn label_mismatch_panics() {
+        let (a, _) = two_series();
+        let _ = render_dat("bad", &[], &[a]);
+    }
+
+    #[test]
+    fn writes_to_disk_creating_directories() {
+        let dir = std::env::temp_dir().join(format!("ta-metrics-test-{}", std::process::id()));
+        let path = dir.join("nested/out.dat");
+        let (a, b) = two_series();
+        write_dat(&path, "t", &["a", "b"], &[a, b]).unwrap();
+        let read = fs::read_to_string(&path).unwrap();
+        assert!(read.contains("0 10 20"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! The peer sampling service (`selectPeer()` in the paper).
+//!
+//! The paper treats peer sampling as a black box over the fixed overlay: a
+//! node's candidate peers are its out-neighbours, and the churn scenario
+//! assumes "the failure of a neighbor is detected by the node", so selection
+//! is restricted to currently online neighbours.
+
+use ta_sim::rng::Xoshiro256pp;
+use ta_sim::NodeId;
+
+use crate::graph::Topology;
+
+/// Uniform peer sampling over a fixed overlay.
+///
+/// ```
+/// use ta_overlay::generators::complete;
+/// use ta_overlay::sampling::PeerSampler;
+/// use ta_sim::rng::Xoshiro256pp;
+/// use ta_sim::NodeId;
+/// use rand::SeedableRng;
+///
+/// let topo = complete(4)?;
+/// let sampler = PeerSampler::new(&topo);
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let peer = sampler.select(NodeId::new(0), &mut rng).unwrap();
+/// assert_ne!(peer, NodeId::new(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PeerSampler<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> PeerSampler<'a> {
+    /// Creates a sampler over `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        PeerSampler { topo }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Selects a uniformly random out-neighbour of `node`, or `None` if it
+    /// has none.
+    pub fn select(&self, node: NodeId, rng: &mut Xoshiro256pp) -> Option<NodeId> {
+        let peers = self.topo.out_neighbors(node);
+        if peers.is_empty() {
+            return None;
+        }
+        Some(peers[rng.below(peers.len() as u64) as usize])
+    }
+
+    /// Selects a uniformly random *online* out-neighbour of `node`, or
+    /// `None` if none is online.
+    ///
+    /// `online` is indexed by [`NodeId::index`]. Uniformity is over the
+    /// online subset (two passes over the neighbour list, O(degree)).
+    pub fn select_online(
+        &self,
+        node: NodeId,
+        online: &[bool],
+        rng: &mut Xoshiro256pp,
+    ) -> Option<NodeId> {
+        let peers = self.topo.out_neighbors(node);
+        let alive = peers.iter().filter(|p| online[p.index()]).count();
+        if alive == 0 {
+            return None;
+        }
+        let pick = rng.below(alive as u64) as usize;
+        peers
+            .iter()
+            .filter(|p| online[p.index()])
+            .nth(pick)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, k_out_random};
+    use crate::graph::Topology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn select_is_uniform_over_neighbors() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let topo = k_out_random(50, 10, &mut rng).unwrap();
+        let sampler = PeerSampler::new(&topo);
+        let node = NodeId::new(0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            let p = sampler.select(node, &mut rng).unwrap();
+            *counts.entry(p).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 10);
+        for (&peer, &c) in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "peer {peer} selected {c} times"
+            );
+            assert!(topo.out_neighbors(node).contains(&peer));
+        }
+    }
+
+    #[test]
+    fn select_none_without_neighbors() {
+        let topo = Topology::from_edges(2, [(1, 0)]).unwrap();
+        let sampler = PeerSampler::new(&topo);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        assert_eq!(sampler.select(NodeId::new(0), &mut rng), None);
+    }
+
+    #[test]
+    fn select_online_skips_offline_peers() {
+        let topo = complete(5).unwrap();
+        let sampler = PeerSampler::new(&topo);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        // Only node 3 is online besides the sender.
+        let online = vec![false, false, false, true, false];
+        for _ in 0..100 {
+            let p = sampler.select_online(NodeId::new(0), &online, &mut rng);
+            assert_eq!(p, Some(NodeId::new(3)));
+        }
+    }
+
+    #[test]
+    fn select_online_none_when_all_offline() {
+        let topo = complete(3).unwrap();
+        let sampler = PeerSampler::new(&topo);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let online = vec![false; 3];
+        assert_eq!(sampler.select_online(NodeId::new(0), &online, &mut rng), None);
+    }
+
+    #[test]
+    fn select_online_is_uniform_over_online_subset() {
+        let topo = complete(6).unwrap();
+        let sampler = PeerSampler::new(&topo);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let online = vec![true, false, true, true, false, true];
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..12_000 {
+            let p = sampler
+                .select_online(NodeId::new(0), &online, &mut rng)
+                .unwrap();
+            *counts.entry(p.raw()).or_insert(0u32) += 1;
+        }
+        // Node 0's online neighbours: 2, 3, 5 (not itself).
+        assert_eq!(counts.len(), 3);
+        for (&peer, &c) in &counts {
+            assert!([2, 3, 5].contains(&peer));
+            assert!((3_400..4_600).contains(&c), "peer {peer}: {c}");
+        }
+    }
+}

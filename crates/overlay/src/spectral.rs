@@ -1,0 +1,262 @@
+//! Spectral tools for chaotic asynchronous power iteration (Section 2.4).
+//!
+//! The paper computes the dominant eigenvector of a "weighted neighborhood
+//! matrix" with unit spectral radius. We realize this as the
+//! **column-stochastic normalization** of the overlay digraph:
+//! `A[i][k] = 1 / outdeg(k)` for every link `k -> i`. The matrix is
+//! non-negative with spectral radius 1, and is irreducible exactly when the
+//! graph is strongly connected — the assumptions of Lubachevsky & Mitra.
+//!
+//! [`dominant_eigenvector`] provides the centralized reference solution that
+//! the decentralized protocol's convergence metric (angle to the true
+//! eigenvector) is measured against.
+
+use std::error::Error;
+use std::fmt;
+
+use ta_sim::NodeId;
+
+use crate::graph::Topology;
+
+/// Error constructing a [`ColumnStochastic`] view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NotStochasticError {
+    /// A node with out-degree zero has no column weights.
+    ZeroOutDegree(NodeId),
+}
+
+impl fmt::Display for NotStochasticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotStochasticError::ZeroOutDegree(node) => {
+                write!(f, "{node} has out-degree 0; column cannot be stochastic")
+            }
+        }
+    }
+}
+
+impl Error for NotStochasticError {}
+
+/// The column-stochastic matrix of an overlay graph.
+///
+/// A zero-copy view: weights are derived from out-degrees on the fly.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnStochastic<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> ColumnStochastic<'a> {
+    /// Wraps `topo`, checking every column has at least one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotStochasticError::ZeroOutDegree`] if some node has no
+    /// out-edges.
+    pub fn new(topo: &'a Topology) -> Result<Self, NotStochasticError> {
+        for i in 0..topo.n() {
+            let node = NodeId::from_index(i);
+            if topo.out_degree(node) == 0 {
+                return Err(NotStochasticError::ZeroOutDegree(node));
+            }
+        }
+        Ok(ColumnStochastic { topo })
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// The matrix entry `A[dst][src]`: `1/outdeg(src)` if the edge
+    /// `src -> dst` exists, else 0.
+    pub fn weight(&self, dst: NodeId, src: NodeId) -> f64 {
+        if self.topo.has_edge(src, dst) {
+            1.0 / self.topo.out_degree(src) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sparse matrix–vector product `out = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have length ≠ `n`.
+    pub fn multiply(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.topo.n();
+        assert_eq!(x.len(), n, "input length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            let dst = NodeId::from_index(i);
+            let mut acc = 0.0;
+            for &src in self.topo.in_neighbors(dst) {
+                acc += x[src.index()] / self.topo.out_degree(src) as f64;
+            }
+            *slot = acc;
+        }
+    }
+}
+
+/// L2 norm of a vector.
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Angle in radians between two vectors (0 = parallel).
+///
+/// Degenerate inputs (zero vectors) yield `PI/2`, the "no information"
+/// angle, so convergence metrics start pessimistic rather than crash.
+pub fn angle_between(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    (dot / (na * nb)).clamp(-1.0, 1.0).acos()
+}
+
+/// Computes the dominant eigenvector of the column-stochastic matrix of
+/// `topo` by centralized power iteration.
+///
+/// Iterates until the angle between successive normalized iterates falls
+/// below `tol` or `max_iters` is reached, whichever comes first; returns the
+/// L2-normalized final iterate. For a strongly connected aperiodic graph
+/// this converges to the unique dominant eigenvector.
+///
+/// # Errors
+///
+/// Returns [`NotStochasticError`] if some node has out-degree zero.
+pub fn dominant_eigenvector(
+    topo: &Topology,
+    max_iters: usize,
+    tol: f64,
+) -> Result<Vec<f64>, NotStochasticError> {
+    let a = ColumnStochastic::new(topo)?;
+    let n = topo.n();
+    let mut x = vec![1.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iters {
+        a.multiply(&x, &mut next);
+        let norm = l2_norm(&next);
+        if norm == 0.0 {
+            break; // all mass vanished (cannot happen when stochastic)
+        }
+        for v in next.iter_mut() {
+            *v /= norm;
+        }
+        let delta = angle_between(&x, &next);
+        std::mem::swap(&mut x, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    let norm = l2_norm(&x);
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, ring, watts_strogatz_strongly_connected};
+    use crate::graph::Topology;
+
+    #[test]
+    fn weights_are_inverse_out_degree() {
+        // 0 -> {1, 2}: column 0 has two entries of 1/2.
+        let t = Topology::from_edges(3, [(0, 1), (0, 2), (1, 0), (2, 0)]).unwrap();
+        let a = ColumnStochastic::new(&t).unwrap();
+        assert!((a.weight(NodeId::new(1), NodeId::new(0)) - 0.5).abs() < 1e-12);
+        assert!((a.weight(NodeId::new(0), NodeId::new(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(a.weight(NodeId::new(2), NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn columns_sum_to_one_under_multiply() {
+        // Multiplying the all-ones vector by A^T ... instead check mass
+        // conservation: sum(Ax) == sum(x) for stochastic columns.
+        let t = complete(6).unwrap();
+        let a = ColumnStochastic::new(&t).unwrap();
+        let x: Vec<f64> = (0..6).map(|i| (i + 1) as f64).collect();
+        let mut out = vec![0.0; 6];
+        a.multiply(&x, &mut out);
+        let sum_in: f64 = x.iter().sum();
+        let sum_out: f64 = out.iter().sum();
+        assert!((sum_in - sum_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_out_degree() {
+        let t = Topology::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(
+            ColumnStochastic::new(&t).unwrap_err(),
+            NotStochasticError::ZeroOutDegree(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn eigenvector_of_complete_graph_is_uniform() {
+        let t = complete(8).unwrap();
+        let v = dominant_eigenvector(&t, 1000, 1e-12).unwrap();
+        let expected = 1.0 / (8f64).sqrt();
+        for &x in &v {
+            assert!((x - expected).abs() < 1e-9, "component {x}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_of_directed_ring_is_uniform() {
+        // The directed ring's column-stochastic matrix is a permutation:
+        // periodic, so plain power iteration oscillates. The uniform vector
+        // is still the fixed point; verify A v = v instead of iterating.
+        let t = ring(6).unwrap();
+        let a = ColumnStochastic::new(&t).unwrap();
+        let v = vec![1.0; 6];
+        let mut out = vec![0.0; 6];
+        a.multiply(&v, &mut out);
+        assert!(angle_between(&v, &out) < 1e-12);
+    }
+
+    #[test]
+    fn eigenvector_satisfies_fixed_point_on_small_world() {
+        let t = watts_strogatz_strongly_connected(300, 4, 0.05, 7, 20).unwrap();
+        let v = dominant_eigenvector(&t, 20_000, 1e-13).unwrap();
+        let a = ColumnStochastic::new(&t).unwrap();
+        let mut av = vec![0.0; 300];
+        a.multiply(&v, &mut av);
+        assert!(
+            angle_between(&v, &av) < 1e-6,
+            "angle = {}",
+            angle_between(&v, &av)
+        );
+        // Unit spectral radius: the norm is preserved at the fixed point.
+        assert!((l2_norm(&av) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angle_between_basics() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((angle_between(&a, &b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(angle_between(&a, &a) < 1e-12);
+        let c = [-1.0, 0.0];
+        assert!((angle_between(&a, &c) - std::f64::consts::PI).abs() < 1e-12);
+        // Zero vector convention.
+        assert!(
+            (angle_between(&a, &[0.0, 0.0]) - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn l2_norm_basics() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+}

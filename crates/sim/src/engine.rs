@@ -1,0 +1,933 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulation`] drives a [`Driver`] (the protocol under test) through a
+//! totally ordered stream of events: per-node round ticks, message
+//! deliveries, churn transitions, periodic metric samples, periodic
+//! injections, and one-shot timers. It plays the role PeerSim's event-driven
+//! engine plays in the paper.
+//!
+//! # Semantics
+//!
+//! * **Round ticks.** While a node is online it receives a tick every Δ.
+//!   The first tick (and the first tick after each rejoin) is phased
+//!   according to [`crate::config::TickPhase`]; tokens are only
+//!   granted while online, matching Section 4.2 of the paper ("nodes only
+//!   receive tokens when online").
+//! * **Messages.** [`SimApi::send`] delivers the message `transfer_time`
+//!   later. A message addressed to a node that is offline at delivery time
+//!   is lost (counted in [`SimStats::messages_lost_offline`]). With
+//!   `drop_probability > 0` a send may also be dropped at random
+//!   (fault-injection extension).
+//! * **Churn.** An [`AvailabilityModel`] supplies each node's initial state
+//!   and up/down transitions. The driver observes them via
+//!   [`Driver::on_node_up`]/[`Driver::on_node_down`].
+//! * **Determinism.** All randomness derives from the master seed via
+//!   independent [`Xoshiro256pp`] streams (engine internals vs. protocol),
+//!   and ties in event time fire in schedule order, so a run is a pure
+//!   function of `(config, availability, driver)`.
+//!
+//! # Example
+//!
+//! ```
+//! use ta_sim::engine::{AlwaysOn, Driver, SimApi, Simulation};
+//! use ta_sim::config::SimConfig;
+//! use ta_sim::NodeId;
+//!
+//! /// Every node pings node 0 on every round tick.
+//! struct Ping {
+//!     received: u64,
+//! }
+//!
+//! impl Driver for Ping {
+//!     type Msg = ();
+//!     fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+//!         api.send(node, NodeId::new(0), ());
+//!     }
+//!     fn on_message(&mut self, _api: &mut SimApi<'_, ()>, _from: NodeId, _to: NodeId, _msg: ()) {
+//!         self.received += 1;
+//!     }
+//! }
+//!
+//! let cfg = SimConfig::builder(10).seed(1).build()?;
+//! let mut sim = Simulation::new(cfg, &AlwaysOn, Ping { received: 0 });
+//! sim.run_to_end();
+//! assert!(sim.driver().received > 0);
+//! # Ok::<(), ta_sim::config::InvalidConfigError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{QueueKind, SimConfig, TickPhase};
+use crate::ids::{node_ids, NodeId};
+use crate::queue::{BinaryHeapQueue, EventQueue, Scheduled};
+use crate::rng::Xoshiro256pp;
+use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
+
+/// Provides per-node availability (churn) information to the engine.
+///
+/// Implemented by `ta-churn`'s trace schedules; [`AlwaysOn`] is the trivial
+/// failure-free model.
+pub trait AvailabilityModel {
+    /// Whether `node` is online at simulation start.
+    fn initially_online(&self, node: NodeId) -> bool;
+
+    /// The up/down transitions of `node`, as `(time, goes_online)` pairs in
+    /// strictly increasing time order, consistent with
+    /// [`initially_online`](Self::initially_online) (states must alternate).
+    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)>;
+}
+
+/// The failure-free availability model: every node is online throughout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysOn;
+
+impl AvailabilityModel for AlwaysOn {
+    fn initially_online(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    fn transitions(&self, _node: NodeId) -> Vec<(SimTime, bool)> {
+        Vec::new()
+    }
+}
+
+/// Protocol callbacks invoked by the engine.
+///
+/// All methods receive a [`SimApi`] giving access to the clock, the RNG, the
+/// online set, and message sending. Default implementations ignore the
+/// event, so simple drivers implement only what they need.
+pub trait Driver {
+    /// Message payload carried between nodes.
+    type Msg;
+
+    /// A round tick fired at an online node (one token-granting period Δ
+    /// elapsed for this node).
+    fn on_round_tick(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId);
+
+    /// A message arrived at online node `to`.
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<'_, Self::Msg>,
+        from: NodeId,
+        to: NodeId,
+        msg: Self::Msg,
+    );
+
+    /// `node` came online.
+    fn on_node_up(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
+        let _ = (api, node);
+    }
+
+    /// `node` went offline.
+    fn on_node_down(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
+        let _ = (api, node);
+    }
+
+    /// Periodic metric sampling hook (enabled via
+    /// [`SimConfigBuilder::sample_period`](crate::config::SimConfigBuilder::sample_period)).
+    fn on_sample(&mut self, api: &mut SimApi<'_, Self::Msg>) {
+        let _ = api;
+    }
+
+    /// Periodic injection hook (enabled via
+    /// [`SimConfigBuilder::injection_period`](crate::config::SimConfigBuilder::injection_period)).
+    fn on_inject(&mut self, api: &mut SimApi<'_, Self::Msg>) {
+        let _ = api;
+    }
+
+    /// A one-shot timer scheduled through [`SimApi::schedule_timer`] fired.
+    fn on_timer(&mut self, api: &mut SimApi<'_, Self::Msg>, token: u64) {
+        let _ = (api, token);
+    }
+}
+
+/// Counters accumulated over a run.
+///
+/// A passive data record: all fields are public and the struct is
+/// serializable for experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Messages passed to [`SimApi::send`].
+    pub messages_sent: u64,
+    /// Messages delivered to an online destination.
+    pub messages_delivered: u64,
+    /// Messages lost because the destination was offline at delivery time.
+    pub messages_lost_offline: u64,
+    /// Messages dropped by fault injection.
+    pub messages_dropped_fault: u64,
+    /// Round ticks delivered to drivers.
+    pub ticks_fired: u64,
+    /// Stale ticks discarded after churn transitions.
+    pub ticks_stale: u64,
+    /// Sampling callbacks fired.
+    pub samples: u64,
+    /// Injection callbacks fired.
+    pub injections: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+/// Engine-internal event payload.
+#[derive(Debug)]
+enum Ev<M> {
+    Tick { node: NodeId, epoch: u32 },
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Up(NodeId),
+    Down(NodeId),
+    Sample,
+    Inject,
+    Timer(u64),
+}
+
+enum QueueImpl<M> {
+    Heap(BinaryHeapQueue<Ev<M>>),
+    Wheel(TimingWheel<Ev<M>>),
+}
+
+impl<M> QueueImpl<M> {
+    fn push(&mut self, time: SimTime, ev: Ev<M>) {
+        match self {
+            QueueImpl::Heap(q) => q.push(time, ev),
+            QueueImpl::Wheel(q) => q.push(time, ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<Ev<M>>> {
+        match self {
+            QueueImpl::Heap(q) => q.pop(),
+            QueueImpl::Wheel(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            QueueImpl::Heap(q) => q.peek_time(),
+            QueueImpl::Wheel(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Heap(q) => q.len(),
+            QueueImpl::Wheel(q) => q.len(),
+        }
+    }
+}
+
+/// Mutable engine state shared with the driver during callbacks.
+struct Kernel<M> {
+    cfg: SimConfig,
+    queue: QueueImpl<M>,
+    /// Engine-internal randomness (phases, drops).
+    engine_rng: Xoshiro256pp,
+    /// Protocol randomness, a separate stream so driver changes do not
+    /// perturb engine decisions and vice versa.
+    proto_rng: Xoshiro256pp,
+    online: Vec<bool>,
+    /// Dense list of online nodes for O(1) uniform sampling.
+    online_list: Vec<NodeId>,
+    /// Position of each node in `online_list` (usize::MAX when offline).
+    online_pos: Vec<usize>,
+    /// Tick epoch per node; stale ticks carry an older epoch.
+    tick_epoch: Vec<u32>,
+    stats: SimStats,
+    now: SimTime,
+}
+
+impl<M> Kernel<M> {
+    fn set_online(&mut self, node: NodeId, up: bool) {
+        let idx = node.index();
+        if self.online[idx] == up {
+            return;
+        }
+        self.online[idx] = up;
+        if up {
+            self.online_pos[idx] = self.online_list.len();
+            self.online_list.push(node);
+        } else {
+            let pos = self.online_pos[idx];
+            let last = *self.online_list.last().expect("online list underflow");
+            self.online_list.swap_remove(pos);
+            if pos < self.online_list.len() {
+                self.online_pos[last.index()] = pos;
+            }
+            self.online_pos[idx] = usize::MAX;
+        }
+    }
+
+    fn tick_delay(&mut self, phase: TickPhase) -> SimDuration {
+        match phase {
+            TickPhase::Synchronized => self.cfg.delta(),
+            TickPhase::UniformRandom => {
+                // Uniform in (0, Δ]: keeps the long-run grant rate at 1/Δ.
+                SimDuration::from_micros(
+                    self.engine_rng.below(self.cfg.delta().as_micros()) + 1,
+                )
+            }
+        }
+    }
+
+    fn schedule_tick(&mut self, node: NodeId, delay: SimDuration) {
+        let epoch = self.tick_epoch[node.index()];
+        self.queue.push(self.now + delay, Ev::Tick { node, epoch });
+    }
+}
+
+/// The engine-facing API handed to [`Driver`] callbacks.
+pub struct SimApi<'a, M> {
+    kernel: &'a mut Kernel<M>,
+}
+
+impl<M> std::fmt::Debug for SimApi<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimApi")
+            .field("now", &self.kernel.now)
+            .field("online", &self.kernel.online_list.len())
+            .finish()
+    }
+}
+
+impl<'a, M> SimApi<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Network size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.kernel.cfg.n()
+    }
+
+    /// The simulation configuration.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.kernel.cfg
+    }
+
+    /// Whether `node` is currently online.
+    #[inline]
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.kernel.online[node.index()]
+    }
+
+    /// Number of currently online nodes.
+    #[inline]
+    pub fn online_count(&self) -> usize {
+        self.kernel.online_list.len()
+    }
+
+    /// The currently online nodes (unspecified order).
+    #[inline]
+    pub fn online_nodes(&self) -> &[NodeId] {
+        &self.kernel.online_list
+    }
+
+    /// Protocol random number generator (deterministic per seed).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256pp {
+        &mut self.kernel.proto_rng
+    }
+
+    /// Draws a uniformly random online node, or `None` if all are offline.
+    pub fn random_online_node(&mut self) -> Option<NodeId> {
+        if self.kernel.online_list.is_empty() {
+            return None;
+        }
+        let i = self
+            .kernel
+            .proto_rng
+            .below(self.kernel.online_list.len() as u64) as usize;
+        Some(self.kernel.online_list[i])
+    }
+
+    /// Sends `msg` from `from` to `to`; it arrives `transfer_time` later if
+    /// `to` is online at that instant.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.kernel.stats.messages_sent += 1;
+        let p = self.kernel.cfg.drop_probability();
+        if p > 0.0 && self.kernel.engine_rng.chance(p) {
+            self.kernel.stats.messages_dropped_fault += 1;
+            return;
+        }
+        let at = self.kernel.now + self.kernel.cfg.transfer_time();
+        self.kernel.queue.push(at, Ev::Deliver { from, to, msg });
+    }
+
+    /// Schedules [`Driver::on_timer`] with `token` after `delay`.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
+        self.kernel.queue.push(self.kernel.now + delay, Ev::Timer(token));
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &SimStats {
+        &self.kernel.stats
+    }
+}
+
+/// A configured simulation run: the engine plus its driver.
+pub struct Simulation<D: Driver> {
+    driver: D,
+    kernel: Kernel<D::Msg>,
+    finished: bool,
+}
+
+impl<D: Driver> Simulation<D> {
+    /// Builds a simulation over `availability` with the given driver.
+    ///
+    /// Schedules initial round ticks for initially-online nodes, all churn
+    /// transitions, and the sampling/injection trains if configured.
+    pub fn new(cfg: SimConfig, availability: &dyn AvailabilityModel, driver: D) -> Self {
+        let n = cfg.n();
+        let queue = match cfg.queue() {
+            QueueKind::Heap => QueueImpl::Heap(BinaryHeapQueue::with_capacity(n * 2)),
+            QueueKind::Wheel => QueueImpl::Wheel(TimingWheel::new()),
+        };
+        let mut kernel = Kernel {
+            engine_rng: Xoshiro256pp::stream(cfg.seed(), 0x0e),
+            proto_rng: Xoshiro256pp::stream(cfg.seed(), 0x9f),
+            queue,
+            online: vec![false; n],
+            online_list: Vec::with_capacity(n),
+            online_pos: vec![usize::MAX; n],
+            tick_epoch: vec![0; n],
+            stats: SimStats::default(),
+            now: SimTime::ZERO,
+            cfg,
+        };
+
+        // Initial online set and churn transitions.
+        for node in node_ids(n) {
+            if availability.initially_online(node) {
+                kernel.set_online(node, true);
+            }
+            for (time, up) in availability.transitions(node) {
+                kernel
+                    .queue
+                    .push(time, if up { Ev::Up(node) } else { Ev::Down(node) });
+            }
+        }
+        // First round ticks for nodes that start online.
+        let phase = kernel.cfg.tick_phase();
+        for i in 0..kernel.online_list.len() {
+            let node = kernel.online_list[i];
+            let delay = kernel.tick_delay(phase);
+            kernel.schedule_tick(node, delay);
+        }
+        if let Some(p) = kernel.cfg.sample_period() {
+            kernel.queue.push(SimTime::ZERO + p, Ev::Sample);
+        }
+        if let Some(p) = kernel.cfg.injection_period() {
+            kernel.queue.push(SimTime::ZERO + p, Ev::Inject);
+        }
+        Simulation {
+            driver,
+            kernel,
+            finished: false,
+        }
+    }
+
+    /// Runs until the configured duration is reached (or the queue drains).
+    pub fn run_to_end(&mut self) {
+        let end = SimTime::ZERO + self.kernel.cfg.duration();
+        self.run_until(end);
+        self.finished = true;
+    }
+
+    /// Processes all events with `time <= until`, advancing the clock to
+    /// `until`.
+    ///
+    /// Can be called repeatedly with increasing horizons to interleave
+    /// simulation with external observation.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let scheduled = self.kernel.queue.pop().expect("peek promised an event");
+            debug_assert!(scheduled.time >= self.kernel.now, "time went backwards");
+            self.kernel.now = scheduled.time;
+            self.kernel.stats.events_processed += 1;
+            self.dispatch(scheduled.event);
+        }
+        if until > self.kernel.now {
+            self.kernel.now = until;
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev<D::Msg>) {
+        match ev {
+            Ev::Tick { node, epoch } => {
+                if self.kernel.tick_epoch[node.index()] != epoch {
+                    self.kernel.stats.ticks_stale += 1;
+                    return;
+                }
+                debug_assert!(self.kernel.online[node.index()]);
+                self.kernel.stats.ticks_fired += 1;
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_round_tick(&mut api, node);
+                // Next tick, same epoch (cancelled if the node churns).
+                let delta = self.kernel.cfg.delta();
+                self.kernel.schedule_tick(node, delta);
+            }
+            Ev::Deliver { from, to, msg } => {
+                if !self.kernel.online[to.index()] {
+                    self.kernel.stats.messages_lost_offline += 1;
+                    return;
+                }
+                self.kernel.stats.messages_delivered += 1;
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_message(&mut api, from, to, msg);
+            }
+            Ev::Up(node) => {
+                if self.kernel.online[node.index()] {
+                    return; // duplicate transition; ignore
+                }
+                self.kernel.set_online(node, true);
+                self.kernel.tick_epoch[node.index()] += 1;
+                let phase = self.kernel.cfg.tick_phase();
+                let delay = self.kernel.tick_delay(phase);
+                self.kernel.schedule_tick(node, delay);
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_node_up(&mut api, node);
+            }
+            Ev::Down(node) => {
+                if !self.kernel.online[node.index()] {
+                    return;
+                }
+                self.kernel.set_online(node, false);
+                self.kernel.tick_epoch[node.index()] += 1;
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_node_down(&mut api, node);
+            }
+            Ev::Sample => {
+                self.kernel.stats.samples += 1;
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_sample(&mut api);
+                let p = self
+                    .kernel
+                    .cfg
+                    .sample_period()
+                    .expect("sample event without period");
+                let next = self.kernel.now + p;
+                self.kernel.queue.push(next, Ev::Sample);
+            }
+            Ev::Inject => {
+                self.kernel.stats.injections += 1;
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_inject(&mut api);
+                let p = self
+                    .kernel
+                    .cfg
+                    .injection_period()
+                    .expect("inject event without period");
+                let next = self.kernel.now + p;
+                self.kernel.queue.push(next, Ev::Inject);
+            }
+            Ev::Timer(token) => {
+                let mut api = SimApi { kernel: &mut self.kernel };
+                self.driver.on_timer(&mut api, token);
+            }
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.kernel.stats
+    }
+
+    /// The driver (protocol state), for inspection.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Mutable access to the driver between run segments.
+    pub fn driver_mut(&mut self) -> &mut D {
+        &mut self.driver
+    }
+
+    /// Consumes the simulation, returning the driver and final statistics.
+    pub fn into_parts(self) -> (D, SimStats) {
+        (self.driver, self.kernel.stats)
+    }
+
+    /// Number of pending events (diagnostic).
+    pub fn pending_events(&self) -> usize {
+        self.kernel.queue.len()
+    }
+
+    /// Whether `run_to_end` has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl<D: Driver + std::fmt::Debug> std::fmt::Debug for Simulation<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.kernel.now)
+            .field("pending", &self.kernel.queue.len())
+            .field("stats", &self.kernel.stats)
+            .field("driver", &self.driver)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    /// Counts everything; replies to every message once.
+    #[derive(Debug, Default)]
+    struct Echo {
+        ticks: Vec<(SimTime, NodeId)>,
+        received: Vec<(SimTime, NodeId, NodeId, u32)>,
+        ups: Vec<NodeId>,
+        downs: Vec<NodeId>,
+        samples: Vec<SimTime>,
+        injections: u64,
+        timers: Vec<u64>,
+    }
+
+    impl Driver for Echo {
+        type Msg = u32;
+        fn on_round_tick(&mut self, api: &mut SimApi<'_, u32>, node: NodeId) {
+            self.ticks.push((api.now(), node));
+        }
+        fn on_message(&mut self, api: &mut SimApi<'_, u32>, from: NodeId, to: NodeId, msg: u32) {
+            self.received.push((api.now(), from, to, msg));
+        }
+        fn on_node_up(&mut self, _api: &mut SimApi<'_, u32>, node: NodeId) {
+            self.ups.push(node);
+        }
+        fn on_node_down(&mut self, _api: &mut SimApi<'_, u32>, node: NodeId) {
+            self.downs.push(node);
+        }
+        fn on_sample(&mut self, api: &mut SimApi<'_, u32>) {
+            self.samples.push(api.now());
+        }
+        fn on_inject(&mut self, _api: &mut SimApi<'_, u32>) {
+            self.injections += 1;
+        }
+        fn on_timer(&mut self, _api: &mut SimApi<'_, u32>, token: u64) {
+            self.timers.push(token);
+        }
+    }
+
+    fn small_cfg(n: usize) -> SimConfig {
+        SimConfig::builder(n)
+            .delta(SimDuration::from_secs(10))
+            .transfer_time(SimDuration::from_secs(1))
+            .duration(SimDuration::from_secs(100))
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_online_node_ticks_once_per_delta() {
+        let cfg = small_cfg(5);
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+        sim.run_to_end();
+        // 100 s horizon, Δ = 10 s, first tick within (0, Δ] ⇒ 9 or 10 ticks.
+        let echo = sim.driver();
+        for node in node_ids(5) {
+            let count = echo.ticks.iter().filter(|&&(_, id)| id == node).count();
+            assert!((9..=10).contains(&count), "node {node}: {count} ticks");
+        }
+        assert_eq!(sim.stats().ticks_fired, echo.ticks.len() as u64);
+    }
+
+    #[test]
+    fn synchronized_phase_ticks_at_multiples_of_delta() {
+        let cfg = SimConfig::builder(3)
+            .delta(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(30))
+            .tick_phase(TickPhase::Synchronized)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+        sim.run_to_end();
+        for &(t, _) in &sim.driver().ticks {
+            assert_eq!(t.as_micros() % 10_000_000, 0, "tick at {t}");
+        }
+        // 3 nodes × ticks at 10, 20, 30 s.
+        assert_eq!(sim.driver().ticks.len(), 9);
+    }
+
+    #[test]
+    fn messages_arrive_after_transfer_time() {
+        struct OneShot;
+        impl Driver for OneShot {
+            type Msg = u32;
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, u32>, node: NodeId) {
+                if node.index() == 0 && api.now() < SimTime::from_secs(15) {
+                    api.send(node, NodeId::new(1), 42);
+                }
+            }
+            fn on_message(&mut self, api: &mut SimApi<'_, u32>, from: NodeId, to: NodeId, msg: u32) {
+                assert_eq!(from, NodeId::new(0));
+                assert_eq!(to, NodeId::new(1));
+                assert_eq!(msg, 42);
+                // Delivery exactly transfer_time after a tick fired.
+                assert_eq!(api.now().as_micros() % 1_000_000, 0);
+            }
+        }
+        let cfg = SimConfig::builder(2)
+            .delta(SimDuration::from_secs(10))
+            .transfer_time(SimDuration::from_secs(1))
+            .duration(SimDuration::from_secs(40))
+            .tick_phase(TickPhase::Synchronized)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, OneShot);
+        sim.run_to_end();
+        assert_eq!(sim.stats().messages_sent, 1);
+        assert_eq!(sim.stats().messages_delivered, 1);
+    }
+
+    /// Availability with explicit transition lists.
+    struct Scripted {
+        initial: Vec<bool>,
+        trans: Vec<Vec<(SimTime, bool)>>,
+    }
+
+    impl AvailabilityModel for Scripted {
+        fn initially_online(&self, node: NodeId) -> bool {
+            self.initial[node.index()]
+        }
+        fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
+            self.trans[node.index()].clone()
+        }
+    }
+
+    #[test]
+    fn churn_transitions_fire_and_suspend_ticks() {
+        // Node 1 goes down at 25 s and up again at 65 s.
+        let avail = Scripted {
+            initial: vec![true, true],
+            trans: vec![
+                vec![],
+                vec![
+                    (SimTime::from_secs(25), false),
+                    (SimTime::from_secs(65), true),
+                ],
+            ],
+        };
+        let cfg = small_cfg(2);
+        let mut sim = Simulation::new(cfg, &avail, Echo::default());
+        sim.run_to_end();
+        let echo = sim.driver();
+        assert_eq!(echo.downs, vec![NodeId::new(1)]);
+        assert_eq!(echo.ups, vec![NodeId::new(1)]);
+        // No tick for node 1 in the offline window (25, 65).
+        for &(t, id) in &echo.ticks {
+            if id == NodeId::new(1) {
+                let s = t.as_secs_f64();
+                assert!(
+                    !(25.0..=65.0).contains(&s) || s > 65.0,
+                    "tick for offline node at {t}"
+                );
+            }
+        }
+        assert!(sim.stats().ticks_stale > 0, "stale tick should be discarded");
+    }
+
+    #[test]
+    fn delivery_to_offline_node_is_lost() {
+        struct SendToDead;
+        impl Driver for SendToDead {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+                // Node 1 is down from t=0; all sends must be lost.
+                api.send(node, NodeId::new(1), ());
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {
+                panic!("offline node received a message");
+            }
+        }
+        let avail = Scripted {
+            initial: vec![true, false],
+            trans: vec![vec![], vec![]],
+        };
+        let cfg = small_cfg(2);
+        let mut sim = Simulation::new(cfg, &avail, SendToDead);
+        sim.run_to_end();
+        assert!(sim.stats().messages_sent > 0);
+        assert_eq!(sim.stats().messages_delivered, 0);
+        assert_eq!(
+            sim.stats().messages_lost_offline,
+            sim.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn sampling_and_injection_trains() {
+        let cfg = SimConfig::builder(1)
+            .delta(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(100))
+            .sample_period(SimDuration::from_secs(10))
+            .injection_period(SimDuration::from_secs(25))
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+        sim.run_to_end();
+        // Samples at 10,20,...,100 ⇒ 10 samples; injections at 25,50,75,100.
+        assert_eq!(sim.driver().samples.len(), 10);
+        assert_eq!(sim.driver().injections, 4);
+    }
+
+    #[test]
+    fn timers_fire_once() {
+        struct TimerOnce {
+            fired: Vec<(SimTime, u64)>,
+        }
+        impl Driver for TimerOnce {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, _node: NodeId) {
+                if self.fired.is_empty() && api.now() <= SimTime::from_secs(15) {
+                    api.schedule_timer(SimDuration::from_secs(3), 77);
+                }
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, api: &mut SimApi<'_, ()>, token: u64) {
+                self.fired.push((api.now(), token));
+            }
+        }
+        let cfg = small_cfg(1);
+        let mut sim = Simulation::new(cfg, &AlwaysOn, TimerOnce { fired: vec![] });
+        sim.run_to_end();
+        assert_eq!(sim.driver().fired.len(), 1);
+        assert_eq!(sim.driver().fired[0].1, 77);
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let run = |seed: u64| {
+            let cfg = SimConfig::builder(20)
+                .delta(SimDuration::from_secs(5))
+                .duration(SimDuration::from_secs(200))
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+            sim.run_to_end();
+            (sim.driver().ticks.clone(), *sim.stats())
+        };
+        let (t1, s1) = run(11);
+        let (t2, s2) = run(11);
+        let (t3, _) = run(12);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert_ne!(t1, t3, "different seeds should differ");
+    }
+
+    #[test]
+    fn heap_and_wheel_produce_identical_runs() {
+        let run = |queue: QueueKind| {
+            let cfg = SimConfig::builder(30)
+                .delta(SimDuration::from_secs(7))
+                .transfer_time(SimDuration::from_millis(1700))
+                .duration(SimDuration::from_secs(500))
+                .seed(5)
+                .queue(queue)
+                .build()
+                .unwrap();
+            struct Chat;
+            impl Driver for Chat {
+                type Msg = u64;
+                fn on_round_tick(&mut self, api: &mut SimApi<'_, u64>, node: NodeId) {
+                    let peer = api.random_online_node().unwrap();
+                    api.send(node, peer, api.now().as_micros());
+                }
+                fn on_message(&mut self, api: &mut SimApi<'_, u64>, from: NodeId, to: NodeId, m: u64) {
+                    if m.is_multiple_of(3) {
+                        api.send(to, from, m + 1);
+                    }
+                }
+            }
+            let mut sim = Simulation::new(cfg, &AlwaysOn, Chat);
+            sim.run_to_end();
+            *sim.stats()
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Wheel));
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        struct Spam;
+        impl Driver for Spam {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+                for _ in 0..10 {
+                    let peer = api.random_online_node().unwrap();
+                    api.send(node, peer, ());
+                }
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let cfg = SimConfig::builder(10)
+            .delta(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(1000))
+            .drop_probability(0.5)
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Spam);
+        sim.run_to_end();
+        let s = sim.stats();
+        let rate = s.messages_dropped_fault as f64 / s.messages_sent as f64;
+        assert!((rate - 0.5).abs() < 0.05, "drop rate {rate}");
+        // Some messages may still be in flight when the horizon is reached.
+        let in_flight =
+            s.messages_sent - s.messages_delivered - s.messages_dropped_fault;
+        assert!(in_flight <= 10 * 10, "too many unresolved: {in_flight}");
+    }
+
+    #[test]
+    fn run_until_is_incremental() {
+        let cfg = small_cfg(3);
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+        sim.run_until(SimTime::from_secs(50));
+        let halfway = sim.driver().ticks.len();
+        assert!(halfway > 0);
+        assert_eq!(sim.now(), SimTime::from_secs(50));
+        sim.run_until(SimTime::from_secs(100));
+        assert!(sim.driver().ticks.len() > halfway);
+    }
+
+    #[test]
+    fn online_bookkeeping_is_consistent() {
+        let avail = Scripted {
+            initial: vec![true, false, true],
+            trans: vec![
+                vec![(SimTime::from_secs(10), false), (SimTime::from_secs(20), true)],
+                vec![(SimTime::from_secs(15), true)],
+                vec![],
+            ],
+        };
+        let cfg = small_cfg(3);
+        let mut sim = Simulation::new(cfg, &avail, Echo::default());
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.kernel.online_list.len(), 2);
+        sim.run_until(SimTime::from_secs(12));
+        assert_eq!(sim.kernel.online_list.len(), 1);
+        sim.run_until(SimTime::from_secs(17));
+        assert_eq!(sim.kernel.online_list.len(), 2);
+        sim.run_until(SimTime::from_secs(25));
+        assert_eq!(sim.kernel.online_list.len(), 3);
+        for node in node_ids(3) {
+            assert!(sim.kernel.online[node.index()]);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Timing constants of the paper's experimental setup (Section 4.1).
+//!
+//! The paper simulates a virtual two-day period divided into 1000 proactive
+//! rounds of Δ = 172.8 s, with a message transfer time of Δ/100 = 1.728 s
+//! (deliberately low bandwidth utilization), and — for the push gossip
+//! application — a fresh update injected every Δ/10 = 17.28 s.
+
+use crate::time::SimDuration;
+
+/// Proactive round length Δ = 172.8 s (1000 rounds over two days).
+pub const DELTA: SimDuration = SimDuration::from_micros(172_800_000);
+
+/// Transfer time of one message: 1.728 s = Δ/100.
+pub const TRANSFER_TIME: SimDuration = SimDuration::from_micros(1_728_000);
+
+/// The simulated horizon: a virtual two-day period.
+pub const TWO_DAYS: SimDuration = SimDuration::from_micros(172_800_000_000);
+
+/// Push gossip update injection period: 17.28 s (10 updates per round).
+pub const UPDATE_INJECTION_PERIOD: SimDuration = SimDuration::from_micros(17_280_000);
+
+/// Number of proactive rounds in the two-day horizon.
+pub const ROUNDS: u64 = 1000;
+
+/// Fixed out-degree of the random overlay used by gossip learning and push
+/// gossip.
+pub const OUT_DEGREE: usize = 20;
+
+/// Small network size of the paper (Figures 2, 3, 5).
+pub const SMALL_N: usize = 5_000;
+
+/// Large network size of the paper (Figure 4).
+pub const LARGE_N: usize = 500_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_mutually_consistent() {
+        assert_eq!(DELTA * ROUNDS, TWO_DAYS);
+        assert_eq!(TRANSFER_TIME * 100, DELTA);
+        assert_eq!(UPDATE_INJECTION_PERIOD * 10, DELTA);
+        assert_eq!(TWO_DAYS, SimDuration::from_hours(48));
+    }
+}

@@ -1,0 +1,226 @@
+//! Pending-event set implementations.
+//!
+//! The simulator needs a priority queue over `(time, seq)` pairs where `seq`
+//! is a monotonically increasing sequence number used to break ties: two
+//! events scheduled for the same instant fire in the order they were
+//! scheduled. This FIFO tie-breaking is what makes runs deterministic.
+//!
+//! Two implementations are provided behind the [`EventQueue`] trait:
+//!
+//! * [`BinaryHeapQueue`] — `O(log n)` push/pop on `std`'s binary heap; the
+//!   robust default.
+//! * [`crate::wheel::TimingWheel`] — a hierarchical timing wheel with `O(1)`
+//!   amortized push; faster when millions of timers share a few fixed
+//!   periods, as in our round-based protocols (see the `event_queue` bench).
+//!
+//! Both produce exactly the same pop order; a property test in this module's
+//! test suite and in `crates/sim/tests` verifies the equivalence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Global schedule order; ties in `time` fire in increasing `seq`.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> Scheduled<E> {
+    /// The `(time, seq)` key this entry sorts by.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A pending-event set ordered by `(time, seq)`.
+///
+/// This trait is sealed in spirit: it exists so the engine can switch
+/// between queue implementations, not as a public extension point, but it is
+/// left open so downstream experiments can plug in custom schedulers.
+pub trait EventQueue<E> {
+    /// Inserts an event; `seq` numbers are assigned internally in call order.
+    fn push(&mut self, time: SimTime, event: E);
+
+    /// Removes and returns the earliest event.
+    fn pop(&mut self) -> Option<Scheduled<E>>;
+
+    /// The time of the earliest event without removing it.
+    ///
+    /// Takes `&mut self` so implementations may reorganize internal storage
+    /// (the timing wheel advances its cursor to locate the minimum); the
+    /// observable queue contents are unchanged.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Max-heap entry inverted into a min-heap by reversing the comparison.
+#[derive(Debug)]
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Binary-heap implementation of [`EventQueue`].
+///
+/// ```
+/// use ta_sim::queue::{BinaryHeapQueue, EventQueue};
+/// use ta_sim::time::SimTime;
+///
+/// let mut q = BinaryHeapQueue::new();
+/// q.push(SimTime::from_secs(5), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop().unwrap().event, "sooner");
+/// ```
+#[derive(Debug)]
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|e| Scheduled {
+            time: e.time,
+            seq: e.seq,
+            event: e.event,
+        })
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = BinaryHeapQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = BinaryHeapQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(9), ());
+        q.push(SimTime::from_secs(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.time, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn len_tracks_content() {
+        let mut q = BinaryHeapQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_fifo_on_ties() {
+        let mut q = BinaryHeapQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop().unwrap().event, 0);
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+}

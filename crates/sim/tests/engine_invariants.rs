@@ -1,0 +1,216 @@
+//! Engine-level invariants under scripted and random churn: online
+//! bookkeeping matches ground truth, tick rates track online time, and
+//! the clock is monotone from the driver's perspective.
+
+use ta_sim::config::SimConfig;
+use ta_sim::engine::{AvailabilityModel, Driver, SimApi, Simulation};
+use ta_sim::ids::node_ids;
+use ta_sim::rng::Xoshiro256pp;
+use ta_sim::{NodeId, SimDuration, SimTime};
+
+/// Random alternating schedules, validated by construction.
+struct RandomChurn {
+    initial: Vec<bool>,
+    transitions: Vec<Vec<(SimTime, bool)>>,
+}
+
+impl RandomChurn {
+    fn generate(n: usize, horizon: SimTime, seed: u64) -> Self {
+        let mut initial = Vec::with_capacity(n);
+        let mut transitions = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = Xoshiro256pp::stream(seed, i as u64);
+            let mut state = rng.chance(0.5);
+            initial.push(state);
+            let mut list = Vec::new();
+            let mut t = 0u64;
+            loop {
+                t += 1 + rng.below(horizon.as_micros() / 4);
+                if t >= horizon.as_micros() {
+                    break;
+                }
+                state = !state;
+                list.push((SimTime::from_micros(t), state));
+            }
+            transitions.push(list);
+        }
+        RandomChurn {
+            initial,
+            transitions,
+        }
+    }
+
+    fn online_at(&self, node: NodeId, t: SimTime) -> bool {
+        let mut state = self.initial[node.index()];
+        for &(time, up) in &self.transitions[node.index()] {
+            if time <= t {
+                state = up;
+            } else {
+                break;
+            }
+        }
+        state
+    }
+}
+
+impl AvailabilityModel for RandomChurn {
+    fn initially_online(&self, node: NodeId) -> bool {
+        self.initial[node.index()]
+    }
+    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
+        self.transitions[node.index()].clone()
+    }
+}
+
+/// Driver that validates what the engine tells it against ground truth.
+struct Auditor<'a> {
+    churn: &'a RandomChurn,
+    last_time: SimTime,
+    ticks_per_node: Vec<u64>,
+}
+
+impl Driver for Auditor<'_> {
+    type Msg = ();
+
+    fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+        assert!(api.now() >= self.last_time, "clock went backwards");
+        self.last_time = api.now();
+        // A tick may fire only while the node is online per ground truth.
+        assert!(
+            self.churn.online_at(node, api.now()),
+            "tick for offline node {node} at {}",
+            api.now()
+        );
+        assert!(api.is_online(node));
+        self.ticks_per_node[node.index()] += 1;
+        // Engine's online view matches ground truth for every node.
+        for other in node_ids(api.n()) {
+            assert_eq!(
+                api.is_online(other),
+                self.churn.online_at(other, api.now()),
+                "online mismatch for {other} at {}",
+                api.now()
+            );
+        }
+    }
+
+    fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+}
+
+#[test]
+fn online_view_matches_ground_truth_under_random_churn() {
+    let horizon = SimTime::from_secs(4000);
+    let churn = RandomChurn::generate(40, horizon, 99);
+    let cfg = SimConfig::builder(40)
+        .delta(SimDuration::from_secs(20))
+        .duration(SimDuration::from_secs(4000))
+        .seed(7)
+        .build()
+        .unwrap();
+    let auditor = Auditor {
+        churn: &churn,
+        last_time: SimTime::ZERO,
+        ticks_per_node: vec![0; 40],
+    };
+    let mut sim = Simulation::new(cfg, &churn, auditor);
+    sim.run_to_end();
+    assert!(sim.stats().ticks_fired > 0);
+}
+
+#[test]
+fn tick_counts_track_online_time() {
+    // Over a long horizon, each node's tick count approaches its online
+    // time divided by Δ (tokens accrue at rate 1/Δ while online).
+    let horizon = SimTime::from_secs(200_000);
+    let churn = RandomChurn::generate(30, horizon, 5);
+    let delta = SimDuration::from_secs(100);
+    let cfg = SimConfig::builder(30)
+        .delta(delta)
+        .duration(SimDuration::from_secs(200_000))
+        .seed(3)
+        .build()
+        .unwrap();
+    let auditor = Auditor {
+        churn: &churn,
+        last_time: SimTime::ZERO,
+        ticks_per_node: vec![0; 30],
+    };
+    let mut sim = Simulation::new(cfg, &churn, auditor);
+    sim.run_to_end();
+    let (auditor, _) = sim.into_parts();
+    for node in node_ids(30) {
+        // Ground-truth online duration.
+        let mut online_micros = 0u64;
+        let mut state = churn.initial[node.index()];
+        let mut since = 0u64;
+        for &(t, up) in &churn.transitions[node.index()] {
+            if state {
+                online_micros += t.as_micros() - since;
+            }
+            state = up;
+            since = t.as_micros();
+        }
+        if state {
+            online_micros += horizon.as_micros() - since;
+        }
+        let expected = online_micros as f64 / delta.as_micros() as f64;
+        let actual = auditor.ticks_per_node[node.index()] as f64;
+        // Each online stretch loses at most one tick to phasing; allow a
+        // generous envelope.
+        let sessions = churn.transitions[node.index()].len() as f64 + 1.0;
+        assert!(
+            (actual - expected).abs() <= sessions + 3.0,
+            "{node}: {actual} ticks vs expected {expected} ({sessions} sessions)"
+        );
+    }
+}
+
+#[test]
+fn transitions_at_identical_times_resolve_in_order() {
+    // An up and down at the same instant: schedule order wins, and the
+    // engine must not double-count the online list.
+    struct Flapper;
+    impl AvailabilityModel for Flapper {
+        fn initially_online(&self, _node: NodeId) -> bool {
+            true
+        }
+        fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
+            if node.index() == 0 {
+                vec![
+                    (SimTime::from_secs(10), false),
+                    (SimTime::from_secs(10), true),
+                    (SimTime::from_secs(10), false),
+                ]
+            } else {
+                vec![]
+            }
+        }
+    }
+    struct Counter {
+        ups: u32,
+        downs: u32,
+    }
+    impl Driver for Counter {
+        type Msg = ();
+        fn on_round_tick(&mut self, _: &mut SimApi<'_, ()>, _: NodeId) {}
+        fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+        fn on_node_up(&mut self, api: &mut SimApi<'_, ()>, _: NodeId) {
+            self.ups += 1;
+            assert_eq!(api.online_count(), 2);
+        }
+        fn on_node_down(&mut self, api: &mut SimApi<'_, ()>, _: NodeId) {
+            self.downs += 1;
+            assert_eq!(api.online_count(), 1);
+        }
+    }
+    let cfg = SimConfig::builder(2)
+        .delta(SimDuration::from_secs(5))
+        .duration(SimDuration::from_secs(30))
+        .seed(1)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(cfg, &Flapper, Counter { ups: 0, downs: 0 });
+    sim.run_to_end();
+    assert_eq!(sim.driver().downs, 2);
+    assert_eq!(sim.driver().ups, 1);
+}

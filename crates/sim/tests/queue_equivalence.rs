@@ -1,0 +1,104 @@
+//! Property test: the timing wheel is observationally identical to the
+//! binary heap for every tick resolution, including sub-tick orderings,
+//! same-instant scheduling during drains, and overflow horizons.
+
+use proptest::prelude::*;
+use ta_sim::queue::{BinaryHeapQueue, EventQueue};
+use ta_sim::time::SimTime;
+use ta_sim::wheel::TimingWheel;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event `offset` µs after the last popped time.
+    Push(u64),
+    /// Pop one event (no-op when empty).
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..20_000_000_000u64).prop_map(Op::Push),
+        // Cluster of sub-tick offsets to stress same-slot ordering.
+        2 => (0u64..2_000u64).prop_map(Op::Push),
+        // Exact protocol periods.
+        1 => Just(Op::Push(172_800_000)),
+        1 => Just(Op::Push(1_728_000)),
+        3 => Just(Op::Pop),
+    ]
+}
+
+fn check_equivalence(ops: Vec<Op>, shift: u32) {
+    let mut heap = BinaryHeapQueue::new();
+    let mut wheel = TimingWheel::with_tick_shift(shift);
+    let mut now = 0u64;
+    let mut id = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(offset) => {
+                let t = SimTime::from_micros(now + offset);
+                heap.push(t, id);
+                wheel.push(t, id);
+                id += 1;
+            }
+            Op::Pop => {
+                let a = heap.pop();
+                let b = wheel.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.key(), b.key());
+                        assert_eq!(a.event, b.event);
+                        now = a.time.as_micros();
+                    }
+                    (a, b) => panic!("divergence: heap={a:?} wheel={b:?}"),
+                }
+            }
+        }
+        assert_eq!(heap.len(), wheel.len());
+        assert_eq!(heap.peek_time(), wheel.peek_time());
+    }
+    // Drain both completely.
+    loop {
+        match (heap.pop(), wheel.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => {
+                assert_eq!(a.key(), b.key());
+                assert_eq!(a.event, b.event);
+            }
+            (a, b) => panic!("tail divergence: heap={a:?} wheel={b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap_default_tick(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        check_equivalence(ops, ta_sim::wheel::DEFAULT_TICK_SHIFT);
+    }
+
+    #[test]
+    fn wheel_matches_heap_coarse_tick(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        // 2^20 µs ≈ 1 s ticks: many events share slots.
+        check_equivalence(ops, 20);
+    }
+
+    #[test]
+    fn wheel_matches_heap_fine_tick(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        // 2^0 = 1 µs ticks: tiny horizon, heavy overflow traffic.
+        check_equivalence(ops, 0);
+    }
+}
+
+#[test]
+fn wheel_handles_pathological_same_time_burst() {
+    let mut heap = BinaryHeapQueue::new();
+    let mut wheel = TimingWheel::new();
+    let t = SimTime::from_micros(5_000_000);
+    for i in 0..10_000u64 {
+        heap.push(t, i);
+        wheel.push(t, i);
+    }
+    for _ in 0..10_000 {
+        assert_eq!(heap.pop().unwrap().event, wheel.pop().unwrap().event);
+    }
+}

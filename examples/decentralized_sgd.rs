@@ -1,0 +1,73 @@
+//! Real decentralized learning under the token account service.
+//!
+//! The paper's evaluation simulates only model ages; this example runs the
+//! actual workload Algorithm 1 describes: linear models performing random
+//! walks over a network where every node holds a single training example,
+//! applying one SGD step per visit. It compares how fast the global mean
+//! squared error falls under the proactive baseline vs. a randomized token
+//! account at the same message budget.
+//!
+//! ```text
+//! cargo run --release --example decentralized_sgd
+//! ```
+
+use std::sync::Arc;
+
+use ta::apps::sgd::{RegressionData, SgdGossipLearning};
+use ta::prelude::*;
+
+fn run(strategy: Box<dyn Strategy>, n: usize, rounds: u64) -> TimeSeries {
+    let mut rng = Xoshiro256pp::stream(77, 0);
+    let topo = Arc::new(k_out_random(n, 20, &mut rng).expect("valid topology"));
+    let cfg = SimConfig::builder(n)
+        .duration(ta::sim::paper::DELTA * rounds)
+        .sample_period(ta::sim::paper::DELTA * 5)
+        .seed(77)
+        .build()
+        .expect("valid config");
+    let data = RegressionData::generate(n, 8, 0.05, 123);
+    let app = SgdGossipLearning::new(data, 0.1);
+    let proto = TokenProtocol::new(topo, strategy, app, vec![true; n]);
+    let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+    sim.run_to_end();
+    sim.into_parts().0.into_results().metric
+}
+
+fn main() {
+    let n = 500;
+    let rounds = 200;
+    println!("decentralized least-squares over {n} nodes (one example each), {rounds} rounds");
+    println!("metric: MSE of the average model (noise floor ~0.0025)\n");
+
+    let proactive = run(Box::new(PurelyProactive), n, rounds);
+    let token = run(
+        Box::new(RandomizedTokenAccount::new(5, 10).expect("valid strategy")),
+        n,
+        rounds,
+    );
+
+    let mut table = Table::new(vec![
+        "round".into(),
+        "proactive MSE".into(),
+        "randomized(A=5,C=10) MSE".into(),
+    ]);
+    for i in (0..proactive.len()).step_by(proactive.len() / 10) {
+        table.row(vec![
+            format!("{}", (i + 1) * 5),
+            format!("{:.4}", proactive.values()[i]),
+            format!("{:.4}", token.values()[i]),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let target = proactive.last_value().expect("non-empty");
+    match token.first_time_below(target) {
+        Some(t) => println!(
+            "\nThe token account reached the baseline's final MSE ({target:.4}) after \
+             {:.0} of {rounds} rounds — the age speedup of the paper translates \
+             directly into learning speedup.",
+            t / 172.8
+        ),
+        None => println!("\n(token account did not cross the baseline's final MSE)"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Mean-field model vs. simulation (Section 4.3 / Figure 5).
+//!
+//! Integrates the paper's ODE system (eqs. 8–9) for the randomized
+//! strategy, solves the equilibrium condition (eq. 10), and validates both
+//! against a measured gossip-learning run — the `a = A·C/(C+1)` prediction
+//! "shows a very good agreement" with simulation.
+//!
+//! ```text
+//! cargo run --release --example meanfield_validation
+//! ```
+
+use ta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("randomized token account: predicted vs. measured steady-state tokens\n");
+    let mut table = Table::new(vec![
+        "(A, C)".into(),
+        "closed form A·C/(C+1)".into(),
+        "eq.10 bisection".into(),
+        "ODE endpoint".into(),
+        "measured (N=400)".into(),
+    ]);
+    for (a, c) in [(1u64, 10u64), (5, 10), (10, 20), (20, 40)] {
+        let strategy = RandomizedTokenAccount::new(a, c)?;
+        let model = MeanFieldModel::new(&strategy, 172.8, Usefulness::Useful);
+        let closed = randomized_equilibrium(a, c);
+        let solved = model.equilibrium_balance().expect("equilibrium exists");
+        let horizon = 400.0 * 172.8;
+        let ode = model
+            .integrate(0.0, 0.0, horizon, 1.0, 100_000)
+            .last()
+            .map(|s| s.tokens)
+            .expect("trajectory is non-empty");
+
+        let spec = ExperimentSpec::paper_defaults(
+            AppKind::GossipLearning,
+            StrategySpec::Randomized { a, c },
+            400,
+        )
+        .with_rounds(400)
+        .with_runs(2)
+        .with_seed(31)
+        .with_token_recording();
+        let result = run_experiment(&spec)?;
+        let measured = result
+            .tokens
+            .mean_value_from(horizon / 2.0)
+            .expect("token series recorded");
+
+        table.row(vec![
+            format!("({a}, {c})"),
+            format!("{closed:.3}"),
+            format!("{solved:.3}"),
+            format!("{ode:.3}"),
+            format!("{measured:.3}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nAll four columns should agree to within sampling noise (a ≈ A).");
+    Ok(())
+}

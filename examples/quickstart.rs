@@ -1,0 +1,55 @@
+//! Quickstart: rate-limited broadcast, four times faster.
+//!
+//! Builds a 500-node random 20-out overlay, runs push gossip under the
+//! purely proactive baseline and under a randomized token account with the
+//! same token budget (one message per node per Δ), and prints the average
+//! update lag of both. This is the paper's headline effect in ~30 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ta::prelude::*;
+
+fn steady_lag(strategy: StrategySpec) -> Result<f64, Box<dyn std::error::Error>> {
+    let spec = ExperimentSpec::paper_defaults(AppKind::PushGossip, strategy, 500)
+        .with_rounds(200)
+        .with_runs(3)
+        .with_seed(2024);
+    let result = run_experiment(&spec)?;
+    let horizon = result.metric.times().last().copied().unwrap_or(0.0);
+    Ok(result
+        .metric
+        .mean_value_from(horizon / 2.0)
+        .expect("series is non-empty"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("push gossip, 500 nodes, one update injected every 17.28 s");
+    println!("metric: average lag behind the freshest update (in updates)\n");
+
+    let proactive = steady_lag(StrategySpec::Proactive)?;
+    let token = steady_lag(StrategySpec::Randomized { a: 10, c: 20 })?;
+
+    let mut table = Table::new(vec![
+        "strategy".into(),
+        "steady lag".into(),
+        "lag in seconds".into(),
+    ]);
+    table.row(vec![
+        "proactive (baseline)".into(),
+        format!("{proactive:.2}"),
+        format!("{:.1}", proactive * 17.28),
+    ]);
+    table.row(vec![
+        "randomized(A=10,C=20)".into(),
+        format!("{token:.2}"),
+        format!("{:.1}", token * 17.28),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "\nspeedup: {:.1}x at the same message budget (paper reports ~3x at N=5000)",
+        proactive / token
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Broadcast over a realistic smartphone churn trace.
+//!
+//! Replays the synthetic STUNner-calibrated availability model (diurnal
+//! pattern, ~30 % never online) under push gossip with pull-on-rejoin, and
+//! prints the update lag across the two simulated days for the proactive
+//! baseline vs. a generalized token account — the Figure 3 scenario.
+//!
+//! ```text
+//! cargo run --release --example smartphone_broadcast
+//! ```
+
+use ta::prelude::*;
+
+fn run(strategy: StrategySpec, n: usize) -> Result<TimeSeries, Box<dyn std::error::Error>> {
+    let spec = ExperimentSpec::paper_defaults(AppKind::PushGossip, strategy, n)
+        .with_runs(2)
+        .with_seed(99)
+        .with_smartphone_churn();
+    // Smooth like the paper's Figure 3 (15-minute averaging).
+    Ok(run_experiment(&spec)?.metric.smooth(15.0 * 60.0))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 600;
+    println!("push gossip over the smartphone trace, {n} nodes, two virtual days");
+    println!("(tokens only accrue while online; rejoining nodes pull once)\n");
+
+    let baseline = run(StrategySpec::Proactive, n)?;
+    let token = run(StrategySpec::Generalized { a: 5, c: 10 }, n)?;
+
+    let mut table = Table::new(vec![
+        "hour".into(),
+        "proactive lag".into(),
+        "generalized(A=5,C=10) lag".into(),
+    ]);
+    for (i, (t, b)) in baseline.iter().enumerate() {
+        // One row every 4 hours.
+        if i % (4 * 3600 / 172) != 0 {
+            continue;
+        }
+        table.row(vec![
+            format!("{:.0}", t / 3600.0),
+            format!("{b:.1}"),
+            format!("{:.1}", token.values()[i]),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let horizon = baseline.times().last().copied().unwrap_or(0.0);
+    let b = baseline.mean_value_from(horizon / 4.0).unwrap_or(f64::NAN);
+    let t = token.mean_value_from(horizon / 4.0).unwrap_or(f64::NAN);
+    println!(
+        "\nsteady lag: proactive {b:.1} vs token account {t:.1} updates \
+         ({:.1}x lower at identical cost),\nwith the diurnal availability \
+         pattern visible in both columns.",
+        b / t
+    );
+    Ok(())
+}

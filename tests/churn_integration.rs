@@ -1,0 +1,129 @@
+//! Churn-scenario integration: trace replay, online-only semantics, and
+//! the pull-on-rejoin extension.
+
+use ta::prelude::*;
+
+fn churn_spec(app: AppKind, strategy: StrategySpec) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper_defaults(app, strategy, 150)
+        .with_rounds(200)
+        .with_runs(2)
+        .with_seed(33)
+        .with_smartphone_churn();
+    spec.topology = TopologyKind::KOut { k: 12 };
+    spec
+}
+
+#[test]
+fn ticks_only_fire_while_online() {
+    // Tokens are granted only when online (Section 4.2): total tick count
+    // must be well below the failure-free count, roughly matching the
+    // online fraction of the synthetic trace (~1/3).
+    let churn = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 }))
+        .unwrap();
+    let free = run_experiment(
+        &ExperimentSpec {
+            churn: ChurnKind::None,
+            ..churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 })
+        },
+    )
+    .unwrap();
+    let churn_ticks = churn.stats.mean_ticks;
+    let free_ticks = free.stats.mean_ticks;
+    assert!(
+        churn_ticks < 0.6 * free_ticks,
+        "churn ticks {churn_ticks} vs failure-free {free_ticks}"
+    );
+    assert!(churn_ticks > 0.1 * free_ticks, "network nearly dead");
+}
+
+#[test]
+fn pull_requests_only_in_push_gossip_churn() {
+    let pg = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 }))
+        .unwrap();
+    let pulls: u64 = pg.runs.iter().map(|r| r.protocol.pull_requests).sum();
+    assert!(pulls > 0, "push gossip under churn should pull on rejoin");
+
+    let gl = run_experiment(&churn_spec(
+        AppKind::GossipLearning,
+        StrategySpec::Simple { c: 10 },
+    ))
+    .unwrap();
+    let pulls: u64 = gl.runs.iter().map(|r| r.protocol.pull_requests).sum();
+    assert_eq!(pulls, 0, "gossip learning does not use pull requests");
+}
+
+#[test]
+fn pull_replies_burn_tokens_or_stay_silent() {
+    let result = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Generalized { a: 5, c: 10 },
+    ))
+    .unwrap();
+    for run in &result.runs {
+        let p = &run.protocol;
+        assert!(
+            p.pull_requests >= p.pull_replies + p.pull_ignored,
+            "replies+ignored cannot exceed requests (some may be lost in flight)"
+        );
+    }
+}
+
+#[test]
+fn message_accounting_is_conserved_under_churn() {
+    // Senders target online neighbours, so a message is lost only when the
+    // destination churns off during the 1.728 s transfer window — rare but
+    // accounted. Every sent message is delivered, lost to churn, dropped
+    // by fault injection, or still in flight at the horizon; nothing is
+    // double-counted.
+    let result = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Simple { c: 20 },
+    ))
+    .unwrap();
+    for run in &result.runs {
+        let resolved = run.sim.messages_delivered
+            + run.sim.messages_lost_offline
+            + run.sim.messages_dropped_fault;
+        assert!(
+            resolved <= run.sim.messages_sent,
+            "resolved {resolved} exceeds sent {}",
+            run.sim.messages_sent
+        );
+        let in_flight = run.sim.messages_sent - resolved;
+        // At most one transfer window of traffic can be stranded.
+        assert!(
+            in_flight < run.sim.messages_sent / 10 + 100,
+            "too many stranded messages: {in_flight}"
+        );
+        assert!(run.sim.messages_delivered > 0);
+        assert_eq!(run.sim.messages_dropped_fault, 0, "no fault injection here");
+    }
+}
+
+#[test]
+fn token_advantage_survives_churn() {
+    let base = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Proactive))
+        .unwrap();
+    let tok = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Randomized { a: 5, c: 10 },
+    ))
+    .unwrap();
+    let h = base.metric.times().last().copied().unwrap();
+    let b = base.metric.mean_value_from(h / 2.0).unwrap();
+    let t = tok.metric.mean_value_from(h / 2.0).unwrap();
+    assert!(t < b, "token lag {t} should beat proactive {b} under churn");
+}
+
+#[test]
+fn stale_tick_accounting_is_visible() {
+    // Churn cancels scheduled ticks; the engine must discard them as stale
+    // rather than firing them for offline nodes.
+    let result = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Simple { c: 10 },
+    ))
+    .unwrap();
+    let stale: u64 = result.runs.iter().map(|r| r.sim.ticks_stale).sum();
+    assert!(stale > 0, "churn should produce stale ticks");
+}

@@ -1,0 +1,81 @@
+//! Cross-crate determinism: a full experiment is a pure function of its
+//! spec, regardless of queue implementation or thread scheduling.
+
+use ta::prelude::*;
+
+fn spec(app: AppKind, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper_defaults(
+        app,
+        StrategySpec::Randomized { a: 5, c: 10 },
+        120,
+    )
+    .with_rounds(60)
+    .with_runs(3)
+    .with_seed(seed);
+    if !matches!(app, AppKind::ChaoticIteration) {
+        spec.topology = TopologyKind::KOut { k: 10 };
+    }
+    spec
+}
+
+#[test]
+fn identical_specs_are_bit_identical() {
+    for app in [AppKind::GossipLearning, AppKind::PushGossip] {
+        let a = run_experiment(&spec(app, 5)).unwrap();
+        let b = run_experiment(&spec(app, 5)).unwrap();
+        assert_eq!(a.metric, b.metric, "{app:?} metric series diverged");
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.protocol, rb.protocol);
+            assert_eq!(ra.sim, rb.sim);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_experiment(&spec(AppKind::PushGossip, 5)).unwrap();
+    let b = run_experiment(&spec(AppKind::PushGossip, 6)).unwrap();
+    assert_ne!(a.metric, b.metric);
+}
+
+#[test]
+fn churn_scenario_is_deterministic_too() {
+    let s = spec(AppKind::PushGossip, 7).with_smartphone_churn();
+    let a = run_experiment(&s).unwrap();
+    let b = run_experiment(&s).unwrap();
+    assert_eq!(a.metric, b.metric);
+}
+
+#[test]
+fn heap_and_wheel_engines_agree_end_to_end() {
+    // The queue choice is engine-internal and must not change any result.
+    use std::sync::Arc;
+
+    let n = 80;
+    let run = |queue: QueueKind| {
+        let mut rng = Xoshiro256pp::stream(3, 1);
+        let topo = Arc::new(k_out_random(n, 10, &mut rng).unwrap());
+        let cfg = SimConfig::builder(n)
+            .duration(SimDuration::from_secs(172_800 / 4))
+            .sample_period(SimDuration::from_secs_f64(172.8))
+            .injection_period(SimDuration::from_secs_f64(17.28))
+            .queue(queue)
+            .seed(11)
+            .build()
+            .unwrap();
+        let app = PushGossip::new(n, &vec![true; n]);
+        let strategy: Box<dyn Strategy> =
+            Box::new(GeneralizedTokenAccount::new(5, 10).unwrap());
+        let proto = TokenProtocol::new(topo, strategy, app, vec![true; n]);
+        let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+        sim.run_to_end();
+        let (proto, stats) = sim.into_parts();
+        let results = proto.into_results();
+        (results.metric, results.stats, stats)
+    };
+    let (m1, p1, s1) = run(QueueKind::Heap);
+    let (m2, p2, s2) = run(QueueKind::Wheel);
+    assert_eq!(m1, m2);
+    assert_eq!(p1, p2);
+    assert_eq!(s1, s2);
+}

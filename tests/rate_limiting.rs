@@ -1,0 +1,114 @@
+//! The Section 3.4 rate-limitation guarantee, end to end.
+//!
+//! "A node cannot send more than t/Δ + C messages" — so across the whole
+//! network, total sends are bounded by `ticks_fired + N·C` for every
+//! finite-capacity strategy, in every application, with and without churn.
+
+use ta::prelude::*;
+
+fn total_bound_holds(app: AppKind, strategy: StrategySpec, churn: bool) {
+    let c = strategy
+        .build()
+        .unwrap()
+        .capacity()
+        .finite()
+        .expect("finite-capacity strategy");
+    let mut spec = ExperimentSpec::paper_defaults(app, strategy, 100)
+        .with_rounds(80)
+        .with_runs(2)
+        .with_seed(13);
+    if !matches!(app, AppKind::ChaoticIteration) {
+        spec.topology = TopologyKind::KOut { k: 10 };
+    }
+    if churn {
+        spec = spec.with_smartphone_churn();
+    }
+    let result = run_experiment(&spec).unwrap();
+    for (i, run) in result.runs.iter().enumerate() {
+        let bound = run.sim.ticks_fired + 100 * c;
+        assert!(
+            run.protocol.total_sent() <= bound,
+            "{app:?}/{}/churn={churn} run {i}: sent {} > bound {bound}",
+            spec.strategy.label(),
+            run.protocol.total_sent()
+        );
+    }
+}
+
+#[test]
+fn burst_bound_gossip_learning() {
+    for strategy in [
+        StrategySpec::Proactive,
+        StrategySpec::Simple { c: 20 },
+        StrategySpec::Generalized { a: 1, c: 10 },
+        StrategySpec::Randomized { a: 1, c: 10 },
+    ] {
+        total_bound_holds(AppKind::GossipLearning, strategy, false);
+    }
+}
+
+#[test]
+fn burst_bound_push_gossip_including_churn() {
+    for strategy in [
+        StrategySpec::Simple { c: 40 },
+        StrategySpec::Generalized { a: 5, c: 10 },
+        StrategySpec::Randomized { a: 10, c: 20 },
+    ] {
+        total_bound_holds(AppKind::PushGossip, strategy, false);
+        // Pull replies burn tokens, so the bound survives churn too.
+        total_bound_holds(AppKind::PushGossip, strategy, true);
+    }
+}
+
+#[test]
+fn burst_bound_chaotic_iteration() {
+    for strategy in [
+        StrategySpec::Simple { c: 10 },
+        StrategySpec::Randomized { a: 5, c: 15 },
+    ] {
+        total_bound_holds(AppKind::ChaoticIteration, strategy, false);
+    }
+}
+
+#[test]
+fn proactive_baseline_sends_exactly_once_per_tick() {
+    let spec = ExperimentSpec::paper_defaults(
+        AppKind::PushGossip,
+        StrategySpec::Proactive,
+        100,
+    )
+    .with_rounds(50)
+    .with_runs(1)
+    .with_seed(3);
+    let result = run_experiment(&spec).unwrap();
+    let run = &result.runs[0];
+    assert_eq!(run.protocol.proactive_sent, run.sim.ticks_fired);
+    assert_eq!(run.protocol.reactive_sent, 0);
+}
+
+#[test]
+fn message_budget_is_comparable_across_strategies() {
+    // The core claim: the speedup is not bought with more messages. Total
+    // sends of any token-account variant stay within a small factor of the
+    // proactive baseline over the same horizon.
+    let run = |strategy| {
+        let spec = ExperimentSpec::paper_defaults(AppKind::GossipLearning, strategy, 150)
+            .with_rounds(150)
+            .with_runs(2)
+            .with_seed(17);
+        run_experiment(&spec).unwrap().stats.mean_messages_sent
+    };
+    let base = run(StrategySpec::Proactive);
+    for strategy in [
+        StrategySpec::Simple { c: 20 },
+        StrategySpec::Generalized { a: 5, c: 10 },
+        StrategySpec::Randomized { a: 10, c: 20 },
+    ] {
+        let msgs = run(strategy);
+        assert!(
+            msgs <= base * 1.10,
+            "{}: {msgs} messages vs baseline {base}",
+            strategy.label()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration of the real-SGD extension with the token protocol: the
+//! paper's age-based speedup must translate into an actual learning-speed
+//! advantage.
+
+use std::sync::Arc;
+
+use ta::apps::sgd::{RegressionData, SgdGossipLearning};
+use ta::prelude::*;
+
+fn run_sgd(strategy: Box<dyn Strategy>, seed: u64) -> (TimeSeries, f64) {
+    let n = 150;
+    let mut rng = Xoshiro256pp::stream(seed, 0);
+    let topo = Arc::new(k_out_random(n, 12, &mut rng).unwrap());
+    let cfg = SimConfig::builder(n)
+        .duration(ta::sim::paper::DELTA * 120)
+        .sample_period(ta::sim::paper::DELTA)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let data = RegressionData::generate(n, 5, 0.05, 9);
+    let app = SgdGossipLearning::new(data, 0.15);
+    let proto = TokenProtocol::new(topo, strategy, app, vec![true; n]);
+    let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+    sim.run_to_end();
+    let results = sim.into_parts().0.into_results();
+    let mean_age = results.app.mean_age();
+    (results.metric, mean_age)
+}
+
+#[test]
+fn loss_decreases_over_time() {
+    let (mse, _) = run_sgd(Box::new(PurelyProactive), 4);
+    let first = mse.values()[0];
+    let last = mse.last_value().unwrap();
+    assert!(last < first, "MSE should fall: {first} -> {last}");
+}
+
+#[test]
+fn token_account_learns_faster_than_proactive() {
+    let (base_mse, base_age) = run_sgd(Box::new(PurelyProactive), 4);
+    let (tok_mse, tok_age) = run_sgd(
+        Box::new(RandomizedTokenAccount::new(5, 10).unwrap()),
+        4,
+    );
+    // The age speedup (paper's metric) ...
+    assert!(
+        tok_age > 3.0 * base_age,
+        "token ages {tok_age} should dwarf proactive {base_age}"
+    );
+    // ... shows up as faster loss decay. Both trajectories eventually hit
+    // the noise floor, so compare the *time* to reach a mid-range loss,
+    // not the endpoints.
+    let threshold = 0.05;
+    let b = base_mse
+        .first_time_below(threshold)
+        .expect("baseline eventually crosses the threshold");
+    let t = tok_mse
+        .first_time_below(threshold)
+        .expect("token account eventually crosses the threshold");
+    assert!(
+        t < b * 0.75,
+        "token account should reach MSE {threshold} clearly sooner: {t}s vs {b}s"
+    );
+}
+
+#[test]
+fn sgd_runs_are_deterministic() {
+    let (a, _) = run_sgd(Box::new(SimpleTokenAccount::new(10)), 8);
+    let (b, _) = run_sgd(Box::new(SimpleTokenAccount::new(10)), 8);
+    assert_eq!(a, b);
+}
