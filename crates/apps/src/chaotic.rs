@@ -239,7 +239,14 @@ mod tests {
             for k in 0..100u32 {
                 let from = NodeId::new(k);
                 for &to in topo.out_neighbors(from) {
-                    app.update_state(to, from, &WeightMsg { x: values[k as usize] }, now);
+                    app.update_state(
+                        to,
+                        from,
+                        &WeightMsg {
+                            x: values[k as usize],
+                        },
+                        now,
+                    );
                 }
             }
         }

@@ -217,11 +217,7 @@ mod tests {
 
     #[test]
     fn churn_bookkeeping_tracks_online_sum() {
-        let mut a = GossipLearning::new(
-            2,
-            SimDuration::from_secs(1),
-            &[true, false],
-        );
+        let mut a = GossipLearning::new(2, SimDuration::from_secs(1), &[true, false]);
         a.ages = vec![4, 6];
         a.online_age_sum = 4;
         let now = SimTime::from_secs(10);

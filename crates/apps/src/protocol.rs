@@ -469,13 +469,8 @@ mod tests {
             .unwrap();
         let mut rng = Xoshiro256pp::stream(42, 1);
         let topo = Arc::new(k_out_random(n, 5.min(n - 1), &mut rng).unwrap());
-        let proto = TokenProtocol::new(
-            Arc::clone(&topo),
-            strategy,
-            Counter::new(n),
-            vec![true; n],
-        )
-        .with_token_recording();
+        let proto = TokenProtocol::new(Arc::clone(&topo), strategy, Counter::new(n), vec![true; n])
+            .with_token_recording();
         let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
         sim.run_to_end();
         let (proto, stats) = sim.into_parts();
@@ -521,7 +516,8 @@ mod tests {
         // We can't see balances after into_results, so check via stats:
         // every banked token is either still on an account or was spent on
         // a reactive send (refunds were re-banked).
-        let banked = results.stats.tokens_banked + results.stats.reactive_refunded
+        let banked = results.stats.tokens_banked
+            + results.stats.reactive_refunded
             + results.stats.proactive_skipped;
         let spent = results.stats.reactive_sent
             + results.stats.reactive_refunded

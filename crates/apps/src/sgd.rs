@@ -154,7 +154,10 @@ impl SgdGossipLearning {
     ///
     /// Panics if `eta` is not positive and finite.
     pub fn new(data: RegressionData, eta: f64) -> Self {
-        assert!(eta.is_finite() && eta > 0.0, "learning rate must be positive");
+        assert!(
+            eta.is_finite() && eta > 0.0,
+            "learning rate must be positive"
+        );
         let n = data.len();
         let dim = data.dim();
         SgdGossipLearning {

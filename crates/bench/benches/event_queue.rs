@@ -6,6 +6,7 @@
 //! `O(1)` insertion is expected to win on the periodic workload.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ta_bench::legacy_wheel::LegacyVecWheel;
 use ta_sim::queue::{BinaryHeapQueue, EventQueue};
 use ta_sim::rng::Xoshiro256pp;
 use ta_sim::time::SimTime;
@@ -65,7 +66,14 @@ fn bench_queues(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("timing_wheel", workload),
+            BenchmarkId::new("legacy_vec_wheel", workload),
+            offsets,
+            |b, offsets| {
+                b.iter(|| black_box(churn(LegacyVecWheel::new(), offsets)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slab_wheel", workload),
             offsets,
             |b, offsets| {
                 b.iter(|| black_box(churn(TimingWheel::new(), offsets)));

@@ -28,22 +28,17 @@ fn bench_fig1(c: &mut Criterion) {
 }
 
 fn bench_fig2_panel(c: &mut Criterion) {
-    let mut base = ExperimentSpec::paper_defaults(
-        AppKind::PushGossip,
-        StrategySpec::Proactive,
-        120,
-    )
-    .with_rounds(40)
-    .with_runs(1)
-    .with_seed(42);
+    let mut base =
+        ExperimentSpec::paper_defaults(AppKind::PushGossip, StrategySpec::Proactive, 120)
+            .with_rounds(40)
+            .with_runs(1)
+            .with_seed(42);
     base.topology = TopologyKind::KOut { k: 10 };
     let mut group = c.benchmark_group("fig2_micro");
     group.sample_size(10);
     group.bench_function("push_gossip_randomized_panel", |b| {
         b.iter(|| {
-            black_box(
-                fig2::run_panel(AppKind::PushGossip, Family::Randomized, &base).unwrap(),
-            )
+            black_box(fig2::run_panel(AppKind::PushGossip, Family::Randomized, &base).unwrap())
         })
     });
     group.finish();

@@ -3,9 +3,9 @@
 //! iteration).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ta_overlay::analysis::is_strongly_connected;
 use ta_overlay::generators::{k_out_random, watts_strogatz};
 use ta_overlay::spectral::dominant_eigenvector;
-use ta_overlay::analysis::is_strongly_connected;
 use ta_sim::rng::Xoshiro256pp;
 
 fn bench_generators(c: &mut Criterion) {

@@ -1,0 +1,392 @@
+//! The `bench_sim` harness: machine-readable simulator perf tracking.
+//!
+//! Measures, in one process and one run:
+//!
+//! * **event_queue** — steady-state push/pop churn throughput (events/sec)
+//!   of the binary heap, the legacy Vec-of-Vecs wheel, and the slab wheel,
+//!   on the uniform and the protocol-periodic offset mixes;
+//! * **engine** — end-to-end engine throughput (processed events/sec) under
+//!   heap vs. slab wheel, for a lean echo driver (engine-bound) and a real
+//!   push gossip protocol run;
+//! * **sweep** — wall-clock seconds for a micro parameter sweep through the
+//!   bounded-pool grid executor.
+//!
+//! Results are written as `BENCH_sim.json` (override with `--out PATH`) so
+//! the perf trajectory is tracked from PR to PR; `--test` runs each
+//! workload once and writes the file with `"mode": "smoke"` (values are
+//! still measured, just from a single iteration — good enough for CI to
+//! validate the harness, not for comparisons).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use ta_apps::protocol::TokenProtocol;
+use ta_apps::push_gossip::PushGossip;
+use ta_experiments::runner::{prepare_topology, run_grid_prepared};
+use ta_experiments::spec::{AppKind, ExperimentSpec, TopologyKind};
+use ta_overlay::generators::k_out_random;
+use ta_sim::config::{QueueKind, SimConfig};
+use ta_sim::engine::{AlwaysOn, Driver, SimApi, Simulation};
+use ta_sim::paper;
+use ta_sim::queue::{BinaryHeapQueue, EventQueue};
+use ta_sim::rng::Xoshiro256pp;
+use ta_sim::time::SimTime;
+use ta_sim::wheel::TimingWheel;
+use ta_sim::NodeId;
+use token_account::prelude::*;
+
+use crate::legacy_wheel::LegacyVecWheel;
+
+/// Pending events kept in flight during queue churn.
+const PENDING: usize = 10_000;
+/// Push/pop pairs per queue-churn invocation.
+const OPS: usize = 100_000;
+
+/// One measured number, in the unit its section implies.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Key within the JSON section.
+    pub id: String,
+    /// Events/sec for throughput entries, seconds for wall-clock entries.
+    pub value: f64,
+}
+
+/// Repeats `workload` (which reports how many events it processed) until
+/// the measurement budget is spent; returns events/sec.
+fn measure_events_per_sec<F: FnMut() -> u64>(mut workload: F, smoke: bool) -> f64 {
+    if smoke {
+        let start = Instant::now();
+        let events = workload();
+        return events as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    }
+    // Warmup invocation (fills caches, grows slabs/heaps to steady state).
+    black_box(workload());
+    let budget = Duration::from_millis(1_000);
+    let start = Instant::now();
+    let mut events = 0u64;
+    loop {
+        events += workload();
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    events as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Steady-state churn of push/pop pairs against `queue`; returns events
+/// processed (pushes + pops).
+fn queue_churn<Q: EventQueue<u64>>(mut queue: Q, offsets: &[u64]) -> u64 {
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for (i, &off) in offsets.iter().take(PENDING).enumerate() {
+        queue.push(SimTime::from_micros(now + off), i as u64);
+    }
+    for (i, &off) in offsets.iter().cycle().skip(PENDING).take(OPS).enumerate() {
+        let popped = queue.pop().expect("queue stays non-empty");
+        now = popped.time.as_micros();
+        acc ^= popped.event;
+        queue.push(SimTime::from_micros(now + off), i as u64);
+    }
+    black_box(acc);
+    (PENDING + 2 * OPS) as u64
+}
+
+fn uniform_offsets(n: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::stream(11, 0);
+    (0..n).map(|_| rng.below(400_000_000)).collect()
+}
+
+/// The protocol pattern: mostly 1.728 s transfers plus Δ = 172.8 s ticks.
+fn periodic_offsets(n: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::stream(13, 0);
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.5) {
+                172_800_000
+            } else {
+                1_728_000
+            }
+        })
+        .collect()
+}
+
+fn bench_event_queue(smoke: bool) -> Vec<Sample> {
+    let workloads = [
+        ("uniform", uniform_offsets(PENDING + OPS)),
+        ("periodic", periodic_offsets(PENDING + OPS)),
+    ];
+    let mut samples = Vec::new();
+    for (name, offsets) in &workloads {
+        samples.push(Sample {
+            id: format!("binary_heap/{name}"),
+            value: measure_events_per_sec(|| queue_churn(BinaryHeapQueue::new(), offsets), smoke),
+        });
+        samples.push(Sample {
+            id: format!("legacy_wheel/{name}"),
+            value: measure_events_per_sec(|| queue_churn(LegacyVecWheel::new(), offsets), smoke),
+        });
+        samples.push(Sample {
+            id: format!("slab_wheel/{name}"),
+            value: measure_events_per_sec(|| queue_churn(TimingWheel::new(), offsets), smoke),
+        });
+    }
+    samples
+}
+
+/// A protocol-free driver: every tick sends one message to a random online
+/// peer; deliveries are counted and dropped. Isolates the engine + queue
+/// hot path from strategy/application work.
+struct Echo {
+    delivered: u64,
+}
+
+impl Driver for Echo {
+    type Msg = u64;
+    fn on_round_tick(&mut self, api: &mut SimApi<'_, u64>, node: NodeId) {
+        if let Some(peer) = api.random_online_node() {
+            api.send(node, peer, node.raw() as u64);
+        }
+    }
+    fn on_message(&mut self, _api: &mut SimApi<'_, u64>, _from: NodeId, _to: NodeId, msg: u64) {
+        self.delivered = self.delivered.wrapping_add(msg);
+    }
+}
+
+fn engine_echo_run(n: usize, rounds: u64, queue: QueueKind) -> u64 {
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .queue(queue)
+        .seed(42)
+        .build()
+        .expect("valid bench config");
+    let mut sim = Simulation::new(cfg, &AlwaysOn, Echo { delivered: 0 });
+    sim.run_to_end();
+    black_box(sim.driver().delivered);
+    sim.stats().events_processed
+}
+
+fn engine_gossip_run(topo: &Arc<ta_overlay::Topology>, rounds: u64, queue: QueueKind) -> u64 {
+    let n = topo.n();
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .sample_period(paper::DELTA)
+        .injection_period(paper::UPDATE_INJECTION_PERIOD)
+        .queue(queue)
+        .seed(3)
+        .build()
+        .expect("valid bench config");
+    let app = PushGossip::new(n, &vec![true; n]);
+    let strategy: Box<dyn Strategy> =
+        Box::new(RandomizedTokenAccount::new(10, 20).expect("valid strategy"));
+    let proto = TokenProtocol::new(Arc::clone(topo), strategy, app, vec![true; n]);
+    let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+    sim.run_to_end();
+    sim.stats().events_processed
+}
+
+fn bench_engine(smoke: bool) -> Vec<Sample> {
+    let (echo_n, echo_rounds) = if smoke { (1_000, 2) } else { (10_000, 8) };
+    let (gossip_n, gossip_rounds) = if smoke { (200, 2) } else { (2_000, 8) };
+    let mut rng = Xoshiro256pp::stream(5, 0);
+    let topo =
+        Arc::new(k_out_random(gossip_n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
+    let mut samples = Vec::new();
+    for (label, queue) in [
+        ("binary_heap", QueueKind::Heap),
+        ("slab_wheel", QueueKind::Wheel),
+    ] {
+        samples.push(Sample {
+            id: format!("echo_n{echo_n}/{label}"),
+            value: measure_events_per_sec(|| engine_echo_run(echo_n, echo_rounds, queue), smoke),
+        });
+    }
+    for (label, queue) in [
+        ("binary_heap", QueueKind::Heap),
+        ("slab_wheel", QueueKind::Wheel),
+    ] {
+        samples.push(Sample {
+            id: format!("push_gossip_n{gossip_n}/{label}"),
+            value: measure_events_per_sec(|| engine_gossip_run(&topo, gossip_rounds, queue), smoke),
+        });
+    }
+    samples
+}
+
+/// Times a micro sweep through the bounded-pool grid executor.
+fn bench_sweep(smoke: bool) -> (f64, usize, usize) {
+    let runs = 2;
+    let mut base = ExperimentSpec::paper_defaults(
+        AppKind::PushGossip,
+        StrategySpec::Proactive,
+        if smoke { 60 } else { 200 },
+    )
+    .with_rounds(if smoke { 10 } else { 40 })
+    .with_runs(runs)
+    .with_seed(7);
+    base.topology = TopologyKind::KOut { k: 8 };
+    let strategies = [
+        StrategySpec::Proactive,
+        StrategySpec::Simple { c: 10 },
+        StrategySpec::Simple { c: 20 },
+        StrategySpec::Generalized { a: 5, c: 10 },
+        StrategySpec::Randomized { a: 5, c: 10 },
+        StrategySpec::Randomized { a: 10, c: 20 },
+    ];
+    let specs: Vec<ExperimentSpec> = strategies
+        .iter()
+        .map(|&strategy| ExperimentSpec {
+            strategy,
+            ..base.clone()
+        })
+        .collect();
+    let prepared = prepare_topology(&base).expect("bench topology generates");
+    let start = Instant::now();
+    let results = run_grid_prepared(&specs, &prepared).expect("bench sweep runs");
+    let wall = start.elapsed().as_secs_f64();
+    black_box(results.len());
+    (
+        wall,
+        specs.len() * runs,
+        ta_experiments::pool::max_workers(),
+    )
+}
+
+fn json_section(out: &mut String, name: &str, samples: &[Sample], last: bool) {
+    let _ = writeln!(out, "  \"{name}\": {{");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {:.1}{comma}", s.id, s.value);
+    }
+    let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+}
+
+fn find(samples: &[Sample], id: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.id == id)
+        .map(|s| s.value)
+        .unwrap_or(f64::NAN)
+}
+
+/// Runs every section and writes the JSON report; returns the report text.
+pub fn run(smoke: bool, out_path: &str) -> String {
+    eprintln!(
+        "bench_sim: event_queue ({})...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let queue_samples = bench_event_queue(smoke);
+    eprintln!("bench_sim: engine...");
+    let engine_samples = bench_engine(smoke);
+    eprintln!("bench_sim: sweep...");
+    let (sweep_wall, sweep_jobs, workers) = bench_sweep(smoke);
+
+    // Headline speedups: slab wheel vs. the binary-heap baseline, same run.
+    let speedups = {
+        let mut v = Vec::new();
+        for name in ["uniform", "periodic"] {
+            v.push(Sample {
+                id: format!("event_queue_{name}_slab_wheel_vs_binary_heap"),
+                value: find(&queue_samples, &format!("slab_wheel/{name}"))
+                    / find(&queue_samples, &format!("binary_heap/{name}")),
+            });
+            v.push(Sample {
+                id: format!("event_queue_{name}_slab_wheel_vs_legacy_wheel"),
+                value: find(&queue_samples, &format!("slab_wheel/{name}"))
+                    / find(&queue_samples, &format!("legacy_wheel/{name}")),
+            });
+        }
+        let engine_ids: Vec<&str> = engine_samples
+            .iter()
+            .map(|s| s.id.as_str())
+            .filter(|id| id.ends_with("/binary_heap"))
+            .collect();
+        for heap_id in engine_ids {
+            let stem = heap_id.trim_end_matches("/binary_heap");
+            v.push(Sample {
+                id: format!("engine_{}_slab_wheel_vs_binary_heap", stem),
+                value: find(&engine_samples, &format!("{stem}/slab_wheel"))
+                    / find(&engine_samples, heap_id),
+            });
+        }
+        v
+    };
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ta-bench-sim/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
+    );
+    json_section(&mut out, "event_queue", &queue_samples, false);
+    json_section(&mut out, "engine", &engine_samples, false);
+    json_section(&mut out, "speedup", &speedups, false);
+    let _ = writeln!(out, "  \"sweep\": {{");
+    let _ = writeln!(out, "    \"wall_clock_seconds\": {sweep_wall:.3},");
+    let _ = writeln!(out, "    \"jobs\": {sweep_jobs},");
+    let _ = writeln!(out, "    \"pool_workers\": {workers}");
+    let _ = writeln!(out, "  }}");
+    out.push('}');
+    out.push('\n');
+
+    match std::fs::write(out_path, &out) {
+        Ok(()) => eprintln!("bench_sim: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("bench_sim: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    out
+}
+
+/// CLI entry: `bench_sim [--test] [--out PATH]`.
+pub fn run_from_args() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let report = run(smoke, &out_path);
+    println!("{report}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed_and_complete() {
+        let dir = std::env::temp_dir().join(format!("ta-bench-sim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        let report = run(true, path.to_str().unwrap());
+        assert!(report.starts_with('{') && report.trim_end().ends_with('}'));
+        for key in [
+            "\"event_queue\"",
+            "\"engine\"",
+            "\"speedup\"",
+            "\"sweep\"",
+            "binary_heap/periodic",
+            "legacy_wheel/periodic",
+            "slab_wheel/periodic",
+            "wall_clock_seconds",
+        ] {
+            assert!(report.contains(key), "missing {key} in report:\n{report}");
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

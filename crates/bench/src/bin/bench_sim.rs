@@ -1,0 +1,3 @@
+fn main() {
+    ta_bench::bench_sim::run_from_args();
+}

@@ -1,0 +1,298 @@
+//! The pre-slab timing wheel, kept as a benchmark baseline.
+//!
+//! This is the previous `ta_sim::wheel::TimingWheel` storage scheme: 64
+//! `Vec`s per level (drained with `std::mem::take`), a `VecDeque` ready
+//! batch with `O(k)` sorted insertion for same-tick merges, and a fresh
+//! `Vec` allocation per cascade. It produces exactly the same `(time, seq)`
+//! pop order as the current slab wheel and the binary heap; it exists so
+//! `bench_sim` and the `event_queue` bench can quantify what the slab +
+//! intrusive-free-list rewrite bought. Not used by the engine.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ta_sim::queue::{EventQueue, Scheduled};
+use ta_sim::time::SimTime;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+const LEVELS: usize = 4;
+
+/// Default tick resolution: 2^10 µs ≈ 1.024 ms (matches the slab wheel).
+pub const DEFAULT_TICK_SHIFT: u32 = 10;
+
+#[derive(Debug)]
+struct Level<E> {
+    slots: Vec<Vec<(SimTime, u64, E)>>,
+    occupied: u64,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, slot: usize, entry: (SimTime, u64, E)) {
+        self.slots[slot].push(entry);
+        self.occupied |= 1 << slot;
+    }
+
+    #[inline]
+    fn drain_slot(&mut self, slot: usize) -> Vec<(SimTime, u64, E)> {
+        self.occupied &= !(1 << slot);
+        std::mem::take(&mut self.slots[slot])
+    }
+
+    #[inline]
+    fn next_occupied(&self, from: u64) -> Option<u64> {
+        if from >= 64 {
+            return None;
+        }
+        let masked = self.occupied & ((!0u64) << from);
+        if masked == 0 {
+            None
+        } else {
+            Some(masked.trailing_zeros() as u64)
+        }
+    }
+}
+
+/// Vec-of-Vecs hierarchical timing wheel (the pre-slab implementation).
+#[derive(Debug)]
+pub struct LegacyVecWheel<E> {
+    levels: Vec<Level<E>>,
+    overflow: BTreeMap<(u64, SimTime, u64), E>,
+    ready: VecDeque<(SimTime, u64, E)>,
+    ready_tick: u64,
+    current_tick: u64,
+    wheel_len: usize,
+    len: usize,
+    next_seq: u64,
+    shift: u32,
+}
+
+impl<E> LegacyVecWheel<E> {
+    /// Creates a wheel with the default ~1 ms tick resolution.
+    pub fn new() -> Self {
+        Self::with_tick_shift(DEFAULT_TICK_SHIFT)
+    }
+
+    /// Creates a wheel whose tick lasts `2^shift` microseconds.
+    pub fn with_tick_shift(shift: u32) -> Self {
+        assert!(shift <= 32, "tick shift too large: {shift}");
+        LegacyVecWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BTreeMap::new(),
+            ready: VecDeque::new(),
+            ready_tick: 0,
+            current_tick: 0,
+            wheel_len: 0,
+            len: 0,
+            next_seq: 0,
+            shift,
+        }
+    }
+
+    #[inline]
+    fn tick_of(&self, time: SimTime) -> u64 {
+        time.as_micros() >> self.shift
+    }
+
+    fn insert_raw(&mut self, time: SimTime, seq: u64, event: E) {
+        let mut tick = self.tick_of(time);
+        if tick < self.current_tick {
+            tick = self.current_tick;
+        }
+        if tick == self.ready_tick && (tick == self.current_tick) {
+            // The O(k) sorted insert the slab wheel's ready heap replaced.
+            let key = (time, seq);
+            let pos = self
+                .ready
+                .iter()
+                .position(|&(t, s, _)| (t, s) > key)
+                .unwrap_or(self.ready.len());
+            self.ready.insert(pos, (time, seq, event));
+            return;
+        }
+        let diff = tick ^ self.current_tick;
+        let level = if diff >> SLOT_BITS == 0 {
+            0
+        } else if diff >> (2 * SLOT_BITS) == 0 {
+            1
+        } else if diff >> (3 * SLOT_BITS) == 0 {
+            2
+        } else if diff >> (4 * SLOT_BITS) == 0 {
+            3
+        } else {
+            self.overflow.insert((tick, time, seq), event);
+            return;
+        };
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level].insert(slot, (time, seq, event));
+        self.wheel_len += 1;
+    }
+
+    fn cascade(&mut self, level: usize) {
+        let slot = ((self.current_tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let entries = self.levels[level].drain_slot(slot);
+        self.wheel_len -= entries.len();
+        for (time, seq, event) in entries {
+            self.insert_raw(time, seq, event);
+        }
+    }
+
+    fn refill_overflow(&mut self) {
+        let window_bits = SLOT_BITS * LEVELS as u32;
+        let window_end = ((self.current_tick >> window_bits) + 1).saturating_mul(1 << window_bits);
+        let keep = self.overflow.split_off(&(window_end, SimTime::ZERO, 0));
+        let pulled = std::mem::replace(&mut self.overflow, keep);
+        for ((_, time, seq), event) in pulled {
+            self.insert_raw(time, seq, event);
+        }
+    }
+
+    fn advance_to(&mut self, target_tick: u64) {
+        let old = self.current_tick;
+        self.current_tick = target_tick;
+        let crossed = |bits: u32| (old >> bits) != (target_tick >> bits);
+        if crossed(SLOT_BITS * 4) {
+            self.refill_overflow();
+        }
+        if crossed(SLOT_BITS * 3) {
+            self.cascade(3);
+        }
+        if crossed(SLOT_BITS * 2) {
+            self.cascade(2);
+        }
+        if crossed(SLOT_BITS) {
+            self.cascade(1);
+        }
+    }
+
+    fn next_target(&self) -> Option<u64> {
+        for level in 1..LEVELS {
+            let bits = SLOT_BITS * level as u32;
+            let pos = (self.current_tick >> bits) & SLOT_MASK;
+            if let Some(slot) = self.levels[level].next_occupied(pos + 1) {
+                let base = (self.current_tick >> (bits + SLOT_BITS)) << (bits + SLOT_BITS);
+                return Some(base + (slot << bits));
+            }
+        }
+        self.overflow.keys().next().map(|&(tick, _, _)| tick)
+    }
+
+    fn ensure_ready(&mut self) -> bool {
+        if !self.ready.is_empty() {
+            return true;
+        }
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            let pos = self.current_tick & SLOT_MASK;
+            if let Some(slot) = self.levels[0].next_occupied(pos) {
+                let base = (self.current_tick >> SLOT_BITS) << SLOT_BITS;
+                let tick = base + slot;
+                self.current_tick = tick;
+                self.ready_tick = tick;
+                let mut batch = self.levels[0].drain_slot(slot as usize);
+                self.wheel_len -= batch.len();
+                batch.sort_unstable_by_key(|&(t, s, _)| (t, s));
+                self.ready = batch.into();
+                return true;
+            }
+            match self.next_target() {
+                Some(target) => {
+                    let window_start = (target >> SLOT_BITS) << SLOT_BITS;
+                    let next_window = ((self.current_tick >> SLOT_BITS) + 1) << SLOT_BITS;
+                    self.advance_to(window_start.max(next_window));
+                }
+                None => {
+                    debug_assert_eq!(self.wheel_len, 0);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl<E> Default for LegacyVecWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> for LegacyVecWheel<E> {
+    fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert_raw(time, seq, event);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if !self.ensure_ready() {
+            return None;
+        }
+        let (time, seq, event) = self.ready.pop_front().expect("ensure_ready lied");
+        self.len -= 1;
+        Some(Scheduled { time, seq, event })
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.ensure_ready() {
+            return None;
+        }
+        self.ready.front().map(|&(time, _, _)| time)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ta_sim::rng::Xoshiro256pp;
+    use ta_sim::wheel::TimingWheel;
+
+    /// The baseline must agree with the current slab wheel, otherwise the
+    /// benchmark comparison is apples to oranges.
+    #[test]
+    fn legacy_and_slab_wheels_agree() {
+        let mut rng = Xoshiro256pp::stream(77, 3);
+        let mut legacy = LegacyVecWheel::new();
+        let mut slab = TimingWheel::new();
+        let mut now = 0u64;
+        for i in 0..10_000u64 {
+            if rng.chance(0.6) || legacy.is_empty() {
+                let offset = match rng.below(4) {
+                    0 => rng.below(2_000),
+                    1 => 172_800_000,
+                    2 => 1_728_000,
+                    _ => rng.below(40_000_000_000),
+                };
+                let t = SimTime::from_micros(now + offset);
+                legacy.push(t, i);
+                slab.push(t, i);
+            } else {
+                let a = legacy.pop().unwrap();
+                let b = slab.pop().unwrap();
+                assert_eq!(a.key(), b.key(), "diverged at op {i}");
+                now = a.time.as_micros();
+            }
+        }
+        loop {
+            match (legacy.pop(), slab.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => assert_eq!(a.key(), b.key()),
+                (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+}

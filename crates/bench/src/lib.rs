@@ -1,18 +1,30 @@
-//! # ta-bench — criterion benchmarks for the token account reproduction
+//! # ta-bench — benchmarks for the token account reproduction
 //!
-//! This crate carries no library code; its `benches/` directory holds the
-//! Criterion harnesses:
+//! The `benches/` directory holds the criterion harnesses:
 //!
 //! | Bench | What it measures |
 //! |-------|------------------|
 //! | `strategy` | proactive/reactive kernels of all five strategies, `randRound`, Algorithm-4 node steps |
-//! | `event_queue` | binary heap vs. hierarchical timing wheel (the DESIGN.md scheduler ablation) |
+//! | `event_queue` | binary heap vs. legacy Vec wheel vs. slab wheel (the DESIGN.md scheduler ablation) |
 //! | `engine` | end-to-end simulator throughput (events/second) under both queues |
 //! | `overlay` | k-out and Watts–Strogatz generation, reference eigenvector |
 //! | `churn` | synthetic smartphone trace generation |
 //! | `figures` | scaled-down regenerations of Figures 1, 2 and 5 (per-figure wall time) |
 //!
 //! Run with `cargo bench -p ta-bench` (or `cargo bench --workspace`).
+//!
+//! The library carries two support pieces:
+//!
+//! * [`bench_sim`] — the `bench_sim` binary's harness, which measures queue
+//!   and engine throughput plus sweep wall-clock and writes a
+//!   machine-readable `BENCH_sim.json` for PR-to-PR perf tracking:
+//!   `cargo run --release -p ta-bench --bin bench_sim` (add `--test` for
+//!   the CI smoke mode);
+//! * [`legacy_wheel`] — the pre-slab Vec-of-Vecs timing wheel, kept as the
+//!   baseline the slab rewrite is measured against.
+
+pub mod bench_sim;
+pub mod legacy_wheel;
 
 /// Common scale constants shared by the benches so results are comparable
 /// across runs.

@@ -325,9 +325,7 @@ mod tests {
         assert_eq!(sched.online_count_at(SimTime::from_secs(12)), 2);
         assert!((sched.online_fraction_at(SimTime::from_secs(12)) - 0.5).abs() < 1e-12);
         assert!((sched.never_online_fraction() - 0.25).abs() < 1e-12);
-        assert!(
-            (sched.has_been_online_fraction_at(SimTime::from_secs(12)) - 0.75).abs() < 1e-12
-        );
+        assert!((sched.has_been_online_fraction_at(SimTime::from_secs(12)) - 0.75).abs() < 1e-12);
     }
 
     #[test]

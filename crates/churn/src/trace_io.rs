@@ -88,7 +88,9 @@ pub fn parse_trace(text: &str) -> Result<AvailabilitySchedule, ParseTraceError> 
         }
         let mut tokens = line.split_whitespace();
         let initial = parse_state(
-            tokens.next().expect("split of non-empty line yields a token"),
+            tokens
+                .next()
+                .expect("split of non-empty line yields a token"),
             line_no,
         )?;
         let mut transitions = Vec::new();

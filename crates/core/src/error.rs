@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(InvalidStrategyError::ZeroSpendRate.to_string().contains("A"));
+        assert!(InvalidStrategyError::ZeroSpendRate
+            .to_string()
+            .contains("A"));
         let e = InvalidStrategyError::CapacityBelowSpendRate {
             spend_rate: 5,
             capacity: 3,

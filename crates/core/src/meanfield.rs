@@ -67,9 +67,7 @@ impl<'a, S: Strategy + ?Sized> MeanFieldModel<'a, S> {
     /// Left-hand side of eq. 10 minus one: `g(a) = REACTIVE(a, u) +
     /// PROACTIVE(a) − 1`, monotone non-decreasing in `a`.
     fn excess(&self, a: f64) -> f64 {
-        self.strategy.reactive_smooth(a, self.usefulness)
-            + self.strategy.proactive_smooth(a)
-            - 1.0
+        self.strategy.reactive_smooth(a, self.usefulness) + self.strategy.proactive_smooth(a) - 1.0
     }
 
     /// Solves eq. 10 for the equilibrium balance by bisection.
@@ -179,7 +177,14 @@ mod tests {
 
     #[test]
     fn randomized_equilibrium_matches_closed_form() {
-        for (a, c) in [(1u64, 1u64), (1, 10), (5, 10), (10, 20), (20, 40), (40, 120)] {
+        for (a, c) in [
+            (1u64, 1u64),
+            (1, 10),
+            (5, 10),
+            (10, 20),
+            (20, 40),
+            (40, 120),
+        ] {
             let s = RandomizedTokenAccount::new(a, c).unwrap();
             let model = MeanFieldModel::new(&s, 172.8, Usefulness::Useful);
             let solved = model.equilibrium_balance().expect("equilibrium exists");

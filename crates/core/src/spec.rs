@@ -65,12 +65,8 @@ impl StrategySpec {
             StrategySpec::Proactive => Box::new(PurelyProactive),
             StrategySpec::Reactive { k } => Box::new(PurelyReactive::if_useful(k)?),
             StrategySpec::Simple { c } => Box::new(SimpleTokenAccount::new(c)),
-            StrategySpec::Generalized { a, c } => {
-                Box::new(GeneralizedTokenAccount::new(a, c)?)
-            }
-            StrategySpec::Randomized { a, c } => {
-                Box::new(RandomizedTokenAccount::new(a, c)?)
-            }
+            StrategySpec::Generalized { a, c } => Box::new(GeneralizedTokenAccount::new(a, c)?),
+            StrategySpec::Randomized { a, c } => Box::new(RandomizedTokenAccount::new(a, c)?),
         })
     }
 

@@ -208,10 +208,8 @@ mod tests {
         check_strategy_contract(&SimpleTokenAccount::new(0), 200).unwrap();
         check_strategy_contract(&SimpleTokenAccount::new(20), 200).unwrap();
         for (a, c) in [(1, 1), (1, 10), (5, 10), (10, 20), (40, 120)] {
-            check_strategy_contract(&GeneralizedTokenAccount::new(a, c).unwrap(), 200)
-                .unwrap();
-            check_strategy_contract(&RandomizedTokenAccount::new(a, c).unwrap(), 200)
-                .unwrap();
+            check_strategy_contract(&GeneralizedTokenAccount::new(a, c).unwrap(), 200).unwrap();
+            check_strategy_contract(&RandomizedTokenAccount::new(a, c).unwrap(), 200).unwrap();
         }
     }
 
@@ -222,15 +220,15 @@ mod tests {
     impl Strategy for Broken {
         fn proactive(&self, balance: i64) -> f64 {
             match self.0 {
-                0 => 1.5,                                  // out of range
-                1 => -(balance as f64) / 100.0,            // decreasing
+                0 => 1.5,                       // out of range
+                1 => -(balance as f64) / 100.0, // decreasing
                 _ => 0.0,
             }
         }
         fn reactive(&self, balance: i64, u: Usefulness) -> f64 {
             match self.0 {
-                2 => -1.0,                                  // negative
-                3 => (balance.max(0) as f64) + 1.0,         // overspend
+                2 => -1.0,                          // negative
+                3 => (balance.max(0) as f64) + 1.0, // overspend
                 // Anti-monotone in u but within the balance, so only the
                 // usefulness check can trip.
                 4 => (balance.max(0) as f64).min(1.0) * (1.0 - u.value()),
@@ -240,7 +238,7 @@ mod tests {
         fn capacity(&self) -> Capacity {
             match self.0 {
                 5 => Capacity::Finite(10), // but proactive never 1
-                _ => Capacity::Unbounded
+                _ => Capacity::Unbounded,
             }
         }
         fn name(&self) -> &'static str {

@@ -23,7 +23,7 @@ use token_account::StrategySpec;
 use crate::cli::FigureOpts;
 use crate::figures::{summarize, FigureError};
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared};
+use crate::runner::{prepare_topology, run_grid_prepared};
 use crate::spec::{AppKind, ExperimentSpec};
 
 /// Runs both ablations on push gossip.
@@ -37,7 +37,9 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
     let runs = opts.effective_runs(2);
     let mut report = Report::new(
         "ablation",
-        format!("protocol design-choice ablations on push gossip (N={n}, {rounds} rounds, {runs} runs)"),
+        format!(
+            "protocol design-choice ablations on push gossip (N={n}, {rounds} rounds, {runs} runs)"
+        ),
     );
     let base = ExperimentSpec::paper_defaults(AppKind::PushGossip, StrategySpec::Proactive, n)
         .with_rounds(rounds)
@@ -52,21 +54,27 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
         "sender-first (push-pull)".into(),
         "change".into(),
     ]);
-    for strategy in [
+    let reply_strategies = [
         StrategySpec::Simple { c: 20 },
         StrategySpec::Generalized { a: 5, c: 20 },
         StrategySpec::Randomized { a: 10, c: 20 },
-    ] {
-        let mut lags = Vec::new();
-        for policy in [ReplyPolicy::RandomPeer, ReplyPolicy::SenderFirst] {
-            let spec = ExperimentSpec {
-                strategy,
-                ..base.clone()
-            }
-            .with_reply_policy(policy);
-            let result = run_experiment_prepared(&spec, &prepared)?;
-            lags.push(summarize(&result).steady_mean);
-        }
+    ];
+    // Flatten the (strategy × policy) grid into one parallel batch.
+    let specs: Vec<ExperimentSpec> = reply_strategies
+        .iter()
+        .flat_map(|&strategy| {
+            [ReplyPolicy::RandomPeer, ReplyPolicy::SenderFirst].map(|policy| {
+                ExperimentSpec {
+                    strategy,
+                    ..base.clone()
+                }
+                .with_reply_policy(policy)
+            })
+        })
+        .collect();
+    let results = run_grid_prepared(&specs, &prepared)?;
+    for (strategy, pair) in reply_strategies.iter().zip(results.chunks(2)) {
+        let lags: Vec<f64> = pair.iter().map(|r| summarize(r).steady_mean).collect();
         reply.row(vec![
             strategy.label(),
             format!("{:.2}", lags[0]),
@@ -83,21 +91,26 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
         "synchronized".into(),
         "change".into(),
     ]);
-    for strategy in [
+    let phasing_strategies = [
         StrategySpec::Proactive,
         StrategySpec::Simple { c: 20 },
         StrategySpec::Randomized { a: 10, c: 20 },
-    ] {
-        let mut lags = Vec::new();
-        for phase in [TickPhase::UniformRandom, TickPhase::Synchronized] {
-            let spec = ExperimentSpec {
-                strategy,
-                ..base.clone()
-            }
-            .with_tick_phase(phase);
-            let result = run_experiment_prepared(&spec, &prepared)?;
-            lags.push(summarize(&result).steady_mean);
-        }
+    ];
+    let specs: Vec<ExperimentSpec> = phasing_strategies
+        .iter()
+        .flat_map(|&strategy| {
+            [TickPhase::UniformRandom, TickPhase::Synchronized].map(|phase| {
+                ExperimentSpec {
+                    strategy,
+                    ..base.clone()
+                }
+                .with_tick_phase(phase)
+            })
+        })
+        .collect();
+    let results = run_grid_prepared(&specs, &prepared)?;
+    for (strategy, pair) in phasing_strategies.iter().zip(results.chunks(2)) {
+        let lags: Vec<f64> = pair.iter().map(|r| summarize(r).steady_mean).collect();
         phasing.row(vec![
             strategy.label(),
             format!("{:.2}", lags[0]),

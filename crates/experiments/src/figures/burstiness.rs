@@ -36,7 +36,7 @@ use token_account::StrategySpec;
 use crate::cli::FigureOpts;
 use crate::figures::FigureError;
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared, ExperimentResult, RunOutcome};
+use crate::runner::{prepare_topology, run_grid_prepared, ExperimentResult, RunOutcome};
 use crate::spec::{AppKind, ExperimentSpec};
 
 /// Strategies compared (the reactive reference uses `k = 2`: every useful
@@ -109,17 +109,25 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
     ]);
     let mut labels = Vec::new();
     let mut series = Vec::new();
-    for strategy in strategies() {
-        let mut spec = ExperimentSpec {
-            strategy,
-            ..base.clone()
-        };
-        if matches!(strategy, StrategySpec::Reactive { .. }) {
-            // The reactive reference reacts to any state change, injections
-            // included — without this it would never send at all.
-            spec = spec.with_injection_reaction();
-        }
-        let result = run_experiment_prepared(&spec, &prepared)?;
+    // All strategies run as one flattened job grid over the shared overlay.
+    let specs: Vec<ExperimentSpec> = strategies()
+        .into_iter()
+        .map(|strategy| {
+            let mut spec = ExperimentSpec {
+                strategy,
+                ..base.clone()
+            };
+            if matches!(strategy, StrategySpec::Reactive { .. }) {
+                // The reactive reference reacts to any state change,
+                // injections included — without this it would never send at
+                // all.
+                spec = spec.with_injection_reaction();
+            }
+            spec
+        })
+        .collect();
+    let results = run_grid_prepared(&specs, &prepared)?;
+    for (strategy, result) in strategies().into_iter().zip(&results) {
         let capacity = strategy.build().expect("validated above").capacity();
         // Skip the fill-up transient (~2C rounds) for the steady measure.
         let skip = capacity
@@ -132,7 +140,7 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
             .map(|r| steady_peak_to_mean(r, skip))
             .sum::<f64>()
             / result.runs.len() as f64;
-        let hist = mean_histogram(&result);
+        let hist = mean_histogram(result);
         let steady = hist.get(skip..).unwrap_or(&[]);
         let mean = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
         let peak = steady.iter().copied().fold(0.0f64, f64::max);

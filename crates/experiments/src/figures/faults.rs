@@ -19,7 +19,7 @@ use token_account::StrategySpec;
 use crate::cli::FigureOpts;
 use crate::figures::{summarize, FigureError};
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared};
+use crate::runner::{prepare_topology, run_grid_prepared};
 use crate::spec::{AppKind, ExperimentSpec};
 
 /// Drop probabilities exercised.
@@ -63,6 +63,9 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
         "sends/node-round".into(),
         "steady lag".into(),
     ]);
+    // The whole (strategy × drop) grid runs as one flattened job list.
+    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     for strategy in strategies() {
         for &drop in DROPS {
             let mut spec = ExperimentSpec {
@@ -76,17 +79,21 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
                 // trivial.
                 spec = spec.with_injection_reaction();
             }
-            let result = run_experiment_prepared(&spec, &prepared)?;
-            let sends_per_node_round =
-                result.stats.mean_messages_sent / result.stats.mean_ticks.max(1.0);
-            let lag = summarize(&result).steady_mean;
-            table.row(vec![
-                strategy.label(),
-                format!("{drop:.1}"),
-                format!("{sends_per_node_round:.3}"),
-                format!("{lag:.2}"),
-            ]);
+            cells.push((strategy, drop));
+            specs.push(spec);
         }
+    }
+    let results = run_grid_prepared(&specs, &prepared)?;
+    for ((strategy, drop), result) in cells.into_iter().zip(&results) {
+        let sends_per_node_round =
+            result.stats.mean_messages_sent / result.stats.mean_ticks.max(1.0);
+        let lag = summarize(result).steady_mean;
+        table.row(vec![
+            strategy.label(),
+            format!("{drop:.1}"),
+            format!("{sends_per_node_round:.3}"),
+            format!("{lag:.2}"),
+        ]);
     }
     report.table("fault tolerance of the proactive floor", table);
     Ok(report)

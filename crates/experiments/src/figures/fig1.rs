@@ -51,9 +51,11 @@ pub fn run(opts: &FigureOpts) -> std::io::Result<Report> {
     report.table("churn pattern (every 3rd hour)", table);
 
     let mut shape = Table::new(vec!["property".into(), "value".into(), "paper".into()]);
-    let online_mean =
-        buckets.iter().map(|b| b.online).sum::<f64>() / buckets.len() as f64;
-    let night = buckets.iter().filter(|b| (b.hour % 24.0) < 6.0).map(|b| b.online);
+    let online_mean = buckets.iter().map(|b| b.online).sum::<f64>() / buckets.len() as f64;
+    let night = buckets
+        .iter()
+        .filter(|b| (b.hour % 24.0) < 6.0)
+        .map(|b| b.online);
     let day = buckets
         .iter()
         .filter(|b| (12.0..18.0).contains(&(b.hour % 24.0)))

@@ -13,7 +13,7 @@
 use crate::cli::FigureOpts;
 use crate::figures::{comparison_table, plot_series, Family, FigureError};
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared, ExperimentResult, RunError};
+use crate::runner::{prepare_topology, run_grid_prepared, ExperimentResult, RunError};
 use crate::spec::{AppKind, ExperimentSpec};
 use token_account::StrategySpec;
 
@@ -33,18 +33,19 @@ pub fn run_panel(
 ) -> Result<Vec<(String, ExperimentResult)>, RunError> {
     debug_assert_eq!(app, base_spec.app, "panel app must match the base spec");
     let prepared = prepare_topology(base_spec)?;
-    let mut entries = Vec::new();
     let mut strategies = vec![StrategySpec::Proactive];
     strategies.extend(family.representative());
-    for strategy in strategies {
-        let spec = ExperimentSpec {
+    // One flattened (strategy × run) grid: the whole panel saturates the
+    // worker pool instead of joining after each curve.
+    let specs: Vec<ExperimentSpec> = strategies
+        .iter()
+        .map(|&strategy| ExperimentSpec {
             strategy,
             ..base_spec.clone()
-        };
-        let result = run_experiment_prepared(&spec, &prepared)?;
-        entries.push((strategy.label(), result));
-    }
-    Ok(entries)
+        })
+        .collect();
+    let results = run_grid_prepared(&specs, &prepared)?;
+    Ok(strategies.iter().map(|s| s.label()).zip(results).collect())
 }
 
 /// Runs the full Figure 2 regeneration.
@@ -57,9 +58,7 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
     let runs = opts.effective_runs(3);
     let mut report = Report::new(
         "fig2",
-        format!(
-            "failure-free scenario, {rounds} rounds, {runs} runs per curve"
-        ),
+        format!("failure-free scenario, {rounds} rounds, {runs} runs per curve"),
     );
     for app in APPS {
         let n = opts.effective_n(1_000, 5_000);
@@ -75,10 +74,7 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
             );
             let labels: Vec<String> = entries.iter().map(|(l, _)| l.clone()).collect();
             let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            let series: Vec<_> = entries
-                .iter()
-                .map(|(_, r)| plot_series(app, r))
-                .collect();
+            let series: Vec<_> = entries.iter().map(|(_, r)| plot_series(app, r)).collect();
             let path = opts
                 .out_dir
                 .join(format!("fig2_{}_{}.dat", app.name(), family.name()));
@@ -105,14 +101,11 @@ mod tests {
 
     #[test]
     fn one_panel_runs_and_every_strategy_beats_the_baseline() {
-        let mut base = ExperimentSpec::paper_defaults(
-            AppKind::GossipLearning,
-            StrategySpec::Proactive,
-            80,
-        )
-        .with_rounds(40)
-        .with_runs(1)
-        .with_seed(2);
+        let mut base =
+            ExperimentSpec::paper_defaults(AppKind::GossipLearning, StrategySpec::Proactive, 80)
+                .with_rounds(40)
+                .with_runs(1)
+                .with_seed(2);
         base.topology = TopologyKind::KOut { k: 8 };
         let entries = run_panel(AppKind::GossipLearning, Family::Randomized, &base).unwrap();
         // Baseline + 6 representative combos.

@@ -15,7 +15,7 @@
 use crate::cli::FigureOpts;
 use crate::figures::{comparison_table, plot_series, Family, FigureError};
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared};
+use crate::runner::{prepare_topology, run_grid_prepared};
 use crate::spec::{AppKind, ExperimentSpec};
 use token_account::StrategySpec;
 
@@ -45,17 +45,18 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
                 .with_seed(opts.seed)
                 .with_smartphone_churn();
             let prepared = prepare_topology(&base)?;
-            let mut entries = Vec::new();
             let mut strategies = vec![StrategySpec::Proactive];
             strategies.extend(family.representative());
-            for strategy in strategies {
-                let spec = ExperimentSpec {
+            // One flattened (strategy × run) grid per panel.
+            let specs: Vec<ExperimentSpec> = strategies
+                .iter()
+                .map(|&strategy| ExperimentSpec {
                     strategy,
                     ..base.clone()
-                };
-                let result = run_experiment_prepared(&spec, &prepared)?;
-                entries.push((strategy.label(), result));
-            }
+                })
+                .collect();
+            let results = run_grid_prepared(&specs, &prepared)?;
+            let entries: Vec<_> = strategies.iter().map(|s| s.label()).zip(results).collect();
             report.table(
                 format!("{} / {} (trace)", app.name(), family.name()),
                 comparison_table(app, &entries),
@@ -90,15 +91,12 @@ mod tests {
 
     #[test]
     fn trace_scenario_still_beats_proactive() {
-        let mut base = ExperimentSpec::paper_defaults(
-            AppKind::PushGossip,
-            StrategySpec::Proactive,
-            100,
-        )
-        .with_rounds(120)
-        .with_runs(1)
-        .with_seed(4)
-        .with_smartphone_churn();
+        let mut base =
+            ExperimentSpec::paper_defaults(AppKind::PushGossip, StrategySpec::Proactive, 100)
+                .with_rounds(120)
+                .with_runs(1)
+                .with_seed(4)
+                .with_smartphone_churn();
         base.topology = TopologyKind::KOut { k: 10 };
         let baseline = run_experiment(&base).unwrap();
         let token = run_experiment(&ExperimentSpec {

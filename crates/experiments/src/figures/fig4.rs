@@ -17,7 +17,7 @@
 use crate::cli::FigureOpts;
 use crate::figures::{comparison_table, plot_series, Family, FigureError};
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared};
+use crate::runner::{prepare_topology, run_grid_prepared};
 use crate::spec::{AppKind, ExperimentSpec};
 use token_account::StrategySpec;
 
@@ -47,21 +47,18 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
                 .with_runs(runs)
                 .with_seed(opts.seed);
             let prepared = prepare_topology(&base)?;
-            let mut entries = Vec::new();
             let mut strategies = vec![StrategySpec::Proactive];
-            strategies.extend(
-                LARGE_N_AC
-                    .iter()
-                    .map(|&(a, c)| family.with_params(a, c)),
-            );
-            for strategy in strategies {
-                let spec = ExperimentSpec {
+            strategies.extend(LARGE_N_AC.iter().map(|&(a, c)| family.with_params(a, c)));
+            // One flattened (strategy × run) grid per panel.
+            let specs: Vec<ExperimentSpec> = strategies
+                .iter()
+                .map(|&strategy| ExperimentSpec {
                     strategy,
                     ..base.clone()
-                };
-                let result = run_experiment_prepared(&spec, &prepared)?;
-                entries.push((strategy.label(), result));
-            }
+                })
+                .collect();
+            let results = run_grid_prepared(&specs, &prepared)?;
+            let entries: Vec<_> = strategies.iter().map(|s| s.label()).zip(results).collect();
             report.table(
                 format!("{} / {} (N={n})", app.name(), family.name()),
                 comparison_table(app, &entries),

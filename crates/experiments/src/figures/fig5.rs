@@ -15,7 +15,7 @@ use token_account::{StrategySpec, Usefulness};
 use crate::cli::FigureOpts;
 use crate::figures::FigureError;
 use crate::report::Report;
-use crate::runner::{prepare_topology, run_experiment_prepared};
+use crate::runner::{prepare_topology, run_grid_prepared};
 use crate::spec::{AppKind, ExperimentSpec};
 
 /// The `(A, C)` combinations validated in Figure 5.
@@ -37,15 +37,11 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
         ),
     );
 
-    let base = ExperimentSpec::paper_defaults(
-        AppKind::GossipLearning,
-        StrategySpec::Proactive,
-        n,
-    )
-    .with_rounds(rounds)
-    .with_runs(runs)
-    .with_seed(opts.seed)
-    .with_token_recording();
+    let base = ExperimentSpec::paper_defaults(AppKind::GossipLearning, StrategySpec::Proactive, n)
+        .with_rounds(rounds)
+        .with_runs(runs)
+        .with_seed(opts.seed)
+        .with_token_recording();
     let prepared = prepare_topology(&base)?;
 
     let mut table = Table::new(vec![
@@ -57,18 +53,26 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
     ]);
     let mut labels = Vec::new();
     let mut series = Vec::new();
-    for &(a, c) in FIG5_AC {
-        let strategy = StrategySpec::Randomized { a, c };
-        let spec = ExperimentSpec {
-            strategy,
+    // All (A, C) curves run as one flattened job grid over the shared
+    // topology.
+    let specs: Vec<ExperimentSpec> = FIG5_AC
+        .iter()
+        .map(|&(a, c)| ExperimentSpec {
+            strategy: StrategySpec::Randomized { a, c },
             ..base.clone()
-        };
-        let result = run_experiment_prepared(&spec, &prepared)?;
+        })
+        .collect();
+    let results = run_grid_prepared(&specs, &prepared)?;
+    for (&(a, c), result) in FIG5_AC.iter().zip(&results) {
+        let strategy = StrategySpec::Randomized { a, c };
         let horizon = result.tokens.times().last().copied().unwrap_or(0.0);
-        let measured = result.tokens.mean_value_from(horizon / 2.0).unwrap_or(f64::NAN);
+        let measured = result
+            .tokens
+            .mean_value_from(horizon / 2.0)
+            .unwrap_or(f64::NAN);
 
         let concrete = RandomizedTokenAccount::new(a, c).expect("valid by construction");
-        let model = MeanFieldModel::new(&concrete, spec.delta.as_secs_f64(), Usefulness::Useful);
+        let model = MeanFieldModel::new(&concrete, base.delta.as_secs_f64(), Usefulness::Useful);
         let solver = model.equilibrium_balance().unwrap_or(f64::NAN);
         let ode = model
             .integrate(0.0, 0.0, horizon.max(1.0), 1.0, 10_000)
@@ -102,11 +106,7 @@ pub fn run(opts: &FigureOpts) -> Result<Report, FigureError> {
     let mut mf_series: Vec<TimeSeries> = Vec::new();
     for &(a, c) in FIG5_AC {
         let concrete = RandomizedTokenAccount::new(a, c).expect("valid by construction");
-        let model = MeanFieldModel::new(
-            &concrete,
-            base.delta.as_secs_f64(),
-            Usefulness::Useful,
-        );
+        let model = MeanFieldModel::new(&concrete, base.delta.as_secs_f64(), Usefulness::Useful);
         let horizon = base.duration.as_secs_f64();
         let traj = model.integrate(0.0, 0.0, horizon, 1.0, 200);
         mf_series.push(TimeSeries::from_parts(

@@ -78,14 +78,8 @@ impl From<io::Error> for FigureError {
 
 /// The representative `(A, C)` selection shown in Figures 2–4 (the text
 /// names A=10/C=10, A=10/C=20, A=1/C=5, A=1/C=10, A=5/C=10, C=20, C=40).
-pub const REPRESENTATIVE_AC: &[(u64, u64)] = &[
-    (1, 5),
-    (1, 10),
-    (5, 10),
-    (10, 10),
-    (10, 20),
-    (20, 40),
-];
+pub const REPRESENTATIVE_AC: &[(u64, u64)] =
+    &[(1, 5), (1, 10), (5, 10), (10, 10), (10, 20), (20, 40)];
 
 /// Capacities for the simple strategy panels.
 pub const SIMPLE_CS: &[u64] = &[1, 5, 10, 20, 40];
@@ -157,9 +151,7 @@ pub fn summarize(result: &ExperimentResult) -> MetricSummary {
     let series = &result.metric;
     let final_value = series.last_value().unwrap_or(f64::NAN);
     let horizon = series.times().last().copied().unwrap_or(0.0);
-    let steady_mean = series
-        .mean_value_from(horizon / 2.0)
-        .unwrap_or(final_value);
+    let steady_mean = series.mean_value_from(horizon / 2.0).unwrap_or(final_value);
     MetricSummary {
         final_value,
         steady_mean,
@@ -188,9 +180,7 @@ pub fn speedup(app: AppKind, result: &ExperimentResult, baseline: &ExperimentRes
                 result.metric.first_time_below(target),
                 baseline.metric.times().last(),
             ) {
-                (Some(t_result), Some(&t_baseline)) if t_result > 0.0 => {
-                    t_baseline / t_result
-                }
+                (Some(t_result), Some(&t_baseline)) if t_result > 0.0 => t_baseline / t_result,
                 _ => b.final_value / r.final_value,
             }
         }
@@ -200,10 +190,7 @@ pub fn speedup(app: AppKind, result: &ExperimentResult, baseline: &ExperimentRes
 /// Builds the standard comparison table: one row per strategy with final
 /// value, steady mean, speedup vs. the first (baseline) entry, and the
 /// per-run message budget.
-pub fn comparison_table(
-    app: AppKind,
-    entries: &[(String, ExperimentResult)],
-) -> Table {
+pub fn comparison_table(app: AppKind, entries: &[(String, ExperimentResult)]) -> Table {
     let mut table = Table::new(vec![
         "strategy".into(),
         "final".into(),
@@ -271,7 +258,10 @@ mod tests {
     #[test]
     fn gossip_learning_speedup_exceeds_one() {
         let base = mini(AppKind::GossipLearning, StrategySpec::Proactive);
-        let tok = mini(AppKind::GossipLearning, StrategySpec::Randomized { a: 2, c: 5 });
+        let tok = mini(
+            AppKind::GossipLearning,
+            StrategySpec::Randomized { a: 2, c: 5 },
+        );
         assert!(speedup(AppKind::GossipLearning, &tok, &base) > 1.0);
         // Baseline vs itself is exactly 1.
         assert!((speedup(AppKind::GossipLearning, &base, &base) - 1.0).abs() < 1e-12);
@@ -297,7 +287,10 @@ mod tests {
         let pg = mini(AppKind::PushGossip, StrategySpec::Simple { c: 5 });
         let gl = mini(AppKind::GossipLearning, StrategySpec::Simple { c: 5 });
         // Smoothing preserves the grid.
-        assert_eq!(plot_series(AppKind::PushGossip, &pg).times(), pg.metric.times());
+        assert_eq!(
+            plot_series(AppKind::PushGossip, &pg).times(),
+            pg.metric.times()
+        );
         // Gossip learning series is returned untouched.
         assert_eq!(plot_series(AppKind::GossipLearning, &gl), gl.metric);
     }

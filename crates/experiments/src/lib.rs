@@ -36,6 +36,7 @@
 
 pub mod cli;
 pub mod figures;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod spec;

@@ -1,0 +1,134 @@
+//! Bounded worker pool for embarrassingly parallel job grids.
+//!
+//! The paper's experiment procedure multiplies three axes — figure panels ×
+//! parameter cells × independent replicas — into hundreds of simulations.
+//! Earlier revisions spawned one OS thread per replica of the *current*
+//! spec, which both oversubscribed the machine (replicas × panels threads at
+//! peak) and serialized across cells. This module instead runs any number of
+//! independent jobs on a fixed-size pool: `min(available_parallelism,
+//! jobs)` workers pull indices from a shared atomic injector until the grid
+//! is drained, so a whole sweep saturates every core exactly once.
+//!
+//! Jobs are identified by index; results are returned in index order, so
+//! output is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum workers the pool will use: `available_parallelism`, clamped by
+/// the `TA_THREADS` environment variable when set (useful on shared CI).
+pub fn max_workers() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    match std::env::var("TA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hw,
+        },
+        Err(_) => hw,
+    }
+}
+
+/// Runs `jobs` independent closures `f(0..jobs)` on a bounded pool and
+/// returns their results in job order.
+///
+/// Workers claim indices from a shared atomic counter (a minimal injector
+/// queue): no job is ever run twice, no worker idles while work remains,
+/// and at most [`max_workers`] OS threads exist at any instant.
+///
+/// # Panics
+///
+/// Propagates the panic of any job after the scope joins.
+pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = max_workers().min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the result lock")
+                    .push((i, result));
+            });
+        }
+    });
+    let mut results = collected.into_inner().expect("all workers joined cleanly");
+    debug_assert_eq!(results.len(), jobs);
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let out = run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u32> = run_indexed(0, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        const JOBS: usize = 257;
+        let counters: Vec<AtomicUsize> = (0..JOBS).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(JOBS, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "job {i} ran a wrong number of times"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded_by_max_workers() {
+        use std::sync::atomic::AtomicIsize;
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let _ = run_indexed(64, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= max_workers() as isize);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn job_panics_propagate() {
+        let _ = run_indexed(8, |i| {
+            if i == 3 {
+                panic!("job 3 exploded");
+            }
+            i
+        });
+    }
+}

@@ -4,8 +4,10 @@
 //! differ only in their per-run seed (fresh protocol randomness, fresh
 //! churn draws), sharing the topology — exactly the Section 4.2 procedure
 //! ("10 independent runs for every parameter combination, and the average
-//! of these runs is shown"). Runs execute in parallel on OS threads via
-//! crossbeam's scoped spawn.
+//! of these runs is shown"). Replicas execute on the bounded worker pool of
+//! [`crate::pool`]; [`run_grid_prepared`] additionally flattens a whole
+//! *(spec × run)* grid — a figure panel or the Section 4.2 sweep — into one
+//! job list so every core stays busy across cells, not just within one.
 
 use std::error::Error;
 use std::fmt;
@@ -205,8 +207,7 @@ where
     if spec.react_to_injections {
         proto = proto.with_injection_reaction();
     }
-    if matches!(spec.app, AppKind::PushGossip) && matches!(spec.churn, ChurnKind::SmartphoneTrace)
-    {
+    if matches!(spec.app, AppKind::PushGossip) && matches!(spec.churn, ChurnKind::SmartphoneTrace) {
         proto = proto.with_pull_on_rejoin();
     }
     let mut sim = Simulation::new(cfg, &schedule, proto);
@@ -229,26 +230,19 @@ fn dispatch_run(
     reference: &Option<Arc<Vec<f64>>>,
 ) -> Result<RunOutcome, RunError> {
     match spec.app {
-        AppKind::GossipLearning => run_single::<GossipLearning, _>(
-            spec,
-            run,
-            topo,
-            |online| GossipLearning::new(spec.n, spec.transfer, online),
-        ),
+        AppKind::GossipLearning => run_single::<GossipLearning, _>(spec, run, topo, |online| {
+            GossipLearning::new(spec.n, spec.transfer, online)
+        }),
         AppKind::PushGossip => {
-            run_single::<PushGossip, _>(spec, run, topo, |online| {
-                PushGossip::new(spec.n, online)
-            })
+            run_single::<PushGossip, _>(spec, run, topo, |online| PushGossip::new(spec.n, online))
         }
         AppKind::ChaoticIteration => {
             let reference = reference
                 .as_ref()
                 .expect("reference eigenvector precomputed for chaotic runs");
             run_single::<ChaoticIteration, _>(spec, run, topo, |_online| {
-                let mut app = ChaoticIteration::with_reference(
-                    Arc::clone(topo),
-                    reference.as_ref().clone(),
-                );
+                let mut app =
+                    ChaoticIteration::with_reference(Arc::clone(topo), reference.as_ref().clone());
                 // Algorithm 3 starts from "any positive value"; a random
                 // start makes the convergence race measurable (constant
                 // buffers begin almost at the fixed point).
@@ -279,9 +273,7 @@ pub struct PreparedTopology {
 pub fn prepare_topology(spec: &ExperimentSpec) -> Result<PreparedTopology, RunError> {
     let topo = Arc::new(build_topology(spec)?);
     let reference = match spec.app {
-        AppKind::ChaoticIteration => Some(Arc::new(dominant_eigenvector(
-            &topo, 200_000, 1e-13,
-        )?)),
+        AppKind::ChaoticIteration => Some(Arc::new(dominant_eigenvector(&topo, 200_000, 1e-13)?)),
         _ => None,
     };
     Ok(PreparedTopology { topo, reference })
@@ -313,58 +305,81 @@ pub fn run_experiment_prepared(
     spec: &ExperimentSpec,
     prepared: &PreparedTopology,
 ) -> Result<ExperimentResult, RunError> {
-    assert!(spec.runs > 0, "an experiment needs at least one run");
-    assert_eq!(
-        prepared.topo.n(),
-        spec.n,
-        "prepared topology size does not match the spec"
-    );
+    let mut results = run_grid_prepared(std::slice::from_ref(spec), prepared)?;
+    Ok(results.pop().expect("one spec yields one result"))
+}
+
+/// Runs a whole grid of specs — a sweep, a figure panel — over one shared
+/// prepared topology, parallelizing across the flattened *(spec × run)* job
+/// list on the bounded worker pool.
+///
+/// This is the preferred entry point for anything with more than one cell:
+/// scheduling the whole grid at once keeps every worker busy until the last
+/// job drains, instead of hitting a join barrier after each cell's replicas.
+/// Results come back in spec order and are bit-identical to running each
+/// spec alone (per-run seeds depend only on `(spec.seed, run)`).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any spec's strategy or configuration is invalid
+/// (validated up front; jobs themselves cannot fail afterwards).
+///
+/// # Panics
+///
+/// Panics if `prepared` does not match a spec's network size, or if a
+/// chaotic spec is given a prepared topology without a reference vector.
+pub fn run_grid_prepared(
+    specs: &[ExperimentSpec],
+    prepared: &PreparedTopology,
+) -> Result<Vec<ExperimentResult>, RunError> {
+    // Validate every spec up front so pool jobs can't hit construction
+    // errors mid-grid.
+    for spec in specs {
+        assert!(spec.runs > 0, "an experiment needs at least one run");
+        assert_eq!(
+            prepared.topo.n(),
+            spec.n,
+            "prepared topology size does not match the spec"
+        );
+        if matches!(spec.app, AppKind::ChaoticIteration) {
+            assert!(
+                prepared.reference.is_some(),
+                "chaotic iteration needs a prepared reference eigenvector"
+            );
+        }
+        spec.strategy.build()?;
+        build_config(spec, 0)?;
+    }
+
+    // Flatten the (spec × run) grid into one job list.
+    let jobs: Vec<(usize, usize)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, spec)| (0..spec.runs).map(move |r| (s, r)))
+        .collect();
     let topo = Arc::clone(&prepared.topo);
     let reference = prepared.reference.clone();
-    if matches!(spec.app, AppKind::ChaoticIteration) {
-        assert!(
-            reference.is_some(),
-            "chaotic iteration needs a prepared reference eigenvector"
-        );
+    let mut outcomes = crate::pool::run_indexed(jobs.len(), |j| {
+        let (s, run) = jobs[j];
+        dispatch_run(&specs[s], run, &topo, &reference)
+            .expect("validated spec cannot fail at run time")
+    });
+
+    // Regroup per spec (jobs are flattened in spec order) and average.
+    let mut results = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let rest = outcomes.split_off(spec.runs);
+        let runs: Vec<RunOutcome> = std::mem::replace(&mut outcomes, rest);
+        results.push(aggregate(spec, runs));
     }
+    Ok(results)
+}
 
-    // Validate strategy/config once up front so worker threads can't hit
-    // construction errors.
-    spec.strategy.build()?;
-    build_config(spec, 0)?;
-
-    let mut outcomes: Vec<Option<RunOutcome>> = (0..spec.runs).map(|_| None).collect();
-    if spec.runs == 1 {
-        outcomes[0] = Some(dispatch_run(spec, 0, &topo, &reference)?);
-    } else {
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (run, slot) in outcomes.iter_mut().enumerate() {
-                let topo = &topo;
-                let reference = &reference;
-                handles.push(scope.spawn(move |_| {
-                    *slot = Some(
-                        dispatch_run(spec, run, topo, reference)
-                            .expect("validated spec cannot fail at run time"),
-                    );
-                }));
-            }
-            for h in handles {
-                h.join().expect("experiment worker panicked");
-            }
-        })
-        .expect("crossbeam scope");
-    }
-    let runs: Vec<RunOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("all runs completed"))
-        .collect();
-
-    let metric = TimeSeries::mean_of(
-        &runs.iter().map(|r| r.metric.clone()).collect::<Vec<_>>(),
-    );
+/// Averages one spec's replica outcomes into an [`ExperimentResult`].
+fn aggregate(spec: &ExperimentSpec, runs: Vec<RunOutcome>) -> ExperimentResult {
+    let metric = TimeSeries::mean_of_iter(runs.iter().map(|r| &r.metric));
     let tokens = if spec.record_tokens {
-        TimeSeries::mean_of(&runs.iter().map(|r| r.tokens.clone()).collect::<Vec<_>>())
+        TimeSeries::mean_of_iter(runs.iter().map(|r| &r.tokens))
     } else {
         TimeSeries::new()
     };
@@ -383,13 +398,13 @@ pub fn run_experiment_prepared(
             / n_runs,
         mean_ticks: runs.iter().map(|r| r.sim.ticks_fired as f64).sum::<f64>() / n_runs,
     };
-    Ok(ExperimentResult {
+    ExperimentResult {
         spec: spec.clone(),
         metric,
         tokens,
         runs,
         stats,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -428,8 +443,7 @@ mod tests {
 
     #[test]
     fn push_gossip_reduces_lag() {
-        let baseline =
-            run_experiment(&tiny(AppKind::PushGossip, StrategySpec::Proactive)).unwrap();
+        let baseline = run_experiment(&tiny(AppKind::PushGossip, StrategySpec::Proactive)).unwrap();
         let token = run_experiment(&tiny(
             AppKind::PushGossip,
             StrategySpec::Generalized { a: 5, c: 10 },
@@ -471,8 +485,8 @@ mod tests {
 
     #[test]
     fn smartphone_churn_scenario_runs() {
-        let spec = tiny(AppKind::PushGossip, StrategySpec::Simple { c: 10 })
-            .with_smartphone_churn();
+        let spec =
+            tiny(AppKind::PushGossip, StrategySpec::Simple { c: 10 }).with_smartphone_churn();
         let result = run_experiment(&spec).unwrap();
         assert!(!result.metric.is_empty());
         // Pull requests are wired in under churn.
@@ -482,8 +496,11 @@ mod tests {
 
     #[test]
     fn token_recording_produces_series() {
-        let spec = tiny(AppKind::GossipLearning, StrategySpec::Randomized { a: 2, c: 5 })
-            .with_token_recording();
+        let spec = tiny(
+            AppKind::GossipLearning,
+            StrategySpec::Randomized { a: 2, c: 5 },
+        )
+        .with_token_recording();
         let result = run_experiment(&spec).unwrap();
         assert_eq!(result.tokens.len(), result.metric.len());
         for &v in result.tokens.values() {
@@ -495,7 +512,10 @@ mod tests {
     fn rate_limit_holds_across_all_runs() {
         // Section 3.4: per node at most rounds + C messages; globally
         // N·(rounds + C). Pull replies also burn tokens so they count.
-        let spec = tiny(AppKind::PushGossip, StrategySpec::Generalized { a: 1, c: 10 });
+        let spec = tiny(
+            AppKind::PushGossip,
+            StrategySpec::Generalized { a: 1, c: 10 },
+        );
         let result = run_experiment(&spec).unwrap();
         for run in &result.runs {
             let bound = run.sim.ticks_fired + 10 * spec.n as u64;
@@ -510,7 +530,10 @@ mod tests {
 
     #[test]
     fn invalid_strategy_is_reported() {
-        let spec = tiny(AppKind::PushGossip, StrategySpec::Generalized { a: 9, c: 3 });
+        let spec = tiny(
+            AppKind::PushGossip,
+            StrategySpec::Generalized { a: 9, c: 3 },
+        );
         assert!(matches!(
             run_experiment(&spec).unwrap_err(),
             RunError::Strategy(_)

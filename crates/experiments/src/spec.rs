@@ -213,11 +213,8 @@ mod tests {
 
     #[test]
     fn defaults_match_the_paper() {
-        let spec = ExperimentSpec::paper_defaults(
-            AppKind::GossipLearning,
-            StrategySpec::Proactive,
-            5000,
-        );
+        let spec =
+            ExperimentSpec::paper_defaults(AppKind::GossipLearning, StrategySpec::Proactive, 5000);
         assert_eq!(spec.delta, paper::DELTA);
         assert_eq!(spec.transfer, paper::TRANSFER_TIME);
         assert_eq!(spec.duration, paper::TWO_DAYS);
@@ -239,22 +236,19 @@ mod tests {
 
     #[test]
     fn push_gossip_injects_ten_per_round() {
-        let spec = ExperimentSpec::paper_defaults(
-            AppKind::PushGossip,
-            StrategySpec::Proactive,
-            100,
+        let spec =
+            ExperimentSpec::paper_defaults(AppKind::PushGossip, StrategySpec::Proactive, 100);
+        assert_eq!(
+            spec.injection_period(),
+            Some(paper::UPDATE_INJECTION_PERIOD)
         );
-        assert_eq!(spec.injection_period(), Some(paper::UPDATE_INJECTION_PERIOD));
     }
 
     #[test]
     fn with_rounds_scales_duration() {
-        let spec = ExperimentSpec::paper_defaults(
-            AppKind::GossipLearning,
-            StrategySpec::Proactive,
-            100,
-        )
-        .with_rounds(250);
+        let spec =
+            ExperimentSpec::paper_defaults(AppKind::GossipLearning, StrategySpec::Proactive, 100)
+                .with_rounds(250);
         assert_eq!(spec.duration, paper::DELTA * 250);
     }
 

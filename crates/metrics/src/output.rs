@@ -18,11 +18,7 @@ use crate::timeseries::TimeSeries;
 /// Panics if `series` and `labels` lengths differ, or the time grids of
 /// the series differ.
 pub fn render_dat(title: &str, labels: &[&str], series: &[TimeSeries]) -> String {
-    assert_eq!(
-        labels.len(),
-        series.len(),
-        "one label per series required"
-    );
+    assert_eq!(labels.len(), series.len(), "one label per series required");
     let mut out = String::new();
     out.push_str(&format!("# {title}\n"));
     out.push_str("# time_s");

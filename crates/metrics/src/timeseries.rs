@@ -160,22 +160,39 @@ impl TimeSeries {
     ///
     /// Panics if `series` is empty or the time grids differ.
     pub fn mean_of(series: &[TimeSeries]) -> TimeSeries {
-        assert!(!series.is_empty(), "need at least one series");
-        let times = series[0].times.clone();
-        for s in series {
-            assert_eq!(s.times, times, "time grids differ between runs");
-        }
-        let n = series.len() as f64;
-        let mut values = vec![0.0; times.len()];
-        for s in series {
+        Self::mean_of_iter(series.iter())
+    }
+
+    /// Pointwise mean over borrowed series — the clone-free variant used by
+    /// the experiment runner, which averages hundreds of per-replica series
+    /// per sweep and must not copy each one first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or the time grids differ.
+    pub fn mean_of_iter<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        let mut iter = series.into_iter();
+        let first = iter.next().expect("need at least one series");
+        let mut values = first.values.clone();
+        let mut n = 1u64;
+        for s in iter {
+            assert_eq!(s.times, first.times, "time grids differ between runs");
             for (acc, v) in values.iter_mut().zip(&s.values) {
                 *acc += v;
             }
+            n += 1;
         }
+        let scale = 1.0 / n as f64;
         for v in values.iter_mut() {
-            *v /= n;
+            *v *= scale;
         }
-        TimeSeries { times, values }
+        TimeSeries {
+            times: first.times.clone(),
+            values,
+        }
     }
 }
 
@@ -247,6 +264,7 @@ mod tests {
         assert_eq!(sm.times(), s.times());
         assert!((sm.values()[1] - 10.0).abs() < 1e-12);
         assert!((sm.values()[0] - 5.0).abs() < 1e-12); // [0,10]
+
         // A huge window flattens everything to the global mean.
         let flat = s.smooth(1e9);
         for &v in flat.values() {

@@ -63,7 +63,9 @@ pub fn is_strongly_connected(topo: &Topology) -> bool {
     }
     let origin = NodeId::new(0);
     bfs_distances(topo, origin).iter().all(Option::is_some)
-        && bfs_distances_reverse(topo, origin).iter().all(Option::is_some)
+        && bfs_distances_reverse(topo, origin)
+            .iter()
+            .all(Option::is_some)
 }
 
 /// Summary of a graph's degree distribution.
@@ -110,11 +112,7 @@ pub fn degree_stats(topo: &Topology) -> DegreeStats {
 /// `samples` random source nodes (a lower bound on the true diameter).
 ///
 /// Returns `None` if some sampled source cannot reach the whole graph.
-pub fn estimate_diameter(
-    topo: &Topology,
-    samples: usize,
-    rng: &mut Xoshiro256pp,
-) -> Option<u32> {
+pub fn estimate_diameter(topo: &Topology, samples: usize, rng: &mut Xoshiro256pp) -> Option<u32> {
     let mut best = 0;
     for _ in 0..samples {
         let from = NodeId::from_index(rng.below(topo.n() as u64) as usize);

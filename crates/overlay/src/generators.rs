@@ -65,12 +65,7 @@ impl From<InvalidGraphError> for GenerateError {
 }
 
 /// Draws `k` distinct values in `[0, n)` excluding `exclude`.
-fn distinct_targets(
-    n: usize,
-    k: usize,
-    exclude: usize,
-    rng: &mut Xoshiro256pp,
-) -> Vec<NodeId> {
+fn distinct_targets(n: usize, k: usize, exclude: usize, rng: &mut Xoshiro256pp) -> Vec<NodeId> {
     debug_assert!(k < n);
     let mut picked: Vec<NodeId> = Vec::with_capacity(k);
     while picked.len() < k {
@@ -96,11 +91,7 @@ fn distinct_targets(
 /// # Errors
 ///
 /// Returns [`GenerateError::BadParameters`] when `k >= n` or `n == 0`.
-pub fn k_out_random(
-    n: usize,
-    k: usize,
-    rng: &mut Xoshiro256pp,
-) -> Result<Topology, GenerateError> {
+pub fn k_out_random(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Result<Topology, GenerateError> {
     if n == 0 {
         return Err(GenerateError::BadParameters("n must be positive".into()));
     }
@@ -177,7 +168,11 @@ pub fn watts_strogatz(
                 if id == src_id {
                     continue;
                 }
-                if lists[src].iter().enumerate().any(|(i, &t)| i != slot && t == id) {
+                if lists[src]
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &t)| i != slot && t == id)
+                {
                     continue;
                 }
                 lists[src][slot] = id;
@@ -301,15 +296,11 @@ mod tests {
         for i in 0..10u32 {
             let node = NodeId::new(i);
             assert_eq!(t.out_degree(node), 4);
-            let mut expected: Vec<NodeId> = [
-                (i + 1) % 10,
-                (i + 9) % 10,
-                (i + 2) % 10,
-                (i + 8) % 10,
-            ]
-            .iter()
-            .map(|&x| NodeId::new(x))
-            .collect();
+            let mut expected: Vec<NodeId> =
+                [(i + 1) % 10, (i + 9) % 10, (i + 2) % 10, (i + 8) % 10]
+                    .iter()
+                    .map(|&x| NodeId::new(x))
+                    .collect();
             let mut actual = t.out_neighbors(node).to_vec();
             expected.sort_unstable();
             actual.sort_unstable();

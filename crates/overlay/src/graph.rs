@@ -248,8 +248,14 @@ mod tests {
         assert_eq!(t.edge_count(), 5);
         assert_eq!(t.out_degree(NodeId::new(0)), 2);
         assert_eq!(t.in_degree(NodeId::new(3)), 2);
-        assert_eq!(t.out_neighbors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(t.in_neighbors(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            t.out_neighbors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            t.in_neighbors(NodeId::new(3)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(t.in_neighbors(NodeId::new(0)), &[NodeId::new(3)]);
     }
 
@@ -257,7 +263,11 @@ mod tests {
     fn in_neighbors_are_sorted() {
         // Insert edges in scrambled order; in-lists must still be sorted.
         let t = Topology::from_edges(5, [(4, 0), (2, 0), (3, 0), (1, 0)]).unwrap();
-        let sources: Vec<u32> = t.in_neighbors(NodeId::new(0)).iter().map(|n| n.raw()).collect();
+        let sources: Vec<u32> = t
+            .in_neighbors(NodeId::new(0))
+            .iter()
+            .map(|n| n.raw())
+            .collect();
         assert_eq!(sources, vec![1, 2, 3, 4]);
     }
 

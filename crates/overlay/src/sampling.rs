@@ -97,10 +97,7 @@ mod tests {
         }
         assert_eq!(counts.len(), 10);
         for (&peer, &c) in &counts {
-            assert!(
-                (700..1300).contains(&c),
-                "peer {peer} selected {c} times"
-            );
+            assert!((700..1300).contains(&c), "peer {peer} selected {c} times");
             assert!(topo.out_neighbors(node).contains(&peer));
         }
     }
@@ -132,7 +129,10 @@ mod tests {
         let sampler = PeerSampler::new(&topo);
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let online = vec![false; 3];
-        assert_eq!(sampler.select_online(NodeId::new(0), &online, &mut rng), None);
+        assert_eq!(
+            sampler.select_online(NodeId::new(0), &online, &mut rng),
+            None
+        );
     }
 
     #[test]

@@ -249,9 +249,7 @@ mod tests {
         let c = [-1.0, 0.0];
         assert!((angle_between(&a, &c) - std::f64::consts::PI).abs() < 1e-12);
         // Zero vector convention.
-        assert!(
-            (angle_between(&a, &[0.0, 0.0]) - std::f64::consts::FRAC_PI_2).abs() < 1e-12
-        );
+        assert!((angle_between(&a, &[0.0, 0.0]) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
     }
 
     #[test]

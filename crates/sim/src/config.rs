@@ -234,7 +234,9 @@ impl SimConfigBuilder {
             return Err(InvalidConfigError::ZeroPeriod("injection_period"));
         }
         if !(0.0..=1.0).contains(&self.drop_probability) || self.drop_probability.is_nan() {
-            return Err(InvalidConfigError::InvalidProbability(self.drop_probability));
+            return Err(InvalidConfigError::InvalidProbability(
+                self.drop_probability,
+            ));
         }
         Ok(SimConfig {
             n: self.n,
@@ -371,7 +373,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(InvalidConfigError::EmptyNetwork.to_string().contains("at least one node"));
-        assert!(InvalidConfigError::ZeroPeriod("delta").to_string().contains("delta"));
+        assert!(InvalidConfigError::EmptyNetwork
+            .to_string()
+            .contains("at least one node"));
+        assert!(InvalidConfigError::ZeroPeriod("delta")
+            .to_string()
+            .contains("delta"));
     }
 }

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(node.index(), 7);
 /// assert_eq!(node.to_string(), "n7");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -60,9 +60,7 @@ pub use time::{SimDuration, SimTime};
 /// Convenient glob import for driver implementations.
 pub mod prelude {
     pub use crate::config::{QueueKind, SimConfig, TickPhase};
-    pub use crate::engine::{
-        AlwaysOn, AvailabilityModel, Driver, SimApi, SimStats, Simulation,
-    };
+    pub use crate::engine::{AlwaysOn, AvailabilityModel, Driver, SimApi, SimStats, Simulation};
     pub use crate::ids::NodeId;
     pub use crate::rng::Xoshiro256pp;
     pub use crate::time::{SimDuration, SimTime};

@@ -35,9 +35,7 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 ///
 /// `SimTime` is totally ordered; the simulator processes events in
 /// non-decreasing `SimTime` order.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
@@ -45,9 +43,7 @@ pub struct SimTime(u64);
 /// Durations are non-negative; subtracting a later time from an earlier one
 /// panics in debug builds (see [`SimTime::checked_duration_since`] for the
 /// fallible variant).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -373,6 +369,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(SimTime::from_secs_f64(1.728).to_string(), "1.728s");
-        assert_eq!(format!("{:?}", SimDuration::from_secs(2)), "SimDuration(2s)");
+        assert_eq!(
+            format!("{:?}", SimDuration::from_secs(2)),
+            "SimDuration(2s)"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Hierarchical timing wheel.
+//! Hierarchical timing wheel over a slab of intrusively linked event nodes.
 //!
 //! A four-level, 64-slot-per-level timing wheel with an overflow map for
 //! events beyond the wheel horizon. Compared to [`crate::queue::BinaryHeapQueue`]
@@ -7,20 +7,34 @@
 //! delays) — exactly the workload of the token account protocols. The
 //! `event_queue` bench in `ta-bench` quantifies the difference.
 //!
+//! **Storage.** All wheel-resident events live in one slab (`Vec` of nodes)
+//! threaded by intrusive `next` indices: each slot is the head of a singly
+//! linked chain, and freed nodes go on an intrusive free list for reuse.
+//! Pushing, cascading between levels, and draining a slot therefore relink
+//! indices instead of moving elements between per-slot vectors —
+//! steady-state operation performs **no allocation** (the slab, the ready
+//! heap, and the overflow map all reuse their capacity). The batch for the
+//! tick being drained is a small binary min-heap keyed by `(time, seq)`, so
+//! same-instant scheduling during a drain is `O(log k)` per event rather
+//! than the `O(k)` sorted insert a flat buffer would need (previously
+//! quadratic for the synchronized-tick-phase burst of `k` same-tick
+//! events).
+//!
 //! **Exact ordering guarantee.** Unlike classical kernel timer wheels, which
 //! fire at slot granularity, this wheel produces *exactly* the same pop order
 //! as the binary heap: events fire in increasing `(time, seq)` order with
 //! microsecond precision. Slots group events by tick (2^`shift` µs); a slot
-//! is sorted when its tick is reached. Property tests in
+//! is ordered when its tick is reached. Property tests in
 //! `crates/sim/tests/queue_equivalence.rs` verify heap/wheel equivalence on
-//! random schedules.
+//! random schedules and adversarial same-tick bursts.
 //!
 //! Placement uses the XOR rule: an event goes to the shallowest level whose
 //! window (relative to the cursor) contains its tick, so each slot holds at
 //! most one "lap" and no event can fire early or late.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 
 use crate::queue::{EventQueue, Scheduled};
 use crate::time::SimTime;
@@ -30,50 +44,20 @@ const SLOTS: usize = 1 << SLOT_BITS; // 64
 const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 const LEVELS: usize = 4;
 
+/// Sentinel index terminating slot chains and the free list.
+const NIL: u32 = u32::MAX;
+
 /// Default tick resolution: 2^10 µs ≈ 1.024 ms.
 pub const DEFAULT_TICK_SHIFT: u32 = 10;
 
+/// One slab cell: an event with its key, threaded on a slot chain or the
+/// free list. `event` is `None` exactly while the node is free.
 #[derive(Debug)]
-struct Level<E> {
-    /// 64 buckets of `(time, seq, event)` triples, unsorted until fired.
-    slots: Vec<Vec<(SimTime, u64, E)>>,
-    /// Bitmap of non-empty slots (bit i ⇔ `slots[i]` non-empty).
-    occupied: u64,
-}
-
-impl<E> Level<E> {
-    fn new() -> Self {
-        Level {
-            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
-            occupied: 0,
-        }
-    }
-
-    #[inline]
-    fn insert(&mut self, slot: usize, entry: (SimTime, u64, E)) {
-        self.slots[slot].push(entry);
-        self.occupied |= 1 << slot;
-    }
-
-    #[inline]
-    fn drain_slot(&mut self, slot: usize) -> Vec<(SimTime, u64, E)> {
-        self.occupied &= !(1 << slot);
-        std::mem::take(&mut self.slots[slot])
-    }
-
-    /// Lowest occupied slot index `>= from`, if any.
-    #[inline]
-    fn next_occupied(&self, from: u64) -> Option<u64> {
-        if from >= 64 {
-            return None;
-        }
-        let masked = self.occupied & ((!0u64) << from);
-        if masked == 0 {
-            None
-        } else {
-            Some(masked.trailing_zeros() as u64)
-        }
-    }
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    next: u32,
+    event: Option<E>,
 }
 
 /// Hierarchical timing wheel implementing [`EventQueue`] with exact
@@ -92,17 +76,34 @@ impl<E> Level<E> {
 /// ```
 #[derive(Debug)]
 pub struct TimingWheel<E> {
-    levels: Vec<Level<E>>,
+    /// Slab of event nodes; chains thread through `Node::next`.
+    nodes: Vec<Node<E>>,
+    /// Head of the intrusive free list (`NIL` when the slab is full).
+    free_head: u32,
+    /// Chain head per `[level][slot]`.
+    heads: [[u32; SLOTS]; LEVELS],
+    /// Bitmap of non-empty slots per level (bit i ⇔ slot i has a chain).
+    occupied: [u64; LEVELS],
     /// Events beyond the wheel horizon, keyed by `(tick, time, seq)`.
     overflow: BTreeMap<(u64, SimTime, u64), E>,
-    /// Sorted batch for the tick currently being drained.
-    ready: VecDeque<(SimTime, u64, E)>,
+    /// The tick currently being drained: events moved out of the slab,
+    /// sorted by `(time, seq)` **descending** and popped from the back —
+    /// one sort per slot, `O(1)` per pop, contiguous memory, capacity
+    /// reused across ticks.
+    ready: Vec<(SimTime, u64, E)>,
+    /// Same-tick events scheduled *during* the drain: a small min-heap
+    /// merged on the fly (`O(log k)` per such event). This replaces the
+    /// `O(k)` sorted `VecDeque` insert that made same-tick bursts
+    /// quadratic, without paying heap costs for the common
+    /// batch-sorted-once case.
+    ready_late: BinaryHeap<LateEntry<E>>,
     /// Tick index of the `ready` batch (valid while `ready` is non-empty or
     /// the cursor sits on it).
     ready_tick: u64,
     /// All events strictly before this tick have been fired.
     current_tick: u64,
-    /// Number of events in `levels` (excludes `ready` and `overflow`).
+    /// Number of nodes linked into `heads` (excludes `ready` and
+    /// `overflow`).
     wheel_len: usize,
     len: usize,
     next_seq: u64,
@@ -127,9 +128,13 @@ impl<E> TimingWheel<E> {
     pub fn with_tick_shift(shift: u32) -> Self {
         assert!(shift <= 32, "tick shift too large: {shift}");
         TimingWheel {
-            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            nodes: Vec::new(),
+            free_head: NIL,
+            heads: [[NIL; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
             overflow: BTreeMap::new(),
-            ready: VecDeque::new(),
+            ready: Vec::new(),
+            ready_late: BinaryHeap::new(),
             ready_tick: 0,
             current_tick: 0,
             wheel_len: 0,
@@ -144,65 +149,186 @@ impl<E> TimingWheel<E> {
         time.as_micros() >> self.shift
     }
 
-    /// Places `(time, seq, event)` at the right level relative to the cursor.
+    /// Takes a node off the free list (or grows the slab) and fills it.
+    #[inline]
+    fn alloc(&mut self, time: SimTime, seq: u64, event: E) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            debug_assert!(
+                node.event.is_none(),
+                "free-list node still carries an event"
+            );
+            self.free_head = node.next;
+            node.time = time;
+            node.seq = seq;
+            node.next = NIL;
+            node.event = Some(event);
+            idx
+        } else {
+            let idx = self.nodes.len();
+            assert!(
+                idx < NIL as usize,
+                "timing wheel slab exhausted u32 indices"
+            );
+            self.nodes.push(Node {
+                time,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            idx as u32
+        }
+    }
+
+    /// Returns a node's event and links the node onto the free list.
+    #[inline]
+    fn release(&mut self, idx: u32) -> E {
+        let free_head = self.free_head;
+        let node = &mut self.nodes[idx as usize];
+        let event = node.event.take().expect("released a free node");
+        node.next = free_head;
+        self.free_head = idx;
+        event
+    }
+
+    /// Picks the destination for `tick` relative to the cursor: a wheel
+    /// level, the ready heap (`None` + `true`), or overflow (`None` +
+    /// `false`).
+    #[inline]
+    fn classify(&self, tick: u64) -> Placement {
+        if tick == self.ready_tick && tick == self.current_tick {
+            return Placement::Ready;
+        }
+        let diff = tick ^ self.current_tick;
+        if diff >> SLOT_BITS == 0 {
+            Placement::Level(0)
+        } else if diff >> (2 * SLOT_BITS) == 0 {
+            Placement::Level(1)
+        } else if diff >> (3 * SLOT_BITS) == 0 {
+            Placement::Level(2)
+        } else if diff >> (4 * SLOT_BITS) == 0 {
+            Placement::Level(3)
+        } else {
+            Placement::Overflow
+        }
+    }
+
+    /// Links slab node `idx` (already filled) at its place for `tick`.
+    /// The caller has classified `tick` as a wheel level.
+    #[inline]
+    fn link_at_level(&mut self, idx: u32, tick: u64, level: usize) {
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.nodes[idx as usize].next = self.heads[level][slot];
+        self.heads[level][slot] = idx;
+        self.occupied[level] |= 1 << slot;
+        self.wheel_len += 1;
+    }
+
+    /// Places a fresh `(time, seq, event)`, allocating a slab node unless
+    /// the event belongs in the overflow map.
     fn insert_raw(&mut self, time: SimTime, seq: u64, event: E) {
         let mut tick = self.tick_of(time);
         if tick < self.current_tick {
             // Same-instant scheduling during a drain: the event belongs to a
             // tick whose batch is (or was) the ready batch. Keys are still
             // `>=` everything already popped because `seq` is fresh; merge it
-            // into `ready` at its sorted position.
+            // into `ready` at its heap position.
             tick = self.current_tick;
         }
-        if tick == self.ready_tick && (tick == self.current_tick) {
-            // Insert into the ready batch in (time, seq) order.
-            let key = (time, seq);
-            let pos = self
-                .ready
-                .iter()
-                .position(|&(t, s, _)| (t, s) > key)
-                .unwrap_or(self.ready.len());
-            self.ready.insert(pos, (time, seq, event));
-            return;
+        match self.classify(tick) {
+            Placement::Ready => {
+                // Straight into the drain batch: no slab traffic at all.
+                self.ready_late.push(LateEntry { time, seq, event });
+            }
+            Placement::Level(level) => {
+                let idx = self.alloc(time, seq, event);
+                self.link_at_level(idx, tick, level);
+            }
+            Placement::Overflow => {
+                self.overflow.insert((tick, time, seq), event);
+            }
         }
-        let diff = tick ^ self.current_tick;
-        let level = if diff >> SLOT_BITS == 0 {
-            0
-        } else if diff >> (2 * SLOT_BITS) == 0 {
-            1
-        } else if diff >> (3 * SLOT_BITS) == 0 {
-            2
-        } else if diff >> (4 * SLOT_BITS) == 0 {
-            3
-        } else {
-            self.overflow.insert((tick, time, seq), event);
-            return;
-        };
-        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        self.levels[level].insert(slot, (time, seq, event));
-        self.wheel_len += 1;
     }
 
-    /// Drains level `level`'s slot at the cursor position and re-places its
-    /// events (they land at a strictly shallower level or `ready`).
+    /// True when the drained-tick batch (sorted run + late heap) is empty.
+    #[inline]
+    fn ready_is_empty(&self) -> bool {
+        self.ready.is_empty() && self.ready_late.is_empty()
+    }
+
+    /// Key of the earliest entry of the batch without removing it.
+    #[inline]
+    fn ready_peek_key(&self) -> Option<(SimTime, u64)> {
+        let sorted = self.ready.last().map(|&(t, s, _)| (t, s));
+        let late = self.ready_late.peek().map(|e| (e.time, e.seq));
+        match (sorted, late) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Removes and returns the earliest entry of the batch.
+    #[inline]
+    fn ready_pop(&mut self) -> (SimTime, u64, E) {
+        let take_late = match (self.ready.last(), self.ready_late.peek()) {
+            (Some(&(t, s, _)), Some(late)) => (late.time, late.seq) < (t, s),
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => unreachable!("ready_pop on an empty batch"),
+        };
+        if take_late {
+            let e = self.ready_late.pop().expect("peeked entry exists");
+            (e.time, e.seq, e.event)
+        } else {
+            self.ready.pop().expect("checked entry exists")
+        }
+    }
+
+    /// Detaches and returns a slot's chain head, clearing its occupied bit.
+    #[inline]
+    fn take_chain(&mut self, level: usize, slot: usize) -> u32 {
+        let head = self.heads[level][slot];
+        self.heads[level][slot] = NIL;
+        self.occupied[level] &= !(1 << slot);
+        head
+    }
+
+    /// Re-places every node of level `level`'s slot at the cursor position
+    /// (they land at a strictly shallower level or the ready heap). Pure
+    /// pointer relinking: no slab traffic, no allocation.
     fn cascade(&mut self, level: usize) {
         let slot = ((self.current_tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        let entries = self.levels[level].drain_slot(slot);
-        self.wheel_len -= entries.len();
-        for (time, seq, event) in entries {
-            self.insert_raw(time, seq, event);
+        let mut cur = self.take_chain(level, slot);
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            let (time, seq, next) = (node.time, node.seq, node.next);
+            self.wheel_len -= 1;
+            let mut tick = self.tick_of(time);
+            if tick < self.current_tick {
+                tick = self.current_tick;
+            }
+            match self.classify(tick) {
+                Placement::Ready => {
+                    let event = self.release(cur);
+                    self.ready_late.push(LateEntry { time, seq, event });
+                }
+                Placement::Level(l) => {
+                    debug_assert!(l < level, "cascade must move events shallower");
+                    self.link_at_level(cur, tick, l);
+                }
+                Placement::Overflow => unreachable!("cascade cannot move events deeper"),
+            }
+            cur = next;
         }
     }
 
     /// Pulls overflow events belonging to the cursor's level-3 window.
     fn refill_overflow(&mut self) {
         let window_bits = SLOT_BITS * LEVELS as u32; // 24
-        let window_end = ((self.current_tick >> window_bits) + 1)
-            .saturating_mul(1 << window_bits);
+        let window_end = ((self.current_tick >> window_bits) + 1).saturating_mul(1 << window_bits);
         // BTreeMap is keyed by (tick, time, seq); split off what stays.
-        let keep = self
-            .overflow
-            .split_off(&(window_end, SimTime::ZERO, 0));
+        let keep = self.overflow.split_off(&(window_end, SimTime::ZERO, 0));
         let pulled = std::mem::replace(&mut self.overflow, keep);
         for ((_, time, seq), event) in pulled {
             self.insert_raw(time, seq, event);
@@ -230,6 +356,20 @@ impl<E> TimingWheel<E> {
         }
     }
 
+    /// Lowest occupied slot of `level` with index `>= from`, if any.
+    #[inline]
+    fn next_occupied(&self, level: usize, from: u64) -> Option<u64> {
+        if from >= 64 {
+            return None;
+        }
+        let masked = self.occupied[level] & ((!0u64) << from);
+        if masked == 0 {
+            None
+        } else {
+            Some(masked.trailing_zeros() as u64)
+        }
+    }
+
     /// Earliest tick at which the wheel levels or overflow hold an event,
     /// assuming the level-0 window at the cursor is exhausted.
     fn next_target(&self) -> Option<u64> {
@@ -238,7 +378,7 @@ impl<E> TimingWheel<E> {
         for level in 1..LEVELS {
             let bits = SLOT_BITS * level as u32;
             let pos = (self.current_tick >> bits) & SLOT_MASK;
-            if let Some(slot) = self.levels[level].next_occupied(pos + 1) {
+            if let Some(slot) = self.next_occupied(level, pos + 1) {
                 let base = (self.current_tick >> (bits + SLOT_BITS)) << (bits + SLOT_BITS);
                 return Some(base + (slot << bits));
             }
@@ -249,7 +389,7 @@ impl<E> TimingWheel<E> {
     /// Ensures `ready` holds the globally earliest batch, advancing the
     /// cursor as needed. Returns `false` if the queue is empty.
     fn ensure_ready(&mut self) -> bool {
-        if !self.ready.is_empty() {
+        if !self.ready_is_empty() {
             return true;
         }
         if self.len == 0 {
@@ -257,16 +397,31 @@ impl<E> TimingWheel<E> {
         }
         loop {
             let pos = self.current_tick & SLOT_MASK;
-            if let Some(slot) = self.levels[0].next_occupied(pos) {
+            if let Some(slot) = self.next_occupied(0, pos) {
                 let base = (self.current_tick >> SLOT_BITS) << SLOT_BITS;
                 let tick = base + slot;
                 debug_assert!(tick >= self.current_tick);
                 self.current_tick = tick;
                 self.ready_tick = tick;
-                let mut batch = self.levels[0].drain_slot(slot as usize);
-                self.wheel_len -= batch.len();
-                batch.sort_unstable_by_key(|&(t, s, _)| (t, s));
-                self.ready = batch.into();
+                // Move the slot's events out of the slab into the batch
+                // (capacity reused) and sort once, descending so pops come
+                // off the back in `(time, seq)` order. The late heap is
+                // empty here by the check above.
+                debug_assert!(self.ready.is_empty());
+                let mut cur = self.take_chain(0, slot as usize);
+                while cur != NIL {
+                    let next = self.nodes[cur as usize].next;
+                    let (time, seq) = {
+                        let node = &self.nodes[cur as usize];
+                        (node.time, node.seq)
+                    };
+                    let event = self.release(cur);
+                    self.ready.push((time, seq, event));
+                    self.wheel_len -= 1;
+                    cur = next;
+                }
+                self.ready
+                    .sort_unstable_by_key(|&(t, s, _)| Reverse((t, s)));
                 return true;
             }
             // Level-0 window exhausted: jump to the next occupied window.
@@ -284,6 +439,47 @@ impl<E> TimingWheel<E> {
             }
         }
     }
+}
+
+/// A same-tick event scheduled while its tick was being drained; ordered
+/// as a min-heap entry by `(time, seq)`.
+#[derive(Debug)]
+struct LateEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for LateEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for LateEntry<E> {}
+
+impl<E> PartialOrd for LateEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for LateEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Destination of an event relative to the cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// Merge into the batch currently being drained.
+    Ready,
+    /// Link into this wheel level's slot.
+    Level(usize),
+    /// Beyond the horizon: store in the overflow map.
+    Overflow,
 }
 
 impl<E> Default for TimingWheel<E> {
@@ -304,7 +500,7 @@ impl<E> EventQueue<E> for TimingWheel<E> {
         if !self.ensure_ready() {
             return None;
         }
-        let (time, seq, event) = self.ready.pop_front().expect("ensure_ready lied");
+        let (time, seq, event) = self.ready_pop();
         self.len -= 1;
         Some(Scheduled { time, seq, event })
     }
@@ -313,7 +509,7 @@ impl<E> EventQueue<E> for TimingWheel<E> {
         if !self.ensure_ready() {
             return None;
         }
-        self.ready.front().map(|&(time, _, _)| time)
+        self.ready_peek_key().map(|(time, _)| time)
     }
 
     fn len(&self) -> usize {
@@ -418,7 +614,11 @@ mod tests {
                     assert_eq!(a.key(), b.key());
                     assert_eq!(a.event, b.event);
                 }
-                (a, b) => panic!("length mismatch: heap={:?} wheel={:?}", a.is_some(), b.is_some()),
+                (a, b) => panic!(
+                    "length mismatch: heap={:?} wheel={:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
             }
         }
     }
@@ -455,5 +655,50 @@ mod tests {
         q.push(t, ());
         let s = q.pop().unwrap();
         assert_eq!(s.time, t);
+    }
+
+    #[test]
+    fn slab_reuses_freed_nodes() {
+        // Steady-state push/pop churn must not grow the slab beyond the
+        // peak pending count: every drain frees nodes that later pushes
+        // reclaim through the intrusive free list.
+        const PENDING: u64 = 64;
+        let mut q = TimingWheel::new();
+        for i in 0..PENDING {
+            q.push(SimTime::from_micros(i * 1_000), i);
+        }
+        let mut now = 64_000u64;
+        for i in 0..10_000u64 {
+            let popped = q.pop().expect("queue stays non-empty");
+            now = now.max(popped.time.as_micros());
+            q.push(SimTime::from_micros(now + 1_000 + (i % 7) * 500), i);
+        }
+        assert!(
+            q.nodes.len() as u64 <= PENDING,
+            "slab grew past the pending peak under steady-state churn: {}",
+            q.nodes.len()
+        );
+    }
+
+    #[test]
+    fn free_list_survives_cascades_and_overflow() {
+        let mut rng = Xoshiro256pp::stream(99, 1);
+        let mut q = TimingWheel::with_tick_shift(4);
+        let mut now = 0u64;
+        // Force heavy cascade + overflow traffic with a tiny horizon.
+        for i in 0..5_000u64 {
+            if rng.chance(0.55) || q.is_empty() {
+                q.push(SimTime::from_micros(now + rng.below(1 << 30)), i);
+            } else {
+                now = q.pop().unwrap().time.as_micros();
+            }
+        }
+        let mut last = (SimTime::ZERO, 0);
+        while let Some(s) = q.pop() {
+            assert!(s.key() >= last, "order violated after cascades");
+            last = s.key();
+        }
+        // Slab fully drained: every node is back on the free list.
+        assert!(q.nodes.iter().all(|n| n.event.is_none()));
     }
 }

@@ -89,6 +89,76 @@ proptest! {
     }
 }
 
+/// Adversarial same-tick burst: thousands of events landing in a single
+/// wheel tick (microsecond offsets all inside one 2^shift window), with
+/// pops interleaved so later pushes must merge into the batch currently
+/// being drained. This is exactly the synchronized tick phase workload that
+/// made the old ready-batch merge quadratic; the slab wheel must stay
+/// bit-identical to the heap in `(time, seq)` order throughout.
+#[test]
+fn same_tick_burst_interleaved_push_pop_is_bit_identical() {
+    for shift in [ta_sim::wheel::DEFAULT_TICK_SHIFT, 20] {
+        let mut heap = BinaryHeapQueue::new();
+        let mut wheel = TimingWheel::with_tick_shift(shift);
+        // All times fall inside one tick window at `base`.
+        let base = 7u64 << (shift + 3);
+        let base = base - (base & ((1 << shift) - 1)); // align to tick start
+        let window = 1u64 << shift;
+        let mut id = 0u64;
+        let mut push_pair =
+            |heap: &mut BinaryHeapQueue<u64>, wheel: &mut TimingWheel<u64>, micros: u64| {
+                let t = SimTime::from_micros(micros);
+                heap.push(t, id);
+                wheel.push(t, id);
+                id += 1;
+            };
+        // Phase 1: a large burst, sub-tick offsets in a zig-zag pattern so
+        // sorted order differs wildly from insertion order.
+        for i in 0..4_000u64 {
+            let offset = if i % 2 == 0 {
+                i % window
+            } else {
+                window - 1 - (i % window)
+            };
+            push_pair(&mut heap, &mut wheel, base + offset);
+        }
+        // Phase 2: interleave pops with same-tick pushes (merging into the
+        // ready batch mid-drain), including exact duplicates of the popped
+        // timestamp.
+        for i in 0..4_000u64 {
+            let a = heap.pop().unwrap();
+            let b = wheel.pop().unwrap();
+            assert_eq!(
+                a.key(),
+                b.key(),
+                "diverged at interleave step {i} (shift {shift})"
+            );
+            assert_eq!(a.event, b.event);
+            if i % 3 != 2 {
+                let micros = a.time.as_micros().max(base) + (i % 5);
+                let micros = micros.min(base + window - 1);
+                push_pair(&mut heap, &mut wheel, micros);
+            }
+            assert_eq!(heap.len(), wheel.len());
+        }
+        // Phase 3: drain completely; order must stay identical.
+        loop {
+            match (heap.pop(), wheel.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.key(), b.key(), "tail divergence (shift {shift})");
+                    assert_eq!(a.event, b.event);
+                }
+                (a, b) => panic!(
+                    "length mismatch: heap={:?} wheel={:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn wheel_handles_pathological_same_time_burst() {
     let mut heap = BinaryHeapQueue::new();

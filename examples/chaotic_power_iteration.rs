@@ -15,15 +15,16 @@ use ta::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1_000;
     let rounds = 300;
-    println!(
-        "chaotic power iteration on a Watts-Strogatz ring (N={n}, 4 neighbours, p=0.01)"
-    );
+    println!("chaotic power iteration on a Watts-Strogatz ring (N={n}, 4 neighbours, p=0.01)");
     println!("metric: angle to the true dominant eigenvector (radians; 0 = solved)\n");
 
     let settings = [
         ("proactive (baseline)", StrategySpec::Proactive),
         ("simple(C=10)", StrategySpec::Simple { c: 10 }),
-        ("randomized(A=10,C=20)", StrategySpec::Randomized { a: 10, c: 20 }),
+        (
+            "randomized(A=10,C=20)",
+            StrategySpec::Randomized { a: 10, c: 20 },
+        ),
     ];
     let mut curves = Vec::new();
     for (label, strategy) in settings {

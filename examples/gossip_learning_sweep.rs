@@ -22,11 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let settings = [
         ("proactive (baseline)", StrategySpec::Proactive),
-        ("randomized(A=1,C=10)", StrategySpec::Randomized { a: 1, c: 10 }),
-        ("randomized(A=5,C=10)", StrategySpec::Randomized { a: 5, c: 10 }),
-        ("randomized(A=10,C=10)", StrategySpec::Randomized { a: 10, c: 10 }),
-        ("randomized(A=10,C=20)", StrategySpec::Randomized { a: 10, c: 20 }),
-        ("generalized(A=5,C=10)", StrategySpec::Generalized { a: 5, c: 10 }),
+        (
+            "randomized(A=1,C=10)",
+            StrategySpec::Randomized { a: 1, c: 10 },
+        ),
+        (
+            "randomized(A=5,C=10)",
+            StrategySpec::Randomized { a: 5, c: 10 },
+        ),
+        (
+            "randomized(A=10,C=10)",
+            StrategySpec::Randomized { a: 10, c: 10 },
+        ),
+        (
+            "randomized(A=10,C=20)",
+            StrategySpec::Randomized { a: 10, c: 20 },
+        ),
+        (
+            "generalized(A=5,C=10)",
+            StrategySpec::Generalized { a: 5, c: 10 },
+        ),
         ("simple(C=20)", StrategySpec::Simple { c: 20 }),
     ];
 

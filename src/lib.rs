@@ -50,8 +50,8 @@ pub use ta_experiments as experiments;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use ta_apps::{
-        Application, ChaoticIteration, GossipLearning, ProtocolResults, PushGossip,
-        ReplyPolicy, SgdGossipLearning, TokenProtocol,
+        Application, ChaoticIteration, GossipLearning, ProtocolResults, PushGossip, ReplyPolicy,
+        SgdGossipLearning, TokenProtocol,
     };
     pub use ta_churn::{AvailabilitySchedule, SmartphoneTraceModel};
     pub use ta_experiments::{

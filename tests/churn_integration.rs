@@ -18,14 +18,15 @@ fn ticks_only_fire_while_online() {
     // Tokens are granted only when online (Section 4.2): total tick count
     // must be well below the failure-free count, roughly matching the
     // online fraction of the synthetic trace (~1/3).
-    let churn = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 }))
-        .unwrap();
-    let free = run_experiment(
-        &ExperimentSpec {
-            churn: ChurnKind::None,
-            ..churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 })
-        },
-    )
+    let churn = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Simple { c: 10 },
+    ))
+    .unwrap();
+    let free = run_experiment(&ExperimentSpec {
+        churn: ChurnKind::None,
+        ..churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 })
+    })
     .unwrap();
     let churn_ticks = churn.stats.mean_ticks;
     let free_ticks = free.stats.mean_ticks;
@@ -38,8 +39,11 @@ fn ticks_only_fire_while_online() {
 
 #[test]
 fn pull_requests_only_in_push_gossip_churn() {
-    let pg = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Simple { c: 10 }))
-        .unwrap();
+    let pg = run_experiment(&churn_spec(
+        AppKind::PushGossip,
+        StrategySpec::Simple { c: 10 },
+    ))
+    .unwrap();
     let pulls: u64 = pg.runs.iter().map(|r| r.protocol.pull_requests).sum();
     assert!(pulls > 0, "push gossip under churn should pull on rejoin");
 
@@ -102,8 +106,7 @@ fn message_accounting_is_conserved_under_churn() {
 
 #[test]
 fn token_advantage_survives_churn() {
-    let base = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Proactive))
-        .unwrap();
+    let base = run_experiment(&churn_spec(AppKind::PushGossip, StrategySpec::Proactive)).unwrap();
     let tok = run_experiment(&churn_spec(
         AppKind::PushGossip,
         StrategySpec::Randomized { a: 5, c: 10 },

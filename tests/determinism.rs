@@ -4,14 +4,11 @@
 use ta::prelude::*;
 
 fn spec(app: AppKind, seed: u64) -> ExperimentSpec {
-    let mut spec = ExperimentSpec::paper_defaults(
-        app,
-        StrategySpec::Randomized { a: 5, c: 10 },
-        120,
-    )
-    .with_rounds(60)
-    .with_runs(3)
-    .with_seed(seed);
+    let mut spec =
+        ExperimentSpec::paper_defaults(app, StrategySpec::Randomized { a: 5, c: 10 }, 120)
+            .with_rounds(60)
+            .with_runs(3)
+            .with_seed(seed);
     if !matches!(app, AppKind::ChaoticIteration) {
         spec.topology = TopologyKind::KOut { k: 10 };
     }
@@ -64,8 +61,7 @@ fn heap_and_wheel_engines_agree_end_to_end() {
             .build()
             .unwrap();
         let app = PushGossip::new(n, &vec![true; n]);
-        let strategy: Box<dyn Strategy> =
-            Box::new(GeneralizedTokenAccount::new(5, 10).unwrap());
+        let strategy: Box<dyn Strategy> = Box::new(GeneralizedTokenAccount::new(5, 10).unwrap());
         let proto = TokenProtocol::new(topo, strategy, app, vec![true; n]);
         let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
         sim.run_to_end();

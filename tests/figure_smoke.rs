@@ -7,10 +7,7 @@ use ta::experiments::cli::FigureOpts;
 use ta::experiments::figures;
 
 fn micro_opts(tag: &str) -> (FigureOpts, PathBuf) {
-    let dir = std::env::temp_dir().join(format!(
-        "ta-figure-smoke-{}-{tag}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ta-figure-smoke-{}-{tag}", std::process::id()));
     let opts = FigureOpts {
         n: Some(60),
         runs: Some(1),

@@ -58,8 +58,7 @@ fn push_gossip_lag_is_nonnegative_and_bounded() {
 #[test]
 fn chaotic_angle_stays_in_range_and_decreases() {
     for strategy in all_strategies() {
-        let result =
-            run_experiment(&mini_spec(AppKind::ChaoticIteration, strategy)).unwrap();
+        let result = run_experiment(&mini_spec(AppKind::ChaoticIteration, strategy)).unwrap();
         for (_, v) in result.metric.iter() {
             assert!((0.0..=std::f64::consts::PI).contains(&v));
         }
@@ -83,13 +82,12 @@ fn token_account_strategies_outperform_proactive() {
     // paper itself only claims improvement for "most" combinations there.
     let strategy = StrategySpec::Generalized { a: 2, c: 8 };
     // Gossip learning: higher is better.
-    let base = run_experiment(&mini_spec(AppKind::GossipLearning, StrategySpec::Proactive))
-        .unwrap();
+    let base =
+        run_experiment(&mini_spec(AppKind::GossipLearning, StrategySpec::Proactive)).unwrap();
     let tok = run_experiment(&mini_spec(AppKind::GossipLearning, strategy)).unwrap();
     assert!(tok.metric.last_value().unwrap() > base.metric.last_value().unwrap());
     // Push gossip: lower lag.
-    let base = run_experiment(&mini_spec(AppKind::PushGossip, StrategySpec::Proactive))
-        .unwrap();
+    let base = run_experiment(&mini_spec(AppKind::PushGossip, StrategySpec::Proactive)).unwrap();
     let tok = run_experiment(&mini_spec(AppKind::PushGossip, strategy)).unwrap();
     let h = base.metric.times().last().copied().unwrap();
     assert!(

@@ -72,14 +72,10 @@ fn burst_bound_chaotic_iteration() {
 
 #[test]
 fn proactive_baseline_sends_exactly_once_per_tick() {
-    let spec = ExperimentSpec::paper_defaults(
-        AppKind::PushGossip,
-        StrategySpec::Proactive,
-        100,
-    )
-    .with_rounds(50)
-    .with_runs(1)
-    .with_seed(3);
+    let spec = ExperimentSpec::paper_defaults(AppKind::PushGossip, StrategySpec::Proactive, 100)
+        .with_rounds(50)
+        .with_runs(1)
+        .with_seed(3);
     let result = run_experiment(&spec).unwrap();
     let run = &result.runs[0];
     assert_eq!(run.protocol.proactive_sent, run.sim.ticks_fired);

@@ -38,10 +38,7 @@ fn loss_decreases_over_time() {
 #[test]
 fn token_account_learns_faster_than_proactive() {
     let (base_mse, base_age) = run_sgd(Box::new(PurelyProactive), 4);
-    let (tok_mse, tok_age) = run_sgd(
-        Box::new(RandomizedTokenAccount::new(5, 10).unwrap()),
-        4,
-    );
+    let (tok_mse, tok_age) = run_sgd(Box::new(RandomizedTokenAccount::new(5, 10).unwrap()), 4);
     // The age speedup (paper's metric) ...
     assert!(
         tok_age > 3.0 * base_age,

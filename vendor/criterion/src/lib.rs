@@ -1,0 +1,307 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and `Bencher::iter`
+//! with warmup, batched sampling, and median-of-samples reporting. Two
+//! additions over the real crate's surface (used by `ta-bench`):
+//!
+//! * results are collected in memory and can be written as JSON
+//!   (`Criterion::results`, `write_json`), and
+//! * `--test` runs every benchmark body exactly once (smoke mode), matching
+//!   criterion's behaviour under `cargo test --benches`.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A measured benchmark: identifier plus median nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Median wall-clock nanoseconds for one iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Identifier of a parameterized benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Warmup + batched measurement.
+    Measure,
+    /// Run the body exactly once (`--test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            self.samples_ns = vec![0.0];
+            return;
+        }
+        // Warmup: at least 3 iterations or 100 ms, whichever comes later,
+        // also yielding the per-iteration time estimate.
+        let warmup_budget = Duration::from_millis(100);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 3 && warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        // Aim for ~1.5 s of measurement split into `sample_size` samples.
+        let target_total = Duration::from_millis(1_500).as_nanos() as f64;
+        let per_sample_ns = target_total / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples_ns.push(dt / batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        assert!(
+            !self.samples_ns.is_empty(),
+            "benchmark closure never called Bencher::iter"
+        );
+        self.samples_ns
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+/// Collects benchmarks and their results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    filters: Vec<String>,
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Builds a criterion honouring CLI args (`--test`, name filters).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.smoke = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {}
+                s => c.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Forces smoke mode (each body runs once; timings reported as 0).
+    pub fn smoke_mode(mut self, smoke: bool) -> Self {
+        self.smoke = smoke;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        self.run_one(id, 20, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if !self.matches(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: if self.smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure
+            },
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        if self.smoke {
+            eprintln!("test {id} ... ok (smoke)");
+        } else {
+            eprintln!("{id:<60} {:>14.1} ns/iter", ns);
+        }
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+        });
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders the results as a JSON object `{id: ns_per_iter}`.
+    pub fn results_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(out, "  \"{}\": {:.1}{comma}", r.id, r.ns_per_iter);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints the closing summary (and honours `CRITERION_JSON_OUT`).
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            if let Err(e) = std::fs::write(&path, self.results_json()) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            } else {
+                eprintln!("criterion shim: wrote {path}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(full, self.sample_size, f);
+    }
+
+    /// Benchmarks `f` with an explicit input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default().smoke_mode(true);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn measure_mode_records_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("spin", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/spin/64");
+        assert!(c.results()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = Criterion::default().smoke_mode(true);
+        c.bench_function("a", |b| b.iter(|| 1));
+        c.bench_function("b", |b| b.iter(|| 2));
+        let json = c.results_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\":"));
+        assert!(json.contains("\"b\":"));
+    }
+}

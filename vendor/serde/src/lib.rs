@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives from the vendored `serde_derive` so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` attributes
+//! compile unchanged. The derives expand to nothing; the traits below exist
+//! only so that explicit `impl Serialize for T` blocks or trait bounds would
+//! be expressible if a future change needs them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeMarker {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace is built in environments without access to crates.io, and
+//! nothing in the codebase invokes serde serialization at runtime (reports
+//! are written through hand-rolled writers in `ta-metrics`). The derives
+//! therefore only need to satisfy the `#[derive(Serialize, Deserialize)]`
+//! attributes syntactically: they emit no code, so no `impl` blocks exist
+//! and no bound anywhere may require them (none does).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
