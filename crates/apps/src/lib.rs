@@ -30,7 +30,9 @@
 //!     .seed(7)
 //!     .build()?;
 //! let app = PushGossip::new(n, &vec![true; n]);
-//! let strategy = Box::new(RandomizedTokenAccount::new(10, 20)?);
+//! // The strategy type is fixed here, so the per-event hot path carries
+//! // no virtual dispatch (pass a `Box<dyn Strategy>` to pick at run time).
+//! let strategy = RandomizedTokenAccount::new(10, 20)?;
 //! let proto = TokenProtocol::new(topo, strategy, app, vec![true; n]);
 //! let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
 //! sim.run_to_end();

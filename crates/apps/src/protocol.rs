@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use ta_metrics::TimeSeries;
-use ta_overlay::sampling::PeerSampler;
+use ta_overlay::sampling::OnlineNeighbors;
 use ta_overlay::Topology;
 use ta_sim::engine::{Driver, SimApi};
 use ta_sim::NodeId;
@@ -112,17 +112,31 @@ pub struct ProtocolResults<A> {
     /// time (Δ/100 in the paper's setup): fine enough to expose reactive
     /// cascades, which complete within a few transfer times.
     pub sends_per_slot: Vec<u64>,
+    /// Sum of the final token balances over all nodes. Together with the
+    /// counters this closes the books:
+    /// `tokens_banked + proactive_skipped - reactive_sent - pull_replies
+    /// == balances_sum` for every non-debt strategy (refunded reactive
+    /// tokens cancel out).
+    pub balances_sum: i64,
 }
 
 /// The Algorithm-4 driver. See the [module docs](self).
-pub struct TokenProtocol<A: Application> {
-    strategy: Box<dyn Strategy>,
+///
+/// Generic over the [`Strategy`] so the per-event `PROACTIVE`/`REACTIVE`
+/// evaluations are direct, inlinable calls — the strategy type is selected
+/// once at construction, the same way the engine selects its event queue.
+/// `S` defaults to `Box<dyn Strategy>` as the type-erased escape hatch for
+/// callers that pick strategies at run time and don't care about the
+/// virtual-call tax; hot paths should pass a concrete strategy (the
+/// experiments runner dispatches via [`token_account::StrategyVisitor`]).
+pub struct TokenProtocol<A: Application, S: Strategy = Box<dyn Strategy>> {
+    strategy: S,
     app: A,
     topo: Arc<Topology>,
     nodes: Vec<TokenNode>,
-    /// Driver-side mirror of the online set (kept by up/down callbacks) so
-    /// peer sampling can filter without borrowing the engine.
-    online: Vec<bool>,
+    /// Driver-side packed mirror of the online set (kept by up/down
+    /// callbacks): O(1) uniform online-neighbour selection per send.
+    peers: OnlineNeighbors,
     pull_on_rejoin: bool,
     record_tokens: bool,
     react_to_injections: bool,
@@ -132,9 +146,12 @@ pub struct TokenProtocol<A: Application> {
     stats: ProtocolStats,
     /// Sends per transfer-time slot (burstiness histogram).
     sends_per_slot: Vec<u64>,
+    /// Transfer-time slot length in µs, cached on first use (the config is
+    /// not available at construction; 0 means "not yet cached").
+    slot_len_us: u64,
 }
 
-impl<A: Application> TokenProtocol<A> {
+impl<A: Application, S: Strategy> TokenProtocol<A, S> {
     /// Builds the driver.
     ///
     /// `initial_online` must reflect the availability model's state at time
@@ -144,24 +161,20 @@ impl<A: Application> TokenProtocol<A> {
     /// # Panics
     ///
     /// Panics if `initial_online.len()` differs from the topology size.
-    pub fn new(
-        topo: Arc<Topology>,
-        strategy: Box<dyn Strategy>,
-        app: A,
-        initial_online: Vec<bool>,
-    ) -> Self {
+    pub fn new(topo: Arc<Topology>, strategy: S, app: A, initial_online: Vec<bool>) -> Self {
         assert_eq!(
             initial_online.len(),
             topo.n(),
             "initial_online length must equal the node count"
         );
         let n = topo.n();
+        let peers = OnlineNeighbors::new(&topo, &initial_online);
         TokenProtocol {
             strategy,
             app,
             topo,
             nodes: vec![TokenNode::new(0); n],
-            online: initial_online,
+            peers,
             pull_on_rejoin: false,
             record_tokens: false,
             react_to_injections: false,
@@ -170,6 +183,7 @@ impl<A: Application> TokenProtocol<A> {
             tokens: TimeSeries::new(),
             stats: ProtocolStats::default(),
             sends_per_slot: Vec::new(),
+            slot_len_us: 0,
         }
     }
 
@@ -211,6 +225,11 @@ impl<A: Application> TokenProtocol<A> {
         &self.app
     }
 
+    /// The overlay topology this protocol runs over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
     /// Message counters so far.
     pub fn stats(&self) -> &ProtocolStats {
         &self.stats
@@ -221,21 +240,34 @@ impl<A: Application> TokenProtocol<A> {
         self.nodes[node.index()].balance()
     }
 
+    /// Sum of all token balances (conservation checks; see
+    /// [`ProtocolResults::balances_sum`]).
+    pub fn balances_sum(&self) -> i64 {
+        self.nodes.iter().map(TokenNode::balance).sum()
+    }
+
     /// Finishes the run, yielding the recorded results.
     pub fn into_results(self) -> ProtocolResults<A> {
+        let balances_sum = self.balances_sum();
         ProtocolResults {
             app: self.app,
             metric: self.metric,
             tokens: self.tokens,
             stats: self.stats,
             sends_per_slot: self.sends_per_slot,
+            balances_sum,
         }
     }
 
     /// Accounts one send in the traffic histogram (transfer-time slots).
     fn record_send(&mut self, api: &SimApi<'_, ProtocolMsg<A::Msg>>) {
-        let slot_len = api.config().transfer_time().as_micros().max(1);
-        let bucket = (api.now().as_micros() / slot_len) as usize;
+        if self.slot_len_us == 0 {
+            // The config only becomes reachable through the API, so the
+            // slot length is cached on the first send instead of at
+            // construction; `max(1)` keeps the sentinel unreachable.
+            self.slot_len_us = api.config().transfer_time().as_micros().max(1);
+        }
+        let bucket = (api.now().as_micros() / self.slot_len_us) as usize;
         if bucket >= self.sends_per_slot.len() {
             self.sends_per_slot.resize(bucket + 1, 0);
         }
@@ -245,8 +277,7 @@ impl<A: Application> TokenProtocol<A> {
     /// Sends one state copy from `node` to a random online neighbour.
     /// Returns whether a peer was available.
     fn send_state(&mut self, api: &mut SimApi<'_, ProtocolMsg<A::Msg>>, node: NodeId) -> bool {
-        let sampler = PeerSampler::new(&self.topo);
-        match sampler.select_online(node, &self.online, api.rng()) {
+        match self.peers.select(node, api.rng()) {
             Some(peer) => {
                 let msg = self.app.create_message(node);
                 api.send(node, peer, ProtocolMsg::App(msg));
@@ -270,7 +301,7 @@ impl<A: Application> TokenProtocol<A> {
     }
 }
 
-impl<A: Application> Driver for TokenProtocol<A> {
+impl<A: Application, S: Strategy> Driver for TokenProtocol<A, S> {
     type Msg = ProtocolMsg<A::Msg>;
 
     fn on_round_tick(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
@@ -320,7 +351,7 @@ impl<A: Application> Driver for TokenProtocol<A> {
                     // answer the sender directly instead of a random peer.
                     let answered_sender = i == 0
                         && self.reply_policy == ReplyPolicy::SenderFirst
-                        && self.online[from.index()];
+                        && self.peers.is_online(from);
                     if answered_sender {
                         self.send_state_to(api, to, from);
                         self.stats.reactive_sent += 1;
@@ -338,11 +369,10 @@ impl<A: Application> Driver for TokenProtocol<A> {
     }
 
     fn on_node_up(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
-        self.online[node.index()] = true;
+        self.peers.set_online(node, true);
         self.app.on_node_up(node, api.now());
         if self.pull_on_rejoin {
-            let sampler = PeerSampler::new(&self.topo);
-            if let Some(peer) = sampler.select_online(node, &self.online, api.rng()) {
+            if let Some(peer) = self.peers.select(node, api.rng()) {
                 api.send(node, peer, ProtocolMsg::PullRequest);
                 self.stats.pull_requests += 1;
             }
@@ -350,7 +380,7 @@ impl<A: Application> Driver for TokenProtocol<A> {
     }
 
     fn on_node_down(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
-        self.online[node.index()] = false;
+        self.peers.set_online(node, false);
         self.app.on_node_down(node, api.now());
     }
 
@@ -361,7 +391,8 @@ impl<A: Application> Driver for TokenProtocol<A> {
         self.metric.push(now.as_secs_f64(), value);
         if self.record_tokens {
             let (sum, count) = self
-                .online
+                .peers
+                .online_flags()
                 .iter()
                 .zip(&self.nodes)
                 .filter(|(&up, _)| up)
@@ -399,7 +430,7 @@ impl<A: Application> Driver for TokenProtocol<A> {
     }
 }
 
-impl<A: Application + std::fmt::Debug> std::fmt::Debug for TokenProtocol<A> {
+impl<A: Application + std::fmt::Debug, S: Strategy> std::fmt::Debug for TokenProtocol<A, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TokenProtocol")
             .field("strategy", &self.strategy.label())
@@ -504,26 +535,65 @@ mod tests {
 
     #[test]
     fn token_conservation_holds() {
-        // tokens banked - tokens spent reactively == final balances sum
-        // (proactive sends never touch the account).
+        // Real conservation: every token granted is either still on an
+        // account or was burned by a send. Grants come from round-tick
+        // banking, skipped proactive sends, and reactive refunds; burns
+        // come from reactive sends (incl. the refunded ones, which cancel)
+        // and pull replies. banked − spent must equal the sum of the final
+        // balances exactly.
         let (results, _) = run_proto(
             Box::new(RandomizedTokenAccount::new(2, 6).unwrap()),
             10,
             1000,
         );
-        // The counter app: reactive sends + refunds == tokens burned from
-        // accounts; banked - burned == sum of balances.
-        // We can't see balances after into_results, so check via stats:
-        // every banked token is either still on an account or was spent on
-        // a reactive send (refunds were re-banked).
         let banked = results.stats.tokens_banked
             + results.stats.reactive_refunded
             + results.stats.proactive_skipped;
         let spent = results.stats.reactive_sent
             + results.stats.reactive_refunded
             + results.stats.pull_replies;
-        assert!(banked >= results.stats.reactive_sent);
-        let _ = spent;
+        assert!(
+            banked >= spent,
+            "non-debt strategies cannot overspend: banked {banked} < spent {spent}"
+        );
+        assert_eq!(
+            (banked - spent) as i64,
+            results.balances_sum,
+            "token books must balance: banked {banked}, spent {spent}, \
+             final balances {}",
+            results.balances_sum
+        );
+        // And the run actually exercised the reactive path.
+        assert!(results.stats.reactive_sent > 0);
+    }
+
+    #[test]
+    fn balances_sum_visible_before_and_after_into_results() {
+        let n = 8;
+        let cfg = SimConfig::builder(n)
+            .delta(SimDuration::from_secs(10))
+            .transfer_time(SimDuration::from_secs(1))
+            .duration(SimDuration::from_secs(200))
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut rng = Xoshiro256pp::stream(3, 1);
+        let topo = Arc::new(k_out_random(n, 3, &mut rng).unwrap());
+        let proto = TokenProtocol::new(
+            topo,
+            Box::new(SimpleTokenAccount::new(4)) as Box<dyn Strategy>,
+            Counter::new(n),
+            vec![true; n],
+        );
+        let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+        sim.run_to_end();
+        let live_sum = sim.driver().balances_sum();
+        let per_node: i64 = (0..n)
+            .map(|i| sim.driver().balance(NodeId::from_index(i)))
+            .sum();
+        assert_eq!(live_sum, per_node);
+        let (proto, _) = sim.into_parts();
+        assert_eq!(proto.into_results().balances_sum, live_sum);
     }
 
     #[test]
@@ -546,6 +616,45 @@ mod tests {
         for &v in results.tokens.values() {
             assert!((0.0..=10.0).contains(&v), "avg tokens {v}");
         }
+    }
+
+    #[test]
+    fn boxed_and_monomorphized_strategies_are_bit_identical() {
+        // The strategy type parameter is a pure dispatch optimization: a
+        // concrete strategy and its boxed erasure must consume identical
+        // randomness and produce identical runs.
+        let n = 25;
+        let run = |boxed: bool| {
+            let cfg = SimConfig::builder(n)
+                .delta(SimDuration::from_secs(10))
+                .transfer_time(SimDuration::from_secs(1))
+                .duration(SimDuration::from_secs(500))
+                .seed(9)
+                .build()
+                .unwrap();
+            let mut rng = Xoshiro256pp::stream(9, 1);
+            let topo = Arc::new(k_out_random(n, 5, &mut rng).unwrap());
+            let strategy = RandomizedTokenAccount::new(2, 6).unwrap();
+            if boxed {
+                let proto = TokenProtocol::new(
+                    topo,
+                    Box::new(strategy) as Box<dyn Strategy>,
+                    Counter::new(n),
+                    vec![true; n],
+                );
+                let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+                sim.run_to_end();
+                let (proto, stats) = sim.into_parts();
+                (proto.into_results().stats, stats)
+            } else {
+                let proto = TokenProtocol::new(topo, strategy, Counter::new(n), vec![true; n]);
+                let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+                sim.run_to_end();
+                let (proto, stats) = sim.into_parts();
+                (proto.into_results().stats, stats)
+            }
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! mean squared error of the *average* of the currently stored models over
 //! the whole dataset — decentralized learning's standard progress measure.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use ta_sim::rng::Xoshiro256pp;
 use ta_sim::{NodeId, SimTime};
@@ -139,11 +141,66 @@ impl RegressionData {
     }
 }
 
+/// A walking model message: a shared, immutable weight snapshot plus the
+/// age counter.
+///
+/// The weights sit behind an [`Arc`] shared with the sending node's own
+/// model buffer, so creating and cloning messages — once per send in the
+/// protocol layer, plus the clone the engine's event queue owns per
+/// in-flight delivery — costs a reference-count bump instead of a fresh
+/// `Vec<f64>`. A reactive burst of `k` sends is `k` refcount bumps and
+/// **zero** allocations; copy-on-write at the receiver keeps value
+/// semantics exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdMsg {
+    weights: Arc<Vec<f64>>,
+    age: u64,
+}
+
+impl SgdMsg {
+    /// Builds a message from raw weights (tests and external tooling; the
+    /// application itself shares its model buffers without this path).
+    pub fn new(weights: Vec<f64>, age: u64) -> Self {
+        SgdMsg {
+            weights: Arc::new(weights),
+            age,
+        }
+    }
+
+    /// The snapshotted weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The model age at snapshot time.
+    pub fn age(&self) -> u64 {
+        self.age
+    }
+
+    /// Whether two messages share one physical weight buffer (allocation
+    /// accounting in tests).
+    pub fn shares_buffer(&self, other: &SgdMsg) -> bool {
+        Arc::ptr_eq(&self.weights, &other.weights)
+    }
+}
+
 /// Gossip learning with real SGD models (Algorithm 1 with actual training).
+///
+/// The per-node weight vectors live behind [`Arc`]s shared with outgoing
+/// messages: `CREATEMESSAGE` is a refcount bump (zero copies, zero
+/// allocations), and `UPDATESTATE` adoption is copy-on-write — when no
+/// in-flight message still references the node's buffer, the adopted model
+/// and its SGD step are written in a single fused pass over the existing
+/// allocation; otherwise one fresh buffer is built in the same fused pass.
+/// Either way a useful message costs one vector *write*, where the cloning
+/// design paid two allocations plus two full copies per message.
 #[derive(Debug, Clone)]
 pub struct SgdGossipLearning {
     data: RegressionData,
-    models: Vec<LinearModel>,
+    /// Current weight vector per node, shared with in-flight messages.
+    weights: Vec<Arc<Vec<f64>>>,
+    /// Current model age per node.
+    ages: Vec<u64>,
     eta: f64,
 }
 
@@ -162,27 +219,42 @@ impl SgdGossipLearning {
         let dim = data.dim();
         SgdGossipLearning {
             data,
-            models: (0..n).map(|_| LinearModel::zeros(dim)).collect(),
+            weights: (0..n).map(|_| Arc::new(vec![0.0; dim])).collect(),
+            ages: vec![0; n],
             eta,
         }
     }
 
-    /// The model currently stored at `node`.
-    pub fn model(&self, node: NodeId) -> &LinearModel {
-        &self.models[node.index()]
+    /// The weight vector currently stored at `node`.
+    pub fn weights(&self, node: NodeId) -> &[f64] {
+        &self.weights[node.index()]
+    }
+
+    /// The age of the model currently stored at `node`.
+    pub fn age(&self, node: NodeId) -> u64 {
+        self.ages[node.index()]
+    }
+
+    /// The model currently stored at `node`, as an owned [`LinearModel`]
+    /// (convenience for diagnostics; copies the weights).
+    pub fn model(&self, node: NodeId) -> LinearModel {
+        LinearModel {
+            weights: self.weights[node.index()].as_ref().clone(),
+            age: self.ages[node.index()],
+        }
     }
 
     /// Component-wise average of all stored models.
     pub fn average_model(&self) -> Vec<f64> {
         let dim = self.data.dim();
         let mut avg = vec![0.0; dim];
-        for m in &self.models {
-            for (a, w) in avg.iter_mut().zip(&m.weights) {
+        for m in &self.weights {
+            for (a, w) in avg.iter_mut().zip(m.iter()) {
                 *a += w;
             }
         }
         for a in avg.iter_mut() {
-            *a /= self.models.len() as f64;
+            *a /= self.weights.len() as f64;
         }
         avg
     }
@@ -194,32 +266,63 @@ impl SgdGossipLearning {
 
     /// Mean model age (comparable with the age-only simulation).
     pub fn mean_age(&self) -> f64 {
-        self.models.iter().map(|m| m.age as f64).sum::<f64>() / self.models.len() as f64
+        self.ages.iter().map(|&a| a as f64).sum::<f64>() / self.ages.len() as f64
     }
 }
 
 impl Application for SgdGossipLearning {
-    type Msg = LinearModel;
+    type Msg = SgdMsg;
 
-    fn create_message(&mut self, node: NodeId) -> LinearModel {
-        self.models[node.index()].clone()
+    fn create_message(&mut self, node: NodeId) -> SgdMsg {
+        // Zero-copy: the message shares the node's current buffer. The
+        // buffer is immutable while shared (adoption below goes
+        // copy-on-write), so in-flight messages keep value semantics.
+        let i = node.index();
+        SgdMsg {
+            weights: Arc::clone(&self.weights[i]),
+            age: self.ages[i],
+        }
     }
 
     fn update_state(
         &mut self,
         node: NodeId,
         _from: NodeId,
-        msg: &LinearModel,
+        msg: &SgdMsg,
         _now: SimTime,
     ) -> Usefulness {
-        let current = &self.models[node.index()];
-        if msg.age >= current.age {
-            // Adopt, then train on the local example (Algorithm 1's
-            // updateModel).
-            let mut adopted = msg.clone();
+        let i = node.index();
+        if msg.age >= self.ages[i] {
+            // Adopt and train in one fused pass (Algorithm 1's
+            // updateModel): out = msg − η·err·x, where the gradient is
+            // evaluated on the incoming model — exactly clone-then-step,
+            // without the intermediate copy.
             let (x, y) = self.data.example(node);
-            adopted.sgd_step(x, y, self.eta);
-            self.models[node.index()] = adopted;
+            let err: f64 = msg.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() - y;
+            let eta = self.eta;
+            let slot = &mut self.weights[i];
+            match Arc::get_mut(slot) {
+                // Unique buffer: rewrite it in place, no allocation. The
+                // incoming message cannot alias it (aliasing implies a
+                // second reference, and `get_mut` would have refused).
+                Some(buf) => {
+                    for ((b, &m), &v) in buf.iter_mut().zip(msg.weights.iter()).zip(x) {
+                        *b = m - eta * err * v;
+                    }
+                }
+                // Shared with in-flight messages: leave their snapshot
+                // untouched and build the successor buffer directly.
+                None => {
+                    *slot = Arc::new(
+                        msg.weights
+                            .iter()
+                            .zip(x)
+                            .map(|(&m, &v)| m - eta * err * v)
+                            .collect(),
+                    );
+                }
+            }
+            self.ages[i] = msg.age + 1;
             Usefulness::Useful
         } else {
             Usefulness::NotUseful
@@ -283,10 +386,29 @@ mod tests {
         }
         assert!(app.data.mse(&model.weights) < 0.02);
         // Store it everywhere: global MSE reflects it.
-        for m in app.models.iter_mut() {
-            *m = model.clone();
+        for w in app.weights.iter_mut() {
+            *w = Arc::new(model.weights.clone());
         }
         assert!(app.global_mse() < 0.02);
+    }
+
+    #[test]
+    fn fused_adoption_matches_clone_then_step() {
+        // The single-pass adopt+train must equal the reference two-step
+        // (clone, then sgd_step) bit for bit.
+        let d = data(6);
+        let mut app = SgdGossipLearning::new(d.clone(), 0.17);
+        let incoming: Vec<f64> = (0..d.dim()).map(|j| 0.3 * j as f64 - 0.4).collect();
+        let msg = SgdMsg::new(incoming.clone(), 5);
+        app.update_state(NodeId::new(2), NodeId::new(0), &msg, SimTime::from_secs(1));
+        let mut reference = LinearModel {
+            weights: incoming,
+            age: 5,
+        };
+        let (x, y) = d.example(NodeId::new(2));
+        reference.sgd_step(x, y, 0.17);
+        assert_eq!(app.weights(NodeId::new(2)), reference.weights.as_slice());
+        assert_eq!(app.age(NodeId::new(2)), reference.age);
     }
 
     #[test]
@@ -294,16 +416,66 @@ mod tests {
         let d = data(10);
         let mut app = SgdGossipLearning::new(d, 0.1);
         let now = SimTime::from_secs(1);
-        let mut walker = LinearModel::zeros(app.data.dim());
-        walker.age = 3;
+        let dim = app.data.dim();
+        let walker = SgdMsg::new(vec![0.0; dim], 3);
         let u = app.update_state(NodeId::new(0), NodeId::new(1), &walker, now);
         assert_eq!(u, Usefulness::Useful);
-        assert_eq!(app.model(NodeId::new(0)).age, 4);
+        assert_eq!(app.age(NodeId::new(0)), 4);
         // An older (less trained) model is rejected.
-        let stale = LinearModel::zeros(app.data.dim());
+        let stale = SgdMsg::new(vec![0.0; dim], 0);
         let u = app.update_state(NodeId::new(0), NodeId::new(1), &stale, now);
         assert_eq!(u, Usefulness::NotUseful);
-        assert_eq!(app.model(NodeId::new(0)).age, 4);
+        assert_eq!(app.age(NodeId::new(0)), 4);
+    }
+
+    #[test]
+    fn burst_sends_share_one_buffer_with_zero_copies() {
+        // k messages from an unchanged model are k Arc clones of the
+        // node's own buffer: a reactive burst costs zero allocations.
+        let mut app = SgdGossipLearning::new(data(5), 0.1);
+        let a = app.create_message(NodeId::new(2));
+        let b = app.create_message(NodeId::new(2));
+        let c = app.create_message(NodeId::new(2));
+        assert!(a.shares_buffer(&b) && b.shares_buffer(&c));
+        assert_eq!(a.weights(), app.weights(NodeId::new(2)));
+        assert_eq!(Arc::as_ptr(&a.weights), Arc::as_ptr(&app.weights[2]));
+    }
+
+    #[test]
+    fn in_flight_messages_keep_value_semantics_across_adoption() {
+        let mut app = SgdGossipLearning::new(data(5), 0.1);
+        let before = app.create_message(NodeId::new(0));
+        let incoming = SgdMsg::new(vec![0.5; app.data.dim()], 7);
+        let u = app.update_state(
+            NodeId::new(0),
+            NodeId::new(1),
+            &incoming,
+            SimTime::from_secs(1),
+        );
+        assert_eq!(u, Usefulness::Useful);
+        let after = app.create_message(NodeId::new(0));
+        // Copy-on-write: the node moved to a fresh buffer because `before`
+        // still holds the old one, whose contents must be unchanged.
+        assert!(!after.shares_buffer(&before));
+        assert_eq!(after.age(), 8);
+        assert_eq!(before.age(), 0);
+        assert_eq!(before.weights(), vec![0.0; app.data.dim()].as_slice());
+        assert_eq!(after.weights(), app.weights(NodeId::new(0)));
+        assert_ne!(after.weights(), before.weights());
+    }
+
+    #[test]
+    fn adoption_reuses_the_node_weight_buffer_when_unshared() {
+        // With no outstanding messages, copy-on-write degenerates to an
+        // in-place rewrite: the node's buffer is never reallocated.
+        let mut app = SgdGossipLearning::new(data(5), 0.1);
+        let ptr_before = Arc::as_ptr(&app.weights[0]);
+        for age in 1..20 {
+            let msg = SgdMsg::new(vec![0.1 * age as f64; app.data.dim()], age);
+            app.update_state(NodeId::new(0), NodeId::new(1), &msg, SimTime::from_secs(1));
+        }
+        assert_eq!(ptr_before, Arc::as_ptr(&app.weights[0]));
+        assert_eq!(app.age(NodeId::new(0)), 20);
     }
 
     #[test]
@@ -311,9 +483,11 @@ mod tests {
         let d = data(2);
         let dim = d.dim();
         let mut app = SgdGossipLearning::new(d, 0.1);
-        app.models[0].weights = vec![1.0; dim];
-        app.models[1].weights = vec![3.0; dim];
+        app.weights[0] = Arc::new(vec![1.0; dim]);
+        app.weights[1] = Arc::new(vec![3.0; dim]);
         assert_eq!(app.average_model(), vec![2.0; dim]);
+        // The owned-model accessor mirrors the shared state.
+        assert_eq!(app.model(NodeId::new(0)).weights, vec![1.0; dim]);
     }
 
     #[test]

@@ -72,5 +72,36 @@ fn bench_node_steps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_rand_round, bench_node_steps);
+/// Boxed vs. monomorphized strategy dispatch on the Algorithm-4 node
+/// steps — the virtual-call tax the protocol hot path no longer pays.
+fn bench_dispatch_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_dispatch");
+    let concrete = RandomizedTokenAccount::new(10, 20).unwrap();
+    let boxed: Box<dyn Strategy> = Box::new(concrete);
+    group.bench_function("round_and_message/monomorphized", |b| {
+        let mut node = TokenNode::new(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        b.iter(|| {
+            node.on_round(&concrete, &mut rng);
+            black_box(node.on_message(&concrete, Usefulness::Useful, &mut rng))
+        });
+    });
+    group.bench_function("round_and_message/boxed", |b| {
+        let mut node = TokenNode::new(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        b.iter(|| {
+            node.on_round(&boxed, &mut rng);
+            black_box(node.on_message(&boxed, Usefulness::Useful, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_rand_round,
+    bench_node_steps,
+    bench_dispatch_modes
+);
 criterion_main!(benches);

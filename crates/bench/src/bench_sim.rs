@@ -8,6 +8,11 @@
 //! * **engine** — end-to-end engine throughput (processed events/sec) under
 //!   heap vs. slab wheel, for a lean echo driver (engine-bound) and a real
 //!   push gossip protocol run;
+//! * **protocol** — the protocol-layer hot path: strategy dispatch
+//!   (boxed vs. monomorphized node steps), online peer sampling under
+//!   churn (two-pass scan vs. rejection fallback vs. packed mirror), and
+//!   the end-to-end SGD gossip-learning workload against the
+//!   [`crate::legacy_proto`] baseline;
 //! * **sweep** — wall-clock seconds for a micro parameter sweep through the
 //!   bounded-pool grid executor.
 //!
@@ -15,7 +20,11 @@
 //! the perf trajectory is tracked from PR to PR; `--test` runs each
 //! workload once and writes the file with `"mode": "smoke"` (values are
 //! still measured, just from a single iteration — good enough for CI to
-//! validate the harness, not for comparisons).
+//! validate the harness, not for comparisons). `--diff BASELINE.json`
+//! additionally prints a non-failing comparison of every metric present in
+//! both reports (CI runs it against the committed `BENCH_sim.json` so perf
+//! regressions are visible in PR logs), calling out the known dense
+//! same-tick periodic trade-off explicitly.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -24,9 +33,11 @@ use std::time::{Duration, Instant};
 use criterion::black_box;
 use ta_apps::protocol::TokenProtocol;
 use ta_apps::push_gossip::PushGossip;
+use ta_apps::sgd::{RegressionData, SgdGossipLearning};
 use ta_experiments::runner::{prepare_topology, run_grid_prepared};
 use ta_experiments::spec::{AppKind, ExperimentSpec, TopologyKind};
 use ta_overlay::generators::k_out_random;
+use ta_overlay::sampling::{OnlineNeighbors, PeerSampler};
 use ta_sim::config::{QueueKind, SimConfig};
 use ta_sim::engine::{AlwaysOn, Driver, SimApi, Simulation};
 use ta_sim::paper;
@@ -35,8 +46,10 @@ use ta_sim::rng::Xoshiro256pp;
 use ta_sim::time::SimTime;
 use ta_sim::wheel::TimingWheel;
 use ta_sim::NodeId;
+use token_account::node::TokenNode;
 use token_account::prelude::*;
 
+use crate::legacy_proto::{two_pass_select_online, CloningSgd, LegacyTokenProtocol};
 use crate::legacy_wheel::LegacyVecWheel;
 
 /// Pending events kept in flight during queue churn.
@@ -182,17 +195,52 @@ fn engine_gossip_run(topo: &Arc<ta_overlay::Topology>, rounds: u64, queue: Queue
         .build()
         .expect("valid bench config");
     let app = PushGossip::new(n, &vec![true; n]);
-    let strategy: Box<dyn Strategy> =
-        Box::new(RandomizedTokenAccount::new(10, 20).expect("valid strategy"));
+    // (A=5, C=10) so accounts fill within a handful of rounds and the run
+    // is message-dominated — with (10, 20) and a short horizon nothing
+    // ever gets sent and the "protocol" bench degenerates to bare ticks.
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
     let proto = TokenProtocol::new(Arc::clone(topo), strategy, app, vec![true; n]);
     let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
     sim.run_to_end();
     sim.stats().events_processed
 }
 
+/// Workload scale parameters of one run, reported in the JSON `scale`
+/// section. Sample ids stay mode-independent so the CI smoke diff can
+/// line every metric up against the committed full-mode baseline (values
+/// differ in scale — the diff is informational — but a vanished speedup
+/// is visible instead of the rows silently failing to match).
+fn scale_samples(smoke: bool) -> Vec<Sample> {
+    let ((echo_n, echo_rounds), (gossip_n, gossip_rounds), (sgd_n, sgd_dim, sgd_rounds)) =
+        scales(smoke);
+    [
+        ("echo_n", echo_n as f64),
+        ("echo_rounds", echo_rounds as f64),
+        ("push_gossip_n", gossip_n as f64),
+        ("push_gossip_rounds", gossip_rounds as f64),
+        ("sgd_n", sgd_n as f64),
+        ("sgd_dim", sgd_dim as f64),
+        ("sgd_rounds", sgd_rounds as f64),
+    ]
+    .into_iter()
+    .map(|(id, value)| Sample {
+        id: id.into(),
+        value,
+    })
+    .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn scales(smoke: bool) -> ((usize, u64), (usize, u64), (usize, usize, u64)) {
+    if smoke {
+        ((1_000, 2), (200, 6), (100, 32, 10))
+    } else {
+        ((10_000, 8), (2_000, 24), (500, 256, 60))
+    }
+}
+
 fn bench_engine(smoke: bool) -> Vec<Sample> {
-    let (echo_n, echo_rounds) = if smoke { (1_000, 2) } else { (10_000, 8) };
-    let (gossip_n, gossip_rounds) = if smoke { (200, 2) } else { (2_000, 8) };
+    let ((echo_n, echo_rounds), (gossip_n, gossip_rounds), _) = scales(smoke);
     let mut rng = Xoshiro256pp::stream(5, 0);
     let topo =
         Arc::new(k_out_random(gossip_n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
@@ -202,7 +250,7 @@ fn bench_engine(smoke: bool) -> Vec<Sample> {
         ("slab_wheel", QueueKind::Wheel),
     ] {
         samples.push(Sample {
-            id: format!("echo_n{echo_n}/{label}"),
+            id: format!("echo/{label}"),
             value: measure_events_per_sec(|| engine_echo_run(echo_n, echo_rounds, queue), smoke),
         });
     }
@@ -211,10 +259,170 @@ fn bench_engine(smoke: bool) -> Vec<Sample> {
         ("slab_wheel", QueueKind::Wheel),
     ] {
         samples.push(Sample {
-            id: format!("push_gossip_n{gossip_n}/{label}"),
+            id: format!("push_gossip/{label}"),
             value: measure_events_per_sec(|| engine_gossip_run(&topo, gossip_rounds, queue), smoke),
         });
     }
+    samples
+}
+
+/// Algorithm-4 node steps (one round tick + one message reaction) through
+/// a `&dyn Strategy`, the pre-PR dispatch mode.
+fn node_steps_boxed(strategy: &dyn Strategy, iters: u64) -> u64 {
+    let mut node = TokenNode::new(0);
+    let mut rng = Xoshiro256pp::stream(17, 0);
+    for _ in 0..iters {
+        black_box(node.on_round(&strategy, &mut rng));
+        black_box(node.on_message(&strategy, Usefulness::Useful, &mut rng));
+    }
+    2 * iters
+}
+
+/// The same node steps with the strategy type known statically (the
+/// monomorphized protocol path).
+fn node_steps_monomorphized<S: Strategy>(strategy: &S, iters: u64) -> u64 {
+    let mut node = TokenNode::new(0);
+    let mut rng = Xoshiro256pp::stream(17, 0);
+    for _ in 0..iters {
+        black_box(node.on_round(strategy, &mut rng));
+        black_box(node.on_message(strategy, Usefulness::Useful, &mut rng));
+    }
+    2 * iters
+}
+
+/// Selections per second under churn: every `flip_every` selections one
+/// random node flips its online state. `mode` picks the sampler.
+fn sampling_churn_run(
+    topo: &Arc<ta_overlay::Topology>,
+    mode: &str,
+    selections: u64,
+    online_fraction: f64,
+) -> u64 {
+    let n = topo.n();
+    let mut rng = Xoshiro256pp::stream(23, 0);
+    let mut online: Vec<bool> = (0..n).map(|_| rng.chance(online_fraction)).collect();
+    online[0] = true; // keep at least one node up
+    let mut mirror = OnlineNeighbors::new(topo, &online);
+    let sampler = PeerSampler::new(topo);
+    let flip_every = 16u64;
+    let mut acc = 0u64;
+    for i in 0..selections {
+        if i % flip_every == 0 {
+            let v = rng.below(n as u64) as usize;
+            let up = !online[v];
+            online[v] = up;
+            mirror.set_online(NodeId::from_index(v), up);
+        }
+        let node = NodeId::from_index((i % n as u64) as usize);
+        let picked = match mode {
+            "two_pass" => two_pass_select_online(topo, node, &online, &mut rng),
+            "rejection_fallback" => sampler.select_online(node, &online, &mut rng),
+            "packed_mirror" => mirror.select(node, &mut rng),
+            _ => unreachable!("unknown sampling mode"),
+        };
+        if let Some(p) = picked {
+            acc = acc.wrapping_add(p.raw() as u64);
+        }
+    }
+    black_box(acc);
+    selections
+}
+
+/// End-to-end SGD gossip learning through the modern allocation-free,
+/// monomorphized protocol path.
+fn sgd_run_modern(topo: &Arc<ta_overlay::Topology>, data: &RegressionData, rounds: u64) -> u64 {
+    let n = topo.n();
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .queue(QueueKind::Wheel)
+        .seed(29)
+        .build()
+        .expect("valid bench config");
+    let app = SgdGossipLearning::new(data.clone(), 0.1);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let proto = TokenProtocol::new(Arc::clone(topo), strategy, app, vec![true; n]);
+    let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+    sim.run_to_end();
+    black_box(sim.driver().app().mean_age());
+    sim.stats().events_processed
+}
+
+/// The same workload through the pre-PR baseline: boxed dispatch, two-pass
+/// selection, cloning payloads ([`crate::legacy_proto`]).
+fn sgd_run_legacy(topo: &Arc<ta_overlay::Topology>, data: &RegressionData, rounds: u64) -> u64 {
+    let n = topo.n();
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .queue(QueueKind::Wheel)
+        .seed(29)
+        .build()
+        .expect("valid bench config");
+    let app = CloningSgd::new(data.clone(), 0.1);
+    let strategy: Box<dyn Strategy> =
+        Box::new(RandomizedTokenAccount::new(5, 10).expect("valid strategy"));
+    let proto = LegacyTokenProtocol::new(Arc::clone(topo), strategy, app);
+    let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+    sim.run_to_end();
+    black_box(sim.driver().app().mean_age());
+    sim.stats().events_processed
+}
+
+fn bench_protocol(smoke: bool) -> Vec<Sample> {
+    let mut samples = Vec::new();
+
+    // Strategy dispatch micro: identical work, only the dispatch differs.
+    let iters = if smoke { 20_000 } else { 2_000_000 };
+    let concrete = RandomizedTokenAccount::new(10, 20).expect("valid strategy");
+    let boxed: Box<dyn Strategy> = Box::new(concrete);
+    samples.push(Sample {
+        id: "node_step/boxed".into(),
+        value: measure_events_per_sec(|| node_steps_boxed(boxed.as_ref(), iters), smoke),
+    });
+    samples.push(Sample {
+        id: "node_step/monomorphized".into(),
+        value: measure_events_per_sec(|| node_steps_monomorphized(&concrete, iters), smoke),
+    });
+
+    // Peer sampling under churn, with a minority of neighbours online (the
+    // regime where scans hurt and rejection sampling misses often).
+    let (sample_n, selections) = if smoke {
+        (500, 20_000)
+    } else {
+        (2_000, 400_000)
+    };
+    let mut rng = Xoshiro256pp::stream(19, 0);
+    let sample_topo =
+        Arc::new(k_out_random(sample_n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
+    for mode in ["two_pass", "rejection_fallback", "packed_mirror"] {
+        samples.push(Sample {
+            id: format!("sampling_churn/{mode}"),
+            value: measure_events_per_sec(
+                || sampling_churn_run(&sample_topo, mode, selections, 0.3),
+                smoke,
+            ),
+        });
+    }
+
+    // End-to-end SGD gossip learning: modern vs. legacy hot path. Long
+    // enough that accounts fill and messages dominate the event mix, with
+    // a model payload on the scale the cloning cost actually shows.
+    let (_, _, (sgd_n, sgd_dim, sgd_rounds)) = scales(smoke);
+    let mut rng = Xoshiro256pp::stream(21, 0);
+    let sgd_topo =
+        Arc::new(k_out_random(sgd_n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
+    let sgd_data = RegressionData::generate(sgd_n, sgd_dim, 0.05, 31);
+    samples.push(Sample {
+        id: "sgd/legacy_boxed_cloning".into(),
+        value: measure_events_per_sec(|| sgd_run_legacy(&sgd_topo, &sgd_data, sgd_rounds), smoke),
+    });
+    samples.push(Sample {
+        id: "sgd/monomorphized_arc".into(),
+        value: measure_events_per_sec(|| sgd_run_modern(&sgd_topo, &sgd_data, sgd_rounds), smoke),
+    });
     samples
 }
 
@@ -283,6 +491,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     let queue_samples = bench_event_queue(smoke);
     eprintln!("bench_sim: engine...");
     let engine_samples = bench_engine(smoke);
+    eprintln!("bench_sim: protocol...");
+    let protocol_samples = bench_protocol(smoke);
     eprintln!("bench_sim: sweep...");
     let (sweep_wall, sweep_jobs, workers) = bench_sweep(smoke);
 
@@ -314,6 +524,27 @@ pub fn run(smoke: bool, out_path: &str) -> String {
                     / find(&engine_samples, heap_id),
             });
         }
+        // Protocol-layer headlines: dispatch, sampling, end-to-end.
+        v.push(Sample {
+            id: "protocol_node_step_monomorphized_vs_boxed".into(),
+            value: find(&protocol_samples, "node_step/monomorphized")
+                / find(&protocol_samples, "node_step/boxed"),
+        });
+        v.push(Sample {
+            id: "protocol_sampling_packed_vs_two_pass".into(),
+            value: find(&protocol_samples, "sampling_churn/packed_mirror")
+                / find(&protocol_samples, "sampling_churn/two_pass"),
+        });
+        v.push(Sample {
+            id: "protocol_sampling_packed_vs_rejection".into(),
+            value: find(&protocol_samples, "sampling_churn/packed_mirror")
+                / find(&protocol_samples, "sampling_churn/rejection_fallback"),
+        });
+        v.push(Sample {
+            id: "protocol_sgd_end_to_end_vs_legacy".into(),
+            value: find(&protocol_samples, "sgd/monomorphized_arc")
+                / find(&protocol_samples, "sgd/legacy_boxed_cloning"),
+        });
         v
     };
 
@@ -326,10 +557,12 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
+        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
     );
+    json_section(&mut out, "scale", &scale_samples(smoke), false);
     json_section(&mut out, "event_queue", &queue_samples, false);
     json_section(&mut out, "engine", &engine_samples, false);
+    json_section(&mut out, "protocol", &protocol_samples, false);
     json_section(&mut out, "speedup", &speedups, false);
     let _ = writeln!(out, "  \"sweep\": {{");
     let _ = writeln!(out, "    \"wall_clock_seconds\": {sweep_wall:.3},");
@@ -349,7 +582,101 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     out
 }
 
-/// CLI entry: `bench_sim [--test] [--out PATH]`.
+/// Parses one of our own reports into `section/key -> value` pairs.
+///
+/// The format is the fixed subset `run` emits (two-level objects of
+/// numeric leaves), so a line parser suffices — no JSON dependency.
+fn parse_report(text: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    let mut section = String::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let rest = rest.trim();
+        if rest == "{" {
+            section = key;
+        } else if let Ok(v) = rest.parse::<f64>() {
+            if !section.is_empty() {
+                entries.push((format!("{section}/{key}"), v));
+            }
+        }
+    }
+    entries
+}
+
+/// Prints a non-failing metric-by-metric comparison of `current` against
+/// the baseline report at `baseline_path` (typically the committed
+/// `BENCH_sim.json`). Differences never fail the build: smoke-mode CI
+/// values are single-shot and noisy; the report exists so perf movement is
+/// *visible* in PR logs, with regressions left to human judgement.
+pub fn diff_report(current: &str, baseline_path: &str) {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_sim: no baseline at {baseline_path} ({e}); skipping diff");
+            return;
+        }
+    };
+    let baseline: Vec<(String, f64)> = parse_report(&baseline_text);
+    let new: Vec<(String, f64)> = parse_report(current);
+    println!("\n== bench_sim diff vs {baseline_path} (informational, never fails) ==");
+    println!(
+        "{:<58} {:>14} {:>14} {:>7}",
+        "metric", "baseline", "current", "ratio"
+    );
+    for (key, new_v) in &new {
+        let Some((_, base_v)) = baseline.iter().find(|(k, _)| k == key) else {
+            println!("{key:<58} {:>14} {new_v:>14.1} {:>7}", "-", "new");
+            continue;
+        };
+        let ratio = if *base_v != 0.0 {
+            new_v / base_v
+        } else {
+            f64::NAN
+        };
+        let marker = if key.starts_with("sweep/")
+            || key.starts_with("speedup/")
+            || key.starts_with("scale/")
+        {
+            "" // wall-clock, workload scale, ratios-of-ratios: context, not verdicts
+        } else if ratio < 0.9 {
+            "  <-- slower"
+        } else if ratio > 1.1 {
+            "  <-- faster"
+        } else {
+            ""
+        };
+        println!("{key:<58} {base_v:>14.1} {new_v:>14.1} {ratio:>6.2}x{marker}");
+    }
+    for (key, _) in &baseline {
+        if !new.iter().any(|(k, _)| k == key) {
+            println!("{key:<58} (present in baseline only)");
+        }
+    }
+    // The known trade-off carried from the slab-wheel rewrite: on the
+    // dense same-tick *periodic* microbench the legacy Vec wheel still
+    // out-pops the slab wheel. Surface it explicitly so a regression in
+    // either direction is one line away in every CI log.
+    let pick = |entries: &[(String, f64)], key: &str| {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(f64::NAN)
+    };
+    let slab = pick(&new, "event_queue/slab_wheel/periodic");
+    let legacy = pick(&new, "event_queue/legacy_wheel/periodic");
+    println!(
+        "dense same-tick periodic case: slab_wheel {slab:.0} vs legacy_wheel {legacy:.0} \
+         ev/s (slab/legacy = {:.2}x; known trade-off, see ROADMAP open items)",
+        slab / legacy
+    );
+}
+
+/// CLI entry: `bench_sim [--test] [--out PATH] [--diff BASELINE]`.
 pub fn run_from_args() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
@@ -359,8 +686,16 @@ pub fn run_from_args() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let diff_base = args
+        .iter()
+        .position(|a| a == "--diff")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let report = run(smoke, &out_path);
     println!("{report}");
+    if let Some(base) = diff_base {
+        diff_report(&report, &base);
+    }
 }
 
 #[cfg(test)]
@@ -375,18 +710,52 @@ mod tests {
         let report = run(true, path.to_str().unwrap());
         assert!(report.starts_with('{') && report.trim_end().ends_with('}'));
         for key in [
+            "\"scale\"",
+            "echo/binary_heap",
+            "push_gossip/slab_wheel",
+            "sgd/legacy_boxed_cloning",
+            "sgd/monomorphized_arc",
             "\"event_queue\"",
             "\"engine\"",
+            "\"protocol\"",
             "\"speedup\"",
             "\"sweep\"",
             "binary_heap/periodic",
             "legacy_wheel/periodic",
             "slab_wheel/periodic",
+            "node_step/boxed",
+            "node_step/monomorphized",
+            "sampling_churn/two_pass",
+            "sampling_churn/rejection_fallback",
+            "sampling_churn/packed_mirror",
+            "protocol_node_step_monomorphized_vs_boxed",
+            "protocol_sampling_packed_vs_two_pass",
+            "protocol_sgd_end_to_end_vs_legacy",
             "wall_clock_seconds",
         ] {
             assert!(report.contains(key), "missing {key} in report:\n{report}");
         }
         assert_eq!(std::fs::read_to_string(&path).unwrap(), report);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_parser_roundtrips_own_format() {
+        let text = "{\n  \"schema\": \"x\",\n  \"event_queue\": {\n    \"a/b\": 12.5,\n    \"c\": 3.0\n  },\n  \"sweep\": {\n    \"wall\": 0.5\n  }\n}\n";
+        let entries = parse_report(text);
+        assert_eq!(
+            entries,
+            vec![
+                ("event_queue/a/b".to_string(), 12.5),
+                ("event_queue/c".to_string(), 3.0),
+                ("sweep/wall".to_string(), 0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_report_survives_missing_baseline() {
+        // Must not panic or fail on a nonexistent path.
+        diff_report("{}", "/nonexistent/baseline.json");
     }
 }

@@ -13,17 +13,23 @@
 //!
 //! Run with `cargo bench -p ta-bench` (or `cargo bench --workspace`).
 //!
-//! The library carries two support pieces:
+//! The library carries three support pieces:
 //!
-//! * [`bench_sim`] — the `bench_sim` binary's harness, which measures queue
-//!   and engine throughput plus sweep wall-clock and writes a
-//!   machine-readable `BENCH_sim.json` for PR-to-PR perf tracking:
-//!   `cargo run --release -p ta-bench --bin bench_sim` (add `--test` for
-//!   the CI smoke mode);
+//! * [`bench_sim`] — the `bench_sim` binary's harness, which measures
+//!   queue, engine, and protocol throughput plus sweep wall-clock and
+//!   writes a machine-readable `BENCH_sim.json` for PR-to-PR perf
+//!   tracking: `cargo run --release -p ta-bench --bin bench_sim` (add
+//!   `--test` for the CI smoke mode, `--diff PATH` for a non-failing
+//!   comparison against a committed baseline);
 //! * [`legacy_wheel`] — the pre-slab Vec-of-Vecs timing wheel, kept as the
-//!   baseline the slab rewrite is measured against.
+//!   baseline the slab rewrite is measured against;
+//! * [`legacy_proto`] — the pre-monomorphization protocol driver (boxed
+//!   strategy dispatch, two-pass peer selection, cloning payloads), kept
+//!   as the baseline the allocation-free protocol path is measured
+//!   against.
 
 pub mod bench_sim;
+pub mod legacy_proto;
 pub mod legacy_wheel;
 
 /// Common scale constants shared by the benches so results are comparable

@@ -63,7 +63,7 @@ pub mod validate;
 pub use account::TokenAccount;
 pub use error::InvalidStrategyError;
 pub use node::{RoundAction, TokenNode};
-pub use spec::StrategySpec;
+pub use spec::{StrategySpec, StrategyVisitor};
 pub use strategy::{Capacity, Strategy};
 pub use usefulness::Usefulness;
 
@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::meanfield::{randomized_equilibrium, MeanFieldModel};
     pub use crate::node::{RoundAction, TokenNode};
     pub use crate::rounding::rand_round;
-    pub use crate::spec::StrategySpec;
+    pub use crate::spec::{StrategySpec, StrategyVisitor};
     pub use crate::strategies::{
         GeneralizedTokenAccount, PurelyProactive, PurelyReactive, RandomizedTokenAccount,
         SimpleTokenAccount,

@@ -29,7 +29,7 @@ use ta_sim::config::{InvalidConfigError, SimConfig};
 use ta_sim::engine::{SimStats, Simulation};
 use ta_sim::rng::{SplitMix64, Xoshiro256pp};
 use ta_sim::NodeId;
-use token_account::InvalidStrategyError;
+use token_account::{InvalidStrategyError, Strategy, StrategyVisitor};
 
 use crate::spec::{AppKind, ChurnKind, ExperimentSpec, TopologyKind};
 
@@ -182,7 +182,32 @@ fn build_config(spec: &ExperimentSpec, run: usize) -> Result<SimConfig, InvalidC
     builder.build()
 }
 
-fn run_single<A, F>(
+/// Monomorphizing bridge from the serializable [`StrategySpec`] to
+/// [`run_single`]: `visit` compiles once per concrete strategy family, so
+/// the whole simulation loop below it runs with direct strategy calls.
+struct SingleRun<'a, A, F> {
+    spec: &'a ExperimentSpec,
+    run: usize,
+    topo: &'a Arc<Topology>,
+    make_app: F,
+    _app: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A, F> StrategyVisitor for SingleRun<'_, A, F>
+where
+    A: Application,
+    F: FnOnce(&[bool]) -> A,
+{
+    type Output = Result<RunOutcome, RunError>;
+
+    fn visit<S: Strategy + 'static>(self, strategy: S) -> Self::Output {
+        run_single(self.spec, self.run, self.topo, self.make_app, strategy)
+    }
+}
+
+/// Builds the concrete strategy for `spec` and runs one replica with it,
+/// without boxing (see [`SingleRun`]).
+fn run_single_dispatched<A, F>(
     spec: &ExperimentSpec,
     run: usize,
     topo: &Arc<Topology>,
@@ -192,13 +217,35 @@ where
     A: Application,
     F: FnOnce(&[bool]) -> A,
 {
+    spec.strategy
+        .dispatch(SingleRun {
+            spec,
+            run,
+            topo,
+            make_app,
+            _app: std::marker::PhantomData,
+        })
+        .map_err(RunError::Strategy)?
+}
+
+fn run_single<A, S, F>(
+    spec: &ExperimentSpec,
+    run: usize,
+    topo: &Arc<Topology>,
+    make_app: F,
+    strategy: S,
+) -> Result<RunOutcome, RunError>
+where
+    A: Application,
+    S: Strategy,
+    F: FnOnce(&[bool]) -> A,
+{
     let cfg = build_config(spec, run)?;
     let schedule = build_schedule(spec, run);
     let initial_online: Vec<bool> = (0..spec.n)
         .map(|i| schedule.segment(NodeId::from_index(i)).initial_online)
         .collect();
     let app = make_app(&initial_online);
-    let strategy = spec.strategy.build()?;
     let mut proto = TokenProtocol::new(Arc::clone(topo), strategy, app, initial_online)
         .with_reply_policy(spec.reply_policy);
     if spec.record_tokens {
@@ -230,17 +277,19 @@ fn dispatch_run(
     reference: &Option<Arc<Vec<f64>>>,
 ) -> Result<RunOutcome, RunError> {
     match spec.app {
-        AppKind::GossipLearning => run_single::<GossipLearning, _>(spec, run, topo, |online| {
-            GossipLearning::new(spec.n, spec.transfer, online)
-        }),
-        AppKind::PushGossip => {
-            run_single::<PushGossip, _>(spec, run, topo, |online| PushGossip::new(spec.n, online))
+        AppKind::GossipLearning => {
+            run_single_dispatched::<GossipLearning, _>(spec, run, topo, |online| {
+                GossipLearning::new(spec.n, spec.transfer, online)
+            })
         }
+        AppKind::PushGossip => run_single_dispatched::<PushGossip, _>(spec, run, topo, |online| {
+            PushGossip::new(spec.n, online)
+        }),
         AppKind::ChaoticIteration => {
             let reference = reference
                 .as_ref()
                 .expect("reference eigenvector precomputed for chaotic runs");
-            run_single::<ChaoticIteration, _>(spec, run, topo, |_online| {
+            run_single_dispatched::<ChaoticIteration, _>(spec, run, topo, |_online| {
                 let mut app =
                     ChaoticIteration::with_reference(Arc::clone(topo), reference.as_ref().clone());
                 // Algorithm 3 starts from "any positive value"; a random

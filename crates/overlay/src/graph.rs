@@ -87,19 +87,13 @@ impl Topology {
         if n == 0 {
             return Err(InvalidGraphError::EmptyGraph);
         }
+        // Single validation pass, O(E) total: `last_seen_from[t]` marks the
+        // most recent source that listed `t`, so a repeat within one list is
+        // a duplicate edge — no per-node clone-and-sort scratch.
         let mut edge_count = 0usize;
+        let mut last_seen_from = vec![usize::MAX; n];
         for (src, targets) in lists.iter().enumerate() {
             let src_id = NodeId::from_index(src);
-            let mut seen = targets.clone();
-            seen.sort_unstable();
-            for w in seen.windows(2) {
-                if w[0] == w[1] {
-                    return Err(InvalidGraphError::DuplicateEdge {
-                        from: src_id,
-                        to: w[0],
-                    });
-                }
-            }
             for &t in targets {
                 if t.index() >= n {
                     return Err(InvalidGraphError::NodeOutOfRange { node: t, n });
@@ -107,6 +101,13 @@ impl Topology {
                 if t == src_id {
                     return Err(InvalidGraphError::SelfLoop(src_id));
                 }
+                if last_seen_from[t.index()] == src {
+                    return Err(InvalidGraphError::DuplicateEdge {
+                        from: src_id,
+                        to: t,
+                    });
+                }
+                last_seen_from[t.index()] = src;
             }
             edge_count += targets.len();
         }

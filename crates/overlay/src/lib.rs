@@ -36,4 +36,4 @@ pub mod spectral;
 pub use analysis::{degree_stats, is_strongly_connected, DegreeStats};
 pub use generators::{complete, k_out_random, ring, watts_strogatz};
 pub use graph::Topology;
-pub use sampling::PeerSampler;
+pub use sampling::{OnlineNeighbors, PeerSampler};

@@ -1,0 +1,203 @@
+//! Property tests for online peer sampling: the packed O(1) mirror must be
+//! statistically indistinguishable from the stateless exact sampler, over
+//! arbitrary overlays and arbitrary churn histories.
+
+use proptest::prelude::*;
+use ta_overlay::generators::k_out_random;
+use ta_overlay::sampling::{OnlineNeighbors, PeerSampler};
+use ta_overlay::Topology;
+use ta_sim::rng::Xoshiro256pp;
+use ta_sim::NodeId;
+
+/// Builds the mirror and the plain flag vector from one online bitmask.
+fn mirror_and_flags(topo: &Topology, online: &[bool]) -> (OnlineNeighbors, Vec<bool>) {
+    (OnlineNeighbors::new(topo, online), online.to_vec())
+}
+
+/// Sorted online out-neighbour ids straight from the topology (the ground
+/// truth both samplers must draw from).
+fn ground_truth(topo: &Topology, online: &[bool], node: NodeId) -> Vec<u32> {
+    let mut v: Vec<u32> = topo
+        .out_neighbors(node)
+        .iter()
+        .filter(|p| online[p.index()])
+        .map(|p| p.raw())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Draws `trials` selections and returns per-peer counts.
+fn histogram<F: FnMut(&mut Xoshiro256pp) -> Option<NodeId>>(
+    mut draw: F,
+    trials: u32,
+    seed: u64,
+) -> std::collections::HashMap<u32, u32> {
+    let mut rng = Xoshiro256pp::stream(seed, 1);
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..trials {
+        if let Some(p) = draw(&mut rng) {
+            *counts.entry(p.raw()).or_insert(0u32) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn mirror_is_uniform_over_online_subset() {
+    // Statistical uniformity: every online neighbour within ±4 standard
+    // deviations of the expected count, and nothing else ever selected.
+    let mut rng = Xoshiro256pp::stream(42, 0);
+    let topo = k_out_random(60, 12, &mut rng).unwrap();
+    let online: Vec<bool> = (0..60).map(|i| i % 4 != 1).collect();
+    let (mirror, flags) = mirror_and_flags(&topo, &online);
+    let trials = 24_000u32;
+    for node in [0u32, 7, 33] {
+        let id = NodeId::new(node);
+        let expected_set = ground_truth(&topo, &flags, id);
+        let counts = histogram(|rng| mirror.select(id, rng), trials, 100 + node as u64);
+        let k = expected_set.len() as f64;
+        let mean = trials as f64 / k;
+        let sd = (mean * (1.0 - 1.0 / k)).sqrt();
+        assert_eq!(
+            counts.len(),
+            expected_set.len(),
+            "node {node}: some online neighbour never selected"
+        );
+        for (&peer, &c) in &counts {
+            assert!(expected_set.contains(&peer), "offline peer {peer} selected");
+            assert!(
+                (c as f64 - mean).abs() < 4.0 * sd,
+                "node {node}, peer {peer}: count {c} vs mean {mean:.0} (sd {sd:.1})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mirror_matches_two_pass_distribution() {
+    // Equivalence against the stateless sampler: same support, and
+    // per-peer frequencies within ±4 sd of each other on the same trial
+    // budget.
+    let mut rng = Xoshiro256pp::stream(7, 0);
+    let topo = k_out_random(50, 10, &mut rng).unwrap();
+    let online: Vec<bool> = (0..50).map(|i| i % 3 != 0).collect();
+    let (mirror, flags) = mirror_and_flags(&topo, &online);
+    let sampler = PeerSampler::new(&topo);
+    let trials = 30_000u32;
+    let id = NodeId::new(4);
+    let mirror_counts = histogram(|rng| mirror.select(id, rng), trials, 5);
+    let two_pass_counts = histogram(|rng| sampler.select_online(id, &flags, rng), trials, 6);
+    let support = ground_truth(&topo, &flags, id);
+    assert_eq!(mirror_counts.len(), support.len());
+    assert_eq!(two_pass_counts.len(), support.len());
+    let k = support.len() as f64;
+    let mean = trials as f64 / k;
+    let sd = (mean * (1.0 - 1.0 / k)).sqrt();
+    for &peer in &support {
+        let a = *mirror_counts.get(&peer).unwrap_or(&0) as f64;
+        let b = *two_pass_counts.get(&peer).unwrap_or(&0) as f64;
+        assert!(
+            (a - b).abs() < 4.0 * (2.0f64).sqrt() * sd,
+            "peer {peer}: mirror {a} vs two-pass {b} (sd {sd:.1})"
+        );
+    }
+}
+
+#[test]
+fn churn_edge_cases_all_offline_single_online_flapping() {
+    let topo = k_out_random(12, 5, &mut Xoshiro256pp::stream(3, 0)).unwrap();
+    let mut mirror = OnlineNeighbors::new(&topo, &[true; 12]);
+    let mut rng = Xoshiro256pp::stream(9, 0);
+    let probe = NodeId::new(0);
+
+    // All offline: no selection, no RNG draw side effects to worry about.
+    for i in 0..12 {
+        mirror.set_online(NodeId::from_index(i), false);
+    }
+    assert_eq!(mirror.select(probe, &mut rng), None);
+    assert_eq!(mirror.online_degree(probe), 0);
+
+    // Single online: the one live neighbour is always chosen.
+    let lone = topo.out_neighbors(probe)[0];
+    mirror.set_online(lone, true);
+    for _ in 0..50 {
+        assert_eq!(mirror.select(probe, &mut rng), Some(lone));
+    }
+
+    // Flapping: rapid up/down of the same node must keep every slice
+    // consistent with the ground truth.
+    let mut online = vec![false; 12];
+    online[lone.index()] = true;
+    let flapper = topo.out_neighbors(probe)[1];
+    for round in 0..100 {
+        let up = round % 2 == 0;
+        mirror.set_online(flapper, up);
+        online[flapper.index()] = up;
+        for node in 0..12 {
+            let id = NodeId::from_index(node);
+            let mut got: Vec<u32> = mirror
+                .online_neighbors(id)
+                .iter()
+                .map(|p| p.raw())
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, ground_truth(&topo, &online, id), "round {round}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary overlay + arbitrary transition script: after every prefix
+    /// of the script the mirror's packed slices equal the ground truth
+    /// derived from the flags, for every node.
+    #[test]
+    fn mirror_equals_ground_truth_after_any_churn_script(
+        seed in 0u64..1_000,
+        n in 5usize..40,
+        script in proptest::collection::vec((0usize..40, any::<bool>()), 0..120),
+    ) {
+        let k = 4.min(n - 1).max(1);
+        let topo = k_out_random(n, k, &mut Xoshiro256pp::stream(seed, 0)).unwrap();
+        let mut online = vec![true; n];
+        let mut mirror = OnlineNeighbors::new(&topo, &online);
+        for (raw, up) in script {
+            let v = raw % n;
+            online[v] = up;
+            mirror.set_online(NodeId::from_index(v), up);
+        }
+        for node in 0..n {
+            let id = NodeId::from_index(node);
+            let mut got: Vec<u32> =
+                mirror.online_neighbors(id).iter().map(|p| p.raw()).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, ground_truth(&topo, &online, id));
+            prop_assert_eq!(mirror.is_online(id), online[node]);
+        }
+    }
+
+    /// The stateless sampler (rejection + fallback) always returns an
+    /// online neighbour, and `None` exactly when there is none.
+    #[test]
+    fn stateless_sampler_respects_online_set(
+        seed in 0u64..1_000,
+        n in 3usize..30,
+        mask in 0u64..u64::MAX,
+    ) {
+        let k = 3.min(n - 1).max(1);
+        let topo = k_out_random(n, k, &mut Xoshiro256pp::stream(seed, 0)).unwrap();
+        let online: Vec<bool> = (0..n).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let sampler = PeerSampler::new(&topo);
+        let mut rng = Xoshiro256pp::stream(seed, 2);
+        for node in 0..n {
+            let id = NodeId::from_index(node);
+            let truth = ground_truth(&topo, &online, id);
+            match sampler.select_online(id, &online, &mut rng) {
+                Some(p) => prop_assert!(truth.contains(&p.raw())),
+                None => prop_assert!(truth.is_empty()),
+            }
+        }
+    }
+}
