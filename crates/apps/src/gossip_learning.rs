@@ -16,10 +16,46 @@
 //! zero delay ("hot potato"). 1.0 means reactive-optimal speed; the purely
 //! proactive baseline reaches roughly `transfer_time/Δ`-scaled ages.
 
+use ta_sim::shard::ShardPlan;
 use ta_sim::{NodeId, SimDuration, SimTime};
 use token_account::Usefulness;
 
 use crate::app::Application;
+use crate::protocol::sharded::{ApplicationShard, ShardableApplication};
+
+/// Eq. 6 from shared integer partials: mean relative age over online
+/// nodes. One implementation for the serial and the sharded metric so the
+/// two cannot drift — the partials are integers, so any fold order yields
+/// the same sums and the same f64 result.
+fn eq6_metric(
+    online_age_sum: u64,
+    online_count: usize,
+    transfer: SimDuration,
+    now: SimTime,
+) -> f64 {
+    let optimal = now.as_secs_f64() / transfer.as_secs_f64();
+    if optimal <= 0.0 || online_count == 0 {
+        return 0.0;
+    }
+    online_age_sum as f64 / (online_count as f64 * optimal)
+}
+
+/// The age-update rule of Section 3.2, shared by the serial and sharded
+/// applications: adopt-and-train iff at least as old, returning the new
+/// online sum contribution.
+#[inline]
+fn adopt_age(age: &mut u64, online: bool, incoming: u64, online_age_sum: &mut u64) -> Usefulness {
+    if incoming >= *age {
+        let new_age = incoming + 1;
+        if online {
+            *online_age_sum += new_age - *age;
+        }
+        *age = new_age;
+        Usefulness::Useful
+    } else {
+        Usefulness::NotUseful
+    }
+}
 
 /// A gossip-learning model message: the model's age (visit count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,26 +128,17 @@ impl Application for GossipLearning {
         msg: &ModelMsg,
         _now: SimTime,
     ) -> Usefulness {
-        let current = self.ages[node.index()];
-        if msg.age >= current {
-            // Train the received model on the local example and store it.
-            let new_age = msg.age + 1;
-            self.ages[node.index()] = new_age;
-            if self.online[node.index()] {
-                self.online_age_sum += new_age - current;
-            }
-            Usefulness::Useful
-        } else {
-            Usefulness::NotUseful
-        }
+        let i = node.index();
+        adopt_age(
+            &mut self.ages[i],
+            self.online[i],
+            msg.age,
+            &mut self.online_age_sum,
+        )
     }
 
     fn metric(&self, _online_count: usize, now: SimTime) -> f64 {
-        let optimal = self.optimal_age(now);
-        if optimal <= 0.0 || self.online_count == 0 {
-            return 0.0;
-        }
-        self.online_age_sum as f64 / (self.online_count as f64 * optimal)
+        eq6_metric(self.online_age_sum, self.online_count, self.transfer, now)
     }
 
     fn on_node_up(&mut self, node: NodeId, _now: SimTime) {
@@ -132,6 +159,135 @@ impl Application for GossipLearning {
 
     fn name(&self) -> &'static str {
         "gossip-learning"
+    }
+}
+
+/// One shard's block of [`GossipLearning`]: ages and online bookkeeping
+/// for the owned nodes only (the metric partials are integers, so shard
+/// sums merge exactly).
+#[derive(Debug, Clone)]
+pub struct GossipLearningShard {
+    base: usize,
+    ages: Vec<u64>,
+    online: Vec<bool>,
+    online_age_sum: u64,
+    online_count: usize,
+    transfer: SimDuration,
+}
+
+impl GossipLearningShard {
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        node.index() - self.base
+    }
+}
+
+impl ApplicationShard for GossipLearningShard {
+    type Msg = ModelMsg;
+
+    fn create_message(&mut self, node: NodeId) -> ModelMsg {
+        ModelMsg {
+            age: self.ages[self.local(node)],
+        }
+    }
+
+    fn update_state(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: &ModelMsg,
+        _now: SimTime,
+    ) -> Usefulness {
+        let i = self.local(node);
+        adopt_age(
+            &mut self.ages[i],
+            self.online[i],
+            msg.age,
+            &mut self.online_age_sum,
+        )
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _now: SimTime) {
+        let i = self.local(node);
+        if !self.online[i] {
+            self.online[i] = true;
+            self.online_age_sum += self.ages[i];
+            self.online_count += 1;
+        }
+    }
+
+    fn on_node_down(&mut self, node: NodeId, _now: SimTime) {
+        let i = self.local(node);
+        if self.online[i] {
+            self.online[i] = false;
+            self.online_age_sum -= self.ages[i];
+            self.online_count -= 1;
+        }
+    }
+}
+
+impl ShardableApplication for GossipLearning {
+    type Shard = GossipLearningShard;
+
+    fn split(self, plan: &ShardPlan) -> Vec<GossipLearningShard> {
+        let mut ages = self.ages;
+        let mut online = self.online;
+        let mut blocks = Vec::with_capacity(plan.shards());
+        for s in (0..plan.shards()).rev() {
+            let start = plan.range(s).start;
+            blocks.push((ages.split_off(start), online.split_off(start)));
+        }
+        blocks.reverse();
+        blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, (ages, online))| {
+                let online_age_sum = ages
+                    .iter()
+                    .zip(&online)
+                    .filter(|(_, &up)| up)
+                    .map(|(&a, _)| a)
+                    .sum();
+                let online_count = online.iter().filter(|&&up| up).count();
+                GossipLearningShard {
+                    base: plan.range(s).start,
+                    ages,
+                    online,
+                    online_age_sum,
+                    online_count,
+                    transfer: self.transfer,
+                }
+            })
+            .collect()
+    }
+
+    fn merge(_plan: &ShardPlan, shards: Vec<GossipLearningShard>) -> Self {
+        let transfer = shards[0].transfer;
+        let mut ages = Vec::new();
+        let mut online = Vec::new();
+        let mut online_age_sum = 0u64;
+        let mut online_count = 0usize;
+        for sh in shards {
+            ages.extend(sh.ages);
+            online.extend(sh.online);
+            online_age_sum += sh.online_age_sum;
+            online_count += sh.online_count;
+        }
+        GossipLearning {
+            ages,
+            online,
+            online_age_sum,
+            online_count,
+            transfer,
+        }
+    }
+
+    fn metric_sharded(shards: &[&GossipLearningShard], _online_count: usize, now: SimTime) -> f64 {
+        // u64/usize partials: any fold order gives the serial sums, and
+        // `eq6_metric` is the single shared formula.
+        let sum: u64 = shards.iter().map(|s| s.online_age_sum).sum();
+        let count: usize = shards.iter().map(|s| s.online_count).sum();
+        eq6_metric(sum, count, shards[0].transfer, now)
     }
 }
 

@@ -22,6 +22,9 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+#[path = "protocol_sharded.rs"]
+pub mod sharded;
 use ta_metrics::TimeSeries;
 use ta_overlay::sampling::OnlineNeighbors;
 use ta_overlay::Topology;
@@ -93,6 +96,20 @@ impl ProtocolStats {
     pub fn total_sent(&self) -> u64 {
         self.proactive_sent + self.reactive_sent + self.pull_requests + self.pull_replies
     }
+
+    /// Accumulates another run's (or shard's) counters into this one —
+    /// the single place that knows every field, so a counter added later
+    /// cannot be silently dropped from merged sharded results.
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.proactive_sent += other.proactive_sent;
+        self.reactive_sent += other.reactive_sent;
+        self.tokens_banked += other.tokens_banked;
+        self.proactive_skipped += other.proactive_skipped;
+        self.reactive_refunded += other.reactive_refunded;
+        self.pull_requests += other.pull_requests;
+        self.pull_replies += other.pull_replies;
+        self.pull_ignored += other.pull_ignored;
+    }
 }
 
 /// Everything a finished run hands back to the harness.
@@ -136,7 +153,13 @@ pub struct TokenProtocol<A: Application, S: Strategy = Box<dyn Strategy>> {
     nodes: Vec<TokenNode>,
     /// Driver-side packed mirror of the online set (kept by up/down
     /// callbacks): O(1) uniform online-neighbour selection per send.
-    peers: OnlineNeighbors,
+    ///
+    /// Held behind an [`Arc`] with copy-on-churn semantics
+    /// ([`Arc::make_mut`] on the first transition): failure-free runs of
+    /// one prepared grid can share a single frozen mirror — an O(E) build
+    /// per (spec × run) job otherwise — and the sharded engine hands each
+    /// shard a handle to the same frozen replica.
+    peers: Arc<OnlineNeighbors>,
     pull_on_rejoin: bool,
     record_tokens: bool,
     react_to_injections: bool,
@@ -162,13 +185,39 @@ impl<A: Application, S: Strategy> TokenProtocol<A, S> {
     ///
     /// Panics if `initial_online.len()` differs from the topology size.
     pub fn new(topo: Arc<Topology>, strategy: S, app: A, initial_online: Vec<bool>) -> Self {
+        let peers = Arc::new(OnlineNeighbors::new(&topo, &initial_online));
+        Self::with_shared_peers(topo, strategy, app, initial_online, peers)
+    }
+
+    /// Builds the driver around an existing online-neighbour mirror.
+    ///
+    /// The mirror must have been built for this topology and online set;
+    /// failure-free experiment grids build it once per topology and share
+    /// the frozen copy across every run (the first churn transition of a
+    /// run copies it, so sharing is always sound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_online` does not match the topology size or the
+    /// mirror's flags.
+    pub fn with_shared_peers(
+        topo: Arc<Topology>,
+        strategy: S,
+        app: A,
+        initial_online: Vec<bool>,
+        peers: Arc<OnlineNeighbors>,
+    ) -> Self {
         assert_eq!(
             initial_online.len(),
             topo.n(),
             "initial_online length must equal the node count"
         );
+        assert_eq!(
+            peers.online_flags(),
+            &initial_online[..],
+            "shared mirror does not match the initial online set"
+        );
         let n = topo.n();
-        let peers = OnlineNeighbors::new(&topo, &initial_online);
         TokenProtocol {
             strategy,
             app,
@@ -369,7 +418,7 @@ impl<A: Application, S: Strategy> Driver for TokenProtocol<A, S> {
     }
 
     fn on_node_up(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
-        self.peers.set_online(node, true);
+        Arc::make_mut(&mut self.peers).set_online(node, true);
         self.app.on_node_up(node, api.now());
         if self.pull_on_rejoin {
             if let Some(peer) = self.peers.select(node, api.rng()) {
@@ -380,7 +429,7 @@ impl<A: Application, S: Strategy> Driver for TokenProtocol<A, S> {
     }
 
     fn on_node_down(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
-        self.peers.set_online(node, false);
+        Arc::make_mut(&mut self.peers).set_online(node, false);
         self.app.on_node_down(node, api.now());
     }
 

@@ -1,0 +1,433 @@
+//! Sharding the Algorithm-4 driver: [`TokenProtocol`] as a
+//! [`ShardableDriver`].
+//!
+//! A [`TokenProtocolShard`] owns a contiguous block of nodes — their
+//! [`TokenNode`] accounts, their slice of the application state
+//! ([`ApplicationShard`]) — plus a full copy-on-churn replica of the
+//! online-neighbour mirror, kept exact by the engine's replayed churn.
+//! The per-event bodies mirror the serial [`Driver`] implementation
+//! line for line (same strategy evaluations, same RNG draw order, same
+//! counter updates), which the digest-equality tests pin down; any drift
+//! between the two is a bug.
+//!
+//! Metric samples run at window barriers through
+//! [`ShardableApplication::metric_sharded`], which must reproduce
+//! [`Application::metric`] *bitwise*. The two supplied applications show
+//! the two ways to do that: `GossipLearning` folds integer partials
+//! (order-free), `SgdGossipLearning` walks the shards in order so its
+//! f64 accumulation visits nodes in exactly the serial node-id order
+//! (shards are contiguous blocks precisely to allow this).
+//!
+//! [`Driver`]: ta_sim::engine::Driver
+
+use std::sync::Arc;
+
+use ta_metrics::TimeSeries;
+use ta_overlay::sampling::OnlineNeighbors;
+use ta_sim::shard::{BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver};
+use ta_sim::{NodeId, SimConfig, SimTime};
+use token_account::node::{RoundAction, TokenNode};
+use token_account::{Strategy, Usefulness};
+
+use super::{ProtocolMsg, ProtocolStats, ReplyPolicy, TokenProtocol};
+use crate::app::Application;
+
+/// One shard's slice of an application: the node-scoped half of
+/// [`Application`], operating only on owned nodes.
+pub trait ApplicationShard: Send {
+    /// The message payload (must match the parent application's).
+    type Msg: Clone + Send;
+
+    /// `CREATEMESSAGE()` for an owned node.
+    fn create_message(&mut self, node: NodeId) -> Self::Msg;
+
+    /// `UPDATESTATE(m)` at an owned node.
+    fn update_state(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: &Self::Msg,
+        now: SimTime,
+    ) -> Usefulness;
+
+    /// Fresh external data arrives at owned node `target`.
+    fn inject(&mut self, target: NodeId, now: SimTime) {
+        let _ = (target, now);
+    }
+
+    /// Owned `node` came online.
+    fn on_node_up(&mut self, node: NodeId, now: SimTime) {
+        let _ = (node, now);
+    }
+
+    /// Owned `node` went offline.
+    fn on_node_down(&mut self, node: NodeId, now: SimTime) {
+        let _ = (node, now);
+    }
+}
+
+/// An application that can be partitioned across shards.
+pub trait ShardableApplication: Application + Sized {
+    /// One shard's slice of the application state.
+    type Shard: ApplicationShard<Msg = Self::Msg>;
+
+    /// Partitions the state into `plan.shards()` contiguous blocks.
+    fn split(self, plan: &ShardPlan) -> Vec<Self::Shard>;
+
+    /// Reassembles the application (inverse of [`split`](Self::split)).
+    fn merge(plan: &ShardPlan, shards: Vec<Self::Shard>) -> Self;
+
+    /// The performance metric over the partitioned state. **Must equal
+    /// [`Application::metric`] of the assembled state bitwise**: fold
+    /// integer partials, or accumulate f64 by walking `shards` in order
+    /// (contiguous blocks make that the serial node order).
+    fn metric_sharded(shards: &[&Self::Shard], online_count: usize, now: SimTime) -> f64;
+}
+
+/// One shard of the Algorithm-4 driver (see the [module docs](self)).
+pub struct TokenProtocolShard<P: ApplicationShard, S: Strategy> {
+    strategy: S,
+    app: P,
+    /// First owned node index.
+    base: usize,
+    /// Token accounts of the owned block.
+    nodes: Vec<TokenNode>,
+    /// Full online-neighbour replica (copy-on-churn; identical to the
+    /// serial driver's mirror at every instant).
+    peers: Arc<OnlineNeighbors>,
+    pull_on_rejoin: bool,
+    reply_policy: ReplyPolicy,
+    stats: ProtocolStats,
+    sends_per_slot: Vec<u64>,
+    slot_len_us: u64,
+}
+
+impl<P: ApplicationShard, S: Strategy> TokenProtocolShard<P, S> {
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        node.index() - self.base
+    }
+
+    /// Accounts one send in the traffic histogram (transfer-time slots);
+    /// the shard histograms sum elementwise to the serial one.
+    fn record_send_at(&mut self, now: SimTime, cfg: &SimConfig) {
+        if self.slot_len_us == 0 {
+            self.slot_len_us = cfg.transfer_time().as_micros().max(1);
+        }
+        let bucket = (now.as_micros() / self.slot_len_us) as usize;
+        if bucket >= self.sends_per_slot.len() {
+            self.sends_per_slot.resize(bucket + 1, 0);
+        }
+        self.sends_per_slot[bucket] += 1;
+    }
+
+    /// Sends one state copy from owned `node` to a random online
+    /// neighbour. Returns whether a peer was available.
+    fn send_state(&mut self, api: &mut ShardApi<'_, ProtocolMsg<P::Msg>>, node: NodeId) -> bool {
+        match self.peers.select(node, api.rng()) {
+            Some(peer) => {
+                let msg = self.app.create_message(node);
+                api.send(node, peer, ProtocolMsg::App(msg));
+                self.record_send_at(api.now(), api.config());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sends one state copy from owned `node` directly to `peer`.
+    fn send_state_to(
+        &mut self,
+        api: &mut ShardApi<'_, ProtocolMsg<P::Msg>>,
+        node: NodeId,
+        peer: NodeId,
+    ) {
+        let msg = self.app.create_message(node);
+        api.send(node, peer, ProtocolMsg::App(msg));
+        self.record_send_at(api.now(), api.config());
+    }
+}
+
+impl<P: ApplicationShard, S: Strategy> ShardDriver for TokenProtocolShard<P, S> {
+    type Msg = ProtocolMsg<P::Msg>;
+
+    fn on_round_tick(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId) {
+        let local = self.local(node);
+        let action = self.nodes[local].on_round(&self.strategy, api.rng());
+        match action {
+            RoundAction::SendProactive => {
+                if self.send_state(api, node) {
+                    self.stats.proactive_sent += 1;
+                } else {
+                    self.nodes[local].bank_token();
+                    self.stats.proactive_skipped += 1;
+                }
+            }
+            RoundAction::SaveToken => {
+                self.stats.tokens_banked += 1;
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        api: &mut ShardApi<'_, Self::Msg>,
+        from: NodeId,
+        to: NodeId,
+        msg: Self::Msg,
+    ) {
+        let local = self.local(to);
+        match msg {
+            ProtocolMsg::PullRequest => {
+                if self.nodes[local].try_spend_one() {
+                    let reply = self.app.create_message(to);
+                    api.send(to, from, ProtocolMsg::App(reply));
+                    self.record_send_at(api.now(), api.config());
+                    self.stats.pull_replies += 1;
+                } else {
+                    self.stats.pull_ignored += 1;
+                }
+            }
+            ProtocolMsg::App(payload) => {
+                let usefulness = self.app.update_state(to, from, &payload, api.now());
+                let burst = self.nodes[local].on_message(&self.strategy, usefulness, api.rng());
+                for i in 0..burst {
+                    let answered_sender = i == 0
+                        && self.reply_policy == ReplyPolicy::SenderFirst
+                        && self.peers.is_online(from);
+                    if answered_sender {
+                        self.send_state_to(api, to, from);
+                        self.stats.reactive_sent += 1;
+                    } else if self.send_state(api, to) {
+                        self.stats.reactive_sent += 1;
+                    } else {
+                        self.nodes[local].bank_token();
+                        self.stats.reactive_refunded += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_node_up(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId, owned: bool) {
+        Arc::make_mut(&mut self.peers).set_online(node, true);
+        if owned {
+            self.app.on_node_up(node, api.now());
+            if self.pull_on_rejoin {
+                if let Some(peer) = self.peers.select(node, api.rng()) {
+                    api.send(node, peer, ProtocolMsg::PullRequest);
+                    self.stats.pull_requests += 1;
+                }
+            }
+        }
+    }
+
+    fn on_node_down(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId, owned: bool) {
+        Arc::make_mut(&mut self.peers).set_online(node, false);
+        if owned {
+            self.app.on_node_down(node, api.now());
+        }
+    }
+}
+
+/// Coordinator-side state of a sharded [`TokenProtocol`] run: the metric
+/// series the barrier-time sample callback accumulates, plus what merge
+/// needs to reassemble the driver.
+pub struct TokenProtocolGlobal {
+    topo: Arc<ta_overlay::Topology>,
+    metric: TimeSeries,
+    tokens: TimeSeries,
+    record_tokens: bool,
+    react_to_injections: bool,
+}
+
+impl<A, S> ShardableDriver for TokenProtocol<A, S>
+where
+    A: ShardableApplication,
+    A::Msg: Send,
+    S: Strategy + Clone,
+{
+    type Shard = TokenProtocolShard<A::Shard, S>;
+    type Global = TokenProtocolGlobal;
+
+    fn split(self, plan: &ShardPlan) -> (Self::Global, Vec<Self::Shard>) {
+        let apps = self.app.split(plan);
+        assert_eq!(apps.len(), plan.shards(), "application split arity");
+        let mut nodes = self.nodes;
+        let mut node_blocks = Vec::with_capacity(plan.shards());
+        for s in (0..plan.shards()).rev() {
+            node_blocks.push(nodes.split_off(plan.range(s).start));
+        }
+        node_blocks.reverse();
+        let shards = apps
+            .into_iter()
+            .zip(node_blocks)
+            .enumerate()
+            .map(|(s, (app, nodes))| TokenProtocolShard {
+                strategy: self.strategy.clone(),
+                app,
+                base: plan.range(s).start,
+                nodes,
+                peers: Arc::clone(&self.peers),
+                pull_on_rejoin: self.pull_on_rejoin,
+                reply_policy: self.reply_policy,
+                // Pre-run counters belong to shard 0 so the merged sums
+                // equal the serial run's (they are zero in practice: the
+                // driver is split before the first event).
+                stats: if s == 0 {
+                    self.stats
+                } else {
+                    ProtocolStats::default()
+                },
+                sends_per_slot: if s == 0 {
+                    self.sends_per_slot.clone()
+                } else {
+                    Vec::new()
+                },
+                slot_len_us: self.slot_len_us,
+            })
+            .collect();
+        (
+            TokenProtocolGlobal {
+                topo: self.topo,
+                metric: self.metric,
+                tokens: self.tokens,
+                record_tokens: self.record_tokens,
+                react_to_injections: self.react_to_injections,
+            },
+            shards,
+        )
+    }
+
+    fn merge(plan: &ShardPlan, global: Self::Global, shards: Vec<Self::Shard>) -> Self {
+        let _ = plan;
+        let mut shards = shards;
+        let mut stats = ProtocolStats::default();
+        let mut sends_per_slot: Vec<u64> = Vec::new();
+        let mut slot_len_us = 0;
+        for sh in &shards {
+            stats.merge(&sh.stats);
+            if sh.sends_per_slot.len() > sends_per_slot.len() {
+                sends_per_slot.resize(sh.sends_per_slot.len(), 0);
+            }
+            for (acc, v) in sends_per_slot.iter_mut().zip(&sh.sends_per_slot) {
+                *acc += v;
+            }
+            slot_len_us = slot_len_us.max(sh.slot_len_us);
+        }
+        let mut nodes = Vec::new();
+        let mut apps = Vec::with_capacity(shards.len());
+        // Every replica of the mirror saw the identical transition
+        // sequence; shard 0's is the serial driver's mirror.
+        let peers = Arc::clone(&shards[0].peers);
+        let pull_on_rejoin = shards[0].pull_on_rejoin;
+        let reply_policy = shards[0].reply_policy;
+        let strategy = shards[0].strategy.clone();
+        for sh in shards.drain(..) {
+            nodes.extend(sh.nodes);
+            apps.push(sh.app);
+        }
+        TokenProtocol {
+            strategy,
+            app: A::merge(plan, apps),
+            topo: global.topo,
+            nodes,
+            peers,
+            pull_on_rejoin,
+            record_tokens: global.record_tokens,
+            react_to_injections: global.react_to_injections,
+            reply_policy,
+            metric: global.metric,
+            tokens: global.tokens,
+            stats,
+            sends_per_slot,
+            slot_len_us,
+        }
+    }
+
+    fn on_sample(
+        global: &mut Self::Global,
+        shards: &mut [&mut Self::Shard],
+        api: &mut BarrierApi<'_, Self::Msg>,
+    ) {
+        let now = api.now();
+        let online_count = api.online_count();
+        let value = {
+            let apps: Vec<&A::Shard> = shards.iter().map(|sh| &sh.app).collect();
+            A::metric_sharded(&apps, online_count, now)
+        };
+        global.metric.push(now.as_secs_f64(), value);
+        if global.record_tokens {
+            // Shard blocks are contiguous, so folding them in shard order
+            // is the serial node-order fold; sums are integers, so the
+            // division below is bitwise the serial one.
+            let (sum, count) = shards.iter().fold((0i64, 0usize), |(s, c), sh| {
+                let flags = &sh.peers.online_flags()[sh.base..sh.base + sh.nodes.len()];
+                flags
+                    .iter()
+                    .zip(&sh.nodes)
+                    .filter(|(&up, _)| up)
+                    .fold((s, c), |(s, c), (_, node)| (s + node.balance(), c + 1))
+            });
+            let avg = if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            };
+            global.tokens.push(now.as_secs_f64(), avg);
+        }
+    }
+
+    fn on_inject(
+        global: &mut Self::Global,
+        shards: &mut [&mut Self::Shard],
+        api: &mut BarrierApi<'_, Self::Msg>,
+    ) {
+        if let Some(target) = api.random_online_node() {
+            let now = api.now();
+            let shard = api.plan().shard_of(target);
+            let sh = &mut *shards[shard];
+            sh.app.inject(target, now);
+            if global.react_to_injections {
+                let local = target.index() - sh.base;
+                let burst = sh.nodes[local].on_message(&sh.strategy, Usefulness::Useful, api.rng());
+                for _ in 0..burst {
+                    match sh.peers.select(target, api.rng()) {
+                        Some(peer) => {
+                            let msg = sh.app.create_message(target);
+                            api.send(target, peer, ProtocolMsg::App(msg));
+                            sh.record_send_at(now, api.config());
+                            sh.stats.reactive_sent += 1;
+                        }
+                        None => {
+                            sh.nodes[local].bank_token();
+                            sh.stats.reactive_refunded += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<P: ApplicationShard + std::fmt::Debug, S: Strategy> std::fmt::Debug
+    for TokenProtocolShard<P, S>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenProtocolShard")
+            .field("strategy", &self.strategy.label())
+            .field("base", &self.base)
+            .field("owned", &self.nodes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for TokenProtocolGlobal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TokenProtocolGlobal")
+            .field("samples", &self.metric.len())
+            .field("record_tokens", &self.record_tokens)
+            .finish()
+    }
+}

@@ -29,7 +29,10 @@ use ta_sim::rng::Xoshiro256pp;
 use ta_sim::{NodeId, SimTime};
 use token_account::Usefulness;
 
+use ta_sim::shard::ShardPlan;
+
 use crate::app::Application;
+use crate::protocol::sharded::{ApplicationShard, ShardableApplication};
 
 /// A walking linear model: weights plus its visit count (age).
 #[derive(Debug, Clone, PartialEq)]
@@ -196,7 +199,9 @@ impl SgdMsg {
 /// design paid two allocations plus two full copies per message.
 #[derive(Debug, Clone)]
 pub struct SgdGossipLearning {
-    data: RegressionData,
+    /// The dataset, behind an [`Arc`] so shards of a partitioned run can
+    /// share one copy (every node's example is needed for the global MSE).
+    data: Arc<RegressionData>,
     /// Current weight vector per node, shared with in-flight messages.
     weights: Vec<Arc<Vec<f64>>>,
     /// Current model age per node.
@@ -218,7 +223,7 @@ impl SgdGossipLearning {
         let n = data.len();
         let dim = data.dim();
         SgdGossipLearning {
-            data,
+            data: Arc::new(data),
             weights: (0..n).map(|_| Arc::new(vec![0.0; dim])).collect(),
             ages: vec![0; n],
             eta,
@@ -246,17 +251,7 @@ impl SgdGossipLearning {
 
     /// Component-wise average of all stored models.
     pub fn average_model(&self) -> Vec<f64> {
-        let dim = self.data.dim();
-        let mut avg = vec![0.0; dim];
-        for m in &self.weights {
-            for (a, w) in avg.iter_mut().zip(m.iter()) {
-                *a += w;
-            }
-        }
-        for a in avg.iter_mut() {
-            *a /= self.weights.len() as f64;
-        }
-        avg
+        average_model_of(self.data.dim(), self.weights.len(), self.weights.iter())
     }
 
     /// MSE of the average model over the dataset (the reported metric).
@@ -292,41 +287,8 @@ impl Application for SgdGossipLearning {
         _now: SimTime,
     ) -> Usefulness {
         let i = node.index();
-        if msg.age >= self.ages[i] {
-            // Adopt and train in one fused pass (Algorithm 1's
-            // updateModel): out = msg − η·err·x, where the gradient is
-            // evaluated on the incoming model — exactly clone-then-step,
-            // without the intermediate copy.
-            let (x, y) = self.data.example(node);
-            let err: f64 = msg.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() - y;
-            let eta = self.eta;
-            let slot = &mut self.weights[i];
-            match Arc::get_mut(slot) {
-                // Unique buffer: rewrite it in place, no allocation. The
-                // incoming message cannot alias it (aliasing implies a
-                // second reference, and `get_mut` would have refused).
-                Some(buf) => {
-                    for ((b, &m), &v) in buf.iter_mut().zip(msg.weights.iter()).zip(x) {
-                        *b = m - eta * err * v;
-                    }
-                }
-                // Shared with in-flight messages: leave their snapshot
-                // untouched and build the successor buffer directly.
-                None => {
-                    *slot = Arc::new(
-                        msg.weights
-                            .iter()
-                            .zip(x)
-                            .map(|(&m, &v)| m - eta * err * v)
-                            .collect(),
-                    );
-                }
-            }
-            self.ages[i] = msg.age + 1;
-            Usefulness::Useful
-        } else {
-            Usefulness::NotUseful
-        }
+        let (x, y) = self.data.example(node);
+        fused_adopt(&mut self.weights[i], &mut self.ages[i], x, y, self.eta, msg)
     }
 
     fn metric(&self, _online_count: usize, _now: SimTime) -> f64 {
@@ -335,6 +297,160 @@ impl Application for SgdGossipLearning {
 
     fn name(&self) -> &'static str {
         "sgd-gossip-learning"
+    }
+}
+
+/// The fused adopt-and-train pass (Algorithm 1's `updateModel`), shared by
+/// the serial application and its shard so the arithmetic cannot drift:
+/// `out = msg − η·err·x` with the gradient evaluated on the incoming model
+/// — exactly clone-then-step without the intermediate copy. In-place when
+/// the node's buffer is unshared, copy-on-write otherwise (in-flight
+/// messages keep their snapshot).
+fn fused_adopt(
+    slot: &mut Arc<Vec<f64>>,
+    age: &mut u64,
+    x: &[f64],
+    y: f64,
+    eta: f64,
+    msg: &SgdMsg,
+) -> Usefulness {
+    if msg.age >= *age {
+        let err: f64 = msg.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() - y;
+        match Arc::get_mut(slot) {
+            // Unique buffer: rewrite it in place, no allocation. The
+            // incoming message cannot alias it (aliasing implies a second
+            // reference, and `get_mut` would have refused).
+            Some(buf) => {
+                for ((b, &m), &v) in buf.iter_mut().zip(msg.weights.iter()).zip(x) {
+                    *b = m - eta * err * v;
+                }
+            }
+            // Shared with in-flight messages: leave their snapshot
+            // untouched and build the successor buffer directly.
+            None => {
+                *slot = Arc::new(
+                    msg.weights
+                        .iter()
+                        .zip(x)
+                        .map(|(&m, &v)| m - eta * err * v)
+                        .collect(),
+                );
+            }
+        }
+        *age = msg.age + 1;
+        Usefulness::Useful
+    } else {
+        Usefulness::NotUseful
+    }
+}
+
+/// Component-wise mean of `n` models visited in iteration order; one
+/// implementation for the serial metric and the sharded fold so the f64
+/// addition sequence is identical (the sharded caller chains the shard
+/// blocks in shard order, which *is* node order for contiguous blocks).
+fn average_model_of<'a, I: Iterator<Item = &'a Arc<Vec<f64>>>>(
+    dim: usize,
+    n: usize,
+    models: I,
+) -> Vec<f64> {
+    let mut avg = vec![0.0; dim];
+    for m in models {
+        for (a, w) in avg.iter_mut().zip(m.iter()) {
+            *a += w;
+        }
+    }
+    for a in avg.iter_mut() {
+        *a /= n as f64;
+    }
+    avg
+}
+
+/// One shard's block of [`SgdGossipLearning`]: the owned models plus a
+/// shared handle to the full dataset.
+#[derive(Debug, Clone)]
+pub struct SgdGossipLearningShard {
+    base: usize,
+    data: Arc<RegressionData>,
+    weights: Vec<Arc<Vec<f64>>>,
+    ages: Vec<u64>,
+    eta: f64,
+}
+
+impl ApplicationShard for SgdGossipLearningShard {
+    type Msg = SgdMsg;
+
+    fn create_message(&mut self, node: NodeId) -> SgdMsg {
+        let i = node.index() - self.base;
+        SgdMsg {
+            weights: Arc::clone(&self.weights[i]),
+            age: self.ages[i],
+        }
+    }
+
+    fn update_state(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: &SgdMsg,
+        _now: SimTime,
+    ) -> Usefulness {
+        let i = node.index() - self.base;
+        let (x, y) = self.data.example(node);
+        fused_adopt(&mut self.weights[i], &mut self.ages[i], x, y, self.eta, msg)
+    }
+}
+
+impl ShardableApplication for SgdGossipLearning {
+    type Shard = SgdGossipLearningShard;
+
+    fn split(self, plan: &ShardPlan) -> Vec<SgdGossipLearningShard> {
+        let mut weights = self.weights;
+        let mut ages = self.ages;
+        let mut blocks = Vec::with_capacity(plan.shards());
+        for s in (0..plan.shards()).rev() {
+            let start = plan.range(s).start;
+            blocks.push((weights.split_off(start), ages.split_off(start)));
+        }
+        blocks.reverse();
+        blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, (weights, ages))| SgdGossipLearningShard {
+                base: plan.range(s).start,
+                data: Arc::clone(&self.data),
+                weights,
+                ages,
+                eta: self.eta,
+            })
+            .collect()
+    }
+
+    fn merge(_plan: &ShardPlan, shards: Vec<SgdGossipLearningShard>) -> Self {
+        let data = Arc::clone(&shards[0].data);
+        let eta = shards[0].eta;
+        let mut weights = Vec::new();
+        let mut ages = Vec::new();
+        for sh in shards {
+            weights.extend(sh.weights);
+            ages.extend(sh.ages);
+        }
+        SgdGossipLearning {
+            data,
+            weights,
+            ages,
+            eta,
+        }
+    }
+
+    fn metric_sharded(
+        shards: &[&SgdGossipLearningShard],
+        _online_count: usize,
+        _now: SimTime,
+    ) -> f64 {
+        let data = &shards[0].data;
+        let n: usize = shards.iter().map(|s| s.weights.len()).sum();
+        let avg = average_model_of(data.dim(), n, shards.iter().flat_map(|s| s.weights.iter()));
+        data.mse(&avg)
     }
 }
 

@@ -17,6 +17,7 @@ fn micro_opts(tag: &str) -> FigureOpts {
         seed: 42,
         out_dir: std::env::temp_dir().join(format!("ta-bench-figures-{tag}")),
         full: false,
+        shards: None,
     }
 }
 

@@ -13,6 +13,11 @@
 //!   churn (two-pass scan vs. rejection fallback vs. packed mirror), and
 //!   the end-to-end SGD gossip-learning workload against the
 //!   [`crate::legacy_proto`] baseline;
+//! * **shard** — the intra-run sharded engine: S=1 overhead against the
+//!   monomorphized serial engine, multi-shard scaling at S ∈ {2, 4}
+//!   (results are byte-identical across all of them; only wall-clock
+//!   differs — on a single-core container the multi-shard rows measure
+//!   the barrier tax, not a speedup);
 //! * **sweep** — wall-clock seconds for a micro parameter sweep through the
 //!   bounded-pool grid executor.
 //!
@@ -125,6 +130,34 @@ fn periodic_offsets(n: usize) -> Vec<u64> {
         .collect()
 }
 
+/// Reactive-burst insertion: rounds of `k` pushes sharing one deadline
+/// (`now + transfer_time`, the pattern every reactive burst produces),
+/// drained between rounds. `batched` routes each round through
+/// [`EventQueue::push_keyed_run`] — one slot classification per burst —
+/// instead of per-event `push_keyed`.
+fn burst_push_drain(batched: bool, bursts: u64, k: u64) -> u64 {
+    use ta_sim::queue::order_key;
+    let mut wheel: TimingWheel<u64> = TimingWheel::new();
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for b in 0..bursts {
+        let t = SimTime::from_micros(now + 1_728_000);
+        if batched {
+            wheel.push_keyed_run(t, (0..k).map(|j| (order_key(j as u32, b), j)));
+        } else {
+            for j in 0..k {
+                wheel.push_keyed(t, order_key(j as u32, b), j);
+            }
+        }
+        while let Some(s) = wheel.pop() {
+            acc ^= s.event;
+        }
+        now = t.as_micros();
+    }
+    black_box(acc);
+    2 * bursts * k
+}
+
 fn bench_event_queue(smoke: bool) -> Vec<Sample> {
     let workloads = [
         ("uniform", uniform_offsets(PENDING + OPS)),
@@ -145,6 +178,17 @@ fn bench_event_queue(smoke: bool) -> Vec<Sample> {
             value: measure_events_per_sec(|| queue_churn(TimingWheel::new(), offsets), smoke),
         });
     }
+    // Same-deadline burst batching (the ROADMAP "reactive-burst send
+    // batching" item): per-push vs. one-classification-per-run insertion.
+    let (bursts, k) = if smoke { (2_000, 16) } else { (40_000, 16) };
+    samples.push(Sample {
+        id: "slab_wheel/burst16_single".into(),
+        value: measure_events_per_sec(|| burst_push_drain(false, bursts, k), smoke),
+    });
+    samples.push(Sample {
+        id: "slab_wheel/burst16_batched".into(),
+        value: measure_events_per_sec(|| burst_push_drain(true, bursts, k), smoke),
+    });
     samples
 }
 
@@ -426,6 +470,76 @@ fn bench_protocol(smoke: bool) -> Vec<Sample> {
     samples
 }
 
+/// One gossip-learning (age-only) run through the serial or the sharded
+/// engine; returns events processed. The workload is message-dominated
+/// (accounts fill within a few rounds) so cross-shard traffic is heavy —
+/// the honest case for the barrier overhead.
+fn shard_gossip_run(
+    topo: &Arc<ta_overlay::Topology>,
+    rounds: u64,
+    mode: Option<(usize, usize)>,
+) -> u64 {
+    use ta_apps::gossip_learning::GossipLearning;
+    use ta_sim::shard::ShardedSimulation;
+    let n = topo.n();
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .sample_period(paper::DELTA)
+        .queue(QueueKind::Wheel)
+        .seed(37)
+        .build()
+        .expect("valid bench config");
+    let app = GossipLearning::new(n, paper::TRANSFER_TIME, &vec![true; n]);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let proto = TokenProtocol::new(Arc::clone(topo), strategy, app, vec![true; n]);
+    match mode {
+        None => {
+            let mut sim = Simulation::new(cfg, &AlwaysOn, proto);
+            sim.run_to_end();
+            sim.stats().events_processed
+        }
+        Some((shards, threads)) => {
+            let mut sim = ShardedSimulation::new(cfg, &AlwaysOn, proto, shards, threads);
+            sim.run_to_end();
+            sim.stats().events_processed
+        }
+    }
+}
+
+/// The `shard` section: S=1 overhead against the monomorphized serial
+/// engine, and multi-shard scaling at S ∈ {2, 4} (threads = S). All four
+/// runs are byte-identical in results; only wall-clock differs.
+fn bench_shard(smoke: bool) -> Vec<Sample> {
+    let (n, rounds) = if smoke { (300, 6) } else { (2_000, 24) };
+    let mut rng = Xoshiro256pp::stream(41, 0);
+    let topo = Arc::new(k_out_random(n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
+    let mut samples = Vec::new();
+    samples.push(Sample {
+        id: "gossip/serial_engine".into(),
+        value: measure_events_per_sec(|| shard_gossip_run(&topo, rounds, None), smoke),
+    });
+    for (id, shards, threads) in [
+        ("gossip/s1_t1", 1, 1),
+        // s2_t1 runs two shards on the coordinator thread alone: it
+        // isolates the window/exchange machinery from thread context
+        // switches (the two are indistinguishable in s2_t2 on one core).
+        ("gossip/s2_t1", 2, 1),
+        ("gossip/s2_t2", 2, 2),
+        ("gossip/s4_t4", 4, 4),
+    ] {
+        samples.push(Sample {
+            id: id.into(),
+            value: measure_events_per_sec(
+                || shard_gossip_run(&topo, rounds, Some((shards, threads))),
+                smoke,
+            ),
+        });
+    }
+    samples
+}
+
 /// Times a micro sweep through the bounded-pool grid executor.
 fn bench_sweep(smoke: bool) -> (f64, usize, usize) {
     let runs = 2;
@@ -493,6 +607,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     let engine_samples = bench_engine(smoke);
     eprintln!("bench_sim: protocol...");
     let protocol_samples = bench_protocol(smoke);
+    eprintln!("bench_sim: shard...");
+    let shard_samples = bench_shard(smoke);
     eprintln!("bench_sim: sweep...");
     let (sweep_wall, sweep_jobs, workers) = bench_sweep(smoke);
 
@@ -545,6 +661,22 @@ pub fn run(smoke: bool, out_path: &str) -> String {
             value: find(&protocol_samples, "sgd/monomorphized_arc")
                 / find(&protocol_samples, "sgd/legacy_boxed_cloning"),
         });
+        // Burst batching and sharded-engine headlines.
+        v.push(Sample {
+            id: "event_queue_burst16_batched_vs_single".into(),
+            value: find(&queue_samples, "slab_wheel/burst16_batched")
+                / find(&queue_samples, "slab_wheel/burst16_single"),
+        });
+        for (id, sample) in [
+            ("shard_s1_vs_serial_engine", "gossip/s1_t1"),
+            ("shard_s2_vs_serial_engine", "gossip/s2_t2"),
+            ("shard_s4_vs_serial_engine", "gossip/s4_t4"),
+        ] {
+            v.push(Sample {
+                id: id.into(),
+                value: find(&shard_samples, sample) / find(&shard_samples, "gossip/serial_engine"),
+            });
+        }
         v
     };
 
@@ -557,12 +689,13 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
+        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"shard\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
     );
     json_section(&mut out, "scale", &scale_samples(smoke), false);
     json_section(&mut out, "event_queue", &queue_samples, false);
     json_section(&mut out, "engine", &engine_samples, false);
     json_section(&mut out, "protocol", &protocol_samples, false);
+    json_section(&mut out, "shard", &shard_samples, false);
     json_section(&mut out, "speedup", &speedups, false);
     let _ = writeln!(out, "  \"sweep\": {{");
     let _ = writeln!(out, "    \"wall_clock_seconds\": {sweep_wall:.3},");
@@ -731,6 +864,16 @@ mod tests {
             "protocol_node_step_monomorphized_vs_boxed",
             "protocol_sampling_packed_vs_two_pass",
             "protocol_sgd_end_to_end_vs_legacy",
+            "\"shard\"",
+            "gossip/serial_engine",
+            "gossip/s1_t1",
+            "gossip/s2_t1",
+            "gossip/s2_t2",
+            "gossip/s4_t4",
+            "shard_s1_vs_serial_engine",
+            "slab_wheel/burst16_single",
+            "slab_wheel/burst16_batched",
+            "event_queue_burst16_batched_vs_single",
             "wall_clock_seconds",
         ] {
             assert!(report.contains(key), "missing {key} in report:\n{report}");

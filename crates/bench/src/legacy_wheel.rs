@@ -234,6 +234,11 @@ impl<E> EventQueue<E> for LegacyVecWheel<E> {
         self.len += 1;
     }
 
+    fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.insert_raw(time, key, event);
+        self.len += 1;
+    }
+
     fn pop(&mut self) -> Option<Scheduled<E>> {
         if !self.ensure_ready() {
             return None;

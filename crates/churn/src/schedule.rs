@@ -225,8 +225,12 @@ impl AvailabilityModel for AvailabilitySchedule {
         self.segments[node.index()].initial_online
     }
 
-    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
-        self.segments[node.index()].transitions.clone()
+    fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool)) {
+        // Stream the stored slice directly: engine setup at large N used to
+        // clone one Vec per node through the `transitions` wrapper.
+        for &(time, up) in &self.segments[node.index()].transitions {
+            f(time, up);
+        }
     }
 }
 

@@ -26,8 +26,10 @@ pub trait StrategyVisitor {
     /// The result produced from the concrete strategy.
     type Output;
 
-    /// Called with the strategy built from the spec.
-    fn visit<S: Strategy + 'static>(self, strategy: S) -> Self::Output;
+    /// Called with the strategy built from the spec. The `Clone` bound
+    /// lets visitors hand one copy per shard to the sharded engine; every
+    /// concrete strategy is a small `Copy` value.
+    fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> Self::Output;
 }
 
 /// A declarative strategy description.

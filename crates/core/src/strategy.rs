@@ -141,6 +141,33 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+impl<S: Strategy + ?Sized> Strategy for std::sync::Arc<S> {
+    fn proactive(&self, balance: i64) -> f64 {
+        (**self).proactive(balance)
+    }
+    fn reactive(&self, balance: i64, usefulness: Usefulness) -> f64 {
+        (**self).reactive(balance, usefulness)
+    }
+    fn capacity(&self) -> Capacity {
+        (**self).capacity()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+    fn allows_debt(&self) -> bool {
+        (**self).allows_debt()
+    }
+    fn proactive_smooth(&self, balance: f64) -> f64 {
+        (**self).proactive_smooth(balance)
+    }
+    fn reactive_smooth(&self, balance: f64, usefulness: Usefulness) -> f64 {
+        (**self).reactive_smooth(balance, usefulness)
+    }
+}
+
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn proactive(&self, balance: i64) -> f64 {
         (**self).proactive(balance)

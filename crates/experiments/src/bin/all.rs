@@ -16,6 +16,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.export_parallelism();
     type Step = fn(&FigureOpts) -> Result<ta_experiments::Report, figures::FigureError>;
     let mut failed = false;
     match figures::fig1::run(&opts) {

@@ -15,6 +15,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.export_parallelism();
     match burstiness::run(&opts) {
         Ok(report) => {
             report.print();

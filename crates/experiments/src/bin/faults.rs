@@ -13,6 +13,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.export_parallelism();
     match faults::run(&opts) {
         Ok(report) => {
             report.print();

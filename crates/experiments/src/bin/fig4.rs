@@ -13,6 +13,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.export_parallelism();
     match fig4::run(&opts) {
         Ok(report) => {
             report.print();

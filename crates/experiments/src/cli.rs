@@ -8,6 +8,7 @@
 //! --rounds <k>      proactive rounds to simulate (paper: 1000)
 //! --seed <s>        master seed
 //! --out <dir>       output directory for .dat files (default: results)
+//! --shards <s>      intra-run shards per replica (default: auto)
 //! --full            paper-scale defaults (N, rounds, runs as in the paper)
 //! ```
 //!
@@ -32,6 +33,12 @@ pub struct FigureOpts {
     pub out_dir: PathBuf,
     /// Use paper-scale defaults.
     pub full: bool,
+    /// Intra-run shard count override (`--shards`): forces every replica
+    /// through the sharded engine with this many shards. `None` lets the
+    /// runner trade across-run vs. intra-run parallelism itself. Never
+    /// affects results — the sharded engine is byte-identical to the
+    /// serial one.
+    pub shards: Option<usize>,
 }
 
 impl Default for FigureOpts {
@@ -43,6 +50,7 @@ impl Default for FigureOpts {
             seed: 1,
             out_dir: PathBuf::from("results"),
             full: false,
+            shards: None,
         }
     }
 }
@@ -60,7 +68,7 @@ impl fmt::Display for ParseOptsError {
 impl std::error::Error for ParseOptsError {}
 
 /// The usage string printed by `--help`.
-pub const USAGE: &str = "options:\n  --n <nodes>     network size override\n  --runs <k>      runs per configuration\n  --rounds <k>    proactive rounds (paper: 1000)\n  --seed <s>      master seed (default 1)\n  --out <dir>     output directory (default: results)\n  --full          paper-scale defaults\n  --help          this text";
+pub const USAGE: &str = "options:\n  --n <nodes>     network size override\n  --runs <k>      runs per configuration\n  --rounds <k>    proactive rounds (paper: 1000)\n  --seed <s>      master seed (default 1)\n  --out <dir>     output directory (default: results)\n  --shards <s>    intra-run shards per replica (default: auto; results\n                  are identical for every value)\n  --full          paper-scale defaults\n  --help          this text";
 
 impl FigureOpts {
     /// Parses options from an argument iterator (without the program name).
@@ -109,6 +117,16 @@ impl FigureOpts {
                 "--out" => {
                     opts.out_dir = PathBuf::from(value_for("--out")?);
                 }
+                "--shards" => {
+                    let v = value_for("--shards")?;
+                    let s: usize = v
+                        .parse()
+                        .map_err(|_| ParseOptsError(format!("bad --shards value `{v}`")))?;
+                    if s == 0 {
+                        return Err(ParseOptsError("--shards must be at least 1".into()));
+                    }
+                    opts.shards = Some(s);
+                }
                 "--full" => opts.full = true,
                 "--help" | "-h" => return Err(ParseOptsError(USAGE.to_string())),
                 other => {
@@ -117,6 +135,16 @@ impl FigureOpts {
             }
         }
         Ok(opts)
+    }
+
+    /// Exports the parallelism knobs to the environment the runner reads
+    /// (`TA_SHARDS`): figure binaries call this once after parsing, so the
+    /// whole figure pipeline — which threads specs through
+    /// `run_grid_prepared` without plumbing options — sees the choice.
+    pub fn export_parallelism(&self) {
+        if let Some(s) = self.shards {
+            std::env::set_var("TA_SHARDS", s.to_string());
+        }
     }
 
     /// Effective network size: explicit override, else paper scale under
@@ -183,5 +211,14 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         let help = parse(&["--help"]).unwrap_err();
         assert!(help.to_string().contains("--rounds"));
+        assert!(help.to_string().contains("--shards"));
+    }
+
+    #[test]
+    fn shards_parse_and_validate() {
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, Some(4));
+        assert_eq!(parse(&[]).unwrap().shards, None);
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "x"]).is_err());
     }
 }

@@ -30,6 +30,20 @@ pub fn max_workers() -> usize {
     }
 }
 
+/// Explicit intra-run shard count from the `TA_SHARDS` environment
+/// variable (the `--shards` CLI knob exports it), or `None` to let the
+/// runner trade across-run against intra-run parallelism itself.
+///
+/// Shard count never affects results — the sharded engine is
+/// byte-identical to the serial one for every `TA_SHARDS` — so this knob
+/// is purely about wall-clock scheduling.
+pub fn shard_override() -> Option<usize> {
+    match std::env::var("TA_SHARDS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1),
+        Err(_) => None,
+    }
+}
+
 /// Runs `jobs` independent closures `f(0..jobs)` on a bounded pool and
 /// returns their results in job order.
 ///

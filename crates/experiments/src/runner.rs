@@ -8,6 +8,14 @@
 //! [`crate::pool`]; [`run_grid_prepared`] additionally flattens a whole
 //! *(spec × run)* grid — a figure panel or the Section 4.2 sweep — into one
 //! job list so every core stays busy across cells, not just within one.
+//!
+//! When even the flattened grid cannot fill the pool (one huge-N spec, a
+//! straggler tail), replicas of shardable applications are routed through
+//! the intra-run sharded engine ([`ta_sim::shard::ShardedSimulation`])
+//! instead — `TA_SHARDS`/`--shards` overrides the automatic trade. Either
+//! path produces byte-identical results; failure-free specs additionally
+//! share one frozen copy-on-churn `OnlineNeighbors` mirror across all
+//! their runs (built once per prepared topology instead of once per job).
 
 use std::error::Error;
 use std::fmt;
@@ -17,17 +25,20 @@ use serde::{Deserialize, Serialize};
 use ta_apps::app::Application;
 use ta_apps::chaotic::ChaoticIteration;
 use ta_apps::gossip_learning::GossipLearning;
+use ta_apps::protocol::sharded::ShardableApplication;
 use ta_apps::protocol::{ProtocolStats, TokenProtocol};
 use ta_apps::push_gossip::PushGossip;
 use ta_churn::schedule::AvailabilitySchedule;
 use ta_churn::synthetic::SmartphoneTraceModel;
 use ta_metrics::TimeSeries;
 use ta_overlay::generators::{k_out_random, watts_strogatz_strongly_connected, GenerateError};
+use ta_overlay::sampling::OnlineNeighbors;
 use ta_overlay::spectral::{dominant_eigenvector, NotStochasticError};
 use ta_overlay::Topology;
 use ta_sim::config::{InvalidConfigError, SimConfig};
 use ta_sim::engine::{SimStats, Simulation};
 use ta_sim::rng::{SplitMix64, Xoshiro256pp};
+use ta_sim::shard::ShardedSimulation;
 use ta_sim::NodeId;
 use token_account::{InvalidStrategyError, Strategy, StrategyVisitor};
 
@@ -182,6 +193,17 @@ fn build_config(spec: &ExperimentSpec, run: usize) -> Result<SimConfig, InvalidC
     builder.build()
 }
 
+/// How one replica executes: serially, or sharded over the intra-run
+/// engine with `shards` blocks (and as many worker threads).
+///
+/// Sharding never changes results — the sharded engine is byte-identical
+/// to the serial one — so this is purely a wall-clock scheduling choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    Serial,
+    Sharded(usize),
+}
+
 /// Monomorphizing bridge from the serializable [`StrategySpec`] to
 /// [`run_single`]: `visit` compiles once per concrete strategy family, so
 /// the whole simulation loop below it runs with direct strategy calls.
@@ -189,6 +211,7 @@ struct SingleRun<'a, A, F> {
     spec: &'a ExperimentSpec,
     run: usize,
     topo: &'a Arc<Topology>,
+    mirror: Option<&'a Arc<OnlineNeighbors>>,
     make_app: F,
     _app: std::marker::PhantomData<fn() -> A>,
 }
@@ -200,8 +223,53 @@ where
 {
     type Output = Result<RunOutcome, RunError>;
 
-    fn visit<S: Strategy + 'static>(self, strategy: S) -> Self::Output {
-        run_single(self.spec, self.run, self.topo, self.make_app, strategy)
+    fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> Self::Output {
+        run_single(
+            self.spec,
+            self.run,
+            self.topo,
+            self.mirror,
+            self.make_app,
+            strategy,
+        )
+    }
+}
+
+/// The [`SingleRun`] counterpart for shardable applications: dispatches
+/// into the intra-run sharded engine.
+struct SingleRunSharded<'a, A, F> {
+    spec: &'a ExperimentSpec,
+    run: usize,
+    topo: &'a Arc<Topology>,
+    mirror: Option<&'a Arc<OnlineNeighbors>>,
+    make_app: F,
+    shards: usize,
+    _app: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A, F> StrategyVisitor for SingleRunSharded<'_, A, F>
+where
+    A: ShardableApplication,
+    A::Msg: Send,
+    F: FnOnce(&[bool]) -> A,
+{
+    type Output = Result<RunOutcome, RunError>;
+
+    fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> Self::Output {
+        let cfg = build_config(self.spec, self.run)?;
+        let schedule = build_schedule(self.spec, self.run);
+        let proto = build_protocol(
+            self.spec,
+            self.topo,
+            self.mirror,
+            &schedule,
+            self.make_app,
+            strategy,
+        );
+        let mut sim = ShardedSimulation::new(cfg, &schedule, proto, self.shards, self.shards);
+        sim.run_to_end();
+        let (proto, sim_stats) = sim.into_parts();
+        Ok(outcome_of(proto.into_results(), sim_stats))
     }
 }
 
@@ -211,6 +279,7 @@ fn run_single_dispatched<A, F>(
     spec: &ExperimentSpec,
     run: usize,
     topo: &Arc<Topology>,
+    mirror: Option<&Arc<OnlineNeighbors>>,
     make_app: F,
 ) -> Result<RunOutcome, RunError>
 where
@@ -222,16 +291,76 @@ where
             spec,
             run,
             topo,
+            mirror,
             make_app,
             _app: std::marker::PhantomData,
         })
         .map_err(RunError::Strategy)?
 }
 
+/// Shared construction of the Algorithm-4 driver, used by both the serial
+/// and the sharded replica paths (so the two cannot drift). Failure-free
+/// specs reuse the prepared grid's frozen online-neighbour `mirror` (an
+/// O(E) build otherwise); the first churn transition of a run copies it,
+/// so sharing is always sound.
+fn build_protocol<A, S, F>(
+    spec: &ExperimentSpec,
+    topo: &Arc<Topology>,
+    mirror: Option<&Arc<OnlineNeighbors>>,
+    schedule: &AvailabilitySchedule,
+    make_app: F,
+    strategy: S,
+) -> TokenProtocol<A, S>
+where
+    A: Application,
+    S: Strategy,
+    F: FnOnce(&[bool]) -> A,
+{
+    let initial_online: Vec<bool> = (0..spec.n)
+        .map(|i| schedule.segment(NodeId::from_index(i)).initial_online)
+        .collect();
+    let app = make_app(&initial_online);
+    let mut proto = match (mirror, spec.churn) {
+        (Some(m), ChurnKind::None) => TokenProtocol::with_shared_peers(
+            Arc::clone(topo),
+            strategy,
+            app,
+            initial_online,
+            Arc::clone(m),
+        ),
+        _ => TokenProtocol::new(Arc::clone(topo), strategy, app, initial_online),
+    };
+    proto = proto.with_reply_policy(spec.reply_policy);
+    if spec.record_tokens {
+        proto = proto.with_token_recording();
+    }
+    if spec.react_to_injections {
+        proto = proto.with_injection_reaction();
+    }
+    if matches!(spec.app, AppKind::PushGossip) && matches!(spec.churn, ChurnKind::SmartphoneTrace) {
+        proto = proto.with_pull_on_rejoin();
+    }
+    proto
+}
+
+fn outcome_of<A>(
+    results: ta_apps::protocol::ProtocolResults<A>,
+    sim_stats: SimStats,
+) -> RunOutcome {
+    RunOutcome {
+        metric: results.metric,
+        tokens: results.tokens,
+        protocol: results.stats,
+        sim: sim_stats,
+        sends_per_slot: results.sends_per_slot,
+    }
+}
+
 fn run_single<A, S, F>(
     spec: &ExperimentSpec,
     run: usize,
     topo: &Arc<Topology>,
+    mirror: Option<&Arc<OnlineNeighbors>>,
     make_app: F,
     strategy: S,
 ) -> Result<RunOutcome, RunError>
@@ -242,32 +371,11 @@ where
 {
     let cfg = build_config(spec, run)?;
     let schedule = build_schedule(spec, run);
-    let initial_online: Vec<bool> = (0..spec.n)
-        .map(|i| schedule.segment(NodeId::from_index(i)).initial_online)
-        .collect();
-    let app = make_app(&initial_online);
-    let mut proto = TokenProtocol::new(Arc::clone(topo), strategy, app, initial_online)
-        .with_reply_policy(spec.reply_policy);
-    if spec.record_tokens {
-        proto = proto.with_token_recording();
-    }
-    if spec.react_to_injections {
-        proto = proto.with_injection_reaction();
-    }
-    if matches!(spec.app, AppKind::PushGossip) && matches!(spec.churn, ChurnKind::SmartphoneTrace) {
-        proto = proto.with_pull_on_rejoin();
-    }
+    let proto = build_protocol(spec, topo, mirror, &schedule, make_app, strategy);
     let mut sim = Simulation::new(cfg, &schedule, proto);
     sim.run_to_end();
     let (proto, sim_stats) = sim.into_parts();
-    let results = proto.into_results();
-    Ok(RunOutcome {
-        metric: results.metric,
-        tokens: results.tokens,
-        protocol: results.stats,
-        sim: sim_stats,
-        sends_per_slot: results.sends_per_slot,
-    })
+    Ok(outcome_of(proto.into_results(), sim_stats))
 }
 
 fn dispatch_run(
@@ -275,21 +383,41 @@ fn dispatch_run(
     run: usize,
     topo: &Arc<Topology>,
     reference: &Option<Arc<Vec<f64>>>,
+    mirror: Option<&Arc<OnlineNeighbors>>,
+    mode: RunMode,
 ) -> Result<RunOutcome, RunError> {
     match spec.app {
         AppKind::GossipLearning => {
-            run_single_dispatched::<GossipLearning, _>(spec, run, topo, |online| {
-                GossipLearning::new(spec.n, spec.transfer, online)
+            let make = |online: &[bool]| GossipLearning::new(spec.n, spec.transfer, online);
+            // The only shardable runner application so far; the other
+            // apps fall back to the serial engine regardless of the
+            // requested shard count (results are identical either way).
+            match mode {
+                RunMode::Sharded(shards) if shards > 1 => spec
+                    .strategy
+                    .dispatch(SingleRunSharded {
+                        spec,
+                        run,
+                        topo,
+                        mirror,
+                        make_app: make,
+                        shards,
+                        _app: std::marker::PhantomData,
+                    })
+                    .map_err(RunError::Strategy)?,
+                _ => run_single_dispatched::<GossipLearning, _>(spec, run, topo, mirror, make),
+            }
+        }
+        AppKind::PushGossip => {
+            run_single_dispatched::<PushGossip, _>(spec, run, topo, mirror, |online| {
+                PushGossip::new(spec.n, online)
             })
         }
-        AppKind::PushGossip => run_single_dispatched::<PushGossip, _>(spec, run, topo, |online| {
-            PushGossip::new(spec.n, online)
-        }),
         AppKind::ChaoticIteration => {
             let reference = reference
                 .as_ref()
                 .expect("reference eigenvector precomputed for chaotic runs");
-            run_single_dispatched::<ChaoticIteration, _>(spec, run, topo, |_online| {
+            run_single_dispatched::<ChaoticIteration, _>(spec, run, topo, mirror, |_online| {
                 let mut app =
                     ChaoticIteration::with_reference(Arc::clone(topo), reference.as_ref().clone());
                 // Algorithm 3 starts from "any positive value"; a random
@@ -311,10 +439,17 @@ pub struct PreparedTopology {
     pub topo: Arc<Topology>,
     /// Reference dominant eigenvector (chaotic iteration only).
     pub reference: Option<Arc<Vec<f64>>>,
+    /// Frozen all-online neighbour mirror, shared by every run of a
+    /// failure-free spec (the O(E) build — five passes over the edge set —
+    /// used to repeat once per (spec × run) job). Copy-on-churn: runs
+    /// under churn copy it on their first transition, so sharing is
+    /// unconditionally sound.
+    pub frozen_mirror: Option<Arc<OnlineNeighbors>>,
 }
 
 /// Builds the topology for `spec` and, for chaotic iteration, computes the
-/// reference eigenvector once.
+/// reference eigenvector once. Failure-free specs also get the frozen
+/// all-online neighbour mirror shared across their runs.
 ///
 /// # Errors
 ///
@@ -325,7 +460,15 @@ pub fn prepare_topology(spec: &ExperimentSpec) -> Result<PreparedTopology, RunEr
         AppKind::ChaoticIteration => Some(Arc::new(dominant_eigenvector(&topo, 200_000, 1e-13)?)),
         _ => None,
     };
-    Ok(PreparedTopology { topo, reference })
+    let frozen_mirror = match spec.churn {
+        ChurnKind::None => Some(Arc::new(OnlineNeighbors::new(&topo, &vec![true; spec.n]))),
+        ChurnKind::SmartphoneTrace => None,
+    };
+    Ok(PreparedTopology {
+        topo,
+        reference,
+        frozen_mirror,
+    })
 }
 
 /// Runs all replicas of `spec` (in parallel) and averages the series.
@@ -406,11 +549,34 @@ pub fn run_grid_prepared(
         .enumerate()
         .flat_map(|(s, spec)| (0..spec.runs).map(move |r| (s, r)))
         .collect();
+    // Trade across-run against intra-run parallelism: while the job list
+    // alone can fill the pool, run every replica serially; once there are
+    // fewer jobs than workers (one huge-N spec, a tail of stragglers),
+    // shard each replica so the machine stays saturated. `TA_SHARDS`
+    // overrides the choice; results are byte-identical either way.
+    let mode = match crate::pool::shard_override() {
+        Some(s) => {
+            if s > 1 {
+                RunMode::Sharded(s)
+            } else {
+                RunMode::Serial
+            }
+        }
+        None => {
+            let workers = crate::pool::max_workers();
+            if jobs.len() >= workers {
+                RunMode::Serial
+            } else {
+                RunMode::Sharded((workers / jobs.len().max(1)).clamp(1, 8))
+            }
+        }
+    };
     let topo = Arc::clone(&prepared.topo);
     let reference = prepared.reference.clone();
+    let mirror = prepared.frozen_mirror.clone();
     let mut outcomes = crate::pool::run_indexed(jobs.len(), |j| {
         let (s, run) = jobs[j];
-        dispatch_run(&specs[s], run, &topo, &reference)
+        dispatch_run(&specs[s], run, &topo, &reference, mirror.as_ref(), mode)
             .expect("validated spec cannot fail at run time")
     });
 
@@ -575,6 +741,86 @@ mod tests {
                 bound
             );
         }
+    }
+
+    #[test]
+    fn sharded_replicas_match_serial_bit_for_bit() {
+        // The runner's intra-run sharded path must reproduce the serial
+        // path exactly — metric series included — for every shard count.
+        for churn in [false, true] {
+            let mut spec = tiny(
+                AppKind::GossipLearning,
+                StrategySpec::Randomized { a: 5, c: 10 },
+            )
+            .with_token_recording();
+            if churn {
+                spec = spec.with_smartphone_churn();
+            }
+            let prepared = prepare_topology(&spec).unwrap();
+            let serial = dispatch_run(
+                &spec,
+                0,
+                &prepared.topo,
+                &prepared.reference,
+                prepared.frozen_mirror.as_ref(),
+                RunMode::Serial,
+            )
+            .unwrap();
+            for shards in [2, 3, 4] {
+                let sharded = dispatch_run(
+                    &spec,
+                    0,
+                    &prepared.topo,
+                    &prepared.reference,
+                    prepared.frozen_mirror.as_ref(),
+                    RunMode::Sharded(shards),
+                )
+                .unwrap();
+                assert_eq!(serial.metric, sharded.metric, "churn={churn} S={shards}");
+                assert_eq!(serial.tokens, sharded.tokens, "churn={churn} S={shards}");
+                assert_eq!(
+                    serial.protocol, sharded.protocol,
+                    "churn={churn} S={shards}"
+                );
+                assert_eq!(serial.sim, sharded.sim, "churn={churn} S={shards}");
+                assert_eq!(serial.sends_per_slot, sharded.sends_per_slot);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_mirror_sharing_does_not_change_results() {
+        let spec = tiny(AppKind::PushGossip, StrategySpec::Simple { c: 5 });
+        let prepared = prepare_topology(&spec).unwrap();
+        assert!(
+            prepared.frozen_mirror.is_some(),
+            "failure-free specs get a shared mirror"
+        );
+        let with_mirror = dispatch_run(
+            &spec,
+            1,
+            &prepared.topo,
+            &prepared.reference,
+            prepared.frozen_mirror.as_ref(),
+            RunMode::Serial,
+        )
+        .unwrap();
+        let without = dispatch_run(
+            &spec,
+            1,
+            &prepared.topo,
+            &prepared.reference,
+            None,
+            RunMode::Serial,
+        )
+        .unwrap();
+        assert_eq!(with_mirror.metric, without.metric);
+        assert_eq!(with_mirror.protocol, without.protocol);
+        assert_eq!(with_mirror.sim, without.sim);
+        // Churn specs must not share (per-run initial states differ).
+        let churny =
+            tiny(AppKind::PushGossip, StrategySpec::Simple { c: 5 }).with_smartphone_churn();
+        assert!(prepare_topology(&churny).unwrap().frozen_mirror.is_none());
     }
 
     #[test]

@@ -227,6 +227,12 @@ impl SimConfigBuilder {
         if self.delta.is_zero() {
             return Err(InvalidConfigError::ZeroPeriod("delta"));
         }
+        if self.transfer_time.is_zero() {
+            // A positive transfer time is what makes cross-node effects
+            // non-instantaneous — the engine's tie-breaking contract (and
+            // the sharded engine's lookahead window) both rely on it.
+            return Err(InvalidConfigError::ZeroPeriod("transfer_time"));
+        }
         if self.sample_period.is_some_and(|p| p.is_zero()) {
             return Err(InvalidConfigError::ZeroPeriod("sample_period"));
         }
@@ -317,6 +323,15 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, InvalidConfigError::ZeroPeriod("delta"));
+    }
+
+    #[test]
+    fn rejects_zero_transfer_time() {
+        let err = SimConfig::builder(5)
+            .transfer_time(SimDuration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, InvalidConfigError::ZeroPeriod("transfer_time"));
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //!   and up/down transitions. The driver observes them via
 //!   [`Driver::on_node_up`]/[`Driver::on_node_down`].
 //! * **Determinism.** All randomness derives from the master seed via
-//!   independent [`Xoshiro256pp`] streams (engine internals vs. protocol),
-//!   and ties in event time fire in schedule order, so a run is a pure
-//!   function of `(config, availability, driver)`.
+//!   independent [`Xoshiro256pp`] streams — one engine stream and one
+//!   protocol stream *per node*, plus a global protocol stream for the
+//!   sampling/injection callbacks — and ties in event time fire in
+//!   `(origin node, per-origin schedule counter)` order (see
+//!   [`crate::queue::order_key`]). A run is therefore a pure function of
+//!   `(config, availability, driver)`, and — because neither the tie order
+//!   nor any stream depends on global sequencing — the *same* function the
+//!   sharded engine ([`crate::shard::ShardedSimulation`]) computes for any
+//!   shard count.
 //!
 //! # Example
 //!
@@ -59,10 +65,118 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{QueueKind, SimConfig, TickPhase};
 use crate::ids::{node_ids, NodeId};
-use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::queue::{order_key, BinaryHeapQueue, EventQueue};
 use crate::rng::Xoshiro256pp;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
+
+/// Stream-id namespace of per-node engine randomness (tick phases, drop
+/// decisions attributed to the sending node).
+pub(crate) const STREAM_ENGINE_NODE: u64 = 1 << 40;
+/// Stream-id namespace of per-node protocol randomness ([`SimApi::rng`] in
+/// node-scoped callbacks).
+const STREAM_PROTO_NODE: u64 = 2 << 40;
+/// Stream id of the global protocol stream ([`SimApi::rng`] in the
+/// sampling/injection callbacks, which are not tied to one node).
+const STREAM_PROTO_GLOBAL: u64 = 3 << 40;
+
+/// The engine stream of `node` (shared with the sharded engine so both
+/// consume identical randomness).
+#[inline]
+pub(crate) fn engine_stream(seed: u64, node: usize) -> Xoshiro256pp {
+    Xoshiro256pp::stream(seed, STREAM_ENGINE_NODE | node as u64)
+}
+
+/// The protocol stream of `node`.
+#[inline]
+pub(crate) fn proto_stream(seed: u64, node: usize) -> Xoshiro256pp {
+    Xoshiro256pp::stream(seed, STREAM_PROTO_NODE | node as u64)
+}
+
+/// The global protocol stream (sample/inject callbacks).
+#[inline]
+pub(crate) fn proto_global_stream(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::stream(seed, STREAM_PROTO_GLOBAL)
+}
+
+/// Online-set bookkeeping shared by the serial kernel and every shard
+/// kernel: a flag vector plus a dense list (swap-removed) for O(1)
+/// uniform sampling. The *list order* is observable through
+/// [`SimApi::random_online_node`], so the update discipline is part of
+/// the byte-identical-results contract and must not fork between
+/// engines.
+#[derive(Debug, Clone)]
+pub(crate) struct OnlineSet {
+    flags: Vec<bool>,
+    list: Vec<NodeId>,
+    /// Position of each node in `list` (`usize::MAX` when offline).
+    pos: Vec<usize>,
+}
+
+impl OnlineSet {
+    pub(crate) fn new(n: usize) -> Self {
+        OnlineSet {
+            flags: vec![false; n],
+            list: Vec::with_capacity(n),
+            pos: vec![usize::MAX; n],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_online(&self, node: NodeId) -> bool {
+        self.flags[node.index()]
+    }
+
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.list.len()
+    }
+
+    /// The per-node flags, indexed by [`NodeId::index`].
+    #[inline]
+    pub(crate) fn flags(&self) -> &[bool] {
+        &self.flags
+    }
+
+    #[inline]
+    pub(crate) fn list(&self) -> &[NodeId] {
+        &self.list
+    }
+
+    pub(crate) fn set(&mut self, node: NodeId, up: bool) {
+        let idx = node.index();
+        if self.flags[idx] == up {
+            return;
+        }
+        self.flags[idx] = up;
+        if up {
+            self.pos[idx] = self.list.len();
+            self.list.push(node);
+        } else {
+            let pos = self.pos[idx];
+            let last = *self.list.last().expect("online list underflow");
+            self.list.swap_remove(pos);
+            if pos < self.list.len() {
+                self.pos[last.index()] = pos;
+            }
+            self.pos[idx] = usize::MAX;
+        }
+    }
+}
+
+/// The tick phasing draw, shared by both engines: uniform in `(0, Δ]`
+/// (keeps the long-run grant rate at 1/Δ) or the synchronized lockstep.
+#[inline]
+pub(crate) fn tick_delay_from(
+    rng: &mut Xoshiro256pp,
+    delta: SimDuration,
+    phase: TickPhase,
+) -> SimDuration {
+    match phase {
+        TickPhase::Synchronized => delta,
+        TickPhase::UniformRandom => SimDuration::from_micros(rng.below(delta.as_micros()) + 1),
+    }
+}
 
 /// Provides per-node availability (churn) information to the engine.
 ///
@@ -72,10 +186,21 @@ pub trait AvailabilityModel {
     /// Whether `node` is online at simulation start.
     fn initially_online(&self, node: NodeId) -> bool;
 
-    /// The up/down transitions of `node`, as `(time, goes_online)` pairs in
-    /// strictly increasing time order, consistent with
-    /// [`initially_online`](Self::initially_online) (states must alternate).
-    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)>;
+    /// Visits the up/down transitions of `node`, as `(time, goes_online)`
+    /// pairs in strictly increasing time order, consistent with
+    /// [`initially_online`](Self::initially_online) (states must
+    /// alternate). This is the allocation-free path the engine uses at
+    /// setup: implementations backed by stored schedules stream their
+    /// slices directly instead of cloning one `Vec` per node.
+    fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool));
+
+    /// The transitions of `node` as an owned vector (convenience wrapper
+    /// over [`for_each_transition`](Self::for_each_transition)).
+    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
+        let mut out = Vec::new();
+        self.for_each_transition(node, &mut |time, up| out.push((time, up)));
+        out
+    }
 }
 
 /// The failure-free availability model: every node is online throughout.
@@ -87,9 +212,7 @@ impl AvailabilityModel for AlwaysOn {
         true
     }
 
-    fn transitions(&self, _node: NodeId) -> Vec<(SimTime, bool)> {
-        Vec::new()
-    }
+    fn for_each_transition(&self, _node: NodeId, _f: &mut dyn FnMut(SimTime, bool)) {}
 }
 
 /// Protocol callbacks invoked by the engine.
@@ -168,6 +291,21 @@ pub struct SimStats {
     pub events_processed: u64,
 }
 
+impl SimStats {
+    /// Accumulates another run's (or shard's) counters into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost_offline += other.messages_lost_offline;
+        self.messages_dropped_fault += other.messages_dropped_fault;
+        self.ticks_fired += other.ticks_fired;
+        self.ticks_stale += other.ticks_stale;
+        self.samples += other.samples;
+        self.injections += other.injections;
+        self.events_processed += other.events_processed;
+    }
+}
+
 /// Engine-internal event payload.
 #[derive(Debug)]
 enum Ev<M> {
@@ -177,7 +315,7 @@ enum Ev<M> {
     Down(NodeId),
     Sample,
     Inject,
-    Timer(u64),
+    Timer { node: Option<NodeId>, token: u64 },
 }
 
 /// Mutable engine state shared with the driver during callbacks.
@@ -189,25 +327,36 @@ enum Ev<M> {
 /// the concrete queue — every `push`/`pop`/`peek_time` in the hot path is a
 /// direct call, selected once at [`Simulation::new`], instead of an
 /// enum-dispatch branch per event. The buffer is drained in schedule order
-/// before the next pop, so the observable event order is identical to
-/// pushing directly.
+/// before the next pop; scheduled events carry their `(origin, counter)`
+/// keys from the moment they are created, so the flush order is
+/// irrelevant to the observable event order.
 struct Kernel<M> {
     cfg: SimConfig,
-    /// Events scheduled during the current dispatch, in schedule order;
-    /// flushed (and assigned their sequence numbers) before the next pop.
-    /// Capacity is reused across events: steady-state, the hot path does
-    /// not allocate.
-    pending: Vec<(SimTime, Ev<M>)>,
-    /// Engine-internal randomness (phases, drops).
-    engine_rng: Xoshiro256pp,
-    /// Protocol randomness, a separate stream so driver changes do not
-    /// perturb engine decisions and vice versa.
-    proto_rng: Xoshiro256pp,
-    online: Vec<bool>,
-    /// Dense list of online nodes for O(1) uniform sampling.
-    online_list: Vec<NodeId>,
-    /// Position of each node in `online_list` (usize::MAX when offline).
-    online_pos: Vec<usize>,
+    /// Events scheduled during the current dispatch; flushed before the
+    /// next pop. Capacity is reused across events: steady-state, the hot
+    /// path does not allocate.
+    pending: Vec<(SimTime, u64, Ev<M>)>,
+    /// Per-node engine randomness (tick phases; drop decisions charged to
+    /// the sending node). Per-node streams keep engine decisions
+    /// independent of cross-node event interleaving.
+    engine_rngs: Vec<Xoshiro256pp>,
+    /// Per-node protocol randomness: [`SimApi::rng`] in a callback scoped
+    /// to node `v` (tick, delivery, churn) yields stream `v`.
+    proto_rngs: Vec<Xoshiro256pp>,
+    /// Protocol randomness of the global callbacks (sample/inject), which
+    /// are not tied to one node.
+    proto_global: Xoshiro256pp,
+    /// Per-node schedule counters: the `counter` half of
+    /// [`order_key`]. Incremented every time the node originates an event.
+    counters: Vec<u64>,
+    /// Schedule counter of engine-global events (sample/inject trains,
+    /// global timers).
+    global_counter: u64,
+    /// The node whose callback is running (`None` in sample/inject
+    /// context); selects the stream [`SimApi::rng`] returns and the origin
+    /// of [`SimApi::schedule_timer`].
+    ctx: Option<NodeId>,
+    online: OnlineSet,
     /// Tick epoch per node; stale ticks carry an older epoch.
     tick_epoch: Vec<u32>,
     stats: SimStats,
@@ -215,40 +364,42 @@ struct Kernel<M> {
 }
 
 impl<M> Kernel<M> {
-    fn set_online(&mut self, node: NodeId, up: bool) {
-        let idx = node.index();
-        if self.online[idx] == up {
-            return;
-        }
-        self.online[idx] = up;
-        if up {
-            self.online_pos[idx] = self.online_list.len();
-            self.online_list.push(node);
-        } else {
-            let pos = self.online_pos[idx];
-            let last = *self.online_list.last().expect("online list underflow");
-            self.online_list.swap_remove(pos);
-            if pos < self.online_list.len() {
-                self.online_pos[last.index()] = pos;
-            }
-            self.online_pos[idx] = usize::MAX;
-        }
+    /// Consumes the next schedule counter of `node`, returning the packed
+    /// event key.
+    #[inline]
+    fn next_key(&mut self, node: NodeId) -> u64 {
+        let c = &mut self.counters[node.index()];
+        let key = order_key(node.raw(), *c);
+        *c += 1;
+        key
     }
 
-    fn tick_delay(&mut self, phase: TickPhase) -> SimDuration {
-        match phase {
-            TickPhase::Synchronized => self.cfg.delta(),
-            TickPhase::UniformRandom => {
-                // Uniform in (0, Δ]: keeps the long-run grant rate at 1/Δ.
-                SimDuration::from_micros(self.engine_rng.below(self.cfg.delta().as_micros()) + 1)
-            }
-        }
+    /// Consumes the next schedule counter of the global origin.
+    #[inline]
+    fn next_global_key(&mut self) -> u64 {
+        let key = order_key(crate::queue::GLOBAL_ORIGIN, self.global_counter);
+        self.global_counter += 1;
+        key
+    }
+
+    fn tick_delay(&mut self, node: NodeId, phase: TickPhase) -> SimDuration {
+        tick_delay_from(&mut self.engine_rngs[node.index()], self.cfg.delta(), phase)
     }
 
     fn schedule_tick(&mut self, node: NodeId, delay: SimDuration) {
         let epoch = self.tick_epoch[node.index()];
+        let key = self.next_key(node);
         self.pending
-            .push((self.now + delay, Ev::Tick { node, epoch }));
+            .push((self.now + delay, key, Ev::Tick { node, epoch }));
+    }
+
+    /// The protocol stream of the current callback context.
+    #[inline]
+    fn ctx_rng(&mut self) -> &mut Xoshiro256pp {
+        match self.ctx {
+            Some(node) => &mut self.proto_rngs[node.index()],
+            None => &mut self.proto_global,
+        }
     }
 }
 
@@ -261,7 +412,7 @@ impl<M> std::fmt::Debug for SimApi<'_, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimApi")
             .field("now", &self.kernel.now)
-            .field("online", &self.kernel.online_list.len())
+            .field("online", &self.kernel.online.count())
             .finish()
     }
 }
@@ -288,37 +439,44 @@ impl<'a, M> SimApi<'a, M> {
     /// Whether `node` is currently online.
     #[inline]
     pub fn is_online(&self, node: NodeId) -> bool {
-        self.kernel.online[node.index()]
+        self.kernel.online.is_online(node)
     }
 
     /// Number of currently online nodes.
     #[inline]
     pub fn online_count(&self) -> usize {
-        self.kernel.online_list.len()
+        self.kernel.online.count()
     }
 
     /// The currently online nodes (unspecified order).
     #[inline]
     pub fn online_nodes(&self) -> &[NodeId] {
-        &self.kernel.online_list
+        self.kernel.online.list()
     }
 
     /// Protocol random number generator (deterministic per seed).
+    ///
+    /// In a node-scoped callback (tick, delivery, churn) this is the
+    /// *per-node* stream of that node; in sample/inject callbacks it is
+    /// the global stream. Per-node streams make protocol randomness
+    /// independent of how same-time events at other nodes interleave —
+    /// the property the sharded engine's digest guarantee rests on.
     #[inline]
     pub fn rng(&mut self) -> &mut Xoshiro256pp {
-        &mut self.kernel.proto_rng
+        self.kernel.ctx_rng()
     }
 
     /// Draws a uniformly random online node, or `None` if all are offline.
     pub fn random_online_node(&mut self) -> Option<NodeId> {
-        if self.kernel.online_list.is_empty() {
+        if self.kernel.online.count() == 0 {
             return None;
         }
-        let i = self
-            .kernel
-            .proto_rng
-            .below(self.kernel.online_list.len() as u64) as usize;
-        Some(self.kernel.online_list[i])
+        let bound = self.kernel.online.count() as u64;
+        let i = match self.kernel.ctx {
+            Some(node) => self.kernel.proto_rngs[node.index()].below(bound),
+            None => self.kernel.proto_global.below(bound),
+        } as usize;
+        Some(self.kernel.online.list()[i])
     }
 
     /// Sends `msg` from `from` to `to`; it arrives `transfer_time` later if
@@ -326,21 +484,36 @@ impl<'a, M> SimApi<'a, M> {
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.kernel.stats.messages_sent += 1;
         let p = self.kernel.cfg.drop_probability();
-        if p > 0.0 && self.kernel.engine_rng.chance(p) {
+        if p > 0.0 && self.kernel.engine_rngs[from.index()].chance(p) {
             self.kernel.stats.messages_dropped_fault += 1;
             return;
         }
         let at = self.kernel.now + self.kernel.cfg.transfer_time();
+        let key = self.kernel.next_key(from);
         self.kernel
             .pending
-            .push((at, Ev::Deliver { from, to, msg }));
+            .push((at, key, Ev::Deliver { from, to, msg }));
     }
 
     /// Schedules [`Driver::on_timer`] with `token` after `delay`.
+    ///
+    /// The timer is owned by the current callback's node (or by the global
+    /// origin in sample/inject context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero: a zero-delay timer could fire "before"
+    /// already-processed same-instant events, which would break the
+    /// engine's deterministic tie order.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
+        assert!(!delay.is_zero(), "timer delay must be positive");
+        let (key, node) = match self.kernel.ctx {
+            Some(node) => (self.kernel.next_key(node), Some(node)),
+            None => (self.kernel.next_global_key(), None),
+        };
         self.kernel
             .pending
-            .push((self.kernel.now + delay, Ev::Timer(token)));
+            .push((self.kernel.now + delay, key, Ev::Timer { node, token }));
     }
 
     /// Statistics accumulated so far.
@@ -359,6 +532,9 @@ struct Engine<D: Driver, Q: EventQueue<Ev<D::Msg>>> {
     driver: D,
     kernel: Kernel<D::Msg>,
     queue: Q,
+    /// Scratch buffer for same-deadline runs handed to
+    /// [`EventQueue::push_keyed_run`] (capacity reused).
+    run_buf: Vec<(u64, Ev<D::Msg>)>,
     finished: bool,
 }
 
@@ -398,60 +574,76 @@ macro_rules! on_engine {
 impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
     fn new(cfg: SimConfig, availability: &dyn AvailabilityModel, driver: D, queue: Q) -> Self {
         let n = cfg.n();
+        let seed = cfg.seed();
         let mut kernel = Kernel {
-            engine_rng: Xoshiro256pp::stream(cfg.seed(), 0x0e),
-            proto_rng: Xoshiro256pp::stream(cfg.seed(), 0x9f),
+            engine_rngs: (0..n).map(|i| engine_stream(seed, i)).collect(),
+            proto_rngs: (0..n).map(|i| proto_stream(seed, i)).collect(),
+            proto_global: proto_global_stream(seed),
+            counters: vec![0; n],
+            global_counter: 0,
+            ctx: None,
             pending: Vec::with_capacity(64),
-            online: vec![false; n],
-            online_list: Vec::with_capacity(n),
-            online_pos: vec![usize::MAX; n],
+            online: OnlineSet::new(n),
             tick_epoch: vec![0; n],
             stats: SimStats::default(),
             now: SimTime::ZERO,
             cfg,
         };
 
-        // Initial online set and churn transitions.
+        // Initial online set, then per-node schedules. The per-node order —
+        // all of a node's churn transitions, then its first tick — pins the
+        // node's counter assignment; because keys and streams are per-node,
+        // the sharded engine reproduces the identical schedule for any
+        // subset of nodes.
         for node in node_ids(n) {
             if availability.initially_online(node) {
-                kernel.set_online(node, true);
+                kernel.online.set(node, true);
             }
-            for (time, up) in availability.transitions(node) {
+        }
+        for node in node_ids(n) {
+            availability.for_each_transition(node, &mut |time, up| {
+                let key = kernel.next_key(node);
                 kernel
                     .pending
-                    .push((time, if up { Ev::Up(node) } else { Ev::Down(node) }));
+                    .push((time, key, if up { Ev::Up(node) } else { Ev::Down(node) }));
+            });
+        }
+        let phase = kernel.cfg.tick_phase();
+        for node in node_ids(n) {
+            if kernel.online.is_online(node) {
+                let delay = kernel.tick_delay(node, phase);
+                kernel.schedule_tick(node, delay);
             }
         }
-        // First round ticks for nodes that start online.
-        let phase = kernel.cfg.tick_phase();
-        for i in 0..kernel.online_list.len() {
-            let node = kernel.online_list[i];
-            let delay = kernel.tick_delay(phase);
-            kernel.schedule_tick(node, delay);
-        }
         if let Some(p) = kernel.cfg.sample_period() {
-            kernel.pending.push((SimTime::ZERO + p, Ev::Sample));
+            let key = kernel.next_global_key();
+            kernel.pending.push((SimTime::ZERO + p, key, Ev::Sample));
         }
         if let Some(p) = kernel.cfg.injection_period() {
-            kernel.pending.push((SimTime::ZERO + p, Ev::Inject));
+            let key = kernel.next_global_key();
+            kernel.pending.push((SimTime::ZERO + p, key, Ev::Inject));
         }
         let mut engine = Engine {
             driver,
             kernel,
             queue,
+            run_buf: Vec::new(),
             finished: false,
         };
         engine.flush_pending();
         engine
     }
 
-    /// Moves buffered schedules into the queue, assigning sequence numbers
-    /// in schedule order (identical pop order to unbuffered pushing).
+    /// Moves buffered schedules into the queue, batching same-deadline
+    /// runs (see [`crate::queue::flush_run_batched`] — shared with the
+    /// sharded engine so the two push disciplines cannot drift).
     #[inline]
     fn flush_pending(&mut self) {
-        for (time, ev) in self.kernel.pending.drain(..) {
-            self.queue.push(time, ev);
-        }
+        crate::queue::flush_run_batched(
+            &mut self.kernel.pending,
+            &mut self.run_buf,
+            &mut self.queue,
+        );
     }
 
     fn run_to_end(&mut self) {
@@ -484,8 +676,9 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
                     self.kernel.stats.ticks_stale += 1;
                     return;
                 }
-                debug_assert!(self.kernel.online[node.index()]);
+                debug_assert!(self.kernel.online.is_online(node));
                 self.kernel.stats.ticks_fired += 1;
+                self.kernel.ctx = Some(node);
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
@@ -495,36 +688,39 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
                 self.kernel.schedule_tick(node, delta);
             }
             Ev::Deliver { from, to, msg } => {
-                if !self.kernel.online[to.index()] {
+                if !self.kernel.online.is_online(to) {
                     self.kernel.stats.messages_lost_offline += 1;
                     return;
                 }
                 self.kernel.stats.messages_delivered += 1;
+                self.kernel.ctx = Some(to);
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
                 self.driver.on_message(&mut api, from, to, msg);
             }
             Ev::Up(node) => {
-                if self.kernel.online[node.index()] {
+                if self.kernel.online.is_online(node) {
                     return; // duplicate transition; ignore
                 }
-                self.kernel.set_online(node, true);
+                self.kernel.online.set(node, true);
                 self.kernel.tick_epoch[node.index()] += 1;
                 let phase = self.kernel.cfg.tick_phase();
-                let delay = self.kernel.tick_delay(phase);
+                let delay = self.kernel.tick_delay(node, phase);
                 self.kernel.schedule_tick(node, delay);
+                self.kernel.ctx = Some(node);
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
                 self.driver.on_node_up(&mut api, node);
             }
             Ev::Down(node) => {
-                if !self.kernel.online[node.index()] {
+                if !self.kernel.online.is_online(node) {
                     return;
                 }
-                self.kernel.set_online(node, false);
+                self.kernel.online.set(node, false);
                 self.kernel.tick_epoch[node.index()] += 1;
+                self.kernel.ctx = Some(node);
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
@@ -532,6 +728,7 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
             }
             Ev::Sample => {
                 self.kernel.stats.samples += 1;
+                self.kernel.ctx = None;
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
@@ -542,10 +739,12 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
                     .sample_period()
                     .expect("sample event without period");
                 let next = self.kernel.now + p;
-                self.kernel.pending.push((next, Ev::Sample));
+                let key = self.kernel.next_global_key();
+                self.kernel.pending.push((next, key, Ev::Sample));
             }
             Ev::Inject => {
                 self.kernel.stats.injections += 1;
+                self.kernel.ctx = None;
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
@@ -556,9 +755,11 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
                     .injection_period()
                     .expect("inject event without period");
                 let next = self.kernel.now + p;
-                self.kernel.pending.push((next, Ev::Inject));
+                let key = self.kernel.next_global_key();
+                self.kernel.pending.push((next, key, Ev::Inject));
             }
-            Ev::Timer(token) => {
+            Ev::Timer { node, token } => {
+                self.kernel.ctx = node;
                 let mut api = SimApi {
                     kernel: &mut self.kernel,
                 };
@@ -750,6 +951,25 @@ mod tests {
     }
 
     #[test]
+    fn synchronized_same_tick_events_fire_in_node_order() {
+        // All nodes tick at the same instants; the canonical tie order is
+        // by origin node id (then per-origin counter).
+        let cfg = SimConfig::builder(4)
+            .delta(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(20))
+            .tick_phase(TickPhase::Synchronized)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, Echo::default());
+        sim.run_to_end();
+        let ticks = &sim.driver().ticks;
+        assert_eq!(ticks.len(), 8);
+        for (i, &(t, node)) in ticks.iter().enumerate() {
+            assert_eq!(node.index(), i % 4, "tick {i} at {t} out of node order");
+        }
+    }
+
+    #[test]
     fn messages_arrive_after_transfer_time() {
         struct OneShot;
         impl Driver for OneShot {
@@ -797,9 +1017,30 @@ mod tests {
         fn initially_online(&self, node: NodeId) -> bool {
             self.initial[node.index()]
         }
-        fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
-            self.trans[node.index()].clone()
+        fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool)) {
+            for &(time, up) in &self.trans[node.index()] {
+                f(time, up);
+            }
         }
+    }
+
+    #[test]
+    fn transitions_default_wrapper_collects() {
+        let avail = Scripted {
+            initial: vec![true],
+            trans: vec![vec![
+                (SimTime::from_secs(5), false),
+                (SimTime::from_secs(9), true),
+            ]],
+        };
+        assert_eq!(
+            avail.transitions(NodeId::new(0)),
+            vec![
+                (SimTime::from_secs(5), false),
+                (SimTime::from_secs(9), true)
+            ]
+        );
+        assert!(AlwaysOn.transitions(NodeId::new(0)).is_empty());
     }
 
     #[test]
@@ -822,9 +1063,10 @@ mod tests {
         assert_eq!(echo.downs, vec![NodeId::new(1)]);
         assert_eq!(echo.ups, vec![NodeId::new(1)]);
         // No tick for node 1 in the offline window [25, 65]: the Down
-        // transition's sequence number precedes every tick's, so even a
-        // tick scheduled for exactly 25 s is stale by the time it fires,
-        // and the first post-rejoin tick lands strictly after 65 s.
+        // transition's key (assigned at setup, before any tick of that
+        // node) precedes every tick's, so even a tick scheduled for
+        // exactly 25 s is stale by the time it fires, and the first
+        // post-rejoin tick lands strictly after 65 s.
         for &(t, id) in &echo.ticks {
             if id == NodeId::new(1) {
                 let s = t.as_secs_f64();
@@ -1018,15 +1260,78 @@ mod tests {
         let cfg = small_cfg(3);
         let mut sim = Simulation::new(cfg, &avail, Echo::default());
         sim.run_until(SimTime::from_secs(5));
-        assert_eq!(sim.kernel().online_list.len(), 2);
+        assert_eq!(sim.kernel().online.count(), 2);
         sim.run_until(SimTime::from_secs(12));
-        assert_eq!(sim.kernel().online_list.len(), 1);
+        assert_eq!(sim.kernel().online.count(), 1);
         sim.run_until(SimTime::from_secs(17));
-        assert_eq!(sim.kernel().online_list.len(), 2);
+        assert_eq!(sim.kernel().online.count(), 2);
         sim.run_until(SimTime::from_secs(25));
-        assert_eq!(sim.kernel().online_list.len(), 3);
+        assert_eq!(sim.kernel().online.count(), 3);
         for node in node_ids(3) {
-            assert!(sim.kernel().online[node.index()]);
+            assert!(sim.kernel().online.is_online(node));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "timer delay must be positive")]
+    fn zero_delay_timers_are_rejected() {
+        struct BadTimer;
+        impl Driver for BadTimer {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, _node: NodeId) {
+                api.schedule_timer(SimDuration::ZERO, 1);
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let mut sim = Simulation::new(small_cfg(1), &AlwaysOn, BadTimer);
+        sim.run_to_end();
+    }
+
+    #[test]
+    fn per_node_streams_are_isolated() {
+        // Extra randomness consumed at one node must not perturb another
+        // node's draws — the property per-node streams exist for.
+        #[derive(Default)]
+        struct Greedy {
+            draws: Vec<(NodeId, u64)>,
+            hungry: bool,
+        }
+        impl Driver for Greedy {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+                if self.hungry && node.index() == 0 {
+                    // Node 0 burns extra draws.
+                    let _ = api.rng().next();
+                    let _ = api.rng().next();
+                }
+                let v = api.rng().next();
+                self.draws.push((node, v));
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let run = |hungry: bool| {
+            let mut sim = Simulation::new(
+                small_cfg(3),
+                &AlwaysOn,
+                Greedy {
+                    draws: vec![],
+                    hungry,
+                },
+            );
+            sim.run_to_end();
+            let Greedy { draws, .. } = {
+                let (d, _) = sim.into_parts();
+                d
+            };
+            draws
+        };
+        let quiet = run(false);
+        let noisy = run(true);
+        for ((n1, v1), (n2, v2)) in quiet.iter().zip(&noisy) {
+            assert_eq!(n1, n2, "tick order must not change");
+            if n1.index() != 0 {
+                assert_eq!(v1, v2, "node {n1} perturbed by node 0's draws");
+            }
         }
     }
 }

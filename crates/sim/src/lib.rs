@@ -13,6 +13,10 @@
 //! * [`engine`] — the event loop: round ticks, message transfer, churn,
 //!   sampling/injection trains, one-shot timers ([`Simulation`],
 //!   [`Driver`], [`SimApi`]).
+//! * [`shard`] — intra-run parallelism: [`ShardedSimulation`] partitions
+//!   one run across shards with transfer-time lookahead windows, producing
+//!   results byte-identical to [`Simulation`] for every shard and thread
+//!   count.
 //! * [`paper`] — the timing constants of the paper's experimental setup.
 //!
 //! # Quickstart
@@ -49,12 +53,14 @@ pub mod ids;
 pub mod paper;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod wheel;
 
 pub use config::{QueueKind, SimConfig, TickPhase};
 pub use engine::{AlwaysOn, AvailabilityModel, Driver, SimApi, SimStats, Simulation};
 pub use ids::NodeId;
+pub use shard::{BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver, ShardedSimulation};
 pub use time::{SimDuration, SimTime};
 
 /// Convenient glob import for driver implementations.
@@ -63,5 +69,8 @@ pub mod prelude {
     pub use crate::engine::{AlwaysOn, AvailabilityModel, Driver, SimApi, SimStats, Simulation};
     pub use crate::ids::NodeId;
     pub use crate::rng::Xoshiro256pp;
+    pub use crate::shard::{
+        BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver, ShardedSimulation,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }

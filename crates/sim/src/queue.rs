@@ -1,9 +1,16 @@
 //! Pending-event set implementations.
 //!
 //! The simulator needs a priority queue over `(time, seq)` pairs where `seq`
-//! is a monotonically increasing sequence number used to break ties: two
-//! events scheduled for the same instant fire in the order they were
-//! scheduled. This FIFO tie-breaking is what makes runs deterministic.
+//! is a tie-breaking key: two events scheduled for the same instant fire in
+//! increasing key order. The engine assigns keys with [`order_key`] — a
+//! *shard-invariant* `(origin node, per-origin counter)` pair packed into a
+//! `u64` — so that the same total event order can be reproduced by the
+//! serial engine and by every shard of
+//! [`crate::shard::ShardedSimulation`] without global coordination.
+//! Callers that do not care about cross-engine reproducibility can use
+//! [`EventQueue::push`], which assigns keys in FIFO call order from an
+//! internal counter (do not mix the two disciplines in one queue: key
+//! uniqueness is the caller's responsibility under `push_keyed`).
 //!
 //! Two implementations are provided behind the [`EventQueue`] trait:
 //!
@@ -21,12 +28,38 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An event with its scheduled time and tie-breaking sequence number.
+/// The origin id of engine-global events (sampling/injection trains and
+/// global timers): they sort after every node-originated event at the same
+/// instant, which is what lets the sharded engine run them at barriers.
+pub const GLOBAL_ORIGIN: u32 = u32::MAX;
+
+/// Packs an event origin and its per-origin schedule counter into a
+/// tie-breaking key: ties in time fire in increasing `(origin, counter)`
+/// order. Counters are per-origin and strictly increasing, so keys are
+/// unique and — crucially — computable by whichever shard owns the origin,
+/// without any global sequencing.
+///
+/// # Panics
+///
+/// Panics if `counter` exceeds `u32::MAX`: an overflow would bleed into
+/// the origin bits and silently corrupt the tie order (and key
+/// uniqueness), so it is a hard error even in release builds. One origin
+/// scheduling more than 2^32 events is ~10^5 years of simulated time at
+/// one event per paper-default transfer slot.
+#[inline]
+pub const fn order_key(origin: u32, counter: u64) -> u64 {
+    assert!(counter <= u32::MAX as u64, "per-origin counter overflow");
+    ((origin as u64) << 32) | counter
+}
+
+/// An event with its scheduled time and tie-breaking key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scheduled<E> {
     /// Instant at which the event fires.
     pub time: SimTime,
-    /// Global schedule order; ties in `time` fire in increasing `seq`.
+    /// Tie-breaking key; ties in `time` fire in increasing `seq`. The
+    /// engine packs `(origin, counter)` pairs here via [`order_key`];
+    /// [`EventQueue::push`] assigns FIFO values from an internal counter.
     pub seq: u64,
     /// The payload.
     pub event: E,
@@ -49,6 +82,26 @@ pub trait EventQueue<E> {
     /// Inserts an event; `seq` numbers are assigned internally in call order.
     fn push(&mut self, time: SimTime, event: E);
 
+    /// Inserts an event with a caller-assigned tie-breaking key (see
+    /// [`order_key`]). Keys must be unique per queue; events may be pushed
+    /// in any key order, but never with a `(time, key)` at or below the
+    /// entry most recently popped.
+    fn push_keyed(&mut self, time: SimTime, key: u64, event: E);
+
+    /// Inserts a run of events sharing one deadline (a reactive burst, a
+    /// same-slot batch). Equivalent to `push_keyed` in a loop; queue
+    /// implementations may override it to amortize per-push placement work
+    /// (the timing wheel classifies the target slot once per run).
+    fn push_keyed_run<I>(&mut self, time: SimTime, run: I)
+    where
+        I: Iterator<Item = (u64, E)>,
+        Self: Sized,
+    {
+        for (key, event) in run {
+            self.push_keyed(time, key, event);
+        }
+    }
+
     /// Removes and returns the earliest event.
     fn pop(&mut self) -> Option<Scheduled<E>>;
 
@@ -65,6 +118,56 @@ pub trait EventQueue<E> {
     /// True if no events are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Minimum same-deadline run length worth routing through
+/// [`EventQueue::push_keyed_run`] instead of per-event pushes (below this,
+/// the run bookkeeping costs more than the saved placement work).
+pub(crate) const RUN_BATCH_MIN: usize = 3;
+
+/// Drains a pending-event buffer into `queue`, handing runs of events that
+/// share one deadline (reactive bursts — every send in a burst lands
+/// exactly `transfer_time` later) to [`EventQueue::push_keyed_run`] so the
+/// wheel classifies the slot once per run.
+///
+/// One implementation serves the serial and the sharded engines: the
+/// run-detection threshold is part of the byte-identical-results contract
+/// (both engines must push through identical queue entry points), so it
+/// must not fork.
+pub(crate) fn flush_run_batched<E, Q: EventQueue<E>>(
+    pending: &mut Vec<(SimTime, u64, E)>,
+    run_buf: &mut Vec<(u64, E)>,
+    queue: &mut Q,
+) {
+    if pending.len() < RUN_BATCH_MIN {
+        for (time, key, ev) in pending.drain(..) {
+            queue.push_keyed(time, key, ev);
+        }
+        return;
+    }
+    let mut drain = pending.drain(..).peekable();
+    while let Some((time, key, ev)) = drain.next() {
+        match drain.peek() {
+            Some(&(t2, ..)) if t2 == time => {
+                run_buf.push((key, ev));
+                while let Some(&(t2, ..)) = drain.peek() {
+                    if t2 != time {
+                        break;
+                    }
+                    let (_, k2, e2) = drain.next().expect("peeked entry exists");
+                    run_buf.push((k2, e2));
+                }
+                if run_buf.len() >= RUN_BATCH_MIN {
+                    queue.push_keyed_run(time, run_buf.drain(..));
+                } else {
+                    for (k, e) in run_buf.drain(..) {
+                        queue.push_keyed(time, k, e);
+                    }
+                }
+            }
+            _ => queue.push_keyed(time, key, ev),
+        }
     }
 }
 
@@ -145,6 +248,14 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
         self.heap.push(HeapEntry { time, seq, event });
     }
 
+    fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.heap.push(HeapEntry {
+            time,
+            seq: key,
+            event,
+        });
+    }
+
     fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop().map(|e| Scheduled {
             time: e.time,
@@ -210,6 +321,42 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_key_not_insertion() {
+        let mut q = BinaryHeapQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push_keyed(t, order_key(9, 0), 'b');
+        q.push_keyed(t, order_key(2, 5), 'a');
+        q.push_keyed(SimTime::from_secs(2), order_key(0, 0), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn keyed_run_matches_individual_pushes() {
+        let t = SimTime::from_secs(3);
+        let entries: Vec<(u64, u32)> = (0..50).map(|i| (order_key(7, 99 - i), i as u32)).collect();
+        let mut a = BinaryHeapQueue::new();
+        for &(k, e) in &entries {
+            a.push_keyed(t, k, e);
+        }
+        let mut b = BinaryHeapQueue::new();
+        b.push_keyed_run(t, entries.iter().copied());
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn order_key_sorts_by_origin_then_counter() {
+        assert!(order_key(0, 5) < order_key(1, 0));
+        assert!(order_key(3, 1) < order_key(3, 2));
+        assert!(order_key(10, u32::MAX as u64) < order_key(GLOBAL_ORIGIN, 0));
     }
 
     #[test]

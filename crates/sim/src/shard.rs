@@ -1,0 +1,1377 @@
+//! Sharded deterministic parallel simulation: intra-run parallelism with
+//! transfer-time lookahead.
+//!
+//! [`ShardedSimulation`] partitions the nodes of one run across `S` shards
+//! — contiguous node-id blocks — each owning its own event queue, its own
+//! per-node [`Xoshiro256pp`] streams, and its own slice of driver state
+//! (a [`ShardDriver`]). Shards execute windows of `[t, t + transfer_time)`
+//! independently; cross-shard sends are buffered in per-shard outboxes and
+//! exchanged at window barriers. This is classic conservative-synchronization
+//! parallel discrete-event simulation, and the engine's own semantics
+//! provide the lookahead: *every* cross-node effect travels as a message
+//! delivered exactly `transfer_time` later, so no event inside a window can
+//! influence another shard within the same window.
+//!
+//! # Exactness, not just determinism
+//!
+//! Results are **byte-identical to the serial [`Simulation`] engine** for
+//! every shard count (including `S = 1`) and every worker-thread count,
+//! because every source of ordering and randomness in the engine is
+//! *shard-invariant*:
+//!
+//! * ties in event time fire in `(origin node, per-origin counter)` key
+//!   order ([`crate::queue::order_key`]) — a total order every shard can
+//!   compute locally for the events it owns;
+//! * randomness is drawn from per-node streams (plus one global stream for
+//!   the barrier-time sample/inject callbacks), so what one node draws
+//!   never depends on what another node did;
+//! * churn is statically known ([`AvailabilityModel`]), so every shard
+//!   replays *all* nodes' transitions — keeping an exact full mirror of
+//!   the online set with zero communication — while only the owning shard
+//!   runs the driver's node-scoped reaction;
+//! * engine-global events (metric samples, injections) sort after all
+//!   node events of their instant and run at barriers, where the
+//!   coordinator holds every shard and can merge metrics in node order
+//!   (see [`ShardableDriver::on_sample`]).
+//!
+//! # When to shard
+//!
+//! Sharding buys wall-clock parallelism *within one run*; the experiment
+//! harness's worker pool buys it *across* runs. Prefer across-run
+//! parallelism while there are at least as many (spec × run) jobs as
+//! cores; reach for `--shards` when a single huge-N scenario must saturate
+//! the machine (see `ta-experiments`' `run_grid_prepared`, which trades
+//! the two automatically).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::config::{QueueKind, SimConfig, TickPhase};
+use crate::engine::{engine_stream, proto_global_stream, proto_stream, tick_delay_from, OnlineSet};
+use crate::engine::{AvailabilityModel, Driver, SimStats};
+use crate::ids::{node_ids, NodeId};
+use crate::queue::{order_key, BinaryHeapQueue, EventQueue, GLOBAL_ORIGIN};
+use crate::rng::Xoshiro256pp;
+use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
+
+/// The contiguous-block node partition of a sharded run.
+///
+/// Shard `s` owns the node-id range `[s·n/S, (s+1)·n/S)`. Contiguous
+/// blocks (rather than round-robin striping) matter for exactness: metric
+/// merges that fold shard partials in shard order visit nodes in exactly
+/// the node-id order the serial engine uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    shards: usize,
+    /// Block boundaries: shard `s` owns `[bounds[s], bounds[s + 1])`.
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Builds a plan for `n` nodes over `shards` shards (clamped to
+    /// `[1, n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or exceeds the `u32` node-id space.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(n > 0, "cannot shard an empty network");
+        assert!(u32::try_from(n).is_ok(), "network exceeds u32 node ids");
+        let shards = shards.clamp(1, n);
+        let bounds = (0..=shards).map(|s| (s * n / shards) as u32).collect();
+        ShardPlan { n, shards, bounds }
+    }
+
+    /// Network size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        let i = node.index();
+        debug_assert!(i < self.n);
+        // Blocks are near-uniform: start from the proportional guess and
+        // fix up (off by at most one step in practice; the loops are exact
+        // regardless).
+        let mut s = (i * self.shards / self.n).min(self.shards - 1);
+        while self.bounds[s + 1] as usize <= i {
+            s += 1;
+        }
+        while (self.bounds[s] as usize) > i {
+            s -= 1;
+        }
+        s
+    }
+
+    /// The node-index range shard `shard` owns.
+    #[inline]
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        self.bounds[shard] as usize..self.bounds[shard + 1] as usize
+    }
+}
+
+/// Shard-internal event payload (engine-global events live with the
+/// coordinator, never in shard queues).
+#[derive(Debug)]
+enum SEv<M> {
+    Tick { node: NodeId, epoch: u32 },
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Up(NodeId),
+    Down(NodeId),
+    Timer { node: NodeId, token: u64 },
+}
+
+/// A cross-shard delivery awaiting the next window barrier.
+#[derive(Debug)]
+struct OutMsg<M> {
+    time: SimTime,
+    key: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// Whose callback is running (selects the stream [`ShardApi::rng`] hands
+/// out, and guards against misuse in remote-churn callbacks).
+#[derive(Debug, Clone, Copy)]
+enum Ctx {
+    /// A callback scoped to an owned node.
+    Owned(NodeId),
+    /// A churn notification for a node another shard owns: the driver may
+    /// update mirrors but must not draw randomness or send.
+    Remote,
+}
+
+/// Per-shard engine state handed to [`ShardDriver`] callbacks through
+/// [`ShardApi`]. Owns the shard's slice of streams/counters plus a full
+/// replica of the online bookkeeping (kept exact by replayed churn).
+struct ShardKernel<M> {
+    plan: Arc<ShardPlan>,
+    shard: usize,
+    /// First owned node index (dense stream/counter vectors are offset by
+    /// this).
+    base: usize,
+    cfg: SimConfig,
+    now: SimTime,
+    pending: Vec<(SimTime, u64, SEv<M>)>,
+    outbox: Vec<OutMsg<M>>,
+    /// Engine streams of owned nodes (tick phases, drop decisions).
+    engine_rngs: Vec<Xoshiro256pp>,
+    /// Protocol streams of owned nodes.
+    proto_rngs: Vec<Xoshiro256pp>,
+    /// Schedule counters of owned nodes.
+    counters: Vec<u64>,
+    /// Tick epochs of owned nodes.
+    tick_epoch: Vec<u32>,
+    /// Full online mirror (all nodes), exact at every instant.
+    online: OnlineSet,
+    ctx: Ctx,
+    stats: SimStats,
+}
+
+impl<M> ShardKernel<M> {
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        let i = node.index();
+        let r = self.plan.range(self.shard);
+        r.start <= i && i < r.end
+    }
+
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert!(self.owns(node), "node {node} not owned by this shard");
+        node.index() - self.base
+    }
+
+    #[inline]
+    fn next_key(&mut self, node: NodeId) -> u64 {
+        let local = self.local(node);
+        let c = &mut self.counters[local];
+        let key = order_key(node.raw(), *c);
+        *c += 1;
+        key
+    }
+
+    fn tick_delay(&mut self, node: NodeId, phase: TickPhase) -> SimDuration {
+        let local = self.local(node);
+        tick_delay_from(&mut self.engine_rngs[local], self.cfg.delta(), phase)
+    }
+
+    fn schedule_tick(&mut self, node: NodeId, delay: SimDuration) {
+        let epoch = self.tick_epoch[self.local(node)];
+        let key = self.next_key(node);
+        self.pending
+            .push((self.now + delay, key, SEv::Tick { node, epoch }));
+    }
+}
+
+/// The engine-facing API handed to [`ShardDriver`] callbacks; the sharded
+/// counterpart of [`crate::engine::SimApi`].
+pub struct ShardApi<'a, M> {
+    kernel: &'a mut ShardKernel<M>,
+}
+
+impl<M> std::fmt::Debug for ShardApi<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardApi")
+            .field("shard", &self.kernel.shard)
+            .field("now", &self.kernel.now)
+            .field("online", &self.kernel.online.count())
+            .finish()
+    }
+}
+
+impl<'a, M> ShardApi<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Network size (the whole network, not this shard's block).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.kernel.cfg.n()
+    }
+
+    /// The simulation configuration.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.kernel.cfg
+    }
+
+    /// The node partition of this run.
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.kernel.plan
+    }
+
+    /// Whether `node` (any node, owned or not) is currently online. Exact:
+    /// every shard replays the full churn schedule.
+    #[inline]
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.kernel.online.is_online(node)
+    }
+
+    /// Number of currently online nodes network-wide.
+    #[inline]
+    pub fn online_count(&self) -> usize {
+        self.kernel.online.count()
+    }
+
+    /// The currently online nodes (unspecified order; identical to the
+    /// serial engine's order at the same instant).
+    #[inline]
+    pub fn online_nodes(&self) -> &[NodeId] {
+        self.kernel.online.list()
+    }
+
+    /// Protocol random number generator of the node whose callback is
+    /// running — the identical stream, at the identical position, the
+    /// serial engine would hand out.
+    ///
+    /// # Panics
+    ///
+    /// Panics in a remote-churn callback (`owned = false` in
+    /// [`ShardDriver::on_node_up`]/[`on_node_down`](ShardDriver::on_node_down)):
+    /// that node's stream lives on its owning shard.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256pp {
+        match self.kernel.ctx {
+            Ctx::Owned(node) => {
+                let local = self.kernel.local(node);
+                &mut self.kernel.proto_rngs[local]
+            }
+            Ctx::Remote => panic!(
+                "ShardApi::rng is not available in remote-churn callbacks \
+                 (the node's stream lives on its owning shard)"
+            ),
+        }
+    }
+
+    /// Draws a uniformly random online node (network-wide), or `None` if
+    /// all are offline.
+    pub fn random_online_node(&mut self) -> Option<NodeId> {
+        if self.kernel.online.count() == 0 {
+            return None;
+        }
+        let bound = self.kernel.online.count() as u64;
+        let i = self.rng().below(bound) as usize;
+        Some(self.kernel.online.list()[i])
+    }
+
+    /// Sends `msg` from `from` to `to`; it arrives `transfer_time` later
+    /// if `to` is online at that instant. `to` may live on any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `from` is not owned by this shard: the
+    /// send key and drop decision belong to `from`'s streams.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let k = &mut *self.kernel;
+        debug_assert!(
+            k.owns(from),
+            "ShardDriver sent from node {from}, which this shard does not own"
+        );
+        k.stats.messages_sent += 1;
+        let p = k.cfg.drop_probability();
+        if p > 0.0 {
+            let local = from.index() - k.base;
+            if k.engine_rngs[local].chance(p) {
+                k.stats.messages_dropped_fault += 1;
+                return;
+            }
+        }
+        let at = k.now + k.cfg.transfer_time();
+        let key = k.next_key(from);
+        if k.plan.shard_of(to) == k.shard {
+            k.pending.push((at, key, SEv::Deliver { from, to, msg }));
+        } else {
+            k.outbox.push(OutMsg {
+                time: at,
+                key,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    /// Schedules [`ShardDriver::on_timer`] for the current callback's node
+    /// after `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero (see
+    /// [`crate::engine::SimApi::schedule_timer`]) or in a remote-churn
+    /// callback.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
+        assert!(!delay.is_zero(), "timer delay must be positive");
+        let node = match self.kernel.ctx {
+            Ctx::Owned(node) => node,
+            Ctx::Remote => panic!("cannot schedule timers from remote-churn callbacks"),
+        };
+        let key = self.kernel.next_key(node);
+        let at = self.kernel.now + delay;
+        self.kernel
+            .pending
+            .push((at, key, SEv::Timer { node, token }));
+    }
+
+    /// This shard's statistics so far (merged across shards at the end of
+    /// the run).
+    #[inline]
+    pub fn stats(&self) -> &SimStats {
+        &self.kernel.stats
+    }
+}
+
+/// One shard's slice of a partitioned driver: the node-scoped callbacks of
+/// [`Driver`], restricted to owned nodes, plus full-network churn
+/// notifications for mirror maintenance.
+pub trait ShardDriver: Send {
+    /// Message payload carried between nodes (must cross threads).
+    type Msg: Send;
+
+    /// A round tick fired at an owned online node.
+    fn on_round_tick(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId);
+
+    /// A message arrived at owned online node `to` (`from` may live on any
+    /// shard).
+    fn on_message(
+        &mut self,
+        api: &mut ShardApi<'_, Self::Msg>,
+        from: NodeId,
+        to: NodeId,
+        msg: Self::Msg,
+    );
+
+    /// `node` came online. Fired for **every** node's transitions, with
+    /// `owned` telling whether this shard owns it: update full-network
+    /// mirrors unconditionally, run node-scoped reactions (which may draw
+    /// randomness and send) only when `owned`.
+    fn on_node_up(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId, owned: bool) {
+        let _ = (api, node, owned);
+    }
+
+    /// `node` went offline (same ownership contract as
+    /// [`on_node_up`](Self::on_node_up)).
+    fn on_node_down(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId, owned: bool) {
+        let _ = (api, node, owned);
+    }
+
+    /// A timer scheduled through [`ShardApi::schedule_timer`] fired at its
+    /// owned node.
+    fn on_timer(&mut self, api: &mut ShardApi<'_, Self::Msg>, node: NodeId, token: u64) {
+        let _ = (api, node, token);
+    }
+}
+
+/// A driver that can be partitioned into independent per-shard pieces.
+///
+/// The split/merge pair must round-trip the driver's state, and the two
+/// barrier callbacks must reproduce the serial driver's sample/inject
+/// behaviour *bitwise* (fold integer partials, or walk shards in order so
+/// f64 accumulation visits nodes in node-id order — shards are contiguous
+/// blocks precisely to make that possible).
+pub trait ShardableDriver: Driver<Msg: Send> + Sized {
+    /// One shard's slice of the driver state.
+    type Shard: ShardDriver<Msg = Self::Msg>;
+    /// Coordinator-side state: metric series and whatever else the
+    /// barrier callbacks accumulate.
+    type Global: Send;
+
+    /// Partitions the driver into `plan.shards()` pieces plus the
+    /// coordinator state.
+    fn split(self, plan: &ShardPlan) -> (Self::Global, Vec<Self::Shard>);
+
+    /// Reassembles the driver after the run (inverse of
+    /// [`split`](Self::split)).
+    fn merge(plan: &ShardPlan, global: Self::Global, shards: Vec<Self::Shard>) -> Self;
+
+    /// The periodic metric sample (the serial driver's
+    /// [`Driver::on_sample`]), fired at a window barrier with every shard
+    /// available.
+    fn on_sample(
+        global: &mut Self::Global,
+        shards: &mut [&mut Self::Shard],
+        api: &mut BarrierApi<'_, Self::Msg>,
+    ) {
+        let _ = (global, shards, api);
+    }
+
+    /// The periodic injection (the serial driver's
+    /// [`Driver::on_inject`]), fired at a window barrier.
+    fn on_inject(
+        global: &mut Self::Global,
+        shards: &mut [&mut Self::Shard],
+        api: &mut BarrierApi<'_, Self::Msg>,
+    ) {
+        let _ = (global, shards, api);
+    }
+}
+
+/// The API of barrier-time (engine-global) callbacks: sample and inject.
+///
+/// Mirrors the serial engine's global-context [`crate::engine::SimApi`]:
+/// the RNG is the global protocol stream, and sends are buffered and
+/// routed by the coordinator with the sending node's key and drop
+/// decision — in buffer order, exactly as the serial engine consumes them.
+pub struct BarrierApi<'a, M> {
+    now: SimTime,
+    cfg: &'a SimConfig,
+    plan: &'a ShardPlan,
+    online: &'a [bool],
+    online_list: &'a [NodeId],
+    rng: &'a mut Xoshiro256pp,
+    sends: Vec<(NodeId, NodeId, M)>,
+}
+
+impl<M> std::fmt::Debug for BarrierApi<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BarrierApi")
+            .field("now", &self.now)
+            .field("online", &self.online_list.len())
+            .finish()
+    }
+}
+
+impl<'a, M> BarrierApi<'a, M> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.cfg.n()
+    }
+
+    /// The simulation configuration.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        self.cfg
+    }
+
+    /// The node partition of this run.
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        self.plan
+    }
+
+    /// Whether `node` is currently online.
+    #[inline]
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.online[node.index()]
+    }
+
+    /// Number of currently online nodes.
+    #[inline]
+    pub fn online_count(&self) -> usize {
+        self.online_list.len()
+    }
+
+    /// The global protocol stream (the stream the serial engine hands to
+    /// sample/inject callbacks).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256pp {
+        self.rng
+    }
+
+    /// Draws a uniformly random online node, or `None` if all are offline.
+    pub fn random_online_node(&mut self) -> Option<NodeId> {
+        if self.online_list.is_empty() {
+            return None;
+        }
+        let i = self.rng.below(self.online_list.len() as u64) as usize;
+        Some(self.online_list[i])
+    }
+
+    /// Sends `msg` from `from` to `to` (arriving `transfer_time` later).
+    /// `from` may be any node: the coordinator charges the send to
+    /// `from`'s counter and engine stream when it routes the buffer.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.sends.push((from, to, msg));
+    }
+}
+
+/// One shard: kernel + queue + driver slice.
+struct ShardEngine<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> {
+    kernel: ShardKernel<D::Msg>,
+    queue: Q,
+    driver: D,
+    run_buf: Vec<(u64, SEv<D::Msg>)>,
+}
+
+impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
+    fn new(
+        plan: &Arc<ShardPlan>,
+        shard: usize,
+        cfg: &SimConfig,
+        availability: &dyn AvailabilityModel,
+        driver: D,
+        queue: Q,
+    ) -> Self {
+        let n = cfg.n();
+        let seed = cfg.seed();
+        let range = plan.range(shard);
+        let base = range.start;
+        let owned = range.len();
+        let mut kernel = ShardKernel {
+            plan: Arc::clone(plan),
+            shard,
+            base,
+            cfg: cfg.clone(),
+            now: SimTime::ZERO,
+            pending: Vec::with_capacity(64),
+            outbox: Vec::new(),
+            engine_rngs: range.clone().map(|i| engine_stream(seed, i)).collect(),
+            proto_rngs: range.clone().map(|i| proto_stream(seed, i)).collect(),
+            counters: vec![0; owned],
+            tick_epoch: vec![0; owned],
+            online: OnlineSet::new(n),
+            ctx: Ctx::Remote,
+            stats: SimStats::default(),
+        };
+
+        // Initial online set (full mirror), then per-node schedules with
+        // the exact keys the serial engine assigns: every shard replays
+        // every node's churn (so its mirror stays exact), but only owned
+        // nodes get ticks — and only their transitions advance a stored
+        // counter (remote counters are recomputed here and discarded).
+        for node in node_ids(n) {
+            if availability.initially_online(node) {
+                kernel.online.set(node, true);
+            }
+        }
+        for node in node_ids(n) {
+            if kernel.owns(node) {
+                availability.for_each_transition(node, &mut |time, up| {
+                    let key = kernel.next_key(node);
+                    kernel.pending.push((
+                        time,
+                        key,
+                        if up { SEv::Up(node) } else { SEv::Down(node) },
+                    ));
+                });
+            } else {
+                let mut counter = 0u64;
+                availability.for_each_transition(node, &mut |time, up| {
+                    let key = order_key(node.raw(), counter);
+                    counter += 1;
+                    kernel.pending.push((
+                        time,
+                        key,
+                        if up { SEv::Up(node) } else { SEv::Down(node) },
+                    ));
+                });
+            }
+        }
+        let phase = kernel.cfg.tick_phase();
+        for i in range {
+            let node = NodeId::from_index(i);
+            if kernel.online.is_online(node) {
+                let delay = kernel.tick_delay(node, phase);
+                kernel.schedule_tick(node, delay);
+            }
+        }
+        let mut engine = ShardEngine {
+            kernel,
+            queue,
+            driver,
+            run_buf: Vec::new(),
+        };
+        engine.flush_pending();
+        engine
+    }
+
+    /// Whether a popped event counts toward the merged
+    /// [`SimStats::events_processed`]: churn events are replicated to all
+    /// shards but owned by one.
+    #[inline]
+    fn counts_as_processed(&self, ev: &SEv<D::Msg>) -> bool {
+        match ev {
+            SEv::Up(node) | SEv::Down(node) => self.kernel.owns(*node),
+            _ => true,
+        }
+    }
+
+    /// Processes events up to `until` — strictly before it for window
+    /// interiors, inclusively for barrier instants — then parks the clock
+    /// at `until`.
+    fn run_window(&mut self, until: SimTime, inclusive: bool) {
+        while let Some(t) = self.queue.peek_time() {
+            let past_bound = if inclusive { t > until } else { t >= until };
+            if past_bound {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peek promised an event");
+            debug_assert!(scheduled.time >= self.kernel.now, "time went backwards");
+            self.kernel.now = scheduled.time;
+            if self.counts_as_processed(&scheduled.event) {
+                self.kernel.stats.events_processed += 1;
+            }
+            self.dispatch(scheduled.event);
+            self.flush_pending();
+        }
+        if until > self.kernel.now {
+            self.kernel.now = until;
+        }
+    }
+
+    #[inline]
+    fn flush_pending(&mut self) {
+        crate::queue::flush_run_batched(
+            &mut self.kernel.pending,
+            &mut self.run_buf,
+            &mut self.queue,
+        );
+    }
+
+    fn dispatch(&mut self, ev: SEv<D::Msg>) {
+        match ev {
+            SEv::Tick { node, epoch } => {
+                let local = self.kernel.local(node);
+                if self.kernel.tick_epoch[local] != epoch {
+                    self.kernel.stats.ticks_stale += 1;
+                    return;
+                }
+                debug_assert!(self.kernel.online.is_online(node));
+                self.kernel.stats.ticks_fired += 1;
+                self.kernel.ctx = Ctx::Owned(node);
+                let mut api = ShardApi {
+                    kernel: &mut self.kernel,
+                };
+                self.driver.on_round_tick(&mut api, node);
+                let delta = self.kernel.cfg.delta();
+                self.kernel.schedule_tick(node, delta);
+            }
+            SEv::Deliver { from, to, msg } => {
+                if !self.kernel.online.is_online(to) {
+                    self.kernel.stats.messages_lost_offline += 1;
+                    return;
+                }
+                self.kernel.stats.messages_delivered += 1;
+                self.kernel.ctx = Ctx::Owned(to);
+                let mut api = ShardApi {
+                    kernel: &mut self.kernel,
+                };
+                self.driver.on_message(&mut api, from, to, msg);
+            }
+            SEv::Up(node) => {
+                if self.kernel.online.is_online(node) {
+                    return; // duplicate transition; ignore
+                }
+                self.kernel.online.set(node, true);
+                let owned = self.kernel.owns(node);
+                if owned {
+                    let local = self.kernel.local(node);
+                    self.kernel.tick_epoch[local] += 1;
+                    let phase = self.kernel.cfg.tick_phase();
+                    let delay = self.kernel.tick_delay(node, phase);
+                    self.kernel.schedule_tick(node, delay);
+                    self.kernel.ctx = Ctx::Owned(node);
+                } else {
+                    self.kernel.ctx = Ctx::Remote;
+                }
+                let mut api = ShardApi {
+                    kernel: &mut self.kernel,
+                };
+                self.driver.on_node_up(&mut api, node, owned);
+            }
+            SEv::Down(node) => {
+                if !self.kernel.online.is_online(node) {
+                    return;
+                }
+                self.kernel.online.set(node, false);
+                let owned = self.kernel.owns(node);
+                if owned {
+                    let local = self.kernel.local(node);
+                    self.kernel.tick_epoch[local] += 1;
+                    self.kernel.ctx = Ctx::Owned(node);
+                } else {
+                    self.kernel.ctx = Ctx::Remote;
+                }
+                let mut api = ShardApi {
+                    kernel: &mut self.kernel,
+                };
+                self.driver.on_node_down(&mut api, node, owned);
+            }
+            SEv::Timer { node, token } => {
+                self.kernel.ctx = Ctx::Owned(node);
+                let mut api = ShardApi {
+                    kernel: &mut self.kernel,
+                };
+                self.driver.on_timer(&mut api, node, token);
+            }
+        }
+    }
+}
+
+/// Engine-global events the coordinator owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlobalEv {
+    Sample,
+    Inject,
+}
+
+/// Shared control block of the window workers.
+struct WorkerCtl {
+    barrier: Barrier,
+    until_us: AtomicU64,
+    inclusive: AtomicBool,
+    done: AtomicBool,
+    /// First panic payload caught in a worker's window. Workers catch
+    /// unwinds and still reach their barrier waits, so a panicking driver
+    /// callback surfaces as a propagated panic on the coordinator instead
+    /// of deadlocking the barrier rendezvous.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The sharded counterpart of [`crate::engine::Simulation`].
+///
+/// See the [module docs](self) for semantics and the exactness argument.
+pub struct ShardedSimulation<D: ShardableDriver> {
+    inner: SInner<D>,
+}
+
+enum SInner<D: ShardableDriver> {
+    Heap(SCore<D, BinaryHeapQueue<SEv<D::Msg>>>),
+    Wheel(SCore<D, TimingWheel<SEv<D::Msg>>>),
+}
+
+macro_rules! on_core {
+    ($self:expr, $c:ident => $body:expr) => {
+        match &$self.inner {
+            SInner::Heap($c) => $body,
+            SInner::Wheel($c) => $body,
+        }
+    };
+    (mut $self:expr, $c:ident => $body:expr) => {
+        match &mut $self.inner {
+            SInner::Heap($c) => $body,
+            SInner::Wheel($c) => $body,
+        }
+    };
+}
+
+struct SCore<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>>> {
+    plan: Arc<ShardPlan>,
+    cfg: SimConfig,
+    threads: usize,
+    engines: Vec<Mutex<ShardEngine<D::Shard, Q>>>,
+    global: D::Global,
+    proto_global: Xoshiro256pp,
+    global_counter: u64,
+    /// Pending engine-global events (at most a few entries; scanned
+    /// linearly).
+    globals: Vec<(SimTime, u64, GlobalEv)>,
+    /// Samples/injections fired and their events_processed contribution.
+    gstats: SimStats,
+    /// Per-destination scratch buffers of [`exchange`](Self::exchange)
+    /// (capacity reused across window barriers).
+    exchange_buckets: Vec<Vec<OutMsg<D::Msg>>>,
+    /// Scratch buffer of barrier-callback sends (capacity reused).
+    sends_scratch: Vec<(NodeId, NodeId, D::Msg)>,
+    now: SimTime,
+    finished: bool,
+}
+
+impl<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>> + Send> SCore<D, Q> {
+    fn new<F: FnMut() -> Q>(
+        cfg: SimConfig,
+        availability: &dyn AvailabilityModel,
+        driver: D,
+        shards: usize,
+        threads: usize,
+        mut make_queue: F,
+    ) -> Self {
+        let plan = Arc::new(ShardPlan::new(cfg.n(), shards));
+        let seed = cfg.seed();
+        let (global, shard_drivers) = driver.split(&plan);
+        assert_eq!(
+            shard_drivers.len(),
+            plan.shards(),
+            "ShardableDriver::split must produce one piece per shard"
+        );
+        let engines = shard_drivers
+            .into_iter()
+            .enumerate()
+            .map(|(s, d)| {
+                Mutex::new(ShardEngine::new(
+                    &plan,
+                    s,
+                    &cfg,
+                    availability,
+                    d,
+                    make_queue(),
+                ))
+            })
+            .collect();
+        let proto_global = proto_global_stream(seed);
+        let plan_shards = plan.shards();
+        let mut core = SCore {
+            plan,
+            threads: if threads == 0 {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            } else {
+                threads
+            },
+            engines,
+            global,
+            proto_global,
+            global_counter: 0,
+            globals: Vec::new(),
+            gstats: SimStats::default(),
+            exchange_buckets: (0..plan_shards).map(|_| Vec::new()).collect(),
+            sends_scratch: Vec::new(),
+            now: SimTime::ZERO,
+            finished: false,
+            cfg,
+        };
+        // The sample/inject trains, with the serial engine's key order
+        // (sample scheduled first).
+        if let Some(p) = core.cfg.sample_period() {
+            let key = core.next_global_key();
+            core.globals
+                .push((SimTime::ZERO + p, key, GlobalEv::Sample));
+        }
+        if let Some(p) = core.cfg.injection_period() {
+            let key = core.next_global_key();
+            core.globals
+                .push((SimTime::ZERO + p, key, GlobalEv::Inject));
+        }
+        core
+    }
+
+    #[inline]
+    fn next_global_key(&mut self) -> u64 {
+        let key = order_key(GLOBAL_ORIGIN, self.global_counter);
+        self.global_counter += 1;
+        key
+    }
+
+    /// Earliest pending global event (unbounded; callers bound it against
+    /// the horizon and window edge themselves).
+    fn next_global(&self) -> Option<(SimTime, u64)> {
+        self.globals.iter().map(|&(t, k, _)| (t, k)).min()
+    }
+
+    fn run_to_end(&mut self) {
+        if self.finished {
+            return;
+        }
+        let end = SimTime::ZERO + self.cfg.duration();
+        let shards = self.plan.shards();
+        let workers = self.threads.clamp(1, shards);
+        // Move the engines into a local so worker threads can borrow the
+        // mutexes while the coordinator keeps `&mut self` for everything
+        // else; the scope guarantees the workers are gone before the
+        // engines move back.
+        let engines = std::mem::take(&mut self.engines);
+        if shards == 1 || workers <= 1 {
+            self.coordinate(&engines, end, None);
+        } else {
+            // Workers park on a barrier between windows; the coordinator
+            // publishes each window's bound, waits out the compute phase,
+            // then exchanges mailboxes and fires barrier events while the
+            // workers wait at the top of their loop.
+            let ctl = WorkerCtl {
+                barrier: Barrier::new(workers + 1),
+                until_us: AtomicU64::new(0),
+                inclusive: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+                panic: Mutex::new(None),
+            };
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let ctl = &ctl;
+                    let engines = &engines;
+                    scope.spawn(move || loop {
+                        ctl.barrier.wait();
+                        if ctl.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let until = SimTime::from_micros(ctl.until_us.load(Ordering::Acquire));
+                        let inclusive = ctl.inclusive.load(Ordering::Acquire);
+                        // Catch panics from driver callbacks so this
+                        // thread still reaches the bottom barrier: a
+                        // missing rendezvous would deadlock the run
+                        // instead of crashing it.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut s = w;
+                            while s < engines.len() {
+                                engines[s]
+                                    .lock()
+                                    .expect("shard engine lock poisoned")
+                                    .run_window(until, inclusive);
+                                s += workers;
+                            }
+                        }));
+                        if let Err(payload) = result {
+                            let mut slot = match ctl.panic.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            slot.get_or_insert(payload);
+                        }
+                        ctl.barrier.wait();
+                    });
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.coordinate(&engines, end, Some(&ctl));
+                }));
+                ctl.done.store(true, Ordering::Release);
+                ctl.barrier.wait();
+                if let Err(payload) = outcome {
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        self.engines = engines;
+        self.now = end;
+        self.finished = true;
+    }
+
+    /// The coordinator loop. `ctl` is `Some` when worker threads execute
+    /// the windows, `None` for inline execution.
+    fn coordinate(
+        &mut self,
+        engines: &[Mutex<ShardEngine<D::Shard, Q>>],
+        end: SimTime,
+        ctl: Option<&WorkerCtl>,
+    ) {
+        let transfer = self.cfg.transfer_time();
+        let single = self.plan.shards() == 1;
+        let mut window_start = SimTime::ZERO;
+        loop {
+            // Barrier events strictly inside the horizon-or-window bound
+            // fire chronologically, interleaved with inclusive part-window
+            // runs (node events at the same instant precede them by key
+            // order, so "run through t, then fire globals at t" is exact).
+            if single {
+                match self.next_global().filter(|&(t, _)| t <= end) {
+                    Some((t, _)) => {
+                        run_all(engines, t, true, ctl);
+                        self.fire_globals_at(engines, t);
+                    }
+                    None => {
+                        run_all(engines, end, true, ctl);
+                        break;
+                    }
+                }
+                continue;
+            }
+            let wb = window_start + transfer;
+            if let Some((t, _)) = self.next_global().filter(|&(t, _)| t <= end && t < wb) {
+                run_all(engines, t, true, ctl);
+                self.fire_globals_at(engines, t);
+                continue;
+            }
+            if wb > end {
+                run_all(engines, end, true, ctl);
+                break;
+            }
+            run_all(engines, wb, false, ctl);
+            self.exchange(engines);
+            window_start = wb;
+            // Skip empty windows: jump to the window holding the earliest
+            // remaining event (post-exchange, so every mailbox is empty).
+            let mut earliest = self.next_global().map(|(t, _)| t);
+            for e in engines {
+                let t = e
+                    .lock()
+                    .expect("shard engine lock poisoned")
+                    .queue
+                    .peek_time();
+                earliest = match (earliest, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            match earliest {
+                None => break,
+                Some(t) if t > end => break,
+                Some(t) => {
+                    if t >= wb + transfer {
+                        let aligned = SimTime::from_micros(
+                            t.as_micros() / transfer.as_micros() * transfer.as_micros(),
+                        );
+                        window_start = aligned.max(wb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every shard's outbox into the owning shards' queues, in
+    /// `(source shard, buffer order)` — a deterministic order, though any
+    /// order would produce the same run: the keys already fix the pop
+    /// order. Messages are bucketed by destination first, so the barrier
+    /// pays one destination lock per (source, destination) pair instead
+    /// of one per message (this runs on the coordinator's critical path
+    /// while every worker is parked). Bucket capacity is reused across
+    /// windows.
+    fn exchange(&mut self, engines: &[Mutex<ShardEngine<D::Shard, Q>>]) {
+        let buckets = &mut self.exchange_buckets;
+        debug_assert!(buckets.iter().all(Vec::is_empty));
+        for (s, engine) in engines.iter().enumerate() {
+            {
+                let mut src = engine.lock().expect("shard engine lock poisoned");
+                if src.kernel.outbox.is_empty() {
+                    continue;
+                }
+                for m in src.kernel.outbox.drain(..) {
+                    let dst = self.plan.shard_of(m.to);
+                    debug_assert_ne!(dst, s, "outbox must hold only cross-shard sends");
+                    buckets[dst].push(m);
+                }
+            }
+            for (dst, bucket) in buckets.iter_mut().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut target = engines[dst].lock().expect("shard engine lock poisoned");
+                for m in bucket.drain(..) {
+                    target.queue.push_keyed(
+                        m.time,
+                        m.key,
+                        SEv::Deliver {
+                            from: m.from,
+                            to: m.to,
+                            msg: m.msg,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fires every pending global event scheduled exactly at `t`, in key
+    /// order, with all shards parked.
+    fn fire_globals_at(&mut self, engines: &[Mutex<ShardEngine<D::Shard, Q>>], t: SimTime) {
+        self.now = t;
+        // Lock every shard once for the whole instant (Sample and Inject
+        // due at the same `t` share the rendezvous) and split the borrows:
+        // kernels/queues for send routing, drivers for the callbacks.
+        let mut guards: Vec<_> = engines
+            .iter()
+            .map(|e| e.lock().expect("shard engine lock poisoned"))
+            .collect();
+        let mut kernels = Vec::with_capacity(guards.len());
+        let mut queues = Vec::with_capacity(guards.len());
+        let mut drivers = Vec::with_capacity(guards.len());
+        for g in guards.iter_mut() {
+            let e = &mut **g;
+            kernels.push(&mut e.kernel);
+            queues.push(&mut e.queue);
+            drivers.push(&mut e.driver);
+        }
+        loop {
+            let due = self
+                .globals
+                .iter()
+                .enumerate()
+                .filter(|(_, &(time, _, _))| time == t)
+                .min_by_key(|(_, &(_, key, _))| key)
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let (_, _, ev) = self.globals.swap_remove(i);
+            self.gstats.events_processed += 1;
+
+            let sends = {
+                // Shard 0's kernel replays every churn event exactly like
+                // the serial engine, so its online bookkeeping *is* the
+                // serial engine's at this instant.
+                let (online, online_list) = {
+                    let k0 = &*kernels[0];
+                    (k0.online.flags(), k0.online.list())
+                };
+                let mut api = BarrierApi {
+                    now: t,
+                    cfg: &self.cfg,
+                    plan: &self.plan,
+                    online,
+                    online_list,
+                    rng: &mut self.proto_global,
+                    sends: std::mem::take(&mut self.sends_scratch),
+                };
+                match ev {
+                    GlobalEv::Sample => {
+                        self.gstats.samples += 1;
+                        <D as ShardableDriver>::on_sample(&mut self.global, &mut drivers, &mut api);
+                    }
+                    GlobalEv::Inject => {
+                        self.gstats.injections += 1;
+                        <D as ShardableDriver>::on_inject(&mut self.global, &mut drivers, &mut api);
+                    }
+                }
+                api.sends
+            };
+            // Route buffered sends in order, charging each to the sending
+            // node's counter and engine stream — the exact consumption
+            // order of the serial engine's global-context sends.
+            let transfer = self.cfg.transfer_time();
+            let p = self.cfg.drop_probability();
+            let mut sends = sends;
+            for (from, to, msg) in sends.drain(..) {
+                let src = self.plan.shard_of(from);
+                let k = &mut *kernels[src];
+                k.stats.messages_sent += 1;
+                if p > 0.0 {
+                    let local = from.index() - k.base;
+                    if k.engine_rngs[local].chance(p) {
+                        k.stats.messages_dropped_fault += 1;
+                        continue;
+                    }
+                }
+                let key = k.next_key(from);
+                let dst = self.plan.shard_of(to);
+                queues[dst].push_keyed(t + transfer, key, SEv::Deliver { from, to, msg });
+            }
+            self.sends_scratch = sends;
+            // Reschedule the train, with the serial engine's counter
+            // consumption (one global key per firing).
+            let period = match ev {
+                GlobalEv::Sample => self.cfg.sample_period(),
+                GlobalEv::Inject => self.cfg.injection_period(),
+            }
+            .expect("global event without a configured period");
+            let key = {
+                let k = order_key(GLOBAL_ORIGIN, self.global_counter);
+                self.global_counter += 1;
+                k
+            };
+            self.globals.push((t + period, key, ev));
+        }
+    }
+
+    fn merged_stats(&self) -> SimStats {
+        let mut stats = self.gstats;
+        for e in &self.engines {
+            stats.merge(&e.lock().expect("shard engine lock poisoned").kernel.stats);
+        }
+        stats
+    }
+
+    fn into_parts(self) -> (D, SimStats) {
+        let stats = self.merged_stats();
+        let shards: Vec<D::Shard> = self
+            .engines
+            .into_iter()
+            .map(|e| e.into_inner().expect("shard engine lock poisoned").driver)
+            .collect();
+        (D::merge(&self.plan, self.global, shards), stats)
+    }
+}
+
+/// Runs one window (or part-window) on every shard: either by publishing
+/// it to the parked workers, or inline on the coordinator thread.
+fn run_all<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
+    engines: &[Mutex<ShardEngine<D, Q>>],
+    until: SimTime,
+    inclusive: bool,
+    ctl: Option<&WorkerCtl>,
+) {
+    match ctl {
+        Some(ctl) => {
+            ctl.until_us.store(until.as_micros(), Ordering::Release);
+            ctl.inclusive.store(inclusive, Ordering::Release);
+            ctl.barrier.wait();
+            ctl.barrier.wait();
+            // A worker's driver callback panicked: re-raise on the
+            // coordinator (run_to_end releases the workers, then
+            // propagates out of thread::scope).
+            let payload = match ctl.panic.lock() {
+                Ok(mut guard) => guard.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            };
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        None => {
+            for e in engines {
+                e.lock()
+                    .expect("shard engine lock poisoned")
+                    .run_window(until, inclusive);
+            }
+        }
+    }
+}
+
+impl<D: ShardableDriver> ShardedSimulation<D> {
+    /// Builds a sharded simulation over `availability` with the given
+    /// driver, partitioned into `shards` blocks (clamped to `[1, n]`) and
+    /// executed on up to `threads` worker threads (`0` = all available
+    /// cores; thread count never affects results).
+    pub fn new(
+        cfg: SimConfig,
+        availability: &dyn AvailabilityModel,
+        driver: D,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        let inner = match cfg.queue() {
+            QueueKind::Heap => SInner::Heap(SCore::new(
+                cfg,
+                availability,
+                driver,
+                shards,
+                threads,
+                BinaryHeapQueue::new,
+            )),
+            QueueKind::Wheel => SInner::Wheel(SCore::new(
+                cfg,
+                availability,
+                driver,
+                shards,
+                threads,
+                TimingWheel::new,
+            )),
+        };
+        ShardedSimulation { inner }
+    }
+
+    /// Runs until the configured duration is reached.
+    pub fn run_to_end(&mut self) {
+        on_core!(mut self, c => c.run_to_end())
+    }
+
+    /// Current virtual time (the horizon once finished).
+    pub fn now(&self) -> SimTime {
+        on_core!(self, c => c.now)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        on_core!(self, c => c.plan.shards())
+    }
+
+    /// Whether [`run_to_end`](Self::run_to_end) has completed.
+    pub fn is_finished(&self) -> bool {
+        on_core!(self, c => c.finished)
+    }
+
+    /// Statistics merged across shards (identical to the serial engine's
+    /// [`SimStats`] for the same run).
+    pub fn stats(&self) -> SimStats {
+        on_core!(self, c => c.merged_stats())
+    }
+
+    /// Consumes the simulation, reassembling the driver and returning it
+    /// with the merged statistics.
+    pub fn into_parts(self) -> (D, SimStats) {
+        match self.inner {
+            SInner::Heap(c) => c.into_parts(),
+            SInner::Wheel(c) => c.into_parts(),
+        }
+    }
+}
+
+impl<D: ShardableDriver> std::fmt::Debug for ShardedSimulation<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        on_core!(self, c => f
+            .debug_struct("ShardedSimulation")
+            .field("shards", &c.plan.shards())
+            .field("threads", &c.threads)
+            .field("now", &c.now)
+            .field("finished", &c.finished)
+            .finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_blocks_are_contiguous_and_cover() {
+        for n in [1usize, 2, 7, 10, 101, 1000] {
+            for s in [1usize, 2, 3, 4, 7, 64, 1000] {
+                let plan = ShardPlan::new(n, s);
+                let eff = plan.shards();
+                assert!(eff <= n && eff >= 1);
+                let mut covered = 0usize;
+                for shard in 0..eff {
+                    let r = plan.range(shard);
+                    assert_eq!(r.start, covered, "gap before shard {shard}");
+                    covered = r.end;
+                    for i in r {
+                        assert_eq!(plan.shard_of(NodeId::from_index(i)), shard);
+                    }
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_blocks_are_balanced() {
+        let plan = ShardPlan::new(1003, 4);
+        let sizes: Vec<usize> = (0..4).map(|s| plan.range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1003);
+        assert!(sizes.iter().all(|&x| (250..=251).contains(&x)), "{sizes:?}");
+    }
+
+    #[test]
+    fn plan_clamps_shard_count() {
+        assert_eq!(ShardPlan::new(3, 10).shards(), 3);
+        assert_eq!(ShardPlan::new(3, 0).shards(), 1);
+    }
+}

@@ -230,10 +230,12 @@ impl<E> TimingWheel<E> {
     fn insert_raw(&mut self, time: SimTime, seq: u64, event: E) {
         let mut tick = self.tick_of(time);
         if tick < self.current_tick {
-            // Same-instant scheduling during a drain: the event belongs to a
-            // tick whose batch is (or was) the ready batch. Keys are still
-            // `>=` everything already popped because `seq` is fresh; merge it
-            // into `ready` at its heap position.
+            // Scheduling into the tick being drained (or an earlier, already
+            // empty one): the event belongs to the ready batch. The push
+            // contract guarantees its `(time, seq)` is above everything
+            // already popped — `push` keeps `seq` fresh, `push_keyed`
+            // callers never schedule at or below the current event — so
+            // merging it into the batch at its heap position is exact.
             tick = self.current_tick;
         }
         match self.classify(tick) {
@@ -496,6 +498,54 @@ impl<E> EventQueue<E> for TimingWheel<E> {
         self.len += 1;
     }
 
+    fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.insert_raw(time, key, event);
+        self.len += 1;
+    }
+
+    /// Same-deadline batch insertion: one event classification for the
+    /// whole run. All entries share `time`, hence one tick and one
+    /// placement; level placements skip the per-push tick/classify/slot
+    /// arithmetic and chain nodes directly onto the precomputed slot head.
+    fn push_keyed_run<I>(&mut self, time: SimTime, run: I)
+    where
+        I: Iterator<Item = (u64, E)>,
+    {
+        let mut tick = self.tick_of(time);
+        if tick < self.current_tick {
+            tick = self.current_tick;
+        }
+        match self.classify(tick) {
+            Placement::Ready => {
+                for (seq, event) in run {
+                    self.ready_late.push(LateEntry { time, seq, event });
+                    self.len += 1;
+                }
+            }
+            Placement::Level(level) => {
+                let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                let mut count = 0usize;
+                for (seq, event) in run {
+                    let idx = self.alloc(time, seq, event);
+                    self.nodes[idx as usize].next = self.heads[level][slot];
+                    self.heads[level][slot] = idx;
+                    count += 1;
+                }
+                if count > 0 {
+                    self.occupied[level] |= 1 << slot;
+                    self.wheel_len += count;
+                    self.len += count;
+                }
+            }
+            Placement::Overflow => {
+                for (seq, event) in run {
+                    self.overflow.insert((tick, time, seq), event);
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
     fn pop(&mut self) -> Option<Scheduled<E>> {
         if !self.ensure_ready() {
             return None;
@@ -619,6 +669,78 @@ mod tests {
                     a.is_some(),
                     b.is_some()
                 ),
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_run_matches_individual_keyed_pushes() {
+        use crate::queue::order_key;
+        // Runs landing in every placement: ready tick (after a pop), a
+        // wheel level, and overflow — batched and per-item insertion must
+        // produce identical pop sequences.
+        let run_at = |t: u64| -> Vec<(u64, u32)> {
+            (0..40)
+                .map(|i| (order_key((i % 5) as u32, 1000 + t + i), i as u32))
+                .collect()
+        };
+        let deadlines = [
+            SimTime::from_micros(500),         // near (level 0)
+            SimTime::from_secs(120),           // deeper level
+            SimTime::from_secs(3 * 24 * 3600), // overflow
+        ];
+        let mut a = TimingWheel::new();
+        let mut b = TimingWheel::new();
+        for (j, &t) in deadlines.iter().enumerate() {
+            let entries = run_at(j as u64 * 100);
+            for &(k, e) in &entries {
+                a.push_keyed(t, k, e);
+            }
+            b.push_keyed_run(t, entries.iter().copied());
+        }
+        // Pop one event, then push a run into the now-draining tick.
+        let pa = a.pop().unwrap();
+        let pb = b.pop().unwrap();
+        assert_eq!(pa.key(), pb.key());
+        let late: Vec<(u64, u32)> = (0..10)
+            .map(|i| (order_key(9, 5000 + i as u64), 99 + i as u32))
+            .collect();
+        for &(k, e) in &late {
+            a.push_keyed(pa.time, k, e);
+        }
+        b.push_keyed_run(pb.time, late.iter().copied());
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.key(), y.key());
+                    assert_eq!(x.event, y.event);
+                }
+                (x, y) => panic!("length mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_key_order_pushes_within_a_tick_sort_exactly() {
+        use crate::queue::order_key;
+        let mut wheel = TimingWheel::new();
+        let mut heap = crate::queue::BinaryHeapQueue::new();
+        // Same ~1 ms tick, keys pushed in descending order (the pattern a
+        // later-origin event scheduling an earlier-origin deadline makes).
+        let t = SimTime::from_micros(2_000_100);
+        for i in (0..100u64).rev() {
+            wheel.push_keyed(t, order_key((i % 7) as u32, i), i);
+            heap.push_keyed(t, order_key((i % 7) as u32, i), i);
+        }
+        loop {
+            match (heap.pop(), wheel.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.key(), b.key());
+                    assert_eq!(a.event, b.event);
+                }
+                _ => panic!("length mismatch"),
             }
         }
     }

@@ -57,8 +57,10 @@ impl AvailabilityModel for RandomChurn {
     fn initially_online(&self, node: NodeId) -> bool {
         self.initial[node.index()]
     }
-    fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
-        self.transitions[node.index()].clone()
+    fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool)) {
+        for &(time, up) in &self.transitions[node.index()] {
+            f(time, up);
+        }
     }
 }
 
@@ -174,15 +176,11 @@ fn transitions_at_identical_times_resolve_in_order() {
         fn initially_online(&self, _node: NodeId) -> bool {
             true
         }
-        fn transitions(&self, node: NodeId) -> Vec<(SimTime, bool)> {
+        fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool)) {
             if node.index() == 0 {
-                vec![
-                    (SimTime::from_secs(10), false),
-                    (SimTime::from_secs(10), true),
-                    (SimTime::from_secs(10), false),
-                ]
-            } else {
-                vec![]
+                f(SimTime::from_secs(10), false);
+                f(SimTime::from_secs(10), true);
+                f(SimTime::from_secs(10), false);
             }
         }
     }

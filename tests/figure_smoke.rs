@@ -15,6 +15,7 @@ fn micro_opts(tag: &str) -> (FigureOpts, PathBuf) {
         seed: 1,
         out_dir: dir.clone(),
         full: false,
+        shards: None,
     };
     (opts, dir)
 }
