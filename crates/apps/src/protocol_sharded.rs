@@ -55,6 +55,20 @@ pub trait ApplicationShard: Send {
         let _ = (target, now);
     }
 
+    /// An injection happened at a node *another* shard owns.
+    ///
+    /// Injections fire at window barriers, where the coordinator owns
+    /// every shard, so this broadcast is race-free. Applications whose
+    /// injection updates *global* state (push gossip's injection counter,
+    /// which numbers every update network-wide) advance their replica of
+    /// that state here so all shards agree at the next barrier; the
+    /// node-local half of the injection stays with the owner's
+    /// [`inject`](Self::inject). Purely node-local applications ignore
+    /// it.
+    fn on_remote_inject(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// Owned `node` came online.
     fn on_node_up(&mut self, node: NodeId, now: SimTime) {
         let _ = (node, now);
@@ -386,6 +400,14 @@ where
         if let Some(target) = api.random_online_node() {
             let now = api.now();
             let shard = api.plan().shard_of(target);
+            // Global halves of the injection (e.g. push gossip's update
+            // counter) advance on every replica; the node-local half goes
+            // to the owner below.
+            for (s, sh) in shards.iter_mut().enumerate() {
+                if s != shard {
+                    sh.app.on_remote_inject(now);
+                }
+            }
             let sh = &mut *shards[shard];
             sh.app.inject(target, now);
             if global.react_to_injections {

@@ -10,10 +10,12 @@
 //! stores. Multiplied by the injection period this is the average time lag
 //! in seconds; the figure harness reports both.
 
+use ta_sim::shard::ShardPlan;
 use ta_sim::{NodeId, SimTime};
 use token_account::Usefulness;
 
 use crate::app::Application;
+use crate::protocol::sharded::{ApplicationShard, ShardableApplication};
 
 /// A push gossip message: the timestamp (injection index) of an update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,180 @@ impl Application for PushGossip {
     }
 }
 
+/// One shard's block of [`PushGossip`]: the owned nodes' freshest-update
+/// ids and online flags, plus a replica of the global injection counter.
+///
+/// The lag metric (eq. 7) is a fold of *integer* partials — `Σ latest`
+/// and the online count over the owned block — so
+/// [`metric_sharded`](ShardableApplication::metric_sharded) folds the
+/// shards in order (contiguous blocks = serial node order, the same
+/// ordered-fold discipline `SgdGossipLearning` uses for its f64
+/// accumulation) and reproduces [`Application::metric`] bitwise: the
+/// only floating-point arithmetic is the final division, applied to
+/// sums that are exact integers on both paths.
+///
+/// `freshest` is global state: every injection increments it
+/// network-wide. The owning shard advances it in
+/// [`inject`](ApplicationShard::inject) (and stores the update); every
+/// other shard advances its replica through
+/// [`on_remote_inject`](ApplicationShard::on_remote_inject) — injections
+/// fire at window barriers, so the replicas agree whenever the metric is
+/// sampled.
+#[derive(Debug, Clone)]
+pub struct PushGossipShard {
+    base: usize,
+    latest: Vec<u64>,
+    online: Vec<bool>,
+    online_sum: u64,
+    online_count: usize,
+    freshest: u64,
+}
+
+impl PushGossipShard {
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        node.index() - self.base
+    }
+
+    fn store(&mut self, i: usize, id: u64) {
+        let current = self.latest[i];
+        if id > current {
+            self.latest[i] = id;
+            if self.online[i] {
+                self.online_sum += id - current;
+            }
+        }
+    }
+}
+
+impl ApplicationShard for PushGossipShard {
+    type Msg = UpdateMsg;
+
+    fn create_message(&mut self, node: NodeId) -> UpdateMsg {
+        UpdateMsg {
+            id: self.latest[self.local(node)],
+        }
+    }
+
+    fn update_state(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: &UpdateMsg,
+        _now: SimTime,
+    ) -> Usefulness {
+        let i = self.local(node);
+        if msg.id > self.latest[i] {
+            self.store(i, msg.id);
+            Usefulness::Useful
+        } else {
+            Usefulness::NotUseful
+        }
+    }
+
+    fn inject(&mut self, target: NodeId, _now: SimTime) {
+        self.freshest += 1;
+        let id = self.freshest;
+        let i = self.local(target);
+        self.store(i, id);
+    }
+
+    fn on_remote_inject(&mut self, _now: SimTime) {
+        self.freshest += 1;
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _now: SimTime) {
+        let i = self.local(node);
+        if !self.online[i] {
+            self.online[i] = true;
+            self.online_sum += self.latest[i];
+            self.online_count += 1;
+        }
+    }
+
+    fn on_node_down(&mut self, node: NodeId, _now: SimTime) {
+        let i = self.local(node);
+        if self.online[i] {
+            self.online[i] = false;
+            self.online_sum -= self.latest[i];
+            self.online_count -= 1;
+        }
+    }
+}
+
+impl ShardableApplication for PushGossip {
+    type Shard = PushGossipShard;
+
+    fn split(self, plan: &ShardPlan) -> Vec<PushGossipShard> {
+        let mut latest = self.latest;
+        let mut online = self.online;
+        let mut blocks = Vec::with_capacity(plan.shards());
+        for s in (0..plan.shards()).rev() {
+            let start = plan.range(s).start;
+            blocks.push((latest.split_off(start), online.split_off(start)));
+        }
+        blocks.reverse();
+        blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, (latest, online))| {
+                let online_sum = latest
+                    .iter()
+                    .zip(&online)
+                    .filter(|(_, &up)| up)
+                    .map(|(&id, _)| id)
+                    .sum();
+                let online_count = online.iter().filter(|&&up| up).count();
+                PushGossipShard {
+                    base: plan.range(s).start,
+                    latest,
+                    online,
+                    online_sum,
+                    online_count,
+                    freshest: self.freshest,
+                }
+            })
+            .collect()
+    }
+
+    fn merge(_plan: &ShardPlan, shards: Vec<PushGossipShard>) -> Self {
+        debug_assert!(
+            shards.windows(2).all(|w| w[0].freshest == w[1].freshest),
+            "freshest replicas diverged across shards"
+        );
+        let freshest = shards[0].freshest;
+        let mut latest = Vec::new();
+        let mut online = Vec::new();
+        let mut online_sum = 0u64;
+        let mut online_count = 0usize;
+        for sh in shards {
+            latest.extend(sh.latest);
+            online.extend(sh.online);
+            online_sum += sh.online_sum;
+            online_count += sh.online_count;
+        }
+        PushGossip {
+            latest,
+            online,
+            online_sum,
+            online_count,
+            freshest,
+        }
+    }
+
+    fn metric_sharded(shards: &[&PushGossipShard], _online_count: usize, _now: SimTime) -> f64 {
+        // u64/usize partials folded in shard (= serial node) order: the
+        // sums are exact integers, so the single division below is
+        // bitwise the serial eq. 7 evaluation.
+        let sum: u64 = shards.iter().map(|s| s.online_sum).sum();
+        let count: usize = shards.iter().map(|s| s.online_count).sum();
+        if count == 0 {
+            return 0.0;
+        }
+        shards[0].freshest as f64 - sum as f64 / count as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +390,42 @@ mod tests {
     fn empty_online_population_has_zero_metric() {
         let a = PushGossip::new(2, &[false, false]);
         assert_eq!(a.metric(0, now()), 0.0);
+    }
+
+    #[test]
+    fn split_merge_roundtrips_and_replicates_freshest() {
+        let n = 11;
+        let mut app = PushGossip::new(n, &[true; 11]);
+        for i in 0..7 {
+            app.inject(NodeId::from_index(i % n), now());
+        }
+        app.on_node_down(NodeId::from_index(2), now());
+        let (before_latest, before_metric) = (app.latest.clone(), app.metric(10, now()));
+        let plan = ShardPlan::new(n, 3);
+        let mut shards = app.split(&plan);
+        {
+            let views: Vec<&PushGossipShard> = shards.iter().collect();
+            let sharded_metric = PushGossip::metric_sharded(&views, 10, now());
+            assert_eq!(sharded_metric.to_bits(), before_metric.to_bits());
+        }
+        // An injection at shard 1's node must keep every replica's
+        // freshest in lockstep via on_remote_inject.
+        let target = NodeId::from_index(plan.range(1).start);
+        for (s, sh) in shards.iter_mut().enumerate() {
+            if s == 1 {
+                sh.inject(target, now());
+            } else {
+                sh.on_remote_inject(now());
+            }
+        }
+        let merged = PushGossip::merge(&plan, shards);
+        assert_eq!(merged.freshest(), 8);
+        assert_eq!(merged.stored(target), 8);
+        for (i, &before) in before_latest.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            let expect = if node == target { 8 } else { before };
+            assert_eq!(merged.stored(node), expect);
+        }
     }
 
     #[test]

@@ -170,6 +170,75 @@ fn gossip_learning_sharded_is_byte_identical() {
     }
 }
 
+/// Push gossip is the injection-heavy application: every update enters
+/// through the barrier-time inject hook, whose global counter each shard
+/// replicates via `on_remote_inject`. The digest covers the lag metric
+/// (f64 bits), counters, histograms, and the full per-node update state.
+fn push_gossip_digest(
+    n: usize,
+    queue: QueueKind,
+    seed: u64,
+    churn: bool,
+    shards: Option<(usize, usize)>,
+) -> Digest {
+    use ta_apps::push_gossip::PushGossip;
+    let topo = topo(n, seed);
+    let initial: Vec<bool> = (0..n)
+        .map(|i| {
+            if churn {
+                Flap.initially_online(NodeId::from_index(i))
+            } else {
+                true
+            }
+        })
+        .collect();
+    let app = PushGossip::new(n, &initial);
+    let strategy = RandomizedTokenAccount::new(3, 8).unwrap();
+    let mut proto =
+        TokenProtocol::new(Arc::clone(&topo), strategy, app, initial).with_token_recording();
+    if churn {
+        proto = proto.with_pull_on_rejoin();
+    }
+    let config = cfg(n, queue, seed);
+    let avail: &dyn AvailabilityModel = if churn { &Flap } else { &ta_sim::AlwaysOn };
+    let (proto, sim) = match shards {
+        None => {
+            let mut sim = Simulation::new(config, avail, proto);
+            sim.run_to_end();
+            sim.into_parts()
+        }
+        Some((s, t)) => {
+            let mut sim = ShardedSimulation::new(config, avail, proto, s, t);
+            sim.run_to_end();
+            sim.into_parts()
+        }
+    };
+    let results = proto.into_results();
+    let state: Vec<u64> = (0..n)
+        .map(|i| results.app.stored(NodeId::from_index(i)))
+        .chain([results.app.freshest()])
+        .collect();
+    digest(results, sim, state)
+}
+
+#[test]
+fn push_gossip_sharded_is_byte_identical() {
+    for queue in [QueueKind::Heap, QueueKind::Wheel] {
+        for churn in [false, true] {
+            let serial = push_gossip_digest(60, queue, 21, churn, None);
+            assert!(serial.sim.injections > 0, "workload must inject updates");
+            assert!(serial.sim.messages_delivered > 0);
+            for shards in [1, 2, 4] {
+                let sharded = push_gossip_digest(60, queue, 21, churn, Some((shards, 2)));
+                assert_eq!(
+                    serial, sharded,
+                    "push-gossip {queue:?} churn={churn} S={shards}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn sgd_sharded_is_byte_identical_including_f64_metric() {
     let n = 40;

@@ -1,0 +1,309 @@
+//! The `bench_live` harness: machine-readable live-runtime perf tracking.
+//!
+//! Measures, in one process and one run:
+//!
+//! * **loadgen** — closed-loop admission decisions/sec of the full live
+//!   stack (sharded atomic accounts + granter thread + latency
+//!   histogram) at 1, 2, and 4 workers, total and per worker. The
+//!   committed baseline documents the ≥ 1M decisions/sec/worker
+//!   acceptance bar on the sharded-atomic path;
+//! * **contended** — the adversarial case: 4 workers hammering 64
+//!   shared accounts, with the account map in a single shard vs. 64
+//!   cache-line-aware shards;
+//! * **granter_sweep** — accounts/sec of the per-shard batched Δ grant
+//!   over one million accounts;
+//! * **histogram_record** — samples/sec of the allocation-free
+//!   log-linear latency histogram's record path;
+//! * **replay** — events/sec of the virtual-clock live-vs-sim replay
+//!   (the cross-validation harness itself).
+//!
+//! Results are written as `BENCH_live.json` (override with `--out PATH`);
+//! `--test` runs each workload briefly (CI smoke), `--diff BASELINE`
+//! prints the shared non-failing comparison. The `meta` section records
+//! the measuring host's core count — multi-worker rows on a 1-core
+//! container measure time-slicing, not scaling, exactly like
+//! `BENCH_sim.json`'s threaded shard rows.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::black_box;
+use ta_live::harness::{replay_trace, run_sim_oracle, OracleWorkload};
+use ta_live::histogram::LatencyHistogram;
+use ta_live::loadgen::{run_loadgen, ArrivalMode, BurstMix, LoadGenConfig};
+use ta_live::runtime::LiveRuntime;
+use ta_live::LiveCounters;
+use ta_sim::rng::Xoshiro256pp;
+use token_account::prelude::*;
+
+use crate::report::{find, host_cores, json_section, measure_events_per_sec, Sample};
+
+/// Workload scale of one run (reported in the `scale` section; ids stay
+/// mode-independent so the CI smoke diff lines up against the committed
+/// full-mode baseline).
+fn scales(smoke: bool) -> (usize, Duration, usize) {
+    if smoke {
+        // (clients, loadgen duration, granter-sweep accounts)
+        (10_000, Duration::from_millis(200), 100_000)
+    } else {
+        (100_000, Duration::from_secs(2), 1_000_000)
+    }
+}
+
+fn loadgen_cfg(smoke: bool, workers: usize, clients: usize, shards: usize) -> LoadGenConfig {
+    let (_, duration, _) = scales(smoke);
+    LoadGenConfig {
+        clients,
+        workers,
+        account_shards: shards,
+        duration,
+        mode: ArrivalMode::Closed,
+        useful_probability: 0.8,
+        burst: Some(BurstMix {
+            probability: 0.05,
+            size: 8,
+        }),
+        round_period: Some(Duration::from_millis(100)),
+        seed: 17,
+    }
+}
+
+fn bench_loadgen(smoke: bool) -> Vec<Sample> {
+    let (clients, _, _) = scales(smoke);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let mut samples = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let report = run_loadgen(strategy, &loadgen_cfg(smoke, workers, clients, 64));
+        assert!(report.conserves(), "loadgen books must close");
+        samples.push(Sample {
+            id: format!("loadgen/closed_w{workers}"),
+            value: report.decisions_per_sec(),
+        });
+        samples.push(Sample {
+            id: format!("loadgen/closed_w{workers}_per_worker"),
+            value: report.decisions_per_sec_per_worker(),
+        });
+    }
+    // Contended: every worker hits the same tiny account set; the only
+    // difference between the two rows is the account-map sharding.
+    for (id, shards) in [
+        ("contended/single_shard_w4", 1),
+        ("contended/sharded_w4", 64),
+    ] {
+        let report = run_loadgen(strategy, &loadgen_cfg(smoke, 4, 64, shards));
+        assert!(report.conserves(), "contended books must close");
+        samples.push(Sample {
+            id: id.into(),
+            value: report.decisions_per_sec(),
+        });
+    }
+    samples
+}
+
+fn bench_granter(smoke: bool) -> Sample {
+    let (_, _, accounts) = scales(smoke);
+    let runtime = LiveRuntime::new(
+        RandomizedTokenAccount::new(5, 10).expect("valid strategy"),
+        accounts,
+        64,
+    );
+    let mut rng = Xoshiro256pp::stream(23, 0);
+    let mut counters = LiveCounters::default();
+    let value = measure_events_per_sec(
+        || {
+            let mut swept = 0u64;
+            for s in 0..runtime.accounts().shard_count() {
+                swept += runtime.round_sweep(s, &mut rng, &mut counters, |_| {});
+            }
+            swept
+        },
+        smoke,
+    );
+    black_box(counters.rounds);
+    Sample {
+        id: "granter_sweep".into(),
+        value,
+    }
+}
+
+fn bench_histogram(smoke: bool) -> Sample {
+    let mut h = LatencyHistogram::new();
+    let iters: u64 = if smoke { 100_000 } else { 2_000_000 };
+    let value = measure_events_per_sec(
+        || {
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..iters {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x & 0xf_ffff);
+            }
+            iters
+        },
+        smoke,
+    );
+    black_box(h.count());
+    Sample {
+        id: "histogram_record".into(),
+        value,
+    }
+}
+
+fn bench_replay(smoke: bool) -> Sample {
+    let clients = if smoke { 100 } else { 400 };
+    let workload = OracleWorkload {
+        clients,
+        injection_period: ta_sim::SimDuration::from_millis(100),
+        ..OracleWorkload::quick(clients, 29)
+    };
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let (sim, trace) = run_sim_oracle(strategy, &workload);
+    let events = trace.events.len() as u64;
+    let value = measure_events_per_sec(
+        || {
+            let live = replay_trace(strategy, &trace, 2, 16);
+            assert_eq!(live, sim, "replay must stay exact while being timed");
+            events
+        },
+        smoke,
+    );
+    Sample {
+        id: "replay/virtual_clock".into(),
+        value,
+    }
+}
+
+/// Runs every section and writes the JSON report; returns the report text.
+pub fn run(smoke: bool, out_path: &str) -> String {
+    let (clients, duration, granter_accounts) = scales(smoke);
+    eprintln!(
+        "bench_live: loadgen ({})...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut live_samples = bench_loadgen(smoke);
+    eprintln!("bench_live: granter sweep...");
+    live_samples.push(bench_granter(smoke));
+    eprintln!("bench_live: histogram...");
+    live_samples.push(bench_histogram(smoke));
+    eprintln!("bench_live: live-vs-sim replay...");
+    live_samples.push(bench_replay(smoke));
+
+    let speedups = vec![
+        Sample {
+            id: "loadgen_w2_vs_w1".into(),
+            value: find(&live_samples, "loadgen/closed_w2")
+                / find(&live_samples, "loadgen/closed_w1"),
+        },
+        Sample {
+            id: "loadgen_w4_vs_w1".into(),
+            value: find(&live_samples, "loadgen/closed_w4")
+                / find(&live_samples, "loadgen/closed_w1"),
+        },
+        Sample {
+            id: "contended_sharded_vs_single_shard".into(),
+            value: find(&live_samples, "contended/sharded_w4")
+                / find(&live_samples, "contended/single_shard_w4"),
+        },
+    ];
+    let scale_samples = vec![
+        Sample {
+            id: "clients".into(),
+            value: clients as f64,
+        },
+        Sample {
+            id: "loadgen_duration_secs".into(),
+            value: duration.as_secs_f64(),
+        },
+        Sample {
+            id: "granter_accounts".into(),
+            value: granter_accounts as f64,
+        },
+        Sample {
+            id: "host_cores".into(),
+            value: host_cores() as f64,
+        },
+    ];
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ta-bench-live/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"speedup\": \"ratio\" }},"
+    );
+    json_section(&mut out, "scale", &scale_samples, false);
+    json_section(&mut out, "live", &live_samples, false);
+    json_section(&mut out, "speedup", &speedups, true);
+    out.push('}');
+    out.push('\n');
+
+    match std::fs::write(out_path, &out) {
+        Ok(()) => eprintln!("bench_live: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("bench_live: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    out
+}
+
+/// CLI entry: `bench_live [--test] [--out PATH] [--diff BASELINE]`.
+pub fn run_from_args() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_live.json".to_string());
+    let diff_base = args
+        .iter()
+        .position(|a| a == "--diff")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let report = run(smoke, &out_path);
+    println!("{report}");
+    if let Some(base) = diff_base {
+        crate::report::diff_report(&report, &base, &["scale/", "speedup/"]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed_and_complete() {
+        let dir = std::env::temp_dir().join(format!("ta-bench-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_live.json");
+        let report = run(true, path.to_str().unwrap());
+        assert!(report.starts_with('{') && report.trim_end().ends_with('}'));
+        for key in [
+            "\"scale\"",
+            "\"live\"",
+            "\"speedup\"",
+            "host_cores",
+            "loadgen/closed_w1",
+            "loadgen/closed_w1_per_worker",
+            "loadgen/closed_w2",
+            "loadgen/closed_w4",
+            "contended/single_shard_w4",
+            "contended/sharded_w4",
+            "granter_sweep",
+            "histogram_record",
+            "replay/virtual_clock",
+            "loadgen_w2_vs_w1",
+            "contended_sharded_vs_single_shard",
+        ] {
+            assert!(report.contains(key), "missing {key} in report:\n{report}");
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

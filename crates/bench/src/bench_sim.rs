@@ -33,7 +33,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use criterion::black_box;
 use ta_apps::protocol::TokenProtocol;
@@ -56,42 +56,12 @@ use token_account::prelude::*;
 
 use crate::legacy_proto::{two_pass_select_online, CloningSgd, LegacyTokenProtocol};
 use crate::legacy_wheel::LegacyVecWheel;
+use crate::report::{find, json_section, measure_events_per_sec, Sample};
 
 /// Pending events kept in flight during queue churn.
 const PENDING: usize = 10_000;
 /// Push/pop pairs per queue-churn invocation.
 const OPS: usize = 100_000;
-
-/// One measured number, in the unit its section implies.
-#[derive(Debug, Clone)]
-pub struct Sample {
-    /// Key within the JSON section.
-    pub id: String,
-    /// Events/sec for throughput entries, seconds for wall-clock entries.
-    pub value: f64,
-}
-
-/// Repeats `workload` (which reports how many events it processed) until
-/// the measurement budget is spent; returns events/sec.
-fn measure_events_per_sec<F: FnMut() -> u64>(mut workload: F, smoke: bool) -> f64 {
-    if smoke {
-        let start = Instant::now();
-        let events = workload();
-        return events as f64 / start.elapsed().as_secs_f64().max(1e-9);
-    }
-    // Warmup invocation (fills caches, grows slabs/heaps to steady state).
-    black_box(workload());
-    let budget = Duration::from_millis(1_000);
-    let start = Instant::now();
-    let mut events = 0u64;
-    loop {
-        events += workload();
-        if start.elapsed() >= budget {
-            break;
-        }
-    }
-    events as f64 / start.elapsed().as_secs_f64()
-}
 
 /// Steady-state churn of push/pop pairs against `queue`; returns events
 /// processed (pushes + pops).
@@ -579,23 +549,6 @@ fn bench_sweep(smoke: bool) -> (f64, usize, usize) {
     )
 }
 
-fn json_section(out: &mut String, name: &str, samples: &[Sample], last: bool) {
-    let _ = writeln!(out, "  \"{name}\": {{");
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 == samples.len() { "" } else { "," };
-        let _ = writeln!(out, "    \"{}\": {:.1}{comma}", s.id, s.value);
-    }
-    let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
-}
-
-fn find(samples: &[Sample], id: &str) -> f64 {
-    samples
-        .iter()
-        .find(|s| s.id == id)
-        .map(|s| s.value)
-        .unwrap_or(f64::NAN)
-}
-
 /// Runs every section and writes the JSON report; returns the report text.
 pub fn run(smoke: bool, out_path: &str) -> String {
     eprintln!(
@@ -715,84 +668,14 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     out
 }
 
-/// Parses one of our own reports into `section/key -> value` pairs.
-///
-/// The format is the fixed subset `run` emits (two-level objects of
-/// numeric leaves), so a line parser suffices — no JSON dependency.
-fn parse_report(text: &str) -> Vec<(String, f64)> {
-    let mut entries = Vec::new();
-    let mut section = String::new();
-    for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some((key, rest)) = line.split_once(':') else {
-            continue;
-        };
-        let key = key.trim().trim_matches('"').to_string();
-        let rest = rest.trim();
-        if rest == "{" {
-            section = key;
-        } else if let Ok(v) = rest.parse::<f64>() {
-            if !section.is_empty() {
-                entries.push((format!("{section}/{key}"), v));
-            }
-        }
-    }
-    entries
-}
-
 /// Prints a non-failing metric-by-metric comparison of `current` against
 /// the baseline report at `baseline_path` (typically the committed
-/// `BENCH_sim.json`). Differences never fail the build: smoke-mode CI
-/// values are single-shot and noisy; the report exists so perf movement is
-/// *visible* in PR logs, with regressions left to human judgement.
+/// `BENCH_sim.json`), then surfaces the dense same-tick periodic case
+/// explicitly (the trade-off the hybrid spill wheel was built to close),
+/// so movement in either direction is one line away in every CI log.
 pub fn diff_report(current: &str, baseline_path: &str) {
-    let baseline_text = match std::fs::read_to_string(baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench_sim: no baseline at {baseline_path} ({e}); skipping diff");
-            return;
-        }
-    };
-    let baseline: Vec<(String, f64)> = parse_report(&baseline_text);
-    let new: Vec<(String, f64)> = parse_report(current);
-    println!("\n== bench_sim diff vs {baseline_path} (informational, never fails) ==");
-    println!(
-        "{:<58} {:>14} {:>14} {:>7}",
-        "metric", "baseline", "current", "ratio"
-    );
-    for (key, new_v) in &new {
-        let Some((_, base_v)) = baseline.iter().find(|(k, _)| k == key) else {
-            println!("{key:<58} {:>14} {new_v:>14.1} {:>7}", "-", "new");
-            continue;
-        };
-        let ratio = if *base_v != 0.0 {
-            new_v / base_v
-        } else {
-            f64::NAN
-        };
-        let marker = if key.starts_with("sweep/")
-            || key.starts_with("speedup/")
-            || key.starts_with("scale/")
-        {
-            "" // wall-clock, workload scale, ratios-of-ratios: context, not verdicts
-        } else if ratio < 0.9 {
-            "  <-- slower"
-        } else if ratio > 1.1 {
-            "  <-- faster"
-        } else {
-            ""
-        };
-        println!("{key:<58} {base_v:>14.1} {new_v:>14.1} {ratio:>6.2}x{marker}");
-    }
-    for (key, _) in &baseline {
-        if !new.iter().any(|(k, _)| k == key) {
-            println!("{key:<58} (present in baseline only)");
-        }
-    }
-    // The known trade-off carried from the slab-wheel rewrite: on the
-    // dense same-tick *periodic* microbench the legacy Vec wheel still
-    // out-pops the slab wheel. Surface it explicitly so a regression in
-    // either direction is one line away in every CI log.
+    crate::report::diff_report(current, baseline_path, &["sweep/", "speedup/", "scale/"]);
+    let new = crate::report::parse_report(current);
     let pick = |entries: &[(String, f64)], key: &str| {
         entries
             .iter()
@@ -804,7 +687,7 @@ pub fn diff_report(current: &str, baseline_path: &str) {
     let legacy = pick(&new, "event_queue/legacy_wheel/periodic");
     println!(
         "dense same-tick periodic case: slab_wheel {slab:.0} vs legacy_wheel {legacy:.0} \
-         ev/s (slab/legacy = {:.2}x; known trade-off, see ROADMAP open items)",
+         ev/s (slab/legacy = {:.2}x; hybrid spill runs, see ROADMAP)",
         slab / legacy
     );
 }
@@ -880,20 +763,6 @@ mod tests {
         }
         assert_eq!(std::fs::read_to_string(&path).unwrap(), report);
         std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn report_parser_roundtrips_own_format() {
-        let text = "{\n  \"schema\": \"x\",\n  \"event_queue\": {\n    \"a/b\": 12.5,\n    \"c\": 3.0\n  },\n  \"sweep\": {\n    \"wall\": 0.5\n  }\n}\n";
-        let entries = parse_report(text);
-        assert_eq!(
-            entries,
-            vec![
-                ("event_queue/a/b".to_string(), 12.5),
-                ("event_queue/c".to_string(), 3.0),
-                ("sweep/wall".to_string(), 0.5),
-            ]
-        );
     }
 
     #[test]

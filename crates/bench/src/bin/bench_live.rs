@@ -1,0 +1,3 @@
+fn main() {
+    ta_bench::bench_live::run_from_args();
+}

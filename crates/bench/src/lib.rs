@@ -28,9 +28,11 @@
 //!   as the baseline the allocation-free protocol path is measured
 //!   against.
 
+pub mod bench_live;
 pub mod bench_sim;
 pub mod legacy_proto;
 pub mod legacy_wheel;
+pub mod report;
 
 /// Common scale constants shared by the benches so results are comparable
 /// across runs.

@@ -1,0 +1,203 @@
+//! The token account as a lock-free atomic cell.
+//!
+//! [`AtomicTokenAccount`] is the concurrent counterpart of
+//! [`TokenAccount`](crate::account::TokenAccount): the same signed balance
+//! and the same non-negativity contract, but every operation is a single
+//! atomic instruction or a short CAS loop, so millions of clients can hit
+//! one account map from many threads without locks. Grants are
+//! `fetch_add` (wait-free); conditional spends are a compare-exchange
+//! loop that never drives the balance negative, no matter how the loop
+//! interleaves with concurrent grants and spends.
+//!
+//! All operations use [`Ordering::Relaxed`]: the balance is a counter,
+//! not a synchronization point — callers that need happens-before edges
+//! (e.g. the live runtime's shutdown barrier) establish them with their
+//! own acquire/release operations. Relaxed still guarantees a single
+//! modification order per account, which is exactly what the
+//! conservation invariant needs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A node's token balance, shareable across threads.
+///
+/// ```
+/// use token_account::atomic::AtomicTokenAccount;
+///
+/// let acct = AtomicTokenAccount::new(0);
+/// acct.grant();
+/// acct.grant();
+/// assert_eq!(acct.balance(), 2);
+/// assert!(acct.try_spend(2));
+/// assert!(!acct.try_spend(1)); // empty: spending is refused
+/// assert_eq!(acct.balance(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicTokenAccount {
+    balance: AtomicI64,
+}
+
+impl AtomicTokenAccount {
+    /// Creates an account with the given starting balance.
+    #[inline]
+    pub const fn new(initial: i64) -> Self {
+        AtomicTokenAccount {
+            balance: AtomicI64::new(initial),
+        }
+    }
+
+    /// Current balance. Negative only if [`force_spend`](Self::force_spend)
+    /// was used (debt-allowing strategies).
+    #[inline]
+    pub fn balance(&self) -> i64 {
+        self.balance.load(Ordering::Relaxed)
+    }
+
+    /// Grants one token (wait-free).
+    #[inline]
+    pub fn grant(&self) {
+        self.balance.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Grants `amount` tokens at once (granter-thread batches).
+    #[inline]
+    pub fn grant_many(&self, amount: u64) {
+        self.balance.fetch_add(amount as i64, Ordering::Relaxed);
+    }
+
+    /// Spends `amount` tokens iff the balance covers them; returns whether
+    /// the spend happened. A CAS loop: under contention it retries with
+    /// the freshly observed balance, so the balance can never go negative
+    /// through this path — the exact refusal rule of the sequential
+    /// [`TokenAccount::try_spend`](crate::account::TokenAccount::try_spend).
+    #[inline]
+    pub fn try_spend(&self, amount: u64) -> bool {
+        let amount = amount as i64;
+        let mut current = self.balance.load(Ordering::Relaxed);
+        loop {
+            if current < amount {
+                return false;
+            }
+            match self.balance.compare_exchange_weak(
+                current,
+                current - amount,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Spends up to `amount` tokens, never going below zero; returns how
+    /// many were actually spent (the concurrent `spend_up_to`).
+    #[inline]
+    pub fn spend_up_to(&self, amount: u64) -> u64 {
+        let mut current = self.balance.load(Ordering::Relaxed);
+        loop {
+            let spend = (amount as i64).min(current.max(0));
+            if spend == 0 {
+                return 0;
+            }
+            match self.balance.compare_exchange_weak(
+                current,
+                current - spend,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return spend as u64,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Spends `amount` tokens unconditionally, allowing debt (wait-free;
+    /// only for strategies with
+    /// [`allows_debt`](crate::strategy::Strategy::allows_debt)).
+    #[inline]
+    pub fn force_spend(&self, amount: u64) {
+        self.balance.fetch_sub(amount as i64, Ordering::Relaxed);
+    }
+
+    /// True if no token can be spent.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.balance() <= 0
+    }
+}
+
+impl fmt::Display for AtomicTokenAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} tokens", self.balance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_spend_mirror_the_sequential_account() {
+        let a = AtomicTokenAccount::new(3);
+        assert!(a.try_spend(3));
+        assert!(!a.try_spend(1));
+        assert_eq!(a.balance(), 0);
+        assert!(a.is_empty());
+        a.grant();
+        a.grant_many(4);
+        assert_eq!(a.balance(), 5);
+        assert_eq!(a.spend_up_to(9), 5);
+        assert_eq!(a.spend_up_to(9), 0);
+    }
+
+    #[test]
+    fn try_spend_zero_always_succeeds() {
+        let a = AtomicTokenAccount::new(0);
+        assert!(a.try_spend(0));
+        assert_eq!(a.balance(), 0);
+    }
+
+    #[test]
+    fn force_spend_allows_debt() {
+        let a = AtomicTokenAccount::new(1);
+        a.force_spend(3);
+        assert_eq!(a.balance(), -2);
+        assert_eq!(a.spend_up_to(2), 0, "no conditional spend out of debt");
+        a.grant();
+        assert_eq!(a.balance(), -1);
+    }
+
+    #[test]
+    fn contended_spends_never_overdraw() {
+        let a = AtomicTokenAccount::new(0);
+        let a = &a;
+        let spent_total: u64 = std::thread::scope(|scope| {
+            let grants = 4_000u64;
+            let granter = scope.spawn(move || {
+                for _ in 0..grants {
+                    a.grant();
+                }
+            });
+            let spenders: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut spent = 0u64;
+                        for _ in 0..2_000 {
+                            if a.try_spend(1) {
+                                spent += 1;
+                            }
+                            spent += a.spend_up_to(2);
+                        }
+                        spent
+                    })
+                })
+                .collect();
+            granter.join().unwrap();
+            spenders.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let balance = a.balance();
+        assert!(balance >= 0, "conditional spends drove balance negative");
+        assert_eq!(4_000 - spent_total as i64, balance, "tokens not conserved");
+    }
+}

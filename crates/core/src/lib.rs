@@ -50,7 +50,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod account;
+pub mod atomic;
 pub mod error;
+pub mod live;
 pub mod meanfield;
 pub mod node;
 pub mod rounding;
@@ -61,7 +63,9 @@ pub mod usefulness;
 pub mod validate;
 
 pub use account::TokenAccount;
+pub use atomic::AtomicTokenAccount;
 pub use error::InvalidStrategyError;
+pub use live::{Decision, LiveStrategy};
 pub use node::{RoundAction, TokenNode};
 pub use spec::{StrategySpec, StrategyVisitor};
 pub use strategy::{Capacity, Strategy};
@@ -70,6 +74,8 @@ pub use usefulness::Usefulness;
 /// Convenient glob import for framework users.
 pub mod prelude {
     pub use crate::account::TokenAccount;
+    pub use crate::atomic::AtomicTokenAccount;
+    pub use crate::live::{Decision, LiveStrategy};
     pub use crate::meanfield::{randomized_equilibrium, MeanFieldModel};
     pub use crate::node::{RoundAction, TokenNode};
     pub use crate::rounding::rand_round;

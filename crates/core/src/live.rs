@@ -1,0 +1,257 @@
+//! Thread-safe admission decisions: Algorithm 4 over atomic accounts.
+//!
+//! The simulator executes Algorithm 4 through
+//! [`TokenNode`](crate::node::TokenNode), a `&mut self` state machine. A
+//! live runtime serving concurrent traffic cannot hand out `&mut`
+//! accounts; [`LiveStrategy`] re-expresses the same two decisions —
+//! round tick and message reaction — against an
+//! [`AtomicTokenAccount`](crate::atomic::AtomicTokenAccount) through
+//! `&self`, so any number of worker threads can decide admissions for
+//! disjoint (or even shared) accounts without locks.
+//!
+//! **Equivalence contract.** Driven sequentially with the same RNG and
+//! the same starting balance, [`decide_round`](LiveStrategy::decide_round)
+//! and [`decide_message`](LiveStrategy::decide_message) consume exactly
+//! the randomness [`TokenNode::on_round`](crate::node::TokenNode::on_round)
+//! and [`TokenNode::on_message`](crate::node::TokenNode::on_message)
+//! consume and leave the account at exactly the same balance. The
+//! `ta-live` crate's live-vs-sim harness pins this down end to end: a
+//! discrete-event-engine run and a live replay of the same trace must
+//! produce *equal* send/burn/grant counters.
+//!
+//! The adapter is generic over the concrete [`Strategy`] — construct it
+//! through [`StrategySpec::dispatch`](crate::spec::StrategySpec::dispatch)
+//! and the whole decision path monomorphizes: no boxing, no virtual
+//! calls, one branch per decision.
+
+use rand::Rng;
+
+use crate::atomic::AtomicTokenAccount;
+use crate::rounding::rand_round;
+use crate::strategy::Strategy;
+use crate::usefulness::Usefulness;
+
+/// What an admission decision resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Send one proactive message; the round's token is consumed by it
+    /// (the balance is left unchanged, exactly as in Algorithm 4 lines
+    /// 4–7).
+    ProactiveSend,
+    /// Send this many reactive messages, with the same number of tokens
+    /// already burned from the account. Always ≥ 1 — a zero burst is
+    /// reported as [`Decision::Hold`].
+    ReactiveSend(u64),
+    /// Do nothing observable: a round that banked its token, or a message
+    /// the strategy declined to amplify.
+    Hold,
+}
+
+impl Decision {
+    /// Tokens burned by this decision (0 except for reactive sends).
+    #[inline]
+    pub fn burned(self) -> u64 {
+        match self {
+            Decision::ReactiveSend(x) => x,
+            _ => 0,
+        }
+    }
+}
+
+/// A [`Strategy`] adapted to concurrent, atomic-account decisions.
+///
+/// Wraps the concrete strategy by value (every paper strategy is a small
+/// `Copy` type); all methods take `&self`, and the adapter is `Sync`
+/// whenever `S` is — one instance serves every worker thread.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+/// use token_account::atomic::AtomicTokenAccount;
+/// use token_account::live::{Decision, LiveStrategy};
+/// use token_account::strategies::SimpleTokenAccount;
+/// use token_account::usefulness::Usefulness;
+///
+/// let live = LiveStrategy::new(SimpleTokenAccount::new(10));
+/// let acct = AtomicTokenAccount::new(0);
+/// let mut rng = StdRng::seed_from_u64(1);
+///
+/// // Empty account: the round banks a token.
+/// assert_eq!(live.decide_round(&acct, &mut rng), Decision::Hold);
+/// assert_eq!(acct.balance(), 1);
+///
+/// // A useful message triggers one reactive send, burning the token.
+/// let d = live.decide_message(&acct, Usefulness::Useful, &mut rng);
+/// assert_eq!(d, Decision::ReactiveSend(1));
+/// assert_eq!(acct.balance(), 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LiveStrategy<S: Strategy> {
+    strategy: S,
+}
+
+impl<S: Strategy> LiveStrategy<S> {
+    /// Wraps a concrete strategy.
+    #[inline]
+    pub const fn new(strategy: S) -> Self {
+        LiveStrategy { strategy }
+    }
+
+    /// The wrapped strategy.
+    #[inline]
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// One round tick (Algorithm 4 lines 3–10): with probability
+    /// `PROACTIVE(a)` the decision is [`Decision::ProactiveSend`] (balance
+    /// unchanged — the granted token funds the send), otherwise the token
+    /// is banked and the decision is [`Decision::Hold`].
+    ///
+    /// Consumes one `f64` draw, the same draw
+    /// [`TokenNode::on_round`](crate::node::TokenNode::on_round) makes.
+    #[inline]
+    pub fn decide_round<R: Rng + ?Sized>(
+        &self,
+        account: &AtomicTokenAccount,
+        rng: &mut R,
+    ) -> Decision {
+        let p = self.strategy.proactive(account.balance());
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "proactive() = {p} outside [0, 1] for {}",
+            self.strategy.label()
+        );
+        if rng.gen::<f64>() < p {
+            Decision::ProactiveSend
+        } else {
+            account.grant();
+            Decision::Hold
+        }
+    }
+
+    /// Reaction to an incoming message of the given usefulness (Algorithm
+    /// 4 lines 11–18): evaluates `REACTIVE(a, u)`, probabilistically
+    /// rounds it, and burns that many tokens from the account.
+    ///
+    /// Under contention the account may have been drained between the
+    /// balance read and the spend; the burn is then clamped to what is
+    /// actually available (never overdrawing), and the decision reports
+    /// the tokens *really* burned — conservation counters stay exact.
+    /// Debt-allowing strategies spend unconditionally, as in the
+    /// sequential node.
+    #[inline]
+    pub fn decide_message<R: Rng + ?Sized>(
+        &self,
+        account: &AtomicTokenAccount,
+        usefulness: Usefulness,
+        rng: &mut R,
+    ) -> Decision {
+        let balance = account.balance();
+        let r = self.strategy.reactive(balance, usefulness);
+        debug_assert!(
+            r >= 0.0 && r.is_finite(),
+            "reactive({balance}, {usefulness}) = {r} invalid for {}",
+            self.strategy.label()
+        );
+        let x = rand_round(r, rng);
+        let burned = if self.strategy.allows_debt() {
+            account.force_spend(x);
+            x
+        } else {
+            debug_assert!(
+                r <= balance.max(0) as f64,
+                "reactive({balance}, {usefulness}) = {r} overspends for {}",
+                self.strategy.label()
+            );
+            account.spend_up_to(x)
+        };
+        if burned == 0 {
+            Decision::Hold
+        } else {
+            Decision::ReactiveSend(burned)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{RoundAction, TokenNode};
+    use crate::strategies::{
+        GeneralizedTokenAccount, PurelyProactive, PurelyReactive, RandomizedTokenAccount,
+        SimpleTokenAccount,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The load-bearing contract: sequentially, with the same RNG, the
+    /// live adapter and the sequential node make identical decisions and
+    /// leave identical balances — for every strategy family, including
+    /// the debt-allowing reactive reference.
+    #[test]
+    fn live_decisions_match_token_node_bitwise() {
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(PurelyProactive),
+            Box::new(PurelyReactive::if_useful(3).unwrap()),
+            Box::new(SimpleTokenAccount::new(5)),
+            Box::new(GeneralizedTokenAccount::new(2, 7).unwrap()),
+            Box::new(RandomizedTokenAccount::new(3, 9).unwrap()),
+        ];
+        for s in &strategies {
+            let live = LiveStrategy::new(s);
+            let acct = AtomicTokenAccount::new(0);
+            let mut node = TokenNode::new(0);
+            let mut rng_live = StdRng::seed_from_u64(99);
+            let mut rng_node = StdRng::seed_from_u64(99);
+            let mut step_rng = StdRng::seed_from_u64(7);
+            for step in 0..3_000 {
+                if step % 3 == 0 {
+                    let u = if step_rng.gen::<f64>() < 0.6 {
+                        Usefulness::Useful
+                    } else {
+                        Usefulness::NotUseful
+                    };
+                    let d = live.decide_message(&acct, u, &mut rng_live);
+                    let burst = node.on_message(s, u, &mut rng_node);
+                    assert_eq!(d.burned(), burst, "burn diverged for {}", s.label());
+                } else {
+                    let d = live.decide_round(&acct, &mut rng_live);
+                    let action = node.on_round(s, &mut rng_node);
+                    let expect = match action {
+                        RoundAction::SendProactive => Decision::ProactiveSend,
+                        RoundAction::SaveToken => Decision::Hold,
+                    };
+                    assert_eq!(d, expect, "round diverged for {}", s.label());
+                }
+                assert_eq!(
+                    acct.balance(),
+                    node.balance(),
+                    "balance diverged for {}",
+                    s.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_burst_is_reported_as_hold() {
+        let live = LiveStrategy::new(SimpleTokenAccount::new(5));
+        let acct = AtomicTokenAccount::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            live.decide_message(&acct, Usefulness::Useful, &mut rng),
+            Decision::Hold
+        );
+        assert_eq!(Decision::Hold.burned(), 0);
+        assert_eq!(Decision::ReactiveSend(4).burned(), 4);
+        assert_eq!(Decision::ProactiveSend.burned(), 0);
+    }
+
+    #[test]
+    fn adapter_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LiveStrategy<RandomizedTokenAccount>>();
+        assert_send_sync::<AtomicTokenAccount>();
+    }
+}

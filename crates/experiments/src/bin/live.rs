@@ -1,0 +1,373 @@
+//! The `live` binary: drive the concurrent wall-clock admission runtime.
+//!
+//! ```text
+//! cargo run --release -p ta-experiments --bin live -- \
+//!     --workers 2 --clients 10000 --duration-secs 10
+//! ```
+//!
+//! Runs the `ta-live` load generator with the requested strategy and
+//! arrival mix, prints a throughput/latency/counter summary, and **exits
+//! non-zero if the token-conservation books do not close exactly**
+//! (`tokens_banked − reactive_sent == Σ balances`) — the invariant CI's
+//! smoke run gates on. `--crosscheck` additionally replays a small
+//! virtual-clock trace against the discrete-event engine first and fails
+//! on any counter mismatch.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ta_live::harness::{live_vs_sim_spec, OracleWorkload};
+use ta_live::loadgen::{run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig};
+use token_account::StrategySpec;
+
+const USAGE: &str = "options:
+  --workers <k>        worker threads (default 2)
+  --clients <n>        virtual clients (default 100000)
+  --duration-secs <s>  wall-clock run length (default 10)
+  --strategy <spec>    proactive | reactive:<k> | simple:<C> |
+                       generalized:<A>,<C> | randomized:<A>,<C>
+                       (default randomized:5,10)
+  --mode <m>           closed | open (default closed)
+  --rate <r>           open-loop requests/client/sec (default 10)
+  --burst <p>,<k>      burst mix: probability p, size k (default off)
+  --useful-prob <p>    probability a request is useful (default 0.8)
+  --shards <s>         account shards (default 64)
+  --round-ms <ms>      granter round length Δ; 0 disables (default 1000)
+  --seed <s>           master seed (default 1)
+  --crosscheck         first validate exact live-vs-sim counter equality
+  --help               this text";
+
+#[derive(Debug)]
+struct Opts {
+    cfg: LoadGenConfig,
+    strategy: StrategySpec,
+    crosscheck: bool,
+}
+
+fn parse_strategy(s: &str) -> Result<StrategySpec, String> {
+    let (name, params) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    let nums = |p: Option<&str>, want: usize| -> Result<Vec<u64>, String> {
+        let p = p.ok_or_else(|| format!("strategy `{name}` needs {want} parameter(s)"))?;
+        let vals: Result<Vec<u64>, _> = p.split(',').map(|v| v.trim().parse()).collect();
+        let vals = vals.map_err(|_| format!("bad strategy parameters `{p}`"))?;
+        if vals.len() != want {
+            return Err(format!("strategy `{name}` needs {want} parameter(s)"));
+        }
+        Ok(vals)
+    };
+    match name {
+        "proactive" => Ok(StrategySpec::Proactive),
+        "reactive" => Ok(StrategySpec::Reactive {
+            k: nums(params, 1)?[0],
+        }),
+        "simple" => Ok(StrategySpec::Simple {
+            c: nums(params, 1)?[0],
+        }),
+        "generalized" => {
+            let v = nums(params, 2)?;
+            Ok(StrategySpec::Generalized { a: v[0], c: v[1] })
+        }
+        "randomized" => {
+            let v = nums(params, 2)?;
+            Ok(StrategySpec::Randomized { a: v[0], c: v[1] })
+        }
+        other => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
+/// Parses options; `Ok(None)` means `--help` was requested.
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, String> {
+    let mut cfg = LoadGenConfig {
+        clients: 100_000,
+        workers: 2,
+        account_shards: 64,
+        duration: Duration::from_secs(10),
+        mode: ArrivalMode::Closed,
+        useful_probability: 0.8,
+        burst: None,
+        round_period: Some(Duration::from_millis(1000)),
+        seed: 1,
+    };
+    let mut strategy = StrategySpec::Randomized { a: 5, c: 10 };
+    let mut crosscheck = false;
+    let mut rate = 10.0f64;
+    let mut open = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                let v = value("--workers")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--clients" => {
+                let v = value("--clients")?;
+                cfg.clients = v.parse().map_err(|_| format!("bad --clients `{v}`"))?;
+                if cfg.clients == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+            }
+            "--duration-secs" => {
+                let v = value("--duration-secs")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --duration-secs `{v}`"))?;
+                cfg.duration = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--strategy" => strategy = parse_strategy(&value("--strategy")?)?,
+            "--mode" => match value("--mode")?.as_str() {
+                "closed" => open = false,
+                "open" => open = true,
+                other => return Err(format!("unknown mode `{other}`")),
+            },
+            "--rate" => {
+                let v = value("--rate")?;
+                rate = v.parse().map_err(|_| format!("bad --rate `{v}`"))?;
+            }
+            "--burst" => {
+                let v = value("--burst")?;
+                let (p, k) = v
+                    .split_once(',')
+                    .ok_or_else(|| format!("bad --burst `{v}` (want p,k)"))?;
+                cfg.burst = Some(BurstMix {
+                    probability: p.trim().parse().map_err(|_| format!("bad burst p `{p}`"))?,
+                    size: k.trim().parse().map_err(|_| format!("bad burst k `{k}`"))?,
+                });
+            }
+            "--useful-prob" => {
+                let v = value("--useful-prob")?;
+                cfg.useful_probability =
+                    v.parse().map_err(|_| format!("bad --useful-prob `{v}`"))?;
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                cfg.account_shards = v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
+                if cfg.account_shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--round-ms" => {
+                let v = value("--round-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --round-ms `{v}`"))?;
+                cfg.round_period = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+            }
+            "--crosscheck" => crosscheck = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+    if open {
+        cfg.mode = ArrivalMode::Open {
+            rate_per_client: rate,
+        };
+    }
+    Ok(Some(Opts {
+        cfg,
+        strategy,
+        crosscheck,
+    }))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.crosscheck {
+        // Exact gate before spending wall-clock time: the live decision
+        // path must reproduce the discrete-event engine bit for bit under
+        // the virtual clock.
+        let workload = OracleWorkload::quick(50, opts.cfg.seed);
+        match live_vs_sim_spec(opts.strategy, &workload, opts.cfg.workers.max(1), 8) {
+            Ok(cv) if cv.exact_match() => {
+                println!(
+                    "crosscheck ok: live == sim exactly ({} rounds, {} requests)",
+                    cv.sim.counters.rounds, cv.sim.counters.requests
+                );
+            }
+            Ok(cv) => {
+                eprintln!("crosscheck FAILED: sim {:?} != live {:?}", cv.sim, cv.live);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("invalid strategy: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "live: strategy {}, {} clients, {} workers, {} account shards, {:?} for {:.1}s",
+        opts.strategy.label(),
+        opts.cfg.clients,
+        opts.cfg.workers,
+        opts.cfg.account_shards,
+        opts.cfg.mode,
+        opts.cfg.duration.as_secs_f64(),
+    );
+    let report = match run_loadgen_spec(opts.strategy, &opts.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid strategy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let c = &report.counters;
+    println!(
+        "throughput: {:.0} decisions/sec total, {:.0}/sec/worker ({} decisions in {:.2}s)",
+        report.decisions_per_sec(),
+        report.decisions_per_sec_per_worker(),
+        c.requests,
+        report.wall.as_secs_f64(),
+    );
+    let h = &report.histogram;
+    println!(
+        "decision latency: p50 {}ns  p90 {}ns  p99 {}ns  p99.9 {}ns  max {}ns  mean {:.0}ns",
+        h.percentile(0.5),
+        h.percentile(0.9),
+        h.percentile(0.99),
+        h.percentile(0.999),
+        h.max(),
+        h.mean(),
+    );
+    println!(
+        "counters: rounds {} (proactive {}, banked {}), requests {} \
+         (reactive {}, held {}), balances_sum {}",
+        c.rounds,
+        c.proactive_sent,
+        c.tokens_banked,
+        c.requests,
+        c.reactive_sent,
+        c.reactive_held,
+        report.balances_sum,
+    );
+
+    if report.conserves() {
+        println!(
+            "conservation ok: tokens_banked ({}) - reactive_sent ({}) == balances_sum ({})",
+            c.tokens_banked, c.reactive_sent, report.balances_sum
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "conservation FAILED: tokens_banked ({}) - reactive_sent ({}) != balances_sum ({})",
+            c.tokens_banked, c.reactive_sent, report.balances_sum
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        parse_opts(args.iter().map(|s| s.to_string())).map(|o| o.expect("not a --help parse"))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.cfg.workers, 2);
+        assert_eq!(o.cfg.mode, ArrivalMode::Closed);
+        assert!(!o.crosscheck);
+        let o = parse(&[
+            "--workers",
+            "4",
+            "--clients",
+            "500",
+            "--duration-secs",
+            "0.5",
+            "--mode",
+            "open",
+            "--rate",
+            "3.5",
+            "--burst",
+            "0.1,8",
+            "--shards",
+            "16",
+            "--round-ms",
+            "0",
+            "--seed",
+            "9",
+            "--crosscheck",
+        ])
+        .unwrap();
+        assert_eq!(o.cfg.workers, 4);
+        assert_eq!(o.cfg.clients, 500);
+        assert_eq!(
+            o.cfg.mode,
+            ArrivalMode::Open {
+                rate_per_client: 3.5
+            }
+        );
+        assert_eq!(
+            o.cfg.burst,
+            Some(BurstMix {
+                probability: 0.1,
+                size: 8
+            })
+        );
+        assert_eq!(o.cfg.account_shards, 16);
+        assert_eq!(o.cfg.round_period, None);
+        assert_eq!(o.cfg.seed, 9);
+        assert!(o.crosscheck);
+    }
+
+    #[test]
+    fn strategy_specs_parse() {
+        assert_eq!(parse_strategy("proactive"), Ok(StrategySpec::Proactive));
+        assert_eq!(
+            parse_strategy("reactive:2"),
+            Ok(StrategySpec::Reactive { k: 2 })
+        );
+        assert_eq!(
+            parse_strategy("simple:10"),
+            Ok(StrategySpec::Simple { c: 10 })
+        );
+        assert_eq!(
+            parse_strategy("generalized:5,10"),
+            Ok(StrategySpec::Generalized { a: 5, c: 10 })
+        );
+        assert_eq!(
+            parse_strategy("randomized:5,10"),
+            Ok(StrategySpec::Randomized { a: 5, c: 10 })
+        );
+        assert!(parse_strategy("bogus").is_err());
+        assert!(parse_strategy("simple").is_err());
+        assert!(parse_strategy("generalized:5").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "0"]).is_err());
+        assert!(parse(&["--mode", "sideways"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        // --help is not an error: the binary prints usage and exits 0.
+        assert_eq!(
+            parse_opts(["--help".to_string()]).map(|o| o.is_none()),
+            Ok(true)
+        );
+        assert!(USAGE.contains("--duration-secs"));
+    }
+}

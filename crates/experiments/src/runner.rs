@@ -389,9 +389,8 @@ fn dispatch_run(
     match spec.app {
         AppKind::GossipLearning => {
             let make = |online: &[bool]| GossipLearning::new(spec.n, spec.transfer, online);
-            // The only shardable runner application so far; the other
-            // apps fall back to the serial engine regardless of the
-            // requested shard count (results are identical either way).
+            // Shardable: routed through the intra-run engine when the
+            // mode asks for it (results are identical either way).
             match mode {
                 RunMode::Sharded(shards) if shards > 1 => spec
                     .strategy
@@ -409,9 +408,22 @@ fn dispatch_run(
             }
         }
         AppKind::PushGossip => {
-            run_single_dispatched::<PushGossip, _>(spec, run, topo, mirror, |online| {
-                PushGossip::new(spec.n, online)
-            })
+            let make = |online: &[bool]| PushGossip::new(spec.n, online);
+            match mode {
+                RunMode::Sharded(shards) if shards > 1 => spec
+                    .strategy
+                    .dispatch(SingleRunSharded {
+                        spec,
+                        run,
+                        topo,
+                        mirror,
+                        make_app: make,
+                        shards,
+                        _app: std::marker::PhantomData,
+                    })
+                    .map_err(RunError::Strategy)?,
+                _ => run_single_dispatched::<PushGossip, _>(spec, run, topo, mirror, make),
+            }
         }
         AppKind::ChaoticIteration => {
             let reference = reference
@@ -746,13 +758,16 @@ mod tests {
     #[test]
     fn sharded_replicas_match_serial_bit_for_bit() {
         // The runner's intra-run sharded path must reproduce the serial
-        // path exactly — metric series included — for every shard count.
-        for churn in [false, true] {
-            let mut spec = tiny(
-                AppKind::GossipLearning,
-                StrategySpec::Randomized { a: 5, c: 10 },
-            )
-            .with_token_recording();
+        // path exactly — metric series included — for every shard count
+        // and both shardable applications.
+        for (app, churn) in [
+            (AppKind::GossipLearning, false),
+            (AppKind::GossipLearning, true),
+            (AppKind::PushGossip, false),
+            (AppKind::PushGossip, true),
+        ] {
+            let mut spec =
+                tiny(app, StrategySpec::Randomized { a: 5, c: 10 }).with_token_recording();
             if churn {
                 spec = spec.with_smartphone_churn();
             }

@@ -1,0 +1,186 @@
+//! Token accounts packed into cache-line-aware shards.
+//!
+//! [`ShardedAccounts`] holds one [`AtomicTokenAccount`] per virtual
+//! client, partitioned into contiguous shards. The partitioning serves
+//! two masters:
+//!
+//! * **The decision hot path** maps a client id to its account with two
+//!   integer ops (divide by the shard block, index into the shard's
+//!   slice) and then operates purely on that one `AtomicI64` — wait-free
+//!   grants, lock-free conditional spends, no shared metadata touched.
+//! * **The granter** applies the per-round Δ grant shard by shard: each
+//!   shard is one contiguous allocation, so a sweep is a linear walk
+//!   over packed 8-byte cells — the prefetcher's favourite food — and
+//!   independent shards can be swept by different threads without ever
+//!   writing to the same cache line (each shard header is 64-byte
+//!   aligned and each shard's cells live in their own allocation).
+//!
+//! The layout is the live-runtime mirror of the sharded simulator's
+//! contiguous node blocks (`ta_sim::shard::ShardPlan`): client `i` of a
+//! run maps to the same block in both worlds, which keeps the
+//! live-vs-sim cross-validation a pure index translation.
+
+use std::ops::Range;
+
+use token_account::atomic::AtomicTokenAccount;
+
+/// One shard's accounts. The 64-byte alignment keeps neighbouring shard
+/// *headers* (pointer + length) on distinct cache lines, so per-shard
+/// sweeps never false-share metadata.
+#[repr(align(64))]
+#[derive(Debug)]
+struct AccountShard {
+    accounts: Box<[AtomicTokenAccount]>,
+}
+
+/// All client accounts, partitioned into contiguous cache-line-aware
+/// shards.
+///
+/// ```
+/// use ta_live::accounts::ShardedAccounts;
+///
+/// let accounts = ShardedAccounts::new(10, 4);
+/// accounts.account(7).grant();
+/// assert_eq!(accounts.account(7).balance(), 1);
+/// assert_eq!(accounts.balances_sum(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedAccounts {
+    shards: Vec<AccountShard>,
+    /// Clients per shard (the last shard may be shorter).
+    block: usize,
+    n: usize,
+}
+
+impl ShardedAccounts {
+    /// Creates `n` zero-balance accounts in `shards` contiguous blocks.
+    ///
+    /// `shards` is clamped to `[1, n]` (an empty map keeps one empty
+    /// shard so indexing arithmetic stays total).
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        // `max(1)` keeps the indexing arithmetic total for the empty map
+        // (shard_of/account then take the out-of-bounds panic path
+        // instead of dividing by zero).
+        let block = n.div_ceil(shards).max(1);
+        let shards = (0..shards)
+            .map(|s| {
+                let lo = s * block;
+                let hi = ((s + 1) * block).min(n);
+                AccountShard {
+                    accounts: (lo..hi).map(|_| AtomicTokenAccount::new(0)).collect(),
+                }
+            })
+            .collect();
+        ShardedAccounts { shards, block, n }
+    }
+
+    /// Number of accounts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `client`.
+    #[inline]
+    pub fn shard_of(&self, client: usize) -> usize {
+        client / self.block
+    }
+
+    /// The account of `client` — the decision hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client >= len()`.
+    #[inline]
+    pub fn account(&self, client: usize) -> &AtomicTokenAccount {
+        &self.shards[client / self.block].accounts[client % self.block]
+    }
+
+    /// The contiguous accounts of shard `s` (granter sweeps).
+    #[inline]
+    pub fn shard_accounts(&self, s: usize) -> &[AtomicTokenAccount] {
+        &self.shards[s].accounts
+    }
+
+    /// Client-id range of shard `s`.
+    #[inline]
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        let lo = s * self.block;
+        lo..(lo + self.shards[s].accounts.len())
+    }
+
+    /// Sum of all balances — one side of the token-conservation books
+    /// (`tokens_banked − tokens_burned == balances_sum` when accounts
+    /// start at zero).
+    pub fn balances_sum(&self) -> i64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.accounts.iter())
+            .map(AtomicTokenAccount::balance)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_total() {
+        for (n, shards) in [(10, 4), (10, 1), (1, 8), (7, 7), (64, 3)] {
+            let a = ShardedAccounts::new(n, shards);
+            assert_eq!(a.len(), n);
+            assert!(a.shard_count() <= shards.max(1));
+            let mut seen = 0;
+            for s in 0..a.shard_count() {
+                let range = a.shard_range(s);
+                assert_eq!(range.start, seen, "shards must be contiguous");
+                assert_eq!(range.len(), a.shard_accounts(s).len());
+                for c in range.clone() {
+                    assert_eq!(a.shard_of(c), s);
+                    // The flat view and the shard view alias the same cell.
+                    a.account(c).grant();
+                    assert_eq!(a.shard_accounts(s)[c - range.start].balance(), 1);
+                }
+                seen = range.end;
+            }
+            assert_eq!(seen, n);
+            assert_eq!(a.balances_sum(), n as i64);
+        }
+    }
+
+    #[test]
+    fn empty_map_is_harmless() {
+        let a = ShardedAccounts::new(0, 4);
+        assert!(a.is_empty());
+        assert_eq!(a.balances_sum(), 0);
+        assert_eq!(a.shard_count(), 1);
+        assert!(a.shard_accounts(0).is_empty());
+        // Indexing arithmetic stays total: no divide-by-zero.
+        assert_eq!(a.shard_of(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn empty_map_account_lookup_panics_on_index_not_division() {
+        let _ = ShardedAccounts::new(0, 4).account(0);
+    }
+
+    #[test]
+    fn shard_headers_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<AccountShard>(), 64);
+    }
+}

@@ -1,0 +1,138 @@
+//! Admission counters and the token-conservation books.
+//!
+//! Every worker and the granter keep their own [`LiveCounters`] (plain
+//! `u64`s, no atomics — the hot path never shares a counter cache line);
+//! the harness merges them when the run stops. The merged counters close
+//! the same books the simulator's `ProtocolResults::balances_sum` check
+//! closes: with all accounts starting at zero,
+//!
+//! ```text
+//! tokens_banked − reactive_sent == Σ final balances
+//! ```
+//!
+//! exactly — under any thread interleaving — because a banked token is
+//! one `fetch_add(1)`, a reactive send is one conditionally-successful
+//! decrement, and the counters record precisely what the atomics did.
+
+/// Counters of one admission stream (one worker, the granter, or a merged
+/// run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveCounters {
+    /// Round decisions made (granter sweep entries or replayed ticks).
+    pub rounds: u64,
+    /// Rounds that resolved to a proactive send (balance untouched).
+    pub proactive_sent: u64,
+    /// Rounds that banked their token (`a ← a + 1`).
+    pub tokens_banked: u64,
+    /// Message/request decisions made.
+    pub requests: u64,
+    /// Reactive messages sent — equivalently, tokens burned (each message
+    /// of a burst costs one token).
+    pub reactive_sent: u64,
+    /// Requests that admitted nothing (empty account or unlucky draw).
+    pub reactive_held: u64,
+}
+
+impl LiveCounters {
+    /// Accumulates another stream's counters into this one — the single
+    /// place that knows every field, so a counter added later cannot be
+    /// silently dropped from merged reports.
+    pub fn merge(&mut self, other: &LiveCounters) {
+        self.rounds += other.rounds;
+        self.proactive_sent += other.proactive_sent;
+        self.tokens_banked += other.tokens_banked;
+        self.requests += other.requests;
+        self.reactive_sent += other.reactive_sent;
+        self.reactive_held += other.reactive_held;
+    }
+
+    /// All messages that left the system.
+    pub fn total_sent(&self) -> u64 {
+        self.proactive_sent + self.reactive_sent
+    }
+
+    /// Closes the token books against the final account balances: every
+    /// banked token is either still on an account or was burned by a
+    /// reactive send. Holds exactly (not statistically) for accounts that
+    /// started at zero; debt-allowing strategies drive `balances_sum`
+    /// negative but the identity is unchanged.
+    pub fn conserves(&self, balances_sum: i64) -> bool {
+        self.tokens_banked as i64 - self.reactive_sent as i64 == balances_sum
+    }
+
+    /// Internal consistency: every round resolves one way, every request
+    /// either sends or holds.
+    pub fn is_consistent(&self) -> bool {
+        self.rounds == self.proactive_sent + self.tokens_banked
+            && self.requests >= self.reactive_held
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = LiveCounters {
+            rounds: 1,
+            proactive_sent: 2,
+            tokens_banked: 3,
+            requests: 4,
+            reactive_sent: 5,
+            reactive_held: 6,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            LiveCounters {
+                rounds: 2,
+                proactive_sent: 4,
+                tokens_banked: 6,
+                requests: 8,
+                reactive_sent: 10,
+                reactive_held: 12,
+            }
+        );
+        assert_eq!(b.total_sent(), 14);
+    }
+
+    #[test]
+    fn conservation_books() {
+        let c = LiveCounters {
+            tokens_banked: 10,
+            reactive_sent: 4,
+            ..LiveCounters::default()
+        };
+        assert!(c.conserves(6));
+        assert!(!c.conserves(5));
+        // Debt: more burned than banked, negative balance sum.
+        let debt = LiveCounters {
+            tokens_banked: 3,
+            reactive_sent: 8,
+            ..LiveCounters::default()
+        };
+        assert!(debt.conserves(-5));
+    }
+
+    #[test]
+    fn consistency_check() {
+        let ok = LiveCounters {
+            rounds: 5,
+            proactive_sent: 2,
+            tokens_banked: 3,
+            requests: 4,
+            reactive_held: 1,
+            ..LiveCounters::default()
+        };
+        assert!(ok.is_consistent());
+        let bad = LiveCounters {
+            rounds: 5,
+            proactive_sent: 2,
+            tokens_banked: 2,
+            ..LiveCounters::default()
+        };
+        assert!(!bad.is_consistent());
+    }
+}

@@ -1,0 +1,51 @@
+//! # ta-live — the concurrent wall-clock token-account runtime
+//!
+//! Everything else in this workspace executes the paper's algorithms
+//! inside a discrete-event simulator. This crate is the *deployment*
+//! layer: a multi-threaded runtime that serves token-account admission
+//! decisions for millions of virtual clients at wall-clock speed, with
+//! the simulator retained as its oracle.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`accounts`] | [`ShardedAccounts`]: cache-line-aware shards of lock-free atomic accounts |
+//! | [`runtime`] | [`LiveRuntime`]: the monomorphized admission hot path + granter sweeps |
+//! | [`loadgen`] | closed/open-loop load generation, Poisson & bursty mixes, latency histograms |
+//! | [`histogram`] | allocation-free HDR-style log-linear [`LatencyHistogram`] |
+//! | [`counters`] | [`LiveCounters`] and the exact token-conservation books |
+//! | [`harness`] | live-vs-sim cross-validation: trace recording, exact virtual-clock replay, wall-clock distributional replay |
+//!
+//! The decision hot path is wait-free for grants (`fetch_add`) and
+//! lock-free for spends (a CAS loop that can never overdraw), performs
+//! no allocation, and is monomorphized over the concrete strategy via
+//! [`token_account::StrategyVisitor`] — no boxing, no virtual calls.
+//!
+//! **Validation.** The [`harness`] runs the same *(strategy × arrival
+//! trace)* through the discrete-event engine and the live runtime:
+//! driven by the virtual clock, the aggregate send/burn/grant counters
+//! agree **exactly** (for every strategy family, worker count, and shard
+//! count); driven by the wall clock, rates agree within tolerance while
+//! token conservation still holds exactly. See
+//! `crates/live/tests/live_vs_sim.rs`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounts;
+pub mod counters;
+pub mod harness;
+pub mod histogram;
+pub mod loadgen;
+pub mod runtime;
+
+pub use accounts::ShardedAccounts;
+pub use counters::LiveCounters;
+pub use harness::{
+    live_vs_sim, live_vs_sim_spec, replay_realtime, replay_trace, run_sim_oracle, ArrivalTrace,
+    CrossValidation, OracleWorkload, TraceEvent, TraceKind,
+};
+pub use histogram::LatencyHistogram;
+pub use loadgen::{
+    run_loadgen, run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
+};
+pub use runtime::LiveRuntime;

@@ -1,0 +1,364 @@
+//! Closed- and open-loop load generation against the live runtime.
+//!
+//! Each worker thread owns a contiguous block of virtual clients and an
+//! independent xoshiro256++ stream, and drives admission decisions
+//! against the shared [`LiveRuntime`]:
+//!
+//! * **Closed loop** — back-to-back decisions as fast as the runtime
+//!   admits them: the throughput mode (`BENCH_live.json`'s ops/sec
+//!   numbers come from here).
+//! * **Open loop** — Poisson arrivals at a configured per-client rate
+//!   (the worker samples exponential gaps for the merged process of its
+//!   whole block, which is distributionally identical to independent
+//!   per-client processes), optionally mixed with bursts: with
+//!   probability `burst.probability` an arrival brings `burst.size`
+//!   back-to-back requests to the same client — the adversarial pattern
+//!   token accounts exist to absorb.
+//!
+//! A granter thread applies the per-round Δ grant in contiguous batches
+//! per shard ([`LiveRuntime::round_sweep`]). Decision latencies go into
+//! per-worker [`LatencyHistogram`]s (no allocation, no sharing); counters
+//! are per-worker [`LiveCounters`] merged at the end, and the report
+//! closes the token-conservation books exactly — under any interleaving —
+//! via [`LiveCounters::conserves`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use token_account::spec::{StrategySpec, StrategyVisitor};
+use token_account::{InvalidStrategyError, Strategy, Usefulness};
+
+use ta_sim::rng::Xoshiro256pp;
+
+use crate::counters::LiveCounters;
+use crate::histogram::LatencyHistogram;
+use crate::runtime::LiveRuntime;
+
+/// How request arrivals are paced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// Back-to-back decisions (throughput measurement).
+    Closed,
+    /// Poisson arrivals at this expected rate per client per second.
+    Open {
+        /// Expected requests per client per second.
+        rate_per_client: f64,
+    },
+}
+
+/// Bursty-arrival mix: some arrivals bring a back-to-back run of
+/// requests to one client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstMix {
+    /// Probability that an arrival is a burst.
+    pub probability: f64,
+    /// Requests per burst.
+    pub size: u32,
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenConfig {
+    /// Virtual clients (accounts). Tested up to 10M.
+    pub clients: usize,
+    /// Worker threads (each owns a contiguous client block).
+    pub workers: usize,
+    /// Account shards (granter batch granularity; see
+    /// [`crate::accounts::ShardedAccounts`]).
+    pub account_shards: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Arrival pacing.
+    pub mode: ArrivalMode,
+    /// Probability that a request is useful (`u = 1`).
+    pub useful_probability: f64,
+    /// Optional bursty mix on top of the base arrivals.
+    pub burst: Option<BurstMix>,
+    /// Round length Δ of the granter thread; `None` disables granting
+    /// (pure drain benchmarks).
+    pub round_period: Option<Duration>,
+    /// Master seed for every worker/granter stream.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// A small closed-loop default: 2 workers × 10k clients for one
+    /// second, Δ = 100 ms.
+    pub fn quick() -> Self {
+        LoadGenConfig {
+            clients: 10_000,
+            workers: 2,
+            account_shards: 64,
+            duration: Duration::from_secs(1),
+            mode: ArrivalMode::Closed,
+            useful_probability: 0.8,
+            burst: None,
+            round_period: Some(Duration::from_millis(100)),
+            seed: 1,
+        }
+    }
+}
+
+/// The merged outcome of a load-generator run.
+#[derive(Debug)]
+pub struct LoadGenReport {
+    /// Merged counters (workers + granter).
+    pub counters: LiveCounters,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time actually spent.
+    pub wall: Duration,
+    /// Merged decision-latency histogram (nanoseconds).
+    pub histogram: LatencyHistogram,
+    /// Sum of the final account balances.
+    pub balances_sum: i64,
+}
+
+impl LoadGenReport {
+    /// Admission (request) decisions per second, all workers together.
+    pub fn decisions_per_sec(&self) -> f64 {
+        self.counters.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Admission decisions per second per worker.
+    pub fn decisions_per_sec_per_worker(&self) -> f64 {
+        self.decisions_per_sec() / self.workers.max(1) as f64
+    }
+
+    /// Whether the token books close exactly
+    /// (`tokens_banked − reactive_sent == balances_sum`).
+    pub fn conserves(&self) -> bool {
+        self.counters.is_consistent() && self.counters.conserves(self.balances_sum)
+    }
+}
+
+/// Runs the load generator with a concrete (monomorphized) strategy.
+pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenReport {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.clients >= 1, "need at least one client");
+    let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+
+    let (worker_outcomes, granter_counters) = std::thread::scope(|scope| {
+        let granter = cfg.round_period.map(|period| {
+            let runtime = &runtime;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = Xoshiro256pp::stream(cfg.seed, GRANTER_STREAM);
+                let mut counters = LiveCounters::default();
+                let mut next = period;
+                while !stop.load(Ordering::Acquire) {
+                    let now = start.elapsed();
+                    if now < next {
+                        // Sleep in small slices so a stop request is seen
+                        // promptly even with long rounds.
+                        std::thread::sleep((next - now).min(Duration::from_millis(5)));
+                        continue;
+                    }
+                    for s in 0..runtime.accounts().shard_count() {
+                        // Proactive sends would leave through a transport
+                        // here; the load generator only accounts them.
+                        runtime.round_sweep(s, &mut rng, &mut counters, |_| {});
+                    }
+                    next += period;
+                }
+                counters
+            })
+        });
+
+        let block = cfg.clients.div_ceil(cfg.workers);
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| {
+                let runtime = &runtime;
+                let lo = (w * block).min(cfg.clients);
+                let hi = ((w + 1) * block).min(cfg.clients);
+                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi))
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Release);
+        let granter_counters = granter.map(|g| g.join().unwrap()).unwrap_or_default();
+        (outcomes, granter_counters)
+    });
+    let wall = start.elapsed();
+
+    let mut counters = granter_counters;
+    let mut histogram = LatencyHistogram::new();
+    for (c, h) in &worker_outcomes {
+        counters.merge(c);
+        histogram.merge(h);
+    }
+    LoadGenReport {
+        counters,
+        workers: cfg.workers,
+        wall,
+        histogram,
+        balances_sum: runtime.balances_sum(),
+    }
+}
+
+/// Stream id of the granter (distinct from every worker's `1 + w`).
+const GRANTER_STREAM: u64 = u64::MAX;
+
+/// One worker: drives its client block until the deadline.
+fn worker_loop<S: Strategy>(
+    runtime: &LiveRuntime<S>,
+    cfg: &LoadGenConfig,
+    w: u64,
+    lo: usize,
+    hi: usize,
+) -> (LiveCounters, LatencyHistogram) {
+    let mut rng = Xoshiro256pp::stream(cfg.seed, 1 + w);
+    let mut counters = LiveCounters::default();
+    let mut histogram = LatencyHistogram::new();
+    let block = (hi - lo).max(1) as u64;
+    let deadline = cfg.duration;
+    let start = Instant::now();
+    // Open loop: exponential gaps for the merged Poisson process of the
+    // whole block.
+    let rate = match cfg.mode {
+        ArrivalMode::Closed => 0.0,
+        ArrivalMode::Open { rate_per_client } => rate_per_client * block as f64,
+    };
+    let mut next_arrival = Duration::ZERO;
+    loop {
+        let now = start.elapsed();
+        if now >= deadline {
+            break;
+        }
+        if let ArrivalMode::Open { .. } = cfg.mode {
+            if rate <= 0.0 {
+                break; // nothing will ever arrive
+            }
+            let gap = -(1.0 - rng.next_f64()).ln() / rate;
+            next_arrival += Duration::from_secs_f64(gap);
+            if next_arrival > now {
+                let wait = next_arrival - now;
+                if start.elapsed() + wait >= deadline {
+                    break;
+                }
+                if wait > Duration::from_millis(2) {
+                    std::thread::sleep(wait - Duration::from_millis(1));
+                }
+                while start.elapsed() < next_arrival {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let client = lo + rng.below(block) as usize;
+        let requests = match cfg.burst {
+            Some(b) if rng.chance(b.probability) => b.size.max(1),
+            _ => 1,
+        };
+        for _ in 0..requests {
+            let usefulness = Usefulness::from_bool(rng.chance(cfg.useful_probability));
+            let t0 = Instant::now();
+            runtime.admit(client, usefulness, &mut rng, &mut counters);
+            histogram.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    (counters, histogram)
+}
+
+/// Monomorphizing bridge: builds the concrete strategy named by `spec`
+/// and runs the load generator with it — the whole decision path compiles
+/// with the strategy type known statically.
+struct LoadGenVisitor<'a> {
+    cfg: &'a LoadGenConfig,
+}
+
+impl StrategyVisitor for LoadGenVisitor<'_> {
+    type Output = LoadGenReport;
+    fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> LoadGenReport {
+        run_loadgen(strategy, self.cfg)
+    }
+}
+
+/// Runs the load generator for a serializable [`StrategySpec`].
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+pub fn run_loadgen_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+) -> Result<LoadGenReport, InvalidStrategyError> {
+    spec.dispatch(LoadGenVisitor { cfg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use token_account::prelude::*;
+
+    fn tiny(mode: ArrivalMode) -> LoadGenConfig {
+        LoadGenConfig {
+            clients: 500,
+            workers: 2,
+            account_shards: 8,
+            duration: Duration::from_millis(150),
+            mode,
+            useful_probability: 0.8,
+            burst: Some(BurstMix {
+                probability: 0.1,
+                size: 4,
+            }),
+            round_period: Some(Duration::from_millis(20)),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn closed_loop_conserves_and_reports() {
+        let report = run_loadgen(
+            RandomizedTokenAccount::new(2, 6).unwrap(),
+            &tiny(ArrivalMode::Closed),
+        );
+        assert!(
+            report.conserves(),
+            "books must close: {:?}",
+            report.counters
+        );
+        assert!(report.counters.requests > 0);
+        assert!(report.counters.rounds > 0, "granter must have swept");
+        assert_eq!(report.histogram.count(), report.counters.requests);
+        assert!(report.decisions_per_sec() > 0.0);
+        assert!(report.decisions_per_sec_per_worker() <= report.decisions_per_sec());
+    }
+
+    #[test]
+    fn open_loop_rate_is_roughly_respected() {
+        let mut cfg = tiny(ArrivalMode::Open {
+            rate_per_client: 200.0,
+        });
+        cfg.burst = None;
+        cfg.duration = Duration::from_millis(300);
+        let report = run_loadgen(SimpleTokenAccount::new(10), &cfg);
+        assert!(report.conserves());
+        // 500 clients × 200/s × 0.3 s = 30k expected arrivals; the loop
+        // may lag on a loaded machine but must be in the right decade.
+        assert!(
+            report.counters.requests > 3_000,
+            "open loop too slow: {} requests",
+            report.counters.requests
+        );
+    }
+
+    #[test]
+    fn spec_dispatch_runs_every_family() {
+        let mut cfg = tiny(ArrivalMode::Closed);
+        cfg.duration = Duration::from_millis(40);
+        for spec in [
+            StrategySpec::Proactive,
+            StrategySpec::Reactive { k: 2 },
+            StrategySpec::Simple { c: 10 },
+            StrategySpec::Generalized { a: 5, c: 10 },
+            StrategySpec::Randomized { a: 5, c: 10 },
+        ] {
+            let report = run_loadgen_spec(spec, &cfg).unwrap();
+            assert!(report.conserves(), "{spec:?} failed conservation");
+        }
+        assert!(run_loadgen_spec(StrategySpec::Reactive { k: 0 }, &cfg).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Concurrent account semantics under adversarial contention.
+//!
+//! Many threads hammer a *small* set of shared accounts — the worst case
+//! for the CAS spend path — and the invariants the sequential
+//! [`TokenAccount`](token_account::account::TokenAccount) guarantees must
+//! survive verbatim:
+//!
+//! * **Non-negativity**: `ShardedAccounts` never admits a spend the
+//!   sequential account would refuse — a conditional spend can never
+//!   drive a balance below zero, no matter how grants and spends
+//!   interleave.
+//! * **Conservation**: granted − burned == final balances, exactly
+//!   (the `balances_sum`-style invariant the protocol layer checks).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use ta_live::counters::LiveCounters;
+use ta_live::runtime::LiveRuntime;
+use ta_sim::rng::Xoshiro256pp;
+use token_account::prelude::*;
+
+#[test]
+fn contended_spends_never_overdraw_and_conserve() {
+    // 8 clients, 8 threads: every account is contended by every thread
+    // through the runtime's admit path, while one granter thread sweeps
+    // rounds. A watcher polls balances for negativity the whole time.
+    const CLIENTS: usize = 8;
+    const THREADS: usize = 8;
+    const DECISIONS_PER_THREAD: usize = 30_000;
+
+    let runtime = LiveRuntime::new(GeneralizedTokenAccount::new(2, 10).unwrap(), CLIENTS, 4);
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(THREADS + 2);
+
+    let (worker_counters, granter_counters) = std::thread::scope(|scope| {
+        let watcher = {
+            let runtime = &runtime;
+            let stop = &stop;
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                let mut polls = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for c in 0..CLIENTS {
+                        let b = runtime.accounts().account(c).balance();
+                        assert!(b >= 0, "balance of client {c} went negative: {b}");
+                    }
+                    polls += 1;
+                }
+                polls
+            })
+        };
+        let granter = {
+            let runtime = &runtime;
+            let stop = &stop;
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                let mut rng = Xoshiro256pp::stream(99, 0);
+                let mut counters = LiveCounters::default();
+                while !stop.load(Ordering::Acquire) {
+                    for s in 0..runtime.accounts().shard_count() {
+                        runtime.round_sweep(s, &mut rng, &mut counters, |_| {});
+                    }
+                }
+                counters
+            })
+        };
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let runtime = &runtime;
+                let start = &start;
+                scope.spawn(move || {
+                    start.wait();
+                    let mut rng = Xoshiro256pp::stream(7, t as u64);
+                    let mut counters = LiveCounters::default();
+                    for i in 0..DECISIONS_PER_THREAD {
+                        let client = (i + t) % CLIENTS;
+                        let u = Usefulness::from_bool(rng.chance(0.9));
+                        runtime.admit(client, u, &mut rng, &mut counters);
+                    }
+                    counters
+                })
+            })
+            .collect();
+        let mut merged = LiveCounters::default();
+        for h in workers {
+            merged.merge(&h.join().unwrap());
+        }
+        stop.store(true, Ordering::Release);
+        let granter_counters = granter.join().unwrap();
+        let polls = watcher.join().unwrap();
+        assert!(polls > 0, "watcher must have observed the run");
+        (merged, granter_counters)
+    });
+
+    let mut total = worker_counters;
+    total.merge(&granter_counters);
+    assert!(total.is_consistent());
+    assert_eq!(
+        total.requests as usize,
+        THREADS * DECISIONS_PER_THREAD,
+        "every decision must be accounted"
+    );
+    // Non-negativity after the dust settles.
+    for c in 0..CLIENTS {
+        assert!(runtime.accounts().account(c).balance() >= 0);
+    }
+    // The balances_sum-style conservation identity, exact under
+    // contention: every banked token is on an account or was burned.
+    assert!(
+        total.conserves(runtime.balances_sum()),
+        "books must close exactly: {total:?} vs balances {}",
+        runtime.balances_sum()
+    );
+    // The workload really contended: spends happened on all accounts.
+    assert!(total.reactive_sent > 0);
+}
+
+#[test]
+fn concurrent_totals_match_a_sequential_replay_budget() {
+    // Sequential upper bound: a run can never burn more tokens than were
+    // banked (the sequential account's refusal rule, lifted to totals).
+    // Hammer with pure spends plus interleaved grants and check the
+    // global budget inequality the sequential semantics implies.
+    const CLIENTS: usize = 4;
+    let runtime = LiveRuntime::new(SimpleTokenAccount::new(100), CLIENTS, 2);
+    let totals = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let runtime = &runtime;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256pp::stream(31, t as u64);
+                    let mut counters = LiveCounters::default();
+                    for i in 0..20_000usize {
+                        let client = (i * 7 + t) % CLIENTS;
+                        if rng.chance(0.5) {
+                            runtime.round(client, &mut rng, &mut counters);
+                        } else {
+                            runtime.admit(client, Usefulness::Useful, &mut rng, &mut counters);
+                        }
+                    }
+                    counters
+                })
+            })
+            .collect();
+        let mut merged = LiveCounters::default();
+        for h in handles {
+            merged.merge(&h.join().unwrap());
+        }
+        merged
+    });
+    assert!(
+        totals.reactive_sent <= totals.tokens_banked,
+        "burned more ({}) than was ever banked ({}) — a spend was \
+         admitted that the sequential account would refuse",
+        totals.reactive_sent,
+        totals.tokens_banked
+    );
+    assert!(totals.conserves(runtime.balances_sum()));
+    assert!(runtime.balances_sum() >= 0);
+}

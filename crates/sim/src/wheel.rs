@@ -13,12 +13,30 @@
 //! Pushing, cascading between levels, and draining a slot therefore relink
 //! indices instead of moving elements between per-slot vectors —
 //! steady-state operation performs **no allocation** (the slab, the ready
-//! heap, and the overflow map all reuse their capacity). The batch for the
-//! tick being drained is a small binary min-heap keyed by `(time, seq)`, so
-//! same-instant scheduling during a drain is `O(log k)` per event rather
-//! than the `O(k)` sorted insert a flat buffer would need (previously
-//! quadratic for the synchronized-tick-phase burst of `k` same-tick
-//! events).
+//! heap, the spill pool, and the overflow map all reuse their capacity).
+//! The batch for the tick being drained is a small binary min-heap keyed by
+//! `(time, seq)`, so same-instant scheduling during a drain is `O(log k)`
+//! per event rather than the `O(k)` sorted insert a flat buffer would need
+//! (previously quadratic for the synchronized-tick-phase burst of `k`
+//! same-tick events).
+//!
+//! **Hybrid spill for dense level-0 slots.** Intrusive chains are ideal
+//! for the scattered steady state — cascading between levels relinks
+//! `u32` pointers without ever touching payloads — but the final drain
+//! loses to contiguous buffers when thousands of events share one tick
+//! (synchronized ticks, giant reactive cascades): it walks a pointer
+//! chain through a cold slab, releasing every node one by one. So the
+//! *level-0* slots (the only ones that are ever drained) are hybrids:
+//! the first [`SPILL_THRESHOLD`] events chain through the slab as usual,
+//! and everything beyond *spills* into a contiguous per-slot run buffer
+//! (`Vec<(time, seq, event)>` drawn from a recycled pool) — whether it
+//! arrives by direct push or by cascade from a deeper level (which was
+//! the event's only payload move either way). Dense ticks therefore
+//! drain with one buffer *swap* into the ready batch + the shared sort —
+//! the regime where the retired Vec-of-Vecs wheel used to win — while
+//! sparse slots and all deeper levels run the original zero-copy
+//! relinking with no per-push state to maintain. The
+//! `event_queue/periodic` bench row tracks exactly this case.
 //!
 //! **Exact ordering guarantee.** Unlike classical kernel timer wheels, which
 //! fire at slot granularity, this wheel produces *exactly* the same pop order
@@ -46,6 +64,20 @@ const LEVELS: usize = 4;
 
 /// Sentinel index terminating slot chains and the free list.
 const NIL: u32 = u32::MAX;
+
+/// Chain length at which a slot spills into a contiguous run buffer.
+///
+/// Below it, events thread through the slab (no per-slot allocation to
+/// own, cheap single-event turnover); at or above it the slot is dense
+/// enough that contiguous storage wins on the drain/cascade walk. 32
+/// keeps the chain short enough to stay cache-resident while letting
+/// genuinely dense slots (hundreds+) run almost entirely contiguous.
+const SPILL_THRESHOLD: u32 = 32;
+
+/// High bit of a slot's packed state: set when the slot has spilled into
+/// a contiguous run buffer (the low bits are then the buffer's pool
+/// index); clear while the state is a plain chain length.
+const SPILLED: u32 = 1 << 31;
 
 /// Default tick resolution: 2^10 µs ≈ 1.024 ms.
 pub const DEFAULT_TICK_SHIFT: u32 = 10;
@@ -82,7 +114,18 @@ pub struct TimingWheel<E> {
     free_head: u32,
     /// Chain head per `[level][slot]`.
     heads: [[u32; SLOTS]; LEVELS],
-    /// Bitmap of non-empty slots per level (bit i ⇔ slot i has a chain).
+    /// Packed hybrid state of the level-0 slots (deeper levels have
+    /// none): the chain length while the slot is sparse
+    /// (`< SPILL_THRESHOLD`), or [`SPILLED`]` | pool index` once it is
+    /// dense — one load decides the insert path.
+    l0_state: [u32; SLOTS],
+    /// Recycled contiguous run buffers for dense slots; `spill_free`
+    /// lists the pool entries currently unassigned (emptied but keeping
+    /// their capacity).
+    spill_pool: Vec<Vec<(SimTime, u64, E)>>,
+    spill_free: Vec<u32>,
+    /// Bitmap of non-empty slots per level (bit i ⇔ slot i has a chain
+    /// or a spill buffer).
     occupied: [u64; LEVELS],
     /// Events beyond the wheel horizon, keyed by `(tick, time, seq)`.
     overflow: BTreeMap<(u64, SimTime, u64), E>,
@@ -131,6 +174,9 @@ impl<E> TimingWheel<E> {
             nodes: Vec::new(),
             free_head: NIL,
             heads: [[NIL; SLOTS]; LEVELS],
+            l0_state: [0; SLOTS],
+            spill_pool: Vec::new(),
+            spill_free: Vec::new(),
             occupied: [0; LEVELS],
             overflow: BTreeMap::new(),
             ready: Vec::new(),
@@ -214,19 +260,66 @@ impl<E> TimingWheel<E> {
         }
     }
 
-    /// Links slab node `idx` (already filled) at its place for `tick`.
-    /// The caller has classified `tick` as a wheel level.
+    /// The slot of `tick` at `level`.
     #[inline]
-    fn link_at_level(&mut self, idx: u32, tick: u64, level: usize) {
-        let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+    fn slot_of(tick: u64, level: usize) -> usize {
+        ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize
+    }
+
+    /// Links slab node `idx` (already filled) onto the chain of its slot
+    /// for `tick` at `level >= 1` (levels without hybrid state).
+    #[inline]
+    fn link_deep(&mut self, idx: u32, tick: u64, level: usize) {
+        debug_assert!(level >= 1);
+        let slot = Self::slot_of(tick, level);
         self.nodes[idx as usize].next = self.heads[level][slot];
         self.heads[level][slot] = idx;
         self.occupied[level] |= 1 << slot;
         self.wheel_len += 1;
     }
 
+    /// Attaches a spill buffer (recycled if possible) to a level-0 slot
+    /// whose chain just hit the threshold; returns the pool index. Cold
+    /// path: runs once per slot per lap at most.
+    #[cold]
+    fn attach_spill(&mut self, slot: usize) -> usize {
+        let s = match self.spill_free.pop() {
+            Some(free) => free,
+            None => {
+                let created = self.spill_pool.len() as u32;
+                assert!(created < SPILLED, "spill pool index overflow");
+                self.spill_pool.push(Vec::new());
+                created
+            }
+        };
+        self.l0_state[slot] = SPILLED | s;
+        s as usize
+    }
+
+    /// Places a tuple-form event into level-0 `slot` (chain while the
+    /// slot is sparse, contiguous spill once it is dense).
+    #[inline]
+    fn place_in_l0(&mut self, time: SimTime, seq: u64, event: E, slot: usize) {
+        let st = self.l0_state[slot];
+        if st < SPILL_THRESHOLD {
+            let idx = self.alloc(time, seq, event);
+            self.nodes[idx as usize].next = self.heads[0][slot];
+            self.heads[0][slot] = idx;
+            self.l0_state[slot] = st + 1;
+        } else {
+            let s = if st & SPILLED != 0 {
+                (st & !SPILLED) as usize
+            } else {
+                self.attach_spill(slot)
+            };
+            self.spill_pool[s].push((time, seq, event));
+        }
+        self.occupied[0] |= 1 << slot;
+        self.wheel_len += 1;
+    }
+
     /// Places a fresh `(time, seq, event)`, allocating a slab node unless
-    /// the event belongs in the overflow map.
+    /// the event belongs in a spill run or the overflow map.
     fn insert_raw(&mut self, time: SimTime, seq: u64, event: E) {
         let mut tick = self.tick_of(time);
         if tick < self.current_tick {
@@ -243,9 +336,12 @@ impl<E> TimingWheel<E> {
                 // Straight into the drain batch: no slab traffic at all.
                 self.ready_late.push(LateEntry { time, seq, event });
             }
+            Placement::Level(0) => {
+                self.place_in_l0(time, seq, event, Self::slot_of(tick, 0));
+            }
             Placement::Level(level) => {
                 let idx = self.alloc(time, seq, event);
-                self.link_at_level(idx, tick, level);
+                self.link_deep(idx, tick, level);
             }
             Placement::Overflow => {
                 self.overflow.insert((tick, time, seq), event);
@@ -287,21 +383,45 @@ impl<E> TimingWheel<E> {
         }
     }
 
-    /// Detaches and returns a slot's chain head, clearing its occupied bit.
+    /// Detaches a deep slot's chain head, clearing its occupied bit.
     #[inline]
-    fn take_chain(&mut self, level: usize, slot: usize) -> u32 {
+    fn take_chain_deep(&mut self, level: usize, slot: usize) -> u32 {
+        debug_assert!(level >= 1);
         let head = self.heads[level][slot];
         self.heads[level][slot] = NIL;
         self.occupied[level] &= !(1 << slot);
         head
     }
 
-    /// Re-places every node of level `level`'s slot at the cursor position
-    /// (they land at a strictly shallower level or the ready heap). Pure
-    /// pointer relinking: no slab traffic, no allocation.
+    /// Detaches a level-0 slot's chain head and spill buffer, clearing
+    /// its occupied bit and packed state.
+    #[inline]
+    fn take_l0_slot(&mut self, slot: usize) -> (u32, Option<u32>) {
+        let head = self.heads[0][slot];
+        self.heads[0][slot] = NIL;
+        self.occupied[0] &= !(1 << slot);
+        let st = self.l0_state[slot];
+        self.l0_state[slot] = 0;
+        (head, (st & SPILLED != 0).then_some(st & !SPILLED))
+    }
+
+    /// Returns an emptied spill buffer to the recycled pool (capacity
+    /// kept).
+    #[inline]
+    fn release_spill(&mut self, s: u32) {
+        debug_assert!(self.spill_pool[s as usize].is_empty());
+        self.spill_free.push(s);
+    }
+
+    /// Re-places every node of level `level`'s slot at the cursor
+    /// position (they land at a strictly shallower level or the ready
+    /// heap). Deeper destinations are pure pointer relinks; a landing at
+    /// level 0 takes the hybrid path — chain while sparse, payload moved
+    /// into the slot's contiguous run once dense (which frees the slab
+    /// node and makes the eventual drain a buffer swap).
     fn cascade(&mut self, level: usize) {
         let slot = ((self.current_tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        let mut cur = self.take_chain(level, slot);
+        let mut cur = self.take_chain_deep(level, slot);
         while cur != NIL {
             let node = &self.nodes[cur as usize];
             let (time, seq, next) = (node.time, node.seq, node.next);
@@ -315,9 +435,26 @@ impl<E> TimingWheel<E> {
                     let event = self.release(cur);
                     self.ready_late.push(LateEntry { time, seq, event });
                 }
+                Placement::Level(0) => {
+                    let dslot = Self::slot_of(tick, 0);
+                    let st = self.l0_state[dslot];
+                    if st < SPILL_THRESHOLD {
+                        // Sparse destination: pure pointer relink.
+                        self.nodes[cur as usize].next = self.heads[0][dslot];
+                        self.heads[0][dslot] = cur;
+                        self.l0_state[dslot] = st + 1;
+                        self.occupied[0] |= 1 << dslot;
+                        self.wheel_len += 1;
+                    } else {
+                        // Dense destination: move the payload into its
+                        // contiguous run, freeing the slab node.
+                        let event = self.release(cur);
+                        self.place_in_l0(time, seq, event, dslot);
+                    }
+                }
                 Placement::Level(l) => {
                     debug_assert!(l < level, "cascade must move events shallower");
-                    self.link_at_level(cur, tick, l);
+                    self.link_deep(cur, tick, l);
                 }
                 Placement::Overflow => unreachable!("cascade cannot move events deeper"),
             }
@@ -405,22 +542,49 @@ impl<E> TimingWheel<E> {
                 debug_assert!(tick >= self.current_tick);
                 self.current_tick = tick;
                 self.ready_tick = tick;
-                // Move the slot's events out of the slab into the batch
-                // (capacity reused) and sort once, descending so pops come
-                // off the back in `(time, seq)` order. The late heap is
-                // empty here by the check above.
+                // Move the slot's events out of the slab (and its spill
+                // run, contiguously) into the batch (capacity reused) and
+                // sort once, descending so pops come off the back in
+                // `(time, seq)` order. The late heap is empty here by the
+                // check above.
                 debug_assert!(self.ready.is_empty());
-                let mut cur = self.take_chain(0, slot as usize);
-                while cur != NIL {
-                    let next = self.nodes[cur as usize].next;
-                    let (time, seq) = {
-                        let node = &self.nodes[cur as usize];
-                        (node.time, node.seq)
-                    };
-                    let event = self.release(cur);
-                    self.ready.push((time, seq, event));
-                    self.wheel_len -= 1;
-                    cur = next;
+                let (mut cur, spill) = self.take_l0_slot(slot as usize);
+                if let Some(s) = spill {
+                    // Zero-copy drain of the dense part: the contiguous
+                    // run *becomes* the ready batch (the emptied previous
+                    // batch buffer goes back to the pool in its place).
+                    // The run arrives in descending `(time, seq)` order
+                    // whenever it was filled by a single cascade walk —
+                    // the dense common case — which the sort below
+                    // detects in O(n). The short chain prefix merges
+                    // through the late heap instead of being appended,
+                    // so it cannot spoil that already-sorted pattern.
+                    std::mem::swap(&mut self.ready, &mut self.spill_pool[s as usize]);
+                    self.wheel_len -= self.ready.len();
+                    self.release_spill(s);
+                    while cur != NIL {
+                        let next = self.nodes[cur as usize].next;
+                        let (time, seq) = {
+                            let node = &self.nodes[cur as usize];
+                            (node.time, node.seq)
+                        };
+                        let event = self.release(cur);
+                        self.ready_late.push(LateEntry { time, seq, event });
+                        self.wheel_len -= 1;
+                        cur = next;
+                    }
+                } else {
+                    while cur != NIL {
+                        let next = self.nodes[cur as usize].next;
+                        let (time, seq) = {
+                            let node = &self.nodes[cur as usize];
+                            (node.time, node.seq)
+                        };
+                        let event = self.release(cur);
+                        self.ready.push((time, seq, event));
+                        self.wheel_len -= 1;
+                        cur = next;
+                    }
                 }
                 self.ready
                     .sort_unstable_by_key(|&(t, s, _)| Reverse((t, s)));
@@ -506,7 +670,8 @@ impl<E> EventQueue<E> for TimingWheel<E> {
     /// Same-deadline batch insertion: one event classification for the
     /// whole run. All entries share `time`, hence one tick and one
     /// placement; level placements skip the per-push tick/classify/slot
-    /// arithmetic and chain nodes directly onto the precomputed slot head.
+    /// arithmetic, fill the slot's chain up to the spill threshold, and
+    /// append the remainder to its contiguous spill run in one go.
     fn push_keyed_run<I>(&mut self, time: SimTime, run: I)
     where
         I: Iterator<Item = (u64, E)>,
@@ -522,8 +687,44 @@ impl<E> EventQueue<E> for TimingWheel<E> {
                     self.len += 1;
                 }
             }
+            Placement::Level(0) => {
+                let slot = Self::slot_of(tick, 0);
+                let mut run = run.peekable();
+                let mut count = 0usize;
+                while self.l0_state[slot] < SPILL_THRESHOLD {
+                    let Some((seq, event)) = run.next() else {
+                        break;
+                    };
+                    let idx = self.alloc(time, seq, event);
+                    self.nodes[idx as usize].next = self.heads[0][slot];
+                    self.heads[0][slot] = idx;
+                    self.l0_state[slot] += 1;
+                    count += 1;
+                }
+                if run.peek().is_some() {
+                    let st = self.l0_state[slot];
+                    let s = if st & SPILLED != 0 {
+                        (st & !SPILLED) as usize
+                    } else {
+                        self.attach_spill(slot)
+                    };
+                    // Move the pool entry out so the borrow checker lets
+                    // the iterator run; put it back afterwards.
+                    let mut buf = std::mem::take(&mut self.spill_pool[s]);
+                    for (seq, event) in run {
+                        buf.push((time, seq, event));
+                        count += 1;
+                    }
+                    self.spill_pool[s] = buf;
+                }
+                if count > 0 {
+                    self.occupied[0] |= 1 << slot;
+                    self.wheel_len += count;
+                    self.len += count;
+                }
+            }
             Placement::Level(level) => {
-                let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+                let slot = Self::slot_of(tick, level);
                 let mut count = 0usize;
                 for (seq, event) in run {
                     let idx = self.alloc(time, seq, event);
@@ -743,6 +944,82 @@ mod tests {
                 _ => panic!("length mismatch"),
             }
         }
+    }
+
+    #[test]
+    fn dense_same_tick_batches_spill_and_match_heap() {
+        // Thousands of events on a handful of identical deadlines — the
+        // workload where slots spill into contiguous runs. Keys arrive
+        // scrambled; pops must still match the heap exactly, across the
+        // chain/spill boundary and through cascades from deep levels.
+        use crate::queue::order_key;
+        let mut heap = BinaryHeapQueue::new();
+        let mut wheel = TimingWheel::new();
+        let deadlines = [
+            SimTime::from_micros(1_728_000),   // level 1 from tick 0
+            SimTime::from_micros(1_728_400),   // same tick as above
+            SimTime::from_micros(172_800_000), // deep level
+            SimTime::from_micros(172_800_019),
+        ];
+        let mut rng = Xoshiro256pp::stream(77, 0);
+        for i in 0..8_000u64 {
+            let t = deadlines[rng.below(4) as usize];
+            let key = order_key((i % 97) as u32, i);
+            heap.push_keyed(t, key, i);
+            wheel.push_keyed(t, key, i);
+        }
+        // A fraction of the events land mid-drain at the ready tick too.
+        for step in 0u64.. {
+            let (a, b) = (heap.pop(), wheel.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.key(), b.key(), "diverged at pop {step}");
+                    assert_eq!(a.event, b.event);
+                    if step % 1000 == 0 {
+                        let key = order_key(98, step);
+                        heap.push_keyed(a.time, key, u64::MAX - step);
+                        wheel.push_keyed(b.time, key, u64::MAX - step);
+                    }
+                }
+                (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn spill_buffers_are_recycled_across_batches() {
+        // Steady-state dense batches must reuse the spill pool, not grow
+        // it: one buffer per simultaneously dense slot, returned on drain.
+        let mut q = TimingWheel::new();
+        let mut now = 0u64;
+        for round in 0..50u64 {
+            // One dense slot per round, well beyond the threshold.
+            let t = SimTime::from_micros(now + 1_728_000);
+            for i in 0..500u64 {
+                q.push(t, round * 10_000 + i);
+            }
+            while let Some(s) = q.pop() {
+                now = now.max(s.time.as_micros());
+            }
+            assert!(
+                q.spill_pool.len() <= 2,
+                "spill pool grew to {} buffers under steady-state reuse",
+                q.spill_pool.len()
+            );
+            assert_eq!(
+                q.spill_free.len(),
+                q.spill_pool.len(),
+                "drained wheel must have every spill buffer back on the free list"
+            );
+        }
+        // And the slab stayed bounded by one batch (deep levels chain in
+        // full; only level-0 density is capped by the spill threshold).
+        assert!(
+            q.nodes.len() <= 512,
+            "slab grew past one batch under steady-state reuse: {} nodes",
+            q.nodes.len()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`churn`] (`ta-churn`) | availability schedules & the synthetic smartphone trace |
 //! | [`apps`] (`ta-apps`) | gossip learning, push gossip, chaotic power iteration |
 //! | [`metrics`] (`ta-metrics`) | time series, statistics, tables |
+//! | [`live`] (`ta-live`) | concurrent wall-clock admission runtime, cross-validated against the sim |
 //! | [`experiments`] (`ta-experiments`) | figure-regeneration harness |
 //!
 //! See the repository README for a quickstart and `examples/` for runnable
@@ -44,6 +45,9 @@ pub use ta_apps as apps;
 /// Time series, statistics, and reporting.
 pub use ta_metrics as metrics;
 
+/// The concurrent wall-clock admission runtime.
+pub use ta_live as live;
+
 /// The figure-regeneration harness.
 pub use ta_experiments as experiments;
 
@@ -56,6 +60,9 @@ pub mod prelude {
     pub use ta_churn::{AvailabilitySchedule, SmartphoneTraceModel};
     pub use ta_experiments::{
         run_experiment, AppKind, ChurnKind, ExperimentSpec, FigureOpts, TopologyKind,
+    };
+    pub use ta_live::{
+        ArrivalMode, LiveCounters, LiveRuntime, LoadGenConfig, OracleWorkload, ShardedAccounts,
     };
     pub use ta_metrics::{OnlineStats, Table, TimeSeries};
     pub use ta_overlay::{
