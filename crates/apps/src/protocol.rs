@@ -28,8 +28,8 @@ pub mod sharded;
 use ta_metrics::TimeSeries;
 use ta_overlay::sampling::OnlineNeighbors;
 use ta_overlay::Topology;
-use ta_sim::engine::{Driver, SimApi};
-use ta_sim::NodeId;
+use ta_sim::engine::{Driver, MsgBatch, SimApi};
+use ta_sim::{NodeId, SimTime};
 use token_account::node::{RoundAction, TokenNode};
 use token_account::Strategy;
 
@@ -337,16 +337,89 @@ impl<A: Application, S: Strategy> TokenProtocol<A, S> {
         }
     }
 
-    /// Sends one state copy from `node` directly to `peer`.
-    fn send_state_to(
+    /// Accounts `count` sends at one instant — every send of one
+    /// delivery (or one same-time batch) lands in the same transfer-time
+    /// slot, so one bucket add covers them all (bitwise the same
+    /// histogram per-send recording produces).
+    fn record_sends_at(&mut self, now: SimTime, count: u64) {
+        debug_assert!(self.slot_len_us != 0, "slot length must be cached first");
+        let bucket = (now.as_micros() / self.slot_len_us) as usize;
+        if bucket >= self.sends_per_slot.len() {
+            self.sends_per_slot.resize(bucket + 1, 0);
+        }
+        self.sends_per_slot[bucket] += count;
+    }
+
+    /// Caches the transfer-slot length on first use (the config is only
+    /// reachable through the API; `max(1)` keeps the 0 sentinel
+    /// unreachable).
+    #[inline]
+    fn ensure_slot_len(&mut self, api: &SimApi<'_, ProtocolMsg<A::Msg>>) {
+        if self.slot_len_us == 0 {
+            self.slot_len_us = api.config().transfer_time().as_micros().max(1);
+        }
+    }
+
+    /// Handles one delivered protocol message at online node `to` — the
+    /// single body behind [`Driver::on_message`] and
+    /// [`Driver::on_message_batch`], so the two entry points cannot
+    /// drift. Returns the number of sends performed; the caller accounts
+    /// them in the traffic histogram (all at `now`, hence one bucket).
+    fn handle_message(
         &mut self,
         api: &mut SimApi<'_, ProtocolMsg<A::Msg>>,
-        node: NodeId,
-        peer: NodeId,
-    ) {
-        let msg = self.app.create_message(node);
-        api.send(node, peer, ProtocolMsg::App(msg));
-        self.record_send(api);
+        from: NodeId,
+        to: NodeId,
+        idx: usize,
+        now: SimTime,
+        msg: ProtocolMsg<A::Msg>,
+    ) -> u64 {
+        let mut sent = 0u64;
+        match msg {
+            ProtocolMsg::PullRequest => {
+                // Section 4.1.2: answer with the latest state iff a token
+                // is available; otherwise stay silent.
+                if self.nodes[idx].try_spend_one() {
+                    let reply = self.app.create_message(to);
+                    api.send(to, from, ProtocolMsg::App(reply));
+                    sent += 1;
+                    self.stats.pull_replies += 1;
+                } else {
+                    self.stats.pull_ignored += 1;
+                }
+            }
+            ProtocolMsg::App(payload) => {
+                let usefulness = self.app.update_state(to, from, &payload, now);
+                let burst = self.nodes[idx].on_message(&self.strategy, usefulness, api.rng());
+                for i in 0..burst {
+                    // Push–pull extension: the first reactive message may
+                    // answer the sender directly instead of a random peer.
+                    let answered_sender = i == 0
+                        && self.reply_policy == ReplyPolicy::SenderFirst
+                        && self.peers.is_online(from);
+                    let peer = if answered_sender {
+                        Some(from)
+                    } else {
+                        self.peers.select(to, api.rng())
+                    };
+                    match peer {
+                        Some(peer) => {
+                            let m = self.app.create_message(to);
+                            api.send(to, peer, ProtocolMsg::App(m));
+                            sent += 1;
+                            self.stats.reactive_sent += 1;
+                        }
+                        None => {
+                            // Token already burned for a send that cannot
+                            // happen: refund it.
+                            self.nodes[idx].bank_token();
+                            self.stats.reactive_refunded += 1;
+                        }
+                    }
+                }
+            }
+        }
+        sent
     }
 }
 
@@ -378,42 +451,36 @@ impl<A: Application, S: Strategy> Driver for TokenProtocol<A, S> {
         to: NodeId,
         msg: Self::Msg,
     ) {
-        match msg {
-            ProtocolMsg::PullRequest => {
-                // Section 4.1.2: answer with the latest state iff a token
-                // is available; otherwise stay silent.
-                if self.nodes[to.index()].try_spend_one() {
-                    let reply = self.app.create_message(to);
-                    api.send(to, from, ProtocolMsg::App(reply));
-                    self.record_send(api);
-                    self.stats.pull_replies += 1;
-                } else {
-                    self.stats.pull_ignored += 1;
-                }
-            }
-            ProtocolMsg::App(payload) => {
-                let usefulness = self.app.update_state(to, from, &payload, api.now());
-                let burst =
-                    self.nodes[to.index()].on_message(&self.strategy, usefulness, api.rng());
-                for i in 0..burst {
-                    // Push–pull extension: the first reactive message may
-                    // answer the sender directly instead of a random peer.
-                    let answered_sender = i == 0
-                        && self.reply_policy == ReplyPolicy::SenderFirst
-                        && self.peers.is_online(from);
-                    if answered_sender {
-                        self.send_state_to(api, to, from);
-                        self.stats.reactive_sent += 1;
-                    } else if self.send_state(api, to) {
-                        self.stats.reactive_sent += 1;
-                    } else {
-                        // Token already burned for a send that cannot
-                        // happen: refund it.
-                        self.nodes[to.index()].bank_token();
-                        self.stats.reactive_refunded += 1;
-                    }
-                }
-            }
+        self.ensure_slot_len(api);
+        let now = api.now();
+        let sent = self.handle_message(api, from, to, to.index(), now, msg);
+        if sent > 0 {
+            self.record_sends_at(now, sent);
+        }
+    }
+
+    /// The batched delivery hot path: one call per destination node per
+    /// same-instant run, with the per-delivery lookups — destination
+    /// index, clock read, histogram slot — hoisted out of the loop. The
+    /// per-message body is shared with [`Driver::on_message`]
+    /// (`handle_message`), so the two entry points cannot drift — the
+    /// engines split runs differently, and any divergence would break
+    /// the byte-identical-results guarantee.
+    fn on_message_batch(
+        &mut self,
+        api: &mut SimApi<'_, Self::Msg>,
+        to: NodeId,
+        msgs: &mut MsgBatch<'_, Self::Msg>,
+    ) {
+        let idx = to.index();
+        let now = api.now();
+        self.ensure_slot_len(api);
+        let mut sent_in_slot = 0u64;
+        for (from, msg) in msgs.by_ref() {
+            sent_in_slot += self.handle_message(api, from, to, idx, now, msg);
+        }
+        if sent_in_slot > 0 {
+            self.record_sends_at(now, sent_in_slot);
         }
     }
 

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use ta_metrics::TimeSeries;
 use ta_overlay::sampling::OnlineNeighbors;
+use ta_sim::engine::MsgBatch;
 use ta_sim::shard::{BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver};
 use ta_sim::{NodeId, SimConfig, SimTime};
 use token_account::node::{RoundAction, TokenNode};
@@ -128,11 +129,19 @@ impl<P: ApplicationShard, S: Strategy> TokenProtocolShard<P, S> {
         if self.slot_len_us == 0 {
             self.slot_len_us = cfg.transfer_time().as_micros().max(1);
         }
+        self.record_sends_at(now, 1);
+    }
+
+    /// Accounts `count` sends at one instant (the batch path — mirrors
+    /// `TokenProtocol::record_sends_at` so the bucketing cannot drift
+    /// between the serial and sharded drivers).
+    fn record_sends_at(&mut self, now: SimTime, count: u64) {
+        debug_assert!(self.slot_len_us != 0, "slot length must be cached first");
         let bucket = (now.as_micros() / self.slot_len_us) as usize;
         if bucket >= self.sends_per_slot.len() {
             self.sends_per_slot.resize(bucket + 1, 0);
         }
-        self.sends_per_slot[bucket] += 1;
+        self.sends_per_slot[bucket] += count;
     }
 
     /// Sends one state copy from owned `node` to a random online
@@ -149,16 +158,69 @@ impl<P: ApplicationShard, S: Strategy> TokenProtocolShard<P, S> {
         }
     }
 
-    /// Sends one state copy from owned `node` directly to `peer`.
-    fn send_state_to(
+    /// Caches the transfer-slot length on first use (mirrors
+    /// `TokenProtocol::ensure_slot_len`).
+    #[inline]
+    fn ensure_slot_len(&mut self, cfg: &SimConfig) {
+        if self.slot_len_us == 0 {
+            self.slot_len_us = cfg.transfer_time().as_micros().max(1);
+        }
+    }
+
+    /// Handles one delivered protocol message at owned online node `to` —
+    /// the single body behind the per-event and batched hooks, mirroring
+    /// `TokenProtocol::handle_message` so the serial and sharded drivers
+    /// cannot drift. Returns the number of sends performed (accounted by
+    /// the caller, all at `now`).
+    fn handle_message(
         &mut self,
         api: &mut ShardApi<'_, ProtocolMsg<P::Msg>>,
-        node: NodeId,
-        peer: NodeId,
-    ) {
-        let msg = self.app.create_message(node);
-        api.send(node, peer, ProtocolMsg::App(msg));
-        self.record_send_at(api.now(), api.config());
+        from: NodeId,
+        to: NodeId,
+        local: usize,
+        now: SimTime,
+        msg: ProtocolMsg<P::Msg>,
+    ) -> u64 {
+        let mut sent = 0u64;
+        match msg {
+            ProtocolMsg::PullRequest => {
+                if self.nodes[local].try_spend_one() {
+                    let reply = self.app.create_message(to);
+                    api.send(to, from, ProtocolMsg::App(reply));
+                    sent += 1;
+                    self.stats.pull_replies += 1;
+                } else {
+                    self.stats.pull_ignored += 1;
+                }
+            }
+            ProtocolMsg::App(payload) => {
+                let usefulness = self.app.update_state(to, from, &payload, now);
+                let burst = self.nodes[local].on_message(&self.strategy, usefulness, api.rng());
+                for i in 0..burst {
+                    let answered_sender = i == 0
+                        && self.reply_policy == ReplyPolicy::SenderFirst
+                        && self.peers.is_online(from);
+                    let peer = if answered_sender {
+                        Some(from)
+                    } else {
+                        self.peers.select(to, api.rng())
+                    };
+                    match peer {
+                        Some(peer) => {
+                            let m = self.app.create_message(to);
+                            api.send(to, peer, ProtocolMsg::App(m));
+                            sent += 1;
+                            self.stats.reactive_sent += 1;
+                        }
+                        None => {
+                            self.nodes[local].bank_token();
+                            self.stats.reactive_refunded += 1;
+                        }
+                    }
+                }
+            }
+        }
+        sent
     }
 }
 
@@ -190,36 +252,34 @@ impl<P: ApplicationShard, S: Strategy> ShardDriver for TokenProtocolShard<P, S> 
         to: NodeId,
         msg: Self::Msg,
     ) {
+        self.ensure_slot_len(api.config());
+        let now = api.now();
         let local = self.local(to);
-        match msg {
-            ProtocolMsg::PullRequest => {
-                if self.nodes[local].try_spend_one() {
-                    let reply = self.app.create_message(to);
-                    api.send(to, from, ProtocolMsg::App(reply));
-                    self.record_send_at(api.now(), api.config());
-                    self.stats.pull_replies += 1;
-                } else {
-                    self.stats.pull_ignored += 1;
-                }
-            }
-            ProtocolMsg::App(payload) => {
-                let usefulness = self.app.update_state(to, from, &payload, api.now());
-                let burst = self.nodes[local].on_message(&self.strategy, usefulness, api.rng());
-                for i in 0..burst {
-                    let answered_sender = i == 0
-                        && self.reply_policy == ReplyPolicy::SenderFirst
-                        && self.peers.is_online(from);
-                    if answered_sender {
-                        self.send_state_to(api, to, from);
-                        self.stats.reactive_sent += 1;
-                    } else if self.send_state(api, to) {
-                        self.stats.reactive_sent += 1;
-                    } else {
-                        self.nodes[local].bank_token();
-                        self.stats.reactive_refunded += 1;
-                    }
-                }
-            }
+        let sent = self.handle_message(api, from, to, local, now, msg);
+        if sent > 0 {
+            self.record_sends_at(now, sent);
+        }
+    }
+
+    /// The batched delivery hot path — the shard mirror of
+    /// `TokenProtocol::on_message_batch`, with the same hoisted lookups
+    /// and the shared per-message body (`handle_message`), so the
+    /// per-event and batched hooks cannot drift.
+    fn on_message_batch(
+        &mut self,
+        api: &mut ShardApi<'_, Self::Msg>,
+        to: NodeId,
+        msgs: &mut MsgBatch<'_, Self::Msg>,
+    ) {
+        let local = self.local(to);
+        let now = api.now();
+        self.ensure_slot_len(api.config());
+        let mut sent_in_slot = 0u64;
+        for (from, msg) in msgs.by_ref() {
+            sent_in_slot += self.handle_message(api, from, to, local, now, msg);
+        }
+        if sent_in_slot > 0 {
+            self.record_sends_at(now, sent_in_slot);
         }
     }
 

@@ -269,7 +269,10 @@ pub fn run_from_args() {
     let report = run(smoke, &out_path);
     println!("{report}");
     if let Some(base) = diff_base {
-        crate::report::diff_report(&report, &base, &["scale/", "speedup/"]);
+        if !crate::report::diff_report(&report, &base, &["scale/", "speedup/"]) {
+            eprintln!("bench_live: report schema drifted from {base}");
+            std::process::exit(2);
+        }
     }
 }
 

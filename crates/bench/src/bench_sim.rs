@@ -162,6 +162,70 @@ fn bench_event_queue(smoke: bool) -> Vec<Sample> {
     samples
 }
 
+/// Dense same-tick waves through one queue: each wave pushes `k` events
+/// sharing one deadline Δ out (landing in a deep wheel level, so the mass
+/// cascades down before it drains), consumed either per event (`pop`) or
+/// as one contiguous [`EventQueue::drain_ready`] batch. The pop/drain
+/// pair isolates the dispatch tax the batch-drain engine loop removes;
+/// the cross-queue drain rows give the dense-tick slab-vs-legacy ratio.
+fn dense_wave<Q: EventQueue<u64>>(mut queue: Q, batched: bool, waves: u64, k: u64) -> u64 {
+    use ta_sim::queue::{order_key, ReadyBatch};
+    let mut batch = ReadyBatch::new();
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    for w in 0..waves {
+        let t = SimTime::from_micros(now + 172_800_000);
+        queue.push_keyed_run(t, (0..k).map(|j| (order_key(j as u32, w), j)));
+        if batched {
+            queue.drain_ready(&mut batch);
+            debug_assert_eq!(batch.len() as u64, k);
+            for (_, _, e) in batch.drain() {
+                acc ^= e;
+            }
+        } else {
+            while let Some(s) = queue.pop() {
+                acc ^= s.event;
+            }
+        }
+        now = t.as_micros();
+    }
+    black_box(acc);
+    2 * waves * k
+}
+
+/// The `batch` section: contiguous same-time drains vs per-event pops on
+/// dense waves, for all three queue implementations (the legacy wheel
+/// runs the trait's pop-loop fallback — its rows are the "no contiguous
+/// ready run to swap" baseline).
+fn bench_batch(smoke: bool) -> Vec<Sample> {
+    let (waves, k) = if smoke { (50, 1_024) } else { (400, 4_096) };
+    let mut samples = Vec::new();
+    for (mode, batched) in [("pop", false), ("drain", true)] {
+        samples.push(Sample {
+            id: format!("dense_wave/binary_heap/{mode}"),
+            value: measure_events_per_sec(
+                || dense_wave(BinaryHeapQueue::new(), batched, waves, k),
+                smoke,
+            ),
+        });
+        samples.push(Sample {
+            id: format!("dense_wave/legacy_wheel/{mode}"),
+            value: measure_events_per_sec(
+                || dense_wave(LegacyVecWheel::new(), batched, waves, k),
+                smoke,
+            ),
+        });
+        samples.push(Sample {
+            id: format!("dense_wave/slab_wheel/{mode}"),
+            value: measure_events_per_sec(
+                || dense_wave(TimingWheel::new(), batched, waves, k),
+                smoke,
+            ),
+        });
+    }
+    samples
+}
+
 /// A protocol-free driver: every tick sends one message to a random online
 /// peer; deliveries are counted and dropped. Isolates the engine + queue
 /// hot path from strategy/application work.
@@ -224,6 +288,9 @@ fn engine_gossip_run(topo: &Arc<ta_overlay::Topology>, rounds: u64, queue: Queue
 /// line every metric up against the committed full-mode baseline (values
 /// differ in scale — the diff is informational — but a vanished speedup
 /// is visible instead of the rows silently failing to match).
+/// `host_cores` records the measurement context (BENCH_live already
+/// does): multi-core regenerations are distinguishable from 1-core
+/// container runs.
 fn scale_samples(smoke: bool) -> Vec<Sample> {
     let ((echo_n, echo_rounds), (gossip_n, gossip_rounds), (sgd_n, sgd_dim, sgd_rounds)) =
         scales(smoke);
@@ -235,6 +302,7 @@ fn scale_samples(smoke: bool) -> Vec<Sample> {
         ("sgd_n", sgd_n as f64),
         ("sgd_dim", sgd_dim as f64),
         ("sgd_rounds", sgd_rounds as f64),
+        ("host_cores", crate::report::host_cores() as f64),
     ]
     .into_iter()
     .map(|(id, value)| Sample {
@@ -556,6 +624,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
         if smoke { "smoke" } else { "full" }
     );
     let queue_samples = bench_event_queue(smoke);
+    eprintln!("bench_sim: batch...");
+    let batch_samples = bench_batch(smoke);
     eprintln!("bench_sim: engine...");
     let engine_samples = bench_engine(smoke);
     eprintln!("bench_sim: protocol...");
@@ -620,6 +690,21 @@ pub fn run(smoke: bool, out_path: &str) -> String {
             value: find(&queue_samples, "slab_wheel/burst16_batched")
                 / find(&queue_samples, "slab_wheel/burst16_single"),
         });
+        // Batch-drain headlines: what drain_ready buys over per-event
+        // pops on dense waves, and the dense-tick slab-vs-legacy ratio
+        // under batch draining (the ROADMAP deep-level contiguity item).
+        for queue in ["binary_heap", "legacy_wheel", "slab_wheel"] {
+            v.push(Sample {
+                id: format!("batch_dense_wave_drain_vs_pop_{queue}"),
+                value: find(&batch_samples, &format!("dense_wave/{queue}/drain"))
+                    / find(&batch_samples, &format!("dense_wave/{queue}/pop")),
+            });
+        }
+        v.push(Sample {
+            id: "batch_dense_wave_drain_slab_vs_legacy".into(),
+            value: find(&batch_samples, "dense_wave/slab_wheel/drain")
+                / find(&batch_samples, "dense_wave/legacy_wheel/drain"),
+        });
         for (id, sample) in [
             ("shard_s1_vs_serial_engine", "gossip/s1_t1"),
             ("shard_s2_vs_serial_engine", "gossip/s2_t2"),
@@ -642,10 +727,11 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"event_queue\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"shard\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
+        "  \"units\": {{ \"event_queue\": \"events/sec\", \"batch\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"shard\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
     );
     json_section(&mut out, "scale", &scale_samples(smoke), false);
     json_section(&mut out, "event_queue", &queue_samples, false);
+    json_section(&mut out, "batch", &batch_samples, false);
     json_section(&mut out, "engine", &engine_samples, false);
     json_section(&mut out, "protocol", &protocol_samples, false);
     json_section(&mut out, "shard", &shard_samples, false);
@@ -668,13 +754,19 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     out
 }
 
-/// Prints a non-failing metric-by-metric comparison of `current` against
-/// the baseline report at `baseline_path` (typically the committed
+/// Prints a metric-by-metric comparison of `current` against the
+/// baseline report at `baseline_path` (typically the committed
 /// `BENCH_sim.json`), then surfaces the dense same-tick periodic case
 /// explicitly (the trade-off the hybrid spill wheel was built to close),
 /// so movement in either direction is one line away in every CI log.
-pub fn diff_report(current: &str, baseline_path: &str) {
-    crate::report::diff_report(current, baseline_path, &["sweep/", "speedup/", "scale/"]);
+/// Value movement never fails; returns `false` on report **schema**
+/// drift — a section name present in only one of the two reports (see
+/// [`crate::report::section_drift`]) — so a harness refactor cannot
+/// silently drop a comparison family like the `batch` rows.
+#[must_use]
+pub fn diff_report(current: &str, baseline_path: &str) -> bool {
+    let schema_ok =
+        crate::report::diff_report(current, baseline_path, &["sweep/", "speedup/", "scale/"]);
     let new = crate::report::parse_report(current);
     let pick = |entries: &[(String, f64)], key: &str| {
         entries
@@ -690,6 +782,7 @@ pub fn diff_report(current: &str, baseline_path: &str) {
          ev/s (slab/legacy = {:.2}x; hybrid spill runs, see ROADMAP)",
         slab / legacy
     );
+    schema_ok
 }
 
 /// CLI entry: `bench_sim [--test] [--out PATH] [--diff BASELINE]`.
@@ -710,7 +803,10 @@ pub fn run_from_args() {
     let report = run(smoke, &out_path);
     println!("{report}");
     if let Some(base) = diff_base {
-        diff_report(&report, &base);
+        if !diff_report(&report, &base) {
+            eprintln!("bench_sim: report schema drifted from {base}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -727,6 +823,16 @@ mod tests {
         assert!(report.starts_with('{') && report.trim_end().ends_with('}'));
         for key in [
             "\"scale\"",
+            "host_cores",
+            "\"batch\"",
+            "dense_wave/binary_heap/pop",
+            "dense_wave/binary_heap/drain",
+            "dense_wave/legacy_wheel/pop",
+            "dense_wave/legacy_wheel/drain",
+            "dense_wave/slab_wheel/pop",
+            "dense_wave/slab_wheel/drain",
+            "batch_dense_wave_drain_vs_pop_slab_wheel",
+            "batch_dense_wave_drain_slab_vs_legacy",
             "echo/binary_heap",
             "push_gossip/slab_wheel",
             "sgd/legacy_boxed_cloning",
@@ -768,6 +874,26 @@ mod tests {
     #[test]
     fn diff_report_survives_missing_baseline() {
         // Must not panic or fail on a nonexistent path.
-        diff_report("{}", "/nonexistent/baseline.json");
+        assert!(diff_report("{}", "/nonexistent/baseline.json"));
+    }
+
+    #[test]
+    fn diff_report_fails_on_section_drift() {
+        let dir = std::env::temp_dir().join(format!("ta-bench-drift-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("baseline.json");
+        std::fs::write(
+            &base_path,
+            "{\n  \"engine\": {\n    \"x\": 1.0\n  },\n  \"batch\": {\n    \"y\": 2.0\n  }\n}\n",
+        )
+        .unwrap();
+        // Same sections: passes.
+        let ok =
+            "{\n  \"engine\": {\n    \"x\": 9.0\n  },\n  \"batch\": {\n    \"y\": 8.0\n  }\n}\n";
+        assert!(diff_report(ok, base_path.to_str().unwrap()));
+        // Dropped `batch` section: schema drift, must fail.
+        let dropped = "{\n  \"engine\": {\n    \"x\": 9.0\n  }\n}\n";
+        assert!(!diff_report(dropped, base_path.to_str().unwrap()));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

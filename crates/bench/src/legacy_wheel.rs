@@ -300,4 +300,54 @@ mod tests {
             }
         }
     }
+
+    /// `drain_ready` (the trait's pop-loop fallback here) must hand out
+    /// exactly the same-time runs the slab wheel's overridden batch path
+    /// produces, for random push/drain interleavings over cascading and
+    /// dense same-tick offsets — the third queue of the batch-equivalence
+    /// matrix (heap and slab wheel are property-tested in `ta-sim`).
+    #[test]
+    fn legacy_drain_ready_matches_slab_wheel_batches() {
+        use ta_sim::queue::ReadyBatch;
+        let mut rng = Xoshiro256pp::stream(78, 4);
+        let mut legacy = LegacyVecWheel::new();
+        let mut slab = TimingWheel::new();
+        let mut legacy_batch = ReadyBatch::new();
+        let mut slab_batch = ReadyBatch::new();
+        let mut now = 0u64;
+        for i in 0..8_000u64 {
+            if rng.chance(0.7) || legacy.is_empty() {
+                let offset = match rng.below(4) {
+                    0 => rng.below(2_000),
+                    1 => 172_800_000,
+                    2 => 1_728_000,
+                    _ => rng.below(40_000_000_000),
+                };
+                let t = SimTime::from_micros(now + offset);
+                legacy.push(t, i);
+                slab.push(t, i);
+            } else {
+                legacy.drain_ready(&mut legacy_batch);
+                slab.drain_ready(&mut slab_batch);
+                assert_eq!(legacy_batch.len(), slab_batch.len(), "at op {i}");
+                assert_eq!(legacy_batch.time(), slab_batch.time());
+                for (a, b) in legacy_batch.drain().zip(slab_batch.drain()) {
+                    assert_eq!((a.0, a.1, a.2), (b.0, b.1, b.2));
+                    now = a.0.as_micros();
+                }
+                assert_eq!(legacy.len(), slab.len());
+            }
+        }
+        loop {
+            legacy.drain_ready(&mut legacy_batch);
+            slab.drain_ready(&mut slab_batch);
+            if legacy_batch.is_empty() && slab_batch.is_empty() {
+                break;
+            }
+            assert_eq!(legacy_batch.len(), slab_batch.len());
+            for (a, b) in legacy_batch.drain().zip(slab_batch.drain()) {
+                assert_eq!((a.0, a.1, a.2), (b.0, b.1, b.2));
+            }
+        }
+    }
 }

@@ -88,20 +88,68 @@ pub fn parse_report(text: &str) -> Vec<(String, f64)> {
     entries
 }
 
-/// Prints a non-failing metric-by-metric comparison of `current` against
-/// the baseline report at `baseline_path` (typically a committed
+/// Extracts the top-level section names of a report (objects opened with
+/// a `"name": {` line), in order of appearance.
+pub fn section_names(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        if rest.trim() == "{" {
+            names.push(key.trim().trim_matches('"').to_string());
+        }
+    }
+    names
+}
+
+/// Compares the section sets of two reports. Returns a human-readable
+/// drift description if either report carries a section the other lacks —
+/// the schema gate that keeps a bench refactor from silently dropping a
+/// whole comparison family (values may drift freely; section *names* may
+/// not). `None` means the schemas agree.
+pub fn section_drift(current: &str, baseline: &str) -> Option<String> {
+    let cur = section_names(current);
+    let base = section_names(baseline);
+    let missing: Vec<&String> = base.iter().filter(|s| !cur.contains(s)).collect();
+    let unknown: Vec<&String> = cur.iter().filter(|s| !base.contains(s)).collect();
+    if missing.is_empty() && unknown.is_empty() {
+        return None;
+    }
+    let mut msg = String::from("bench report schema drift:");
+    if !missing.is_empty() {
+        let _ = write!(msg, " missing sections {missing:?}");
+    }
+    if !unknown.is_empty() {
+        let _ = write!(msg, " unknown sections {unknown:?}");
+    }
+    let _ = write!(
+        msg,
+        " (regenerate the committed baseline together with the harness change)"
+    );
+    Some(msg)
+}
+
+/// Prints a metric-by-metric comparison of `current` against the
+/// baseline report at `baseline_path` (typically a committed
 /// `BENCH_*.json`). Sections whose name starts with one of
 /// `context_prefixes` are shown without a faster/slower verdict
 /// (wall-clock, workload scale, ratios-of-ratios: context, not
-/// verdicts). Differences never fail the build: smoke-mode CI values are
-/// single-shot and noisy; the report exists so perf movement is
-/// *visible* in PR logs, with regressions left to human judgement.
-pub fn diff_report(current: &str, baseline_path: &str, context_prefixes: &[&str]) {
+/// verdicts). Value differences never fail the build: smoke-mode CI
+/// values are single-shot and noisy; the report exists so perf movement
+/// is *visible* in PR logs, with regressions left to human judgement.
+/// **Schema** differences do fail: returns `false` when the two reports
+/// disagree on section names (see [`section_drift`]), so a bench
+/// refactor cannot silently drop comparisons. A missing baseline file
+/// skips the diff and passes.
+#[must_use]
+pub fn diff_report(current: &str, baseline_path: &str, context_prefixes: &[&str]) -> bool {
     let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bench: no baseline at {baseline_path} ({e}); skipping diff");
-            return;
+            return true;
         }
     };
     let baseline: Vec<(String, f64)> = parse_report(&baseline_text);
@@ -137,6 +185,13 @@ pub fn diff_report(current: &str, baseline_path: &str, context_prefixes: &[&str]
             println!("{key:<58} (present in baseline only)");
         }
     }
+    match section_drift(current, &baseline_text) {
+        Some(drift) => {
+            eprintln!("{drift}");
+            false
+        }
+        None => true,
+    }
 }
 
 /// Physical cores visible to this process — recorded in every report so
@@ -169,7 +224,24 @@ mod tests {
     #[test]
     fn diff_report_survives_missing_baseline() {
         // Must not panic or fail on a nonexistent path.
-        diff_report("{}", "/nonexistent/baseline.json", &[]);
+        assert!(diff_report("{}", "/nonexistent/baseline.json", &[]));
+    }
+
+    #[test]
+    fn section_drift_detects_missing_and_unknown_sections() {
+        let base = "{\n  \"a\": {\n    \"x\": 1.0\n  },\n  \"b\": {\n    \"y\": 2.0\n  }\n}\n";
+        let same = base;
+        assert_eq!(section_drift(same, base), None);
+        let missing = "{\n  \"a\": {\n    \"x\": 1.0\n  }\n}\n";
+        let drift = section_drift(missing, base).expect("missing section is drift");
+        assert!(drift.contains("missing"), "{drift}");
+        assert!(drift.contains('b'), "{drift}");
+        let unknown = "{\n  \"a\": {\n    \"x\": 1.0\n  },\n  \"b\": {\n    \"y\": 2.0\n  },\n  \"c\": {\n    \"z\": 3.0\n  }\n}\n";
+        let drift = section_drift(unknown, base).expect("unknown section is drift");
+        assert!(drift.contains("unknown"), "{drift}");
+        // One-line objects (the `units` header) are not sections.
+        let with_units = "{\n  \"units\": { \"a\": \"x\" },\n  \"a\": {\n    \"x\": 1.0\n  },\n  \"b\": {\n    \"y\": 2.0\n  }\n}\n";
+        assert_eq!(section_drift(with_units, base), None);
     }
 
     #[test]

@@ -65,10 +65,182 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{QueueKind, SimConfig, TickPhase};
 use crate::ids::{node_ids, NodeId};
-use crate::queue::{order_key, BinaryHeapQueue, EventQueue};
+use crate::queue::{order_key, BinaryHeapQueue, EventQueue, ReadyBatch};
 use crate::rng::Xoshiro256pp;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
+
+/// Sentinel terminating the per-destination delivery chains of a grouped
+/// run (see [`RunGrouper`]).
+pub(crate) const RUN_NIL: u32 = u32::MAX;
+
+/// One destination's slice of a same-instant delivery run, handed to
+/// [`Driver::on_message_batch`] (and its sharded counterpart). Yields
+/// `(from, msg)` pairs in exactly the order the per-event path would
+/// deliver them to this destination.
+pub struct MsgBatch<'a, M> {
+    /// The whole run, `(from, to, payload)`; payloads are taken as the
+    /// iterator walks this destination's chain.
+    run: &'a mut [(NodeId, NodeId, Option<M>)],
+    /// Chain links over `run` (index-threaded, [`RUN_NIL`]-terminated).
+    next: &'a [u32],
+    cur: u32,
+    remaining: u32,
+}
+
+impl<'a, M> MsgBatch<'a, M> {
+    #[inline]
+    pub(crate) fn new(
+        run: &'a mut [(NodeId, NodeId, Option<M>)],
+        next: &'a [u32],
+        head: u32,
+        count: u32,
+    ) -> Self {
+        MsgBatch {
+            run,
+            next,
+            cur: head,
+            remaining: count,
+        }
+    }
+
+    /// Deliveries not yet taken.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining as usize
+    }
+
+    /// True when every delivery has been taken.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<M> Iterator for MsgBatch<'_, M> {
+    type Item = (NodeId, M);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, M)> {
+        if self.cur == RUN_NIL {
+            return None;
+        }
+        let i = self.cur as usize;
+        self.cur = self.next[i];
+        self.remaining -= 1;
+        let (from, _, msg) = &mut self.run[i];
+        Some((*from, msg.take().expect("delivery consumed twice")))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl<M> ExactSizeIterator for MsgBatch<'_, M> {}
+
+impl<M> std::fmt::Debug for MsgBatch<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MsgBatch")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Groups a contiguous same-instant delivery run by destination node:
+/// index-threaded chains (stable, so each destination keeps its key
+/// order) built incrementally as the run is collected — one array write
+/// per delivery, no comparison sort. Destinations are visited in
+/// first-occurrence order; the choice of cross-destination order is
+/// unobservable (per-destination effects are isolated, new events carry
+/// their own keys), so the cheapest deterministic order wins. Shared by
+/// the serial and sharded engines. All buffers are epoch-stamped and
+/// recycled; steady state allocates nothing.
+pub(crate) struct RunGrouper {
+    /// Per owned node (dense local index): chain head/tail into the run,
+    /// valid iff `mark` carries the current epoch.
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    count: Vec<u32>,
+    mark: Vec<u32>,
+    /// Per run entry: next entry of the same destination.
+    next: Vec<u32>,
+    /// Distinct destinations of the current run, in first-occurrence
+    /// order.
+    touched: Vec<NodeId>,
+    epoch: u32,
+    /// First owned node index (0 for the serial engine).
+    base: usize,
+}
+
+impl RunGrouper {
+    pub(crate) fn new(base: usize, owned: usize) -> Self {
+        RunGrouper {
+            head: vec![RUN_NIL; owned],
+            tail: vec![RUN_NIL; owned],
+            count: vec![0; owned],
+            mark: vec![0; owned],
+            next: Vec::new(),
+            touched: Vec::new(),
+            epoch: 0,
+            base,
+        }
+    }
+
+    /// Starts a new run (invalidates every previous chain in O(1)).
+    pub(crate) fn begin(&mut self) {
+        self.next.clear();
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wraparound: invalidate every stale mark once per 2^32
+            // runs instead of clearing per run.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Appends run entry `i` (the next index, in order) addressed to
+    /// destination `to`.
+    #[inline]
+    pub(crate) fn add(&mut self, to: NodeId) {
+        let i = self.next.len() as u32;
+        self.next.push(RUN_NIL);
+        let l = to.index() - self.base;
+        if self.mark[l] != self.epoch {
+            self.mark[l] = self.epoch;
+            self.head[l] = i;
+            self.tail[l] = i;
+            self.count[l] = 1;
+            self.touched.push(to);
+        } else {
+            self.next[self.tail[l] as usize] = i;
+            self.tail[l] = i;
+            self.count[l] += 1;
+        }
+    }
+
+    /// Number of distinct destinations in the grouped run.
+    #[inline]
+    pub(crate) fn groups(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// The `gi`-th destination (first-occurrence order) with its chain
+    /// head and length.
+    #[inline]
+    pub(crate) fn group(&self, gi: usize) -> (NodeId, u32, u32) {
+        let to = self.touched[gi];
+        let l = to.index() - self.base;
+        (to, self.head[l], self.count[l])
+    }
+
+    /// The chain links, for constructing [`MsgBatch`]es.
+    #[inline]
+    pub(crate) fn links(&self) -> &[u32] {
+        &self.next
+    }
+}
 
 /// Stream-id namespace of per-node engine randomness (tick phases, drop
 /// decisions attributed to the sending node).
@@ -237,6 +409,31 @@ pub trait Driver {
         msg: Self::Msg,
     );
 
+    /// A same-instant batch of messages, all addressed to online node
+    /// `to`, in exactly the order the per-event path would deliver them.
+    ///
+    /// The engine groups each contiguous run of same-time deliveries by
+    /// destination and hands every destination's slice through one call,
+    /// so implementations can hoist per-delivery state lookups out of the
+    /// loop (see `TokenProtocol` in `ta-apps`). The default loops over
+    /// [`on_message`](Self::on_message).
+    ///
+    /// Overrides must consume every entry and be observably equivalent to
+    /// calling `on_message` once per entry in order: the serial and
+    /// sharded engines split runs at different points, so a batch hook
+    /// that drifts from its per-event hook forfeits the byte-identical
+    /// results guarantee.
+    fn on_message_batch(
+        &mut self,
+        api: &mut SimApi<'_, Self::Msg>,
+        to: NodeId,
+        msgs: &mut MsgBatch<'_, Self::Msg>,
+    ) {
+        for (from, msg) in msgs.by_ref() {
+            self.on_message(api, from, to, msg);
+        }
+    }
+
     /// `node` came online.
     fn on_node_up(&mut self, api: &mut SimApi<'_, Self::Msg>, node: NodeId) {
         let _ = (api, node);
@@ -322,19 +519,20 @@ enum Ev<M> {
 ///
 /// Deliberately does *not* own the event queue: callbacks append new events
 /// to the `pending` buffer and the engine flushes it into its queue after
-/// each dispatch. This keeps [`SimApi`] (and therefore the [`Driver`]
-/// trait) non-generic while the engine's event loop is monomorphized over
-/// the concrete queue — every `push`/`pop`/`peek_time` in the hot path is a
-/// direct call, selected once at [`Simulation::new`], instead of an
-/// enum-dispatch branch per event. The buffer is drained in schedule order
-/// before the next pop; scheduled events carry their `(origin, counter)`
-/// keys from the moment they are created, so the flush order is
-/// irrelevant to the observable event order.
+/// each same-time batch. This keeps [`SimApi`] (and therefore the
+/// [`Driver`] trait) non-generic while the engine's event loop is
+/// monomorphized over the concrete queue — every `drain`/`push` in the hot
+/// path is a direct call, selected once at [`Simulation::new`], instead of
+/// an enum-dispatch branch per event. The buffer is drained in schedule
+/// order before the next queue drain; scheduled events carry their
+/// `(origin, counter)` keys from the moment they are created, so the flush
+/// order is irrelevant to the observable event order.
 struct Kernel<M> {
     cfg: SimConfig,
-    /// Events scheduled during the current dispatch; flushed before the
-    /// next pop. Capacity is reused across events: steady-state, the hot
-    /// path does not allocate.
+    /// Events scheduled during the current batch; flushed before the next
+    /// queue drain (whole reactive bursts re-enter through
+    /// [`EventQueue::push_keyed_run`]). Capacity is reused across
+    /// batches: steady-state, the hot path does not allocate.
     pending: Vec<(SimTime, u64, Ev<M>)>,
     /// Per-node engine randomness (tick phases; drop decisions charged to
     /// the sending node). Per-node streams keep engine decisions
@@ -535,6 +733,14 @@ struct Engine<D: Driver, Q: EventQueue<Ev<D::Msg>>> {
     /// Scratch buffer for same-deadline runs handed to
     /// [`EventQueue::push_keyed_run`] (capacity reused).
     run_buf: Vec<(u64, Ev<D::Msg>)>,
+    /// The same-time run currently being dispatched, drained from the
+    /// queue in one [`EventQueue::drain_ready_before`] call (the wheel
+    /// swaps buffers, so the capacity circulates between the two).
+    batch: ReadyBatch<Ev<D::Msg>>,
+    /// Contiguous delivery run scratch: `(from, to, payload)`, grouped by
+    /// destination through `grouper` (capacity reused).
+    run_scratch: Vec<(NodeId, NodeId, Option<D::Msg>)>,
+    grouper: RunGrouper,
     finished: bool,
 }
 
@@ -628,6 +834,9 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
             kernel,
             queue,
             run_buf: Vec::new(),
+            batch: ReadyBatch::new(),
+            run_scratch: Vec::new(),
+            grouper: RunGrouper::new(0, n),
             finished: false,
         };
         engine.flush_pending();
@@ -652,21 +861,102 @@ impl<D: Driver, Q: EventQueue<Ev<D::Msg>>> Engine<D, Q> {
         self.finished = true;
     }
 
+    /// The batch-drain event loop: one bounded queue drain hands out the
+    /// whole earliest same-time run (no peek-then-pop double traversal),
+    /// the clock advances once per run, and the deferred-push buffer
+    /// flushes once per run — so a reactive burst leaves the queue as one
+    /// batch and its responses re-enter as one [`EventQueue::push_keyed_run`].
+    /// Every event scheduled during a dispatch lies strictly after the
+    /// batch instant (all delays are positive), so consuming the run
+    /// without re-consulting the queue is exact.
     fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peek promised an event");
-            debug_assert!(scheduled.time >= self.kernel.now, "time went backwards");
-            self.kernel.now = scheduled.time;
-            self.kernel.stats.events_processed += 1;
-            self.dispatch(scheduled.event);
+        loop {
+            self.queue.drain_ready_before(until, &mut self.batch);
+            let Some(t) = self.batch.time() else { break };
+            debug_assert!(t >= self.kernel.now, "time went backwards");
+            self.kernel.now = t;
+            self.kernel.stats.events_processed += self.batch.len() as u64;
+            self.consume_batch();
             self.flush_pending();
         }
         if until > self.kernel.now {
             self.kernel.now = until;
         }
+    }
+
+    /// Dispatches the drained batch in key order, routing each contiguous
+    /// run of deliveries through the grouped
+    /// [`Driver::on_message_batch`] path (runs cannot contain churn
+    /// events, so the online set — and therefore the offline-loss
+    /// filter — is constant across a run; filtering and chain-building
+    /// happen in the collection pass itself).
+    fn consume_batch(&mut self) {
+        let mut entries = std::mem::take(&mut self.batch.entries);
+        if entries.len() == 1 {
+            // Sparse traffic: skip the run machinery entirely.
+            let (_, _, ev) = entries.pop().expect("length checked");
+            self.dispatch(ev);
+            self.batch.entries = entries;
+            return;
+        }
+        let mut it = entries.drain(..).peekable();
+        while let Some((_, _, ev)) = it.next() {
+            match ev {
+                Ev::Deliver { from, to, msg }
+                    if matches!(it.peek(), Some((.., Ev::Deliver { .. }))) =>
+                {
+                    debug_assert!(self.run_scratch.is_empty());
+                    self.grouper.begin();
+                    self.collect_delivery(from, to, msg);
+                    while matches!(it.peek(), Some((.., Ev::Deliver { .. }))) {
+                        let Some((.., Ev::Deliver { from, to, msg })) = it.next() else {
+                            unreachable!("peek promised a delivery");
+                        };
+                        self.collect_delivery(from, to, msg);
+                    }
+                    self.dispatch_deliver_run();
+                }
+                other => self.dispatch(other),
+            }
+        }
+        drop(it);
+        self.batch.entries = entries;
+    }
+
+    /// Adds one delivery of the current contiguous run: offline
+    /// destinations are dropped here (the online set is constant across
+    /// the run), online ones are appended to the scratch and chained
+    /// onto their destination group — one pass does it all.
+    #[inline]
+    fn collect_delivery(&mut self, from: NodeId, to: NodeId, msg: D::Msg) {
+        if !self.kernel.online.is_online(to) {
+            self.kernel.stats.messages_lost_offline += 1;
+            return;
+        }
+        self.run_scratch.push((from, to, Some(msg)));
+        self.grouper.add(to);
+    }
+
+    /// Grouped dispatch of one collected same-instant delivery run: each
+    /// destination's deliveries (key order preserved) go to the driver
+    /// through one [`Driver::on_message_batch`] call — node state loaded
+    /// once per destination instead of once per message.
+    fn dispatch_deliver_run(&mut self) {
+        self.kernel.stats.messages_delivered += self.run_scratch.len() as u64;
+        for gi in 0..self.grouper.groups() {
+            let (to, head, count) = self.grouper.group(gi);
+            self.kernel.ctx = Some(to);
+            let mut api = SimApi {
+                kernel: &mut self.kernel,
+            };
+            let mut msgs = MsgBatch::new(&mut self.run_scratch, self.grouper.links(), head, count);
+            self.driver.on_message_batch(&mut api, to, &mut msgs);
+            debug_assert!(
+                msgs.is_empty(),
+                "on_message_batch must consume every delivery"
+            );
+        }
+        self.run_scratch.clear();
     }
 
     fn dispatch(&mut self, ev: Ev<D::Msg>) {
@@ -1285,6 +1575,70 @@ mod tests {
         }
         let mut sim = Simulation::new(small_cfg(1), &AlwaysOn, BadTimer);
         sim.run_to_end();
+    }
+
+    #[test]
+    fn same_instant_deliveries_are_grouped_per_destination() {
+        // Synchronized ticks: every node sends to node 0 and node 1 at the
+        // same instant, so all deliveries share one deadline. The engine
+        // must hand each destination its whole slice through ONE
+        // `on_message_batch` call, destinations in ascending node order,
+        // senders within a batch in `(origin, counter)` key order.
+        #[derive(Default)]
+        struct BatchSpy {
+            batches: Vec<(NodeId, Vec<NodeId>)>,
+        }
+        impl Driver for BatchSpy {
+            type Msg = ();
+            fn on_round_tick(&mut self, api: &mut SimApi<'_, ()>, node: NodeId) {
+                api.send(node, NodeId::new(0), ());
+                api.send(node, NodeId::new(1), ());
+            }
+            fn on_message(&mut self, _: &mut SimApi<'_, ()>, from: NodeId, to: NodeId, _: ()) {
+                self.batches
+                    .last_mut()
+                    .expect("batch hook records first")
+                    .1
+                    .push(from);
+                let _ = to;
+            }
+            fn on_message_batch(
+                &mut self,
+                api: &mut SimApi<'_, ()>,
+                to: NodeId,
+                msgs: &mut MsgBatch<'_, ()>,
+            ) {
+                self.batches.push((to, Vec::new()));
+                for (from, msg) in msgs.by_ref() {
+                    self.on_message(api, from, to, msg);
+                }
+            }
+        }
+        let n = 6;
+        let cfg = SimConfig::builder(n)
+            .delta(SimDuration::from_secs(10))
+            .transfer_time(SimDuration::from_secs(1))
+            .duration(SimDuration::from_secs(21))
+            .tick_phase(TickPhase::Synchronized)
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(cfg, &AlwaysOn, BatchSpy::default());
+        sim.run_to_end();
+        let batches = &sim.driver().batches;
+        // Two delivery instants (ticks at 10 s and 20 s, arrivals at 11 s
+        // and 21 s), two destinations each.
+        assert_eq!(batches.len(), 4);
+        for pair in batches.chunks(2) {
+            assert_eq!(pair[0].0, NodeId::new(0));
+            assert_eq!(pair[1].0, NodeId::new(1));
+            for (_, froms) in pair {
+                // One message per sender, in ascending origin order (the
+                // per-destination key order).
+                let expect: Vec<NodeId> = node_ids(n).collect();
+                assert_eq!(froms, &expect);
+            }
+        }
+        assert_eq!(sim.stats().messages_delivered, 4 * n as u64);
     }
 
     #[test]

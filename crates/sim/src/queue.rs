@@ -52,6 +52,80 @@ pub const fn order_key(origin: u32, counter: u64) -> u64 {
     ((origin as u64) << 32) | counter
 }
 
+/// A recycled contiguous buffer of same-time ready events, filled by
+/// [`EventQueue::drain_ready`].
+///
+/// Entries share one `time` and are ordered by ascending `seq` — exactly
+/// the order repeated [`EventQueue::pop`] calls would produce. The buffer
+/// keeps its capacity across drains (and the timing wheel *swaps* its
+/// internal ready run with this buffer on the dense path), so steady-state
+/// batch draining performs no allocation.
+#[derive(Debug)]
+pub struct ReadyBatch<E> {
+    /// Ascending `(time, seq)`; all entries share `time`. `pub(crate)` so
+    /// in-crate queue implementations can swap whole buffers in.
+    pub(crate) entries: Vec<(SimTime, u64, E)>,
+}
+
+impl<E> ReadyBatch<E> {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        ReadyBatch {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of events in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the batch holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The shared instant of the batch, or `None` when empty.
+    #[inline]
+    pub fn time(&self) -> Option<SimTime> {
+        self.entries.first().map(|&(t, ..)| t)
+    }
+
+    /// Appends one entry, asserting the batch invariant in debug builds:
+    /// entries arrive in ascending `seq` at one shared `time`. The
+    /// per-event fill paths (the trait's pop-loop default, the wheel's
+    /// fallback and merge paths) go through this; the wheel's dense fast
+    /// path swaps a whole pre-sorted buffer in instead.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(self
+            .entries
+            .last()
+            .is_none_or(|&(t, s, _)| { t == time && s < seq }));
+        self.entries.push((time, seq, event));
+    }
+
+    /// Removes and returns every entry in order, keeping the capacity.
+    #[inline]
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (SimTime, u64, E)> {
+        self.entries.drain(..)
+    }
+
+    /// Drops all entries, keeping the capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<E> Default for ReadyBatch<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// An event with its scheduled time and tie-breaking key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scheduled<E> {
@@ -104,6 +178,43 @@ pub trait EventQueue<E> {
 
     /// Removes and returns the earliest event.
     fn pop(&mut self) -> Option<Scheduled<E>>;
+
+    /// Moves the entire earliest **same-time run** — every pending event
+    /// sharing the minimal `time` — into `into`, in ascending `seq` order:
+    /// exactly what repeated [`pop`](Self::pop) calls would return, as one
+    /// contiguous recycled buffer. `into` must be empty.
+    ///
+    /// The default implementation is the pop loop; implementations with an
+    /// internal contiguous ready run (the timing wheel) override it with a
+    /// buffer swap. After a drain, pushing at the drained instant is
+    /// allowed only above the batch's last key (the batch counts as
+    /// popped).
+    fn drain_ready(&mut self, into: &mut ReadyBatch<E>) {
+        self.drain_ready_before(SimTime::MAX, into);
+    }
+
+    /// Bounded [`drain_ready`](Self::drain_ready): drains the earliest
+    /// same-time run only if its time is `<= bound` (one queue traversal
+    /// decides both the bound check and the drain — no peek-then-pop
+    /// double scan). Leaves `into` empty when the queue is empty or the
+    /// earliest event lies beyond `bound`.
+    fn drain_ready_before(&mut self, bound: SimTime, into: &mut ReadyBatch<E>) {
+        debug_assert!(into.is_empty(), "drain_ready into a non-empty batch");
+        let Some(t) = self.peek_time() else {
+            return;
+        };
+        if t > bound {
+            return;
+        }
+        loop {
+            let s = self.pop().expect("peek promised an event");
+            into.push(s.time, s.seq, s.event);
+            match self.peek_time() {
+                Some(t2) if t2 == t => {}
+                _ => break,
+            }
+        }
+    }
 
     /// The time of the earliest event without removing it.
     ///

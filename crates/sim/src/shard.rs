@@ -48,9 +48,9 @@ use std::sync::{Arc, Barrier, Mutex};
 
 use crate::config::{QueueKind, SimConfig, TickPhase};
 use crate::engine::{engine_stream, proto_global_stream, proto_stream, tick_delay_from, OnlineSet};
-use crate::engine::{AvailabilityModel, Driver, SimStats};
+use crate::engine::{AvailabilityModel, Driver, MsgBatch, RunGrouper, SimStats};
 use crate::ids::{node_ids, NodeId};
-use crate::queue::{order_key, BinaryHeapQueue, EventQueue, GLOBAL_ORIGIN};
+use crate::queue::{order_key, BinaryHeapQueue, EventQueue, ReadyBatch, GLOBAL_ORIGIN};
 use crate::rng::Xoshiro256pp;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
@@ -397,6 +397,23 @@ pub trait ShardDriver: Send {
         msg: Self::Msg,
     );
 
+    /// A same-instant batch of messages addressed to owned online node
+    /// `to`, in per-event delivery order — the sharded counterpart of
+    /// [`Driver::on_message_batch`], with the same contract: consume
+    /// every entry, stay observably equivalent to per-event
+    /// [`on_message`](Self::on_message) calls (the serial engine splits
+    /// runs differently, so drift breaks the byte-identical guarantee).
+    fn on_message_batch(
+        &mut self,
+        api: &mut ShardApi<'_, Self::Msg>,
+        to: NodeId,
+        msgs: &mut MsgBatch<'_, Self::Msg>,
+    ) {
+        for (from, msg) in msgs.by_ref() {
+            self.on_message(api, from, to, msg);
+        }
+    }
+
     /// `node` came online. Fired for **every** node's transitions, with
     /// `owned` telling whether this shard owns it: update full-network
     /// mirrors unconditionally, run node-scoped reactions (which may draw
@@ -554,6 +571,13 @@ struct ShardEngine<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> {
     queue: Q,
     driver: D,
     run_buf: Vec<(u64, SEv<D::Msg>)>,
+    /// The same-time run being dispatched (recycled; the wheel swaps its
+    /// ready buffer with this one on the dense path).
+    batch: ReadyBatch<SEv<D::Msg>>,
+    /// Contiguous delivery run scratch, grouped by destination through
+    /// `grouper` (owned nodes only — deliveries never cross shards).
+    run_scratch: Vec<(NodeId, NodeId, Option<D::Msg>)>,
+    grouper: RunGrouper,
 }
 
 impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
@@ -633,6 +657,9 @@ impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
             queue,
             driver,
             run_buf: Vec::new(),
+            batch: ReadyBatch::new(),
+            run_scratch: Vec::new(),
+            grouper: RunGrouper::new(base, owned),
         };
         engine.flush_pending();
         engine
@@ -651,25 +678,113 @@ impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
 
     /// Processes events up to `until` — strictly before it for window
     /// interiors, inclusively for barrier instants — then parks the clock
-    /// at `until`.
+    /// at `until`. Batch-drained like the serial engine's `run_until`: one
+    /// bounded queue drain per same-time run, the clock and the
+    /// deferred-push flush amortized over the whole run (an exclusive
+    /// bound is the inclusive bound one microsecond earlier — time is
+    /// integral).
     fn run_window(&mut self, until: SimTime, inclusive: bool) {
-        while let Some(t) = self.queue.peek_time() {
-            let past_bound = if inclusive { t > until } else { t >= until };
-            if past_bound {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peek promised an event");
-            debug_assert!(scheduled.time >= self.kernel.now, "time went backwards");
-            self.kernel.now = scheduled.time;
-            if self.counts_as_processed(&scheduled.event) {
-                self.kernel.stats.events_processed += 1;
-            }
-            self.dispatch(scheduled.event);
+        let bound = if inclusive {
+            until
+        } else if until == SimTime::ZERO {
+            // Nothing can fire strictly before the origin.
+            return;
+        } else {
+            SimTime::from_micros(until.as_micros() - 1)
+        };
+        loop {
+            self.queue.drain_ready_before(bound, &mut self.batch);
+            let Some(t) = self.batch.time() else { break };
+            debug_assert!(t >= self.kernel.now, "time went backwards");
+            self.kernel.now = t;
+            self.consume_batch();
             self.flush_pending();
         }
         if until > self.kernel.now {
             self.kernel.now = until;
         }
+    }
+
+    /// Dispatches the drained batch in key order, routing contiguous
+    /// delivery runs through the grouped
+    /// [`ShardDriver::on_message_batch`] path (mirrors the serial
+    /// engine's `consume_batch`: offline filter and chain building fused
+    /// into the collection pass, singleton batches bypass the run
+    /// machinery).
+    fn consume_batch(&mut self) {
+        let mut entries = std::mem::take(&mut self.batch.entries);
+        if entries.len() == 1 {
+            let (_, _, ev) = entries.pop().expect("length checked");
+            if self.counts_as_processed(&ev) {
+                self.kernel.stats.events_processed += 1;
+            }
+            self.dispatch(ev);
+            self.batch.entries = entries;
+            return;
+        }
+        let mut it = entries.drain(..).peekable();
+        while let Some((_, _, ev)) = it.next() {
+            match ev {
+                SEv::Deliver { from, to, msg }
+                    if matches!(it.peek(), Some((.., SEv::Deliver { .. }))) =>
+                {
+                    self.kernel.stats.events_processed += 1;
+                    debug_assert!(self.run_scratch.is_empty());
+                    self.grouper.begin();
+                    self.collect_delivery(from, to, msg);
+                    while matches!(it.peek(), Some((.., SEv::Deliver { .. }))) {
+                        let Some((.., SEv::Deliver { from, to, msg })) = it.next() else {
+                            unreachable!("peek promised a delivery");
+                        };
+                        self.kernel.stats.events_processed += 1;
+                        self.collect_delivery(from, to, msg);
+                    }
+                    self.dispatch_deliver_run();
+                }
+                other => {
+                    if self.counts_as_processed(&other) {
+                        self.kernel.stats.events_processed += 1;
+                    }
+                    self.dispatch(other);
+                }
+            }
+        }
+        drop(it);
+        self.batch.entries = entries;
+    }
+
+    /// Adds one delivery of the current contiguous run (serial engine's
+    /// `collect_delivery`: offline drop + group chaining in one pass).
+    #[inline]
+    fn collect_delivery(&mut self, from: NodeId, to: NodeId, msg: D::Msg) {
+        if !self.kernel.online.is_online(to) {
+            self.kernel.stats.messages_lost_offline += 1;
+            return;
+        }
+        self.run_scratch.push((from, to, Some(msg)));
+        self.grouper.add(to);
+    }
+
+    /// Grouped dispatch of one collected same-instant delivery run (the
+    /// serial engine's discipline: one
+    /// [`ShardDriver::on_message_batch`] call per destination, key order
+    /// preserved per destination).
+    fn dispatch_deliver_run(&mut self) {
+        self.kernel.stats.messages_delivered += self.run_scratch.len() as u64;
+        for gi in 0..self.grouper.groups() {
+            let (to, head, count) = self.grouper.group(gi);
+            self.kernel.ctx = Ctx::Owned(to);
+            let mut api = ShardApi {
+                kernel: &mut self.kernel,
+            };
+            let mut msgs = MsgBatch::new(&mut self.run_scratch, self.grouper.links(), head, count);
+            self.driver.on_message_batch(&mut api, to, &mut msgs);
+            debug_assert!(
+                msgs.is_empty(),
+                "on_message_batch must consume every delivery"
+            );
+        }
+        self.run_scratch.clear();
     }
 
     #[inline]

@@ -20,23 +20,27 @@
 //! (previously quadratic for the synchronized-tick-phase burst of `k`
 //! same-tick events).
 //!
-//! **Hybrid spill for dense level-0 slots.** Intrusive chains are ideal
-//! for the scattered steady state — cascading between levels relinks
-//! `u32` pointers without ever touching payloads — but the final drain
-//! loses to contiguous buffers when thousands of events share one tick
-//! (synchronized ticks, giant reactive cascades): it walks a pointer
-//! chain through a cold slab, releasing every node one by one. So the
-//! *level-0* slots (the only ones that are ever drained) are hybrids:
-//! the first [`SPILL_THRESHOLD`] events chain through the slab as usual,
+//! **Hybrid spill for dense slots.** Intrusive chains are ideal for the
+//! scattered steady state — cascading between levels relinks `u32`
+//! pointers without ever touching payloads — but chain walks lose to
+//! contiguous buffers when thousands of events share one tick
+//! (synchronized ticks, giant reactive cascades): every hop chases cold
+//! slab pointers node by node. So dense slots are hybrids at **every**
+//! level: the first [`SPILL_THRESHOLD`] events chain through the slab,
 //! and everything beyond *spills* into a contiguous per-slot run buffer
-//! (`Vec<(time, seq, event)>` drawn from a recycled pool) — whether it
-//! arrives by direct push or by cascade from a deeper level (which was
-//! the event's only payload move either way). Dense ticks therefore
-//! drain with one buffer *swap* into the ready batch + the shared sort —
-//! the regime where the retired Vec-of-Vecs wheel used to win — while
-//! sparse slots and all deeper levels run the original zero-copy
-//! relinking with no per-push state to maintain. The
-//! `event_queue/periodic` bench row tracks exactly this case.
+//! (`Vec<(time, seq, event)>` drawn from a recycled pool). Level-0 slots
+//! maintain their occupancy on every insert (push or cascade); deeper
+//! levels maintain it **at cascade time only** — a push into a deep slot
+//! is the bare chain relink with zero added state, so the scattered fast
+//! path pays nothing (a naive always-on deep spill measured ~20% on
+//! uniform churn), while a dense mass turns contiguous on its first
+//! cascade hop and every later hop moves it buffer-to-buffer. Dense
+//! ticks therefore drain with one buffer *swap* into the ready batch +
+//! the shared sort — and [`EventQueue::drain_ready`] swaps that sorted
+//! run straight out to the caller, so the engine's batch loop consumes
+//! dense ticks with no per-event queue traffic at all. The
+//! `event_queue/periodic` and `batch/dense_wave` bench rows track
+//! exactly these cases.
 //!
 //! **Exact ordering guarantee.** Unlike classical kernel timer wheels, which
 //! fire at slot granularity, this wheel produces *exactly* the same pop order
@@ -72,6 +76,12 @@ const NIL: u32 = u32::MAX;
 /// enough that contiguous storage wins on the drain/cascade walk. 32
 /// keeps the chain short enough to stay cache-resident while letting
 /// genuinely dense slots (hundreds+) run almost entirely contiguous.
+///
+/// Level 0 counts every chain insertion (pushes maintain the state);
+/// deeper levels count **cascade placements only** — the scattered push
+/// fast path never reads or writes deep slot state, so dense same-tick
+/// masses still turn contiguous one cascade hop down while uniform
+/// pushes pay nothing.
 const SPILL_THRESHOLD: u32 = 32;
 
 /// High bit of a slot's packed state: set when the slot has spilled into
@@ -114,11 +124,13 @@ pub struct TimingWheel<E> {
     free_head: u32,
     /// Chain head per `[level][slot]`.
     heads: [[u32; SLOTS]; LEVELS],
-    /// Packed hybrid state of the level-0 slots (deeper levels have
-    /// none): the chain length while the slot is sparse
-    /// (`< SPILL_THRESHOLD`), or [`SPILLED`]` | pool index` once it is
-    /// dense — one load decides the insert path.
-    l0_state: [u32; SLOTS],
+    /// Packed hybrid state per `[level][slot]`: a chain-occupancy count
+    /// while the slot is sparse (`< SPILL_THRESHOLD`), or
+    /// [`SPILLED`]` | pool index` once it is dense — one load decides the
+    /// insert path. Level 0 counts every insertion (pushes maintain it);
+    /// deeper levels count **cascade placements only**, so the scattered
+    /// push fast path ([`Self::link_deep`]) stays state-free.
+    slot_state: [[u32; SLOTS]; LEVELS],
     /// Recycled contiguous run buffers for dense slots; `spill_free`
     /// lists the pool entries currently unassigned (emptied but keeping
     /// their capacity).
@@ -140,6 +152,10 @@ pub struct TimingWheel<E> {
     /// quadratic, without paying heap costs for the common
     /// batch-sorted-once case.
     ready_late: BinaryHeap<LateEntry<E>>,
+    /// Scratch for `drain_ready_before`'s batch merge: the late entries
+    /// due at the drained instant, popped out ascending (capacity
+    /// reused).
+    late_scratch: Vec<(SimTime, u64, E)>,
     /// Tick index of the `ready` batch (valid while `ready` is non-empty or
     /// the cursor sits on it).
     ready_tick: u64,
@@ -174,13 +190,14 @@ impl<E> TimingWheel<E> {
             nodes: Vec::new(),
             free_head: NIL,
             heads: [[NIL; SLOTS]; LEVELS],
-            l0_state: [0; SLOTS],
+            slot_state: [[0; SLOTS]; LEVELS],
             spill_pool: Vec::new(),
             spill_free: Vec::new(),
             occupied: [0; LEVELS],
             overflow: BTreeMap::new(),
             ready: Vec::new(),
             ready_late: BinaryHeap::new(),
+            late_scratch: Vec::new(),
             ready_tick: 0,
             current_tick: 0,
             wheel_len: 0,
@@ -278,11 +295,11 @@ impl<E> TimingWheel<E> {
         self.wheel_len += 1;
     }
 
-    /// Attaches a spill buffer (recycled if possible) to a level-0 slot
-    /// whose chain just hit the threshold; returns the pool index. Cold
-    /// path: runs once per slot per lap at most.
+    /// Attaches a spill buffer (recycled if possible) to `slot` at
+    /// `level`, whose chain occupancy just hit the threshold; returns the
+    /// pool index. Cold path: runs once per slot per lap at most.
     #[cold]
-    fn attach_spill(&mut self, slot: usize) -> usize {
+    fn attach_spill(&mut self, level: usize, slot: usize) -> usize {
         let s = match self.spill_free.pop() {
             Some(free) => free,
             None => {
@@ -292,29 +309,34 @@ impl<E> TimingWheel<E> {
                 created
             }
         };
-        self.l0_state[slot] = SPILLED | s;
+        self.slot_state[level][slot] = SPILLED | s;
         s as usize
     }
 
-    /// Places a tuple-form event into level-0 `slot` (chain while the
-    /// slot is sparse, contiguous spill once it is dense).
+    /// Places a tuple-form event into `slot` at `level`, maintaining the
+    /// slot's hybrid occupancy: the slab chain while it is sparse, the
+    /// contiguous spill run once it is dense. Level-0 callers are the
+    /// push/cascade/drain paths; deeper levels reach here **from
+    /// cascades only** (pushes keep the bare state-free
+    /// [`Self::link_deep`] relink), so only cascade placements pay the
+    /// state load.
     #[inline]
-    fn place_in_l0(&mut self, time: SimTime, seq: u64, event: E, slot: usize) {
-        let st = self.l0_state[slot];
+    fn place_hybrid(&mut self, time: SimTime, seq: u64, event: E, level: usize, slot: usize) {
+        let st = self.slot_state[level][slot];
         if st < SPILL_THRESHOLD {
             let idx = self.alloc(time, seq, event);
-            self.nodes[idx as usize].next = self.heads[0][slot];
-            self.heads[0][slot] = idx;
-            self.l0_state[slot] = st + 1;
+            self.nodes[idx as usize].next = self.heads[level][slot];
+            self.heads[level][slot] = idx;
+            self.slot_state[level][slot] = st + 1;
         } else {
             let s = if st & SPILLED != 0 {
                 (st & !SPILLED) as usize
             } else {
-                self.attach_spill(slot)
+                self.attach_spill(level, slot)
             };
             self.spill_pool[s].push((time, seq, event));
         }
-        self.occupied[0] |= 1 << slot;
+        self.occupied[level] |= 1 << slot;
         self.wheel_len += 1;
     }
 
@@ -337,7 +359,7 @@ impl<E> TimingWheel<E> {
                 self.ready_late.push(LateEntry { time, seq, event });
             }
             Placement::Level(0) => {
-                self.place_in_l0(time, seq, event, Self::slot_of(tick, 0));
+                self.place_hybrid(time, seq, event, 0, Self::slot_of(tick, 0));
             }
             Placement::Level(level) => {
                 let idx = self.alloc(time, seq, event);
@@ -383,25 +405,15 @@ impl<E> TimingWheel<E> {
         }
     }
 
-    /// Detaches a deep slot's chain head, clearing its occupied bit.
+    /// Detaches a slot's chain head and (if attached) spill buffer,
+    /// clearing its occupied bit and packed state.
     #[inline]
-    fn take_chain_deep(&mut self, level: usize, slot: usize) -> u32 {
-        debug_assert!(level >= 1);
+    fn take_slot(&mut self, level: usize, slot: usize) -> (u32, Option<u32>) {
         let head = self.heads[level][slot];
         self.heads[level][slot] = NIL;
         self.occupied[level] &= !(1 << slot);
-        head
-    }
-
-    /// Detaches a level-0 slot's chain head and spill buffer, clearing
-    /// its occupied bit and packed state.
-    #[inline]
-    fn take_l0_slot(&mut self, slot: usize) -> (u32, Option<u32>) {
-        let head = self.heads[0][slot];
-        self.heads[0][slot] = NIL;
-        self.occupied[0] &= !(1 << slot);
-        let st = self.l0_state[slot];
-        self.l0_state[slot] = 0;
+        let st = self.slot_state[level][slot];
+        self.slot_state[level][slot] = 0;
         (head, (st & SPILLED != 0).then_some(st & !SPILLED))
     }
 
@@ -413,15 +425,18 @@ impl<E> TimingWheel<E> {
         self.spill_free.push(s);
     }
 
-    /// Re-places every node of level `level`'s slot at the cursor
+    /// Re-places every event of level `level`'s slot at the cursor
     /// position (they land at a strictly shallower level or the ready
-    /// heap). Deeper destinations are pure pointer relinks; a landing at
-    /// level 0 takes the hybrid path — chain while sparse, payload moved
-    /// into the slot's contiguous run once dense (which frees the slab
-    /// node and makes the eventual drain a buffer swap).
+    /// heap). Landings take the hybrid path at every level: chain (a
+    /// pointer relink, or a slab alloc for buffer-borne events) while the
+    /// destination is sparse, payload moved into the destination's
+    /// contiguous run once it is dense — which frees the slab node and
+    /// makes the next hop (and the eventual level-0 drain) a contiguous
+    /// walk instead of a cold pointer chase. Deep destination state is
+    /// maintained here, at cascade time only; pushes never touch it.
     fn cascade(&mut self, level: usize) {
         let slot = ((self.current_tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
-        let mut cur = self.take_chain_deep(level, slot);
+        let (mut cur, spill) = self.take_slot(level, slot);
         while cur != NIL {
             let node = &self.nodes[cur as usize];
             let (time, seq, next) = (node.time, node.seq, node.next);
@@ -437,28 +452,69 @@ impl<E> TimingWheel<E> {
                 }
                 Placement::Level(0) => {
                     let dslot = Self::slot_of(tick, 0);
-                    let st = self.l0_state[dslot];
+                    let st = self.slot_state[0][dslot];
                     if st < SPILL_THRESHOLD {
                         // Sparse destination: pure pointer relink.
                         self.nodes[cur as usize].next = self.heads[0][dslot];
                         self.heads[0][dslot] = cur;
-                        self.l0_state[dslot] = st + 1;
+                        self.slot_state[0][dslot] = st + 1;
                         self.occupied[0] |= 1 << dslot;
                         self.wheel_len += 1;
                     } else {
                         // Dense destination: move the payload into its
                         // contiguous run, freeing the slab node.
                         let event = self.release(cur);
-                        self.place_in_l0(time, seq, event, dslot);
+                        self.place_hybrid(time, seq, event, 0, dslot);
                     }
                 }
                 Placement::Level(l) => {
                     debug_assert!(l < level, "cascade must move events shallower");
-                    self.link_deep(cur, tick, l);
+                    let dslot = Self::slot_of(tick, l);
+                    let st = self.slot_state[l][dslot];
+                    if st < SPILL_THRESHOLD {
+                        // Sparse destination: pure pointer relink, with
+                        // the cascade occupancy counted.
+                        self.link_deep(cur, tick, l);
+                        self.slot_state[l][dslot] = st + 1;
+                    } else {
+                        // Dense destination: payload joins the slot's
+                        // contiguous run; the next cascade of that slot
+                        // walks a buffer, not a chain.
+                        let event = self.release(cur);
+                        self.place_hybrid(time, seq, event, l, dslot);
+                    }
                 }
                 Placement::Overflow => unreachable!("cascade cannot move events deeper"),
             }
             cur = next;
+        }
+        // The contiguous half of the source slot: already payload-form, so
+        // every event moves buffer-to-buffer (or into the ready heap)
+        // without ever touching the slab.
+        if let Some(s) = spill {
+            let mut buf = std::mem::take(&mut self.spill_pool[s as usize]);
+            self.wheel_len -= buf.len();
+            for (time, seq, event) in buf.drain(..) {
+                let mut tick = self.tick_of(time);
+                if tick < self.current_tick {
+                    tick = self.current_tick;
+                }
+                match self.classify(tick) {
+                    Placement::Ready => {
+                        self.ready_late.push(LateEntry { time, seq, event });
+                    }
+                    Placement::Level(0) => {
+                        self.place_hybrid(time, seq, event, 0, Self::slot_of(tick, 0));
+                    }
+                    Placement::Level(l) => {
+                        debug_assert!(l < level, "cascade must move events shallower");
+                        self.place_hybrid(time, seq, event, l, Self::slot_of(tick, l));
+                    }
+                    Placement::Overflow => unreachable!("cascade cannot move events deeper"),
+                }
+            }
+            self.spill_pool[s as usize] = buf;
+            self.release_spill(s);
         }
     }
 
@@ -548,7 +604,7 @@ impl<E> TimingWheel<E> {
                 // `(time, seq)` order. The late heap is empty here by the
                 // check above.
                 debug_assert!(self.ready.is_empty());
-                let (mut cur, spill) = self.take_l0_slot(slot as usize);
+                let (mut cur, spill) = self.take_slot(0, slot as usize);
                 if let Some(s) = spill {
                     // Zero-copy drain of the dense part: the contiguous
                     // run *becomes* the ready batch (the emptied previous
@@ -691,22 +747,22 @@ impl<E> EventQueue<E> for TimingWheel<E> {
                 let slot = Self::slot_of(tick, 0);
                 let mut run = run.peekable();
                 let mut count = 0usize;
-                while self.l0_state[slot] < SPILL_THRESHOLD {
+                while self.slot_state[0][slot] < SPILL_THRESHOLD {
                     let Some((seq, event)) = run.next() else {
                         break;
                     };
                     let idx = self.alloc(time, seq, event);
                     self.nodes[idx as usize].next = self.heads[0][slot];
                     self.heads[0][slot] = idx;
-                    self.l0_state[slot] += 1;
+                    self.slot_state[0][slot] += 1;
                     count += 1;
                 }
                 if run.peek().is_some() {
-                    let st = self.l0_state[slot];
+                    let st = self.slot_state[0][slot];
                     let s = if st & SPILLED != 0 {
                         (st & !SPILLED) as usize
                     } else {
-                        self.attach_spill(slot)
+                        self.attach_spill(0, slot)
                     };
                     // Move the pool entry out so the borrow checker lets
                     // the iterator run; put it back afterwards.
@@ -754,6 +810,74 @@ impl<E> EventQueue<E> for TimingWheel<E> {
         let (time, seq, event) = self.ready_pop();
         self.len -= 1;
         Some(Scheduled { time, seq, event })
+    }
+
+    /// Bounded same-time batch drain. The dense fast path fires when the
+    /// whole sorted run shares the batch instant — the usual shape of a
+    /// drained dense tick, whose spilled slot always also carries its
+    /// short (≤ [`SPILL_THRESHOLD`]) chain prefix in the late heap: the
+    /// prefix entries due at the instant are popped out first (bounded,
+    /// tiny), and the contiguous run is then handed over by **buffer
+    /// swap** when the heap contributed nothing, or by one sequential
+    /// merge pass otherwise — never by per-event heap-compare pops. The
+    /// emptied caller buffer becomes the next ready run, so capacities
+    /// circulate and steady state allocates nothing. Mixed-instant
+    /// ticks fall back to per-event pops.
+    fn drain_ready_before(&mut self, bound: SimTime, into: &mut crate::queue::ReadyBatch<E>) {
+        debug_assert!(into.is_empty(), "drain_ready into a non-empty batch");
+        if !self.ensure_ready() {
+            return;
+        }
+        let (t, _) = self
+            .ready_peek_key()
+            .expect("ensure_ready promised a batch");
+        if t > bound {
+            return;
+        }
+        // `ready` is sorted descending, so its first entry is the
+        // maximum: one equality check decides whether the whole run
+        // shares the batch instant.
+        if self.ready.first().is_some_and(|&(t_max, ..)| t_max == t) {
+            // Pull the late entries due at the instant (the spilled
+            // slot's chain prefix, plus any mid-drain same-time pushes)
+            // into a sorted scratch, ascending.
+            debug_assert!(self.late_scratch.is_empty());
+            while self.ready_late.peek().is_some_and(|le| le.time == t) {
+                let le = self.ready_late.pop().expect("peeked entry exists");
+                self.late_scratch.push((le.time, le.seq, le.event));
+            }
+            if self.late_scratch.is_empty() {
+                // Nothing merged in late: zero-copy buffer swap.
+                std::mem::swap(&mut self.ready, &mut into.entries);
+                into.entries.reverse();
+            } else {
+                // One sequential merge pass: the run ascending (drained
+                // from the back) against the scratch ascending.
+                let mut late = self.late_scratch.drain(..).peekable();
+                while let Some(&(_, run_seq, _)) = self.ready.last() {
+                    while late.peek().is_some_and(|&(_, s, _)| s < run_seq) {
+                        let (lt, ls, le) = late.next().expect("peeked entry exists");
+                        into.push(lt, ls, le);
+                    }
+                    let (rt, rs, re) = self.ready.pop().expect("checked entry exists");
+                    into.push(rt, rs, re);
+                }
+                for (lt, ls, le) in late {
+                    into.push(lt, ls, le);
+                }
+            }
+            self.len -= into.entries.len();
+            return;
+        }
+        loop {
+            let (time, seq, event) = self.ready_pop();
+            into.push(time, seq, event);
+            self.len -= 1;
+            match self.ready_peek_key() {
+                Some((t2, _)) if t2 == t => {}
+                _ => break,
+            }
+        }
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
@@ -985,6 +1109,176 @@ mod tests {
                 (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
             }
         }
+    }
+
+    #[test]
+    fn level0_spill_attaches_exactly_at_threshold() {
+        // 32 entries chain through the slab; the 33rd attaches a spill
+        // buffer and lands in it. Draining empties the buffer back onto
+        // the free list, and the next dense wave reuses it.
+        let mut q = TimingWheel::new();
+        let t = SimTime::from_micros(2_000);
+        for i in 0..u64::from(SPILL_THRESHOLD) {
+            q.push(t, i);
+        }
+        assert!(q.spill_pool.is_empty(), "32 entries must not spill");
+        q.push(t, u64::from(SPILL_THRESHOLD));
+        assert_eq!(q.spill_pool.len(), 1, "the 33rd entry must spill");
+        assert_eq!(q.spill_pool[0].len(), 1);
+        for i in 0..=u64::from(SPILL_THRESHOLD) {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(
+            q.spill_free.len(),
+            q.spill_pool.len(),
+            "drained spill buffer must return to the pool"
+        );
+        // Second dense wave at a later tick: the pool must be reused, not
+        // grown.
+        let t2 = SimTime::from_micros(6_000);
+        for i in 0..200u64 {
+            q.push(t2, 100 + i);
+        }
+        assert_eq!(q.spill_pool.len(), 1, "pool must be recycled, not grown");
+        while q.pop().is_some() {}
+        assert_eq!(q.spill_free.len(), q.spill_pool.len());
+    }
+
+    #[test]
+    fn deep_cascade_spill_matches_heap_and_recycles() {
+        // One level-3 slot holding dense masses spread across many
+        // level-2 and level-1 destination windows: the level-3 cascade
+        // must spill every dense destination into a contiguous run (the
+        // cascade-only deep hybrid), later hops walk those runs
+        // buffer-to-buffer, and the pop order still matches the heap
+        // exactly. Afterwards every run buffer is back on the free list.
+        use crate::queue::order_key;
+        let mut heap = BinaryHeapQueue::new();
+        let mut wheel = TimingWheel::new();
+        let base_tick = 1u64 << 18; // a level-3 slot as seen from tick 0
+        let mut i = 0u64;
+        let mut push_group = |heap: &mut BinaryHeapQueue<u64>,
+                              wheel: &mut TimingWheel<u64>,
+                              tick: u64,
+                              count: u64| {
+            for _ in 0..count {
+                // Two sub-tick instants per group so batches mix times.
+                let t = SimTime::from_micros((tick << DEFAULT_TICK_SHIFT) + (i % 2) * 37);
+                let key = order_key((i % 97) as u32, i);
+                heap.push_keyed(t, key, i);
+                wheel.push_keyed(t, key, i);
+                i += 1;
+            }
+        };
+        // Dense level-2 destinations (distinct 2^12-tick blocks) and
+        // dense level-1 destinations (distinct 2^6-tick blocks within the
+        // first level-2 block), all in the same level-3 slot.
+        for b in 1..8u64 {
+            push_group(&mut heap, &mut wheel, base_tick + (b << 12) + 5, 300);
+        }
+        for b in 1..8u64 {
+            push_group(&mut heap, &mut wheel, base_tick + (b << 6) + 3, 300);
+        }
+        push_group(&mut heap, &mut wheel, base_tick, 300);
+        // First pop advances the cursor into the window, firing the
+        // level-3 cascade: its dense destinations must have spilled into
+        // contiguous runs at deep levels (the state the naive per-push
+        // design paid 20% on uniform for, now cascade-only).
+        let (a, b) = (heap.pop().unwrap(), wheel.pop().unwrap());
+        assert_eq!(a.key(), b.key());
+        let deep_spilled =
+            (1..LEVELS).any(|l| (0..SLOTS).any(|s| wheel.slot_state[l][s] & SPILLED != 0));
+        assert!(
+            deep_spilled,
+            "dense deep destinations must spill at cascade time"
+        );
+        loop {
+            match (heap.pop(), wheel.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.key(), b.key());
+                    assert_eq!(a.event, b.event);
+                }
+                (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+        assert_eq!(
+            wheel.spill_free.len(),
+            wheel.spill_pool.len(),
+            "every cascade spill buffer must return to the pool"
+        );
+        assert!(
+            wheel.nodes.iter().all(|n| n.event.is_none()),
+            "slab must be fully drained"
+        );
+    }
+
+    #[test]
+    fn drain_ready_batches_recycle_buffers() {
+        // Steady-state dense waves drained through `drain_ready`: the
+        // wheel and the caller's batch swap one contiguous buffer back
+        // and forth, so neither the spill pool nor the batch capacity
+        // grows after warmup — the batch path allocates nothing.
+        use crate::queue::ReadyBatch;
+        let mut q = TimingWheel::new();
+        let mut batch = ReadyBatch::new();
+        let mut now = 0u64;
+        let mut warm_caps: Vec<usize> = Vec::new();
+        for round in 0..50u64 {
+            let t = SimTime::from_micros(now + 1_728_000);
+            for i in 0..500u64 {
+                q.push(t, round * 10_000 + i);
+            }
+            q.drain_ready(&mut batch);
+            assert_eq!(batch.len(), 500, "the whole same-time wave drains at once");
+            assert_eq!(batch.time(), Some(t));
+            for (expect, (_, _, e)) in (round * 10_000..).zip(batch.drain()) {
+                assert_eq!(e, expect);
+            }
+            now = t.as_micros();
+            if round >= 2 {
+                warm_caps.push(batch.entries.capacity());
+            }
+            assert!(
+                q.spill_pool.len() <= 2,
+                "spill pool grew to {} buffers under drain_ready reuse",
+                q.spill_pool.len()
+            );
+        }
+        // Capacities circulate between the wheel and the batch (the
+        // swap can alternate two distinct buffers), so after warmup no
+        // round may exceed the larger of the first two warm capacities —
+        // any growth means a buffer was reallocated instead of reused.
+        let cap_bound = warm_caps[0].max(warm_caps[1]);
+        assert!(
+            warm_caps.iter().all(|&c| c <= cap_bound),
+            "batch capacity must stabilize at {cap_bound}, got {warm_caps:?}"
+        );
+        assert!(
+            q.nodes.len() <= 512,
+            "slab grew past one wave under drain_ready reuse: {} nodes",
+            q.nodes.len()
+        );
+    }
+
+    #[test]
+    fn bounded_drain_respects_the_bound() {
+        use crate::queue::ReadyBatch;
+        let mut q = TimingWheel::new();
+        q.push(SimTime::from_secs(5), 'a');
+        q.push(SimTime::from_secs(9), 'b');
+        let mut batch = ReadyBatch::new();
+        q.drain_ready_before(SimTime::from_secs(4), &mut batch);
+        assert!(batch.is_empty(), "nothing is due at or before 4 s");
+        q.drain_ready_before(SimTime::from_secs(5), &mut batch);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.time(), Some(SimTime::from_secs(5)));
+        batch.clear();
+        q.drain_ready_before(SimTime::MAX, &mut batch);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.drain().next().unwrap().2, 'b');
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! same-instant scheduling during drains, and overflow horizons.
 
 use proptest::prelude::*;
-use ta_sim::queue::{BinaryHeapQueue, EventQueue};
+use ta_sim::queue::{BinaryHeapQueue, EventQueue, ReadyBatch};
 use ta_sim::time::SimTime;
 use ta_sim::wheel::TimingWheel;
 
@@ -70,10 +70,82 @@ fn check_equivalence(ops: Vec<Op>, shift: u32) {
     }
 }
 
+/// `drain_ready` must hand out exactly the same-time run repeated `pop`
+/// would produce, on every queue, for any push/drain interleaving —
+/// including pushes that land mid-wheel, cascade down, or merge into a
+/// tick drained moments later.
+fn check_drain_equivalence(ops: Vec<Op>, shift: u32) {
+    let mut reference = BinaryHeapQueue::new(); // popped per event
+    let mut heap = BinaryHeapQueue::new(); // drained in batches
+    let mut wheel = TimingWheel::with_tick_shift(shift);
+    let mut heap_batch = ReadyBatch::new();
+    let mut wheel_batch = ReadyBatch::new();
+    let mut now = 0u64;
+    let mut id = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(offset) => {
+                let t = SimTime::from_micros(now + offset);
+                reference.push(t, id);
+                heap.push(t, id);
+                wheel.push(t, id);
+                id += 1;
+            }
+            Op::Pop => {
+                heap.drain_ready(&mut heap_batch);
+                wheel.drain_ready(&mut wheel_batch);
+                assert_eq!(heap_batch.len(), wheel_batch.len());
+                assert_eq!(heap_batch.time(), wheel_batch.time());
+                for (a, b) in heap_batch.drain().zip(wheel_batch.drain()) {
+                    let r = reference.pop().expect("reference shorter than batch");
+                    assert_eq!((a.0, a.1), (r.time, r.seq));
+                    assert_eq!(a.2, r.event);
+                    assert_eq!((a.0, a.1), (b.0, b.1));
+                    assert_eq!(a.2, b.2);
+                    now = r.time.as_micros();
+                }
+            }
+        }
+        assert_eq!(reference.len(), heap.len());
+        assert_eq!(reference.len(), wheel.len());
+    }
+    // Drain the tails batch by batch.
+    loop {
+        heap.drain_ready(&mut heap_batch);
+        wheel.drain_ready(&mut wheel_batch);
+        if heap_batch.is_empty() && wheel_batch.is_empty() {
+            assert!(reference.pop().is_none());
+            break;
+        }
+        assert_eq!(heap_batch.len(), wheel_batch.len());
+        for (a, b) in heap_batch.drain().zip(wheel_batch.drain()) {
+            let r = reference.pop().expect("reference shorter than batches");
+            assert_eq!((a.0, a.1, &a.2), (r.time, r.seq, &r.event));
+            assert_eq!((b.0, b.1, &b.2), (r.time, r.seq, &r.event));
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn wheel_matches_heap_default_tick(ops in proptest::collection::vec(op_strategy(), 1..400)) {
         check_equivalence(ops, ta_sim::wheel::DEFAULT_TICK_SHIFT);
+    }
+
+    #[test]
+    fn drain_ready_equals_repeated_pop_default_tick(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        check_drain_equivalence(ops, ta_sim::wheel::DEFAULT_TICK_SHIFT);
+    }
+
+    #[test]
+    fn drain_ready_equals_repeated_pop_coarse_tick(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        // 2^20 µs ticks: many events share slots, so the wheel's dense
+        // buffer-swap fast path and its mixed-time fallback both fire.
+        check_drain_equivalence(ops, 20);
     }
 
     #[test]
