@@ -15,7 +15,7 @@ use ta_overlay::Topology;
 use ta_sim::config::{QueueKind, SimConfig};
 use ta_sim::engine::{AvailabilityModel, Simulation};
 use ta_sim::rng::Xoshiro256pp;
-use ta_sim::shard::ShardedSimulation;
+use ta_sim::shard::{ShardOpts, ShardedSimulation};
 use ta_sim::{NodeId, SimDuration, SimStats, SimTime};
 use token_account::prelude::*;
 
@@ -127,7 +127,7 @@ fn gossip_digest(
     queue: QueueKind,
     seed: u64,
     churn: bool,
-    shards: Option<(usize, usize)>,
+    shards: Option<(usize, usize, bool)>,
 ) -> Digest {
     let topo = topo(n, seed);
     let proto = build_gossip(n, seed, &topo, churn);
@@ -139,8 +139,13 @@ fn gossip_digest(
             sim.run_to_end();
             sim.into_parts()
         }
-        Some((s, t)) => {
-            let mut sim = ShardedSimulation::new(config, avail, proto, s, t);
+        Some((shards, threads, pin)) => {
+            let opts = ShardOpts {
+                shards,
+                threads,
+                pin,
+            };
+            let mut sim = ShardedSimulation::with_opts(config, avail, proto, opts);
             sim.run_to_end();
             sim.into_parts()
         }
@@ -159,11 +164,11 @@ fn gossip_learning_sharded_is_byte_identical() {
             if churn {
                 assert!(serial.stats.pull_requests > 0, "churn run must pull");
             }
-            for shards in [1, 2, 4] {
-                let sharded = gossip_digest(60, queue, 9, churn, Some((shards, 2)));
+            for (shards, pin) in [(1, false), (2, false), (2, true), (4, true)] {
+                let sharded = gossip_digest(60, queue, 9, churn, Some((shards, 2, pin)));
                 assert_eq!(
                     serial, sharded,
-                    "gossip-learning {queue:?} churn={churn} S={shards}"
+                    "gossip-learning {queue:?} churn={churn} S={shards} pin={pin}"
                 );
             }
         }
@@ -179,7 +184,7 @@ fn push_gossip_digest(
     queue: QueueKind,
     seed: u64,
     churn: bool,
-    shards: Option<(usize, usize)>,
+    shards: Option<(usize, usize, bool)>,
 ) -> Digest {
     use ta_apps::push_gossip::PushGossip;
     let topo = topo(n, seed);
@@ -207,8 +212,13 @@ fn push_gossip_digest(
             sim.run_to_end();
             sim.into_parts()
         }
-        Some((s, t)) => {
-            let mut sim = ShardedSimulation::new(config, avail, proto, s, t);
+        Some((shards, threads, pin)) => {
+            let opts = ShardOpts {
+                shards,
+                threads,
+                pin,
+            };
+            let mut sim = ShardedSimulation::with_opts(config, avail, proto, opts);
             sim.run_to_end();
             sim.into_parts()
         }
@@ -228,11 +238,11 @@ fn push_gossip_sharded_is_byte_identical() {
             let serial = push_gossip_digest(60, queue, 21, churn, None);
             assert!(serial.sim.injections > 0, "workload must inject updates");
             assert!(serial.sim.messages_delivered > 0);
-            for shards in [1, 2, 4] {
-                let sharded = push_gossip_digest(60, queue, 21, churn, Some((shards, 2)));
+            for (shards, pin) in [(1, false), (2, false), (2, true), (4, true)] {
+                let sharded = push_gossip_digest(60, queue, 21, churn, Some((shards, 2, pin)));
                 assert_eq!(
                     serial, sharded,
-                    "push-gossip {queue:?} churn={churn} S={shards}"
+                    "push-gossip {queue:?} churn={churn} S={shards} pin={pin}"
                 );
             }
         }
@@ -243,7 +253,7 @@ fn push_gossip_sharded_is_byte_identical() {
 fn sgd_sharded_is_byte_identical_including_f64_metric() {
     let n = 40;
     let data = RegressionData::generate(n, 6, 0.05, 17);
-    let run = |shards: Option<(usize, usize)>| {
+    let run = |shards: Option<(usize, usize, bool)>| {
         let topo = topo(n, 3);
         let app = SgdGossipLearning::new(data.clone(), 0.15);
         let strategy = RandomizedTokenAccount::new(3, 8).unwrap();
@@ -255,8 +265,13 @@ fn sgd_sharded_is_byte_identical_including_f64_metric() {
                 s.run_to_end();
                 s.into_parts()
             }
-            Some((s, t)) => {
-                let mut sim = ShardedSimulation::new(config, &ta_sim::AlwaysOn, proto, s, t);
+            Some((shards, threads, pin)) => {
+                let opts = ShardOpts {
+                    shards,
+                    threads,
+                    pin,
+                };
+                let mut sim = ShardedSimulation::with_opts(config, &ta_sim::AlwaysOn, proto, opts);
                 sim.run_to_end();
                 sim.into_parts()
             }
@@ -277,9 +292,9 @@ fn sgd_sharded_is_byte_identical_including_f64_metric() {
     };
     let serial = run(None);
     assert!(!serial.metric.is_empty());
-    for shards in [1, 2, 3, 4] {
-        let sharded = run(Some((shards, 2)));
-        assert_eq!(serial, sharded, "sgd S={shards}");
+    for (shards, pin) in [(1, false), (2, true), (3, false), (4, true)] {
+        let sharded = run(Some((shards, 2, pin)));
+        assert_eq!(serial, sharded, "sgd S={shards} pin={pin}");
     }
 }
 

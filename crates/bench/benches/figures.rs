@@ -18,6 +18,7 @@ fn micro_opts(tag: &str) -> FigureOpts {
         out_dir: std::env::temp_dir().join(format!("ta-bench-figures-{tag}")),
         full: false,
         shards: None,
+        pin: false,
     }
 }
 

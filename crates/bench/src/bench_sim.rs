@@ -17,7 +17,11 @@
 //!   monomorphized serial engine, multi-shard scaling at S ∈ {2, 4}
 //!   (results are byte-identical across all of them; only wall-clock
 //!   differs — on a single-core container the multi-shard rows measure
-//!   the barrier tax, not a speedup);
+//!   the per-window synchronization tax, not a speedup);
+//! * **shard_sync** — per-window synchronization in isolation: the
+//!   channel-pipeline dispatch vs. the retired two-`Barrier::wait`
+//!   rendezvous on empty windows, plus engine rows at S ∈ {2, 4} ×
+//!   threads ∈ {1, 2, 4};
 //! * **sweep** — wall-clock seconds for a micro parameter sweep through the
 //!   bounded-pool grid executor.
 //!
@@ -511,7 +515,7 @@ fn bench_protocol(smoke: bool) -> Vec<Sample> {
 /// One gossip-learning (age-only) run through the serial or the sharded
 /// engine; returns events processed. The workload is message-dominated
 /// (accounts fill within a few rounds) so cross-shard traffic is heavy —
-/// the honest case for the barrier overhead.
+/// the honest case for the per-window synchronization overhead.
 fn shard_gossip_run(
     topo: &Arc<ta_overlay::Topology>,
     rounds: u64,
@@ -546,6 +550,102 @@ fn shard_gossip_run(
     }
 }
 
+/// Windows/sec through one synchronization point, pure rendezvous cost
+/// (no simulation work at all — the empty-window case):
+///
+/// * `barrier` replays the retired engine's per-window discipline — two
+///   `std::sync::Barrier::wait` rendezvous per window across all workers
+///   plus the coordinator;
+/// * `channel` runs the pipeline's dispatch — one mpsc work send per
+///   worker and one shared done-channel receive each, which is the entire
+///   traffic of a window the gate skips.
+fn sync_windows(mode: &str, workers: usize, windows: u64) -> u64 {
+    match mode {
+        "barrier" => {
+            let barrier = std::sync::Barrier::new(workers + 1);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        for _ in 0..windows {
+                            barrier.wait();
+                            barrier.wait();
+                        }
+                    });
+                }
+                for _ in 0..windows {
+                    barrier.wait();
+                    barrier.wait();
+                }
+            });
+        }
+        "channel" => {
+            use std::sync::mpsc;
+            std::thread::scope(|scope| {
+                let (done_tx, done_rx) = mpsc::channel::<()>();
+                let mut txs = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let (tx, rx) = mpsc::channel::<()>();
+                    let done = done_tx.clone();
+                    txs.push(tx);
+                    scope.spawn(move || {
+                        while rx.recv().is_ok() {
+                            if done.send(()).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(done_tx);
+                for _ in 0..windows {
+                    for tx in &txs {
+                        tx.send(()).expect("worker alive");
+                    }
+                    for _ in 0..workers {
+                        done_rx.recv().expect("worker alive");
+                    }
+                }
+            });
+        }
+        _ => unreachable!("unknown sync mode"),
+    }
+    windows
+}
+
+/// The `shard_sync` section: per-window synchronization overhead of the
+/// channel pipeline against the retired barrier rendezvous. The
+/// `empty_window` micro isolates the pure sync cost (windows/sec, no
+/// simulation work); the `engine` rows run the real gossip workload
+/// through the pipeline at S ∈ {2, 4} × threads ∈ {1, 2, 4} — on a
+/// single-core container the thread axis measures scheduling overhead,
+/// not speedup (see ROADMAP on cross-regeneration comparisons).
+fn bench_shard_sync(smoke: bool) -> Vec<Sample> {
+    let windows = if smoke { 500 } else { 5_000 };
+    let mut samples = Vec::new();
+    for workers in [2usize, 4] {
+        for mode in ["barrier", "channel"] {
+            samples.push(Sample {
+                id: format!("empty_window/{mode}_w{workers}"),
+                value: measure_events_per_sec(|| sync_windows(mode, workers, windows), smoke),
+            });
+        }
+    }
+    let (n, rounds) = if smoke { (300, 6) } else { (1_000, 16) };
+    let mut rng = Xoshiro256pp::stream(43, 0);
+    let topo = Arc::new(k_out_random(n, paper::OUT_DEGREE, &mut rng).expect("valid topology"));
+    for shards in [2usize, 4] {
+        for threads in [1usize, 2, 4] {
+            samples.push(Sample {
+                id: format!("engine/s{shards}_t{threads}"),
+                value: measure_events_per_sec(
+                    || shard_gossip_run(&topo, rounds, Some((shards, threads))),
+                    smoke,
+                ),
+            });
+        }
+    }
+    samples
+}
+
 /// The `shard` section: S=1 overhead against the monomorphized serial
 /// engine, and multi-shard scaling at S ∈ {2, 4} (threads = S). All four
 /// runs are byte-identical in results; only wall-clock differs.
@@ -560,8 +660,8 @@ fn bench_shard(smoke: bool) -> Vec<Sample> {
     });
     for (id, shards, threads) in [
         ("gossip/s1_t1", 1, 1),
-        // s2_t1 runs two shards on the coordinator thread alone: it
-        // isolates the window/exchange machinery from thread context
+        // s2_t1 runs two shards inline on the coordinator thread: it
+        // isolates the window/gate machinery from thread context
         // switches (the two are indistinguishable in s2_t2 on one core).
         ("gossip/s2_t1", 2, 1),
         ("gossip/s2_t2", 2, 2),
@@ -632,6 +732,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     let protocol_samples = bench_protocol(smoke);
     eprintln!("bench_sim: shard...");
     let shard_samples = bench_shard(smoke);
+    eprintln!("bench_sim: shard_sync...");
+    let shard_sync_samples = bench_shard_sync(smoke);
     eprintln!("bench_sim: sweep...");
     let (sweep_wall, sweep_jobs, workers) = bench_sweep(smoke);
 
@@ -715,6 +817,15 @@ pub fn run(smoke: bool, out_path: &str) -> String {
                 value: find(&shard_samples, sample) / find(&shard_samples, "gossip/serial_engine"),
             });
         }
+        // Per-window sync overhead: the pipeline's channel dispatch vs the
+        // retired two-wait barrier rendezvous, pure-sync case.
+        for w in [2, 4] {
+            v.push(Sample {
+                id: format!("shard_sync_channel_vs_barrier_w{w}"),
+                value: find(&shard_sync_samples, &format!("empty_window/channel_w{w}"))
+                    / find(&shard_sync_samples, &format!("empty_window/barrier_w{w}")),
+            });
+        }
         v
     };
 
@@ -727,7 +838,7 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"event_queue\": \"events/sec\", \"batch\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"shard\": \"events/sec\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
+        "  \"units\": {{ \"event_queue\": \"events/sec\", \"batch\": \"events/sec\", \"engine\": \"events/sec\", \"protocol\": \"events/sec\", \"shard\": \"events/sec\", \"shard_sync\": \"windows/sec (empty_window) or events/sec (engine)\", \"speedup\": \"ratio\", \"sweep\": \"seconds\" }},"
     );
     json_section(&mut out, "scale", &scale_samples(smoke), false);
     json_section(&mut out, "event_queue", &queue_samples, false);
@@ -735,6 +846,7 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     json_section(&mut out, "engine", &engine_samples, false);
     json_section(&mut out, "protocol", &protocol_samples, false);
     json_section(&mut out, "shard", &shard_samples, false);
+    json_section(&mut out, "shard_sync", &shard_sync_samples, false);
     json_section(&mut out, "speedup", &speedups, false);
     let _ = writeln!(out, "  \"sweep\": {{");
     let _ = writeln!(out, "    \"wall_clock_seconds\": {sweep_wall:.3},");
@@ -860,6 +972,19 @@ mod tests {
             "gossip/s2_t2",
             "gossip/s4_t4",
             "shard_s1_vs_serial_engine",
+            "\"shard_sync\"",
+            "empty_window/barrier_w2",
+            "empty_window/channel_w2",
+            "empty_window/barrier_w4",
+            "empty_window/channel_w4",
+            "engine/s2_t1",
+            "engine/s2_t2",
+            "engine/s2_t4",
+            "engine/s4_t1",
+            "engine/s4_t2",
+            "engine/s4_t4",
+            "shard_sync_channel_vs_barrier_w2",
+            "shard_sync_channel_vs_barrier_w4",
             "slab_wheel/burst16_single",
             "slab_wheel/burst16_batched",
             "event_queue_burst16_batched_vs_single",

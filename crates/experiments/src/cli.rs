@@ -9,6 +9,7 @@
 //! --seed <s>        master seed
 //! --out <dir>       output directory for .dat files (default: results)
 //! --shards <s>      intra-run shards per replica (default: auto)
+//! --pin             pin intra-run shard workers to cores
 //! --full            paper-scale defaults (N, rounds, runs as in the paper)
 //! ```
 //!
@@ -39,6 +40,9 @@ pub struct FigureOpts {
     /// affects results — the sharded engine is byte-identical to the
     /// serial one.
     pub shards: Option<usize>,
+    /// Pin intra-run shard workers to cores (`--pin`, exported as
+    /// `TA_PIN=1`). Wall-clock only; results are identical either way.
+    pub pin: bool,
 }
 
 impl Default for FigureOpts {
@@ -51,6 +55,7 @@ impl Default for FigureOpts {
             out_dir: PathBuf::from("results"),
             full: false,
             shards: None,
+            pin: false,
         }
     }
 }
@@ -68,7 +73,7 @@ impl fmt::Display for ParseOptsError {
 impl std::error::Error for ParseOptsError {}
 
 /// The usage string printed by `--help`.
-pub const USAGE: &str = "options:\n  --n <nodes>     network size override\n  --runs <k>      runs per configuration\n  --rounds <k>    proactive rounds (paper: 1000)\n  --seed <s>      master seed (default 1)\n  --out <dir>     output directory (default: results)\n  --shards <s>    intra-run shards per replica (default: auto; results\n                  are identical for every value)\n  --full          paper-scale defaults\n  --help          this text";
+pub const USAGE: &str = "options:\n  --n <nodes>     network size override\n  --runs <k>      runs per configuration\n  --rounds <k>    proactive rounds (paper: 1000)\n  --seed <s>      master seed (default 1)\n  --out <dir>     output directory (default: results)\n  --shards <s>    intra-run shards per replica (default: auto; results\n                  are identical for every value)\n  --pin           pin intra-run shard workers to cores (wall-clock only)\n  --full          paper-scale defaults\n  --help          this text";
 
 impl FigureOpts {
     /// Parses options from an argument iterator (without the program name).
@@ -127,6 +132,7 @@ impl FigureOpts {
                     }
                     opts.shards = Some(s);
                 }
+                "--pin" => opts.pin = true,
                 "--full" => opts.full = true,
                 "--help" | "-h" => return Err(ParseOptsError(USAGE.to_string())),
                 other => {
@@ -138,12 +144,15 @@ impl FigureOpts {
     }
 
     /// Exports the parallelism knobs to the environment the runner reads
-    /// (`TA_SHARDS`): figure binaries call this once after parsing, so the
+    /// (`TA_SHARDS`, `TA_PIN`): figure binaries call this once after parsing, so the
     /// whole figure pipeline — which threads specs through
     /// `run_grid_prepared` without plumbing options — sees the choice.
     pub fn export_parallelism(&self) {
         if let Some(s) = self.shards {
             std::env::set_var("TA_SHARDS", s.to_string());
+        }
+        if self.pin {
+            std::env::set_var("TA_PIN", "1");
         }
     }
 
@@ -220,5 +229,12 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().shards, None);
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
+    }
+
+    #[test]
+    fn pin_parses_and_is_in_usage() {
+        assert!(parse(&["--pin"]).unwrap().pin);
+        assert!(!parse(&[]).unwrap().pin);
+        assert!(USAGE.contains("--pin"));
     }
 }

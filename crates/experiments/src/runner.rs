@@ -12,8 +12,12 @@
 //! When even the flattened grid cannot fill the pool (one huge-N spec, a
 //! straggler tail), replicas of shardable applications are routed through
 //! the intra-run sharded engine ([`ta_sim::shard::ShardedSimulation`])
-//! instead — `TA_SHARDS`/`--shards` overrides the automatic trade. Either
-//! path produces byte-identical results; failure-free specs additionally
+//! instead — `TA_SHARDS`/`--shards` overrides the automatic trade, and
+//! `TA_PIN`/`--pin` additionally pins the shard workers to cores. Whatever
+//! the trade, intra-run worker threads are capped so that *concurrent
+//! replicas × threads per replica* never exceeds the pool size (an
+//! explicit shard count keeps its S blocks, multiplexed onto fewer
+//! threads). Either path produces byte-identical results; failure-free specs additionally
 //! share one frozen copy-on-churn `OnlineNeighbors` mirror across all
 //! their runs (built once per prepared topology instead of once per job).
 
@@ -38,7 +42,7 @@ use ta_overlay::Topology;
 use ta_sim::config::{InvalidConfigError, SimConfig};
 use ta_sim::engine::{SimStats, Simulation};
 use ta_sim::rng::{SplitMix64, Xoshiro256pp};
-use ta_sim::shard::ShardedSimulation;
+use ta_sim::shard::{ShardOpts, ShardedSimulation};
 use ta_sim::NodeId;
 use token_account::{InvalidStrategyError, Strategy, StrategyVisitor};
 
@@ -194,14 +198,20 @@ fn build_config(spec: &ExperimentSpec, run: usize) -> Result<SimConfig, InvalidC
 }
 
 /// How one replica executes: serially, or sharded over the intra-run
-/// engine with `shards` blocks (and as many worker threads).
+/// engine with explicit [`ShardOpts`] (shard blocks, worker threads, core
+/// pinning).
 ///
 /// Sharding never changes results — the sharded engine is byte-identical
 /// to the serial one — so this is purely a wall-clock scheduling choice.
+/// The shard *count* and the worker-*thread* count are decoupled on
+/// purpose: `run_grid_prepared` caps `grid workers × intra-run threads` at
+/// the pool size, so an explicit `TA_SHARDS` still partitions into S
+/// blocks but multiplexes them onto the capped thread budget instead of
+/// oversubscribing the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RunMode {
     Serial,
-    Sharded(usize),
+    Sharded(ShardOpts),
 }
 
 /// Monomorphizing bridge from the serializable [`StrategySpec`] to
@@ -243,7 +253,7 @@ struct SingleRunSharded<'a, A, F> {
     topo: &'a Arc<Topology>,
     mirror: Option<&'a Arc<OnlineNeighbors>>,
     make_app: F,
-    shards: usize,
+    opts: ShardOpts,
     _app: std::marker::PhantomData<fn() -> A>,
 }
 
@@ -266,7 +276,7 @@ where
             self.make_app,
             strategy,
         );
-        let mut sim = ShardedSimulation::new(cfg, &schedule, proto, self.shards, self.shards);
+        let mut sim = ShardedSimulation::with_opts(cfg, &schedule, proto, self.opts);
         sim.run_to_end();
         let (proto, sim_stats) = sim.into_parts();
         Ok(outcome_of(proto.into_results(), sim_stats))
@@ -392,7 +402,7 @@ fn dispatch_run(
             // Shardable: routed through the intra-run engine when the
             // mode asks for it (results are identical either way).
             match mode {
-                RunMode::Sharded(shards) if shards > 1 => spec
+                RunMode::Sharded(opts) if opts.shards > 1 => spec
                     .strategy
                     .dispatch(SingleRunSharded {
                         spec,
@@ -400,7 +410,7 @@ fn dispatch_run(
                         topo,
                         mirror,
                         make_app: make,
-                        shards,
+                        opts,
                         _app: std::marker::PhantomData,
                     })
                     .map_err(RunError::Strategy)?,
@@ -410,7 +420,7 @@ fn dispatch_run(
         AppKind::PushGossip => {
             let make = |online: &[bool]| PushGossip::new(spec.n, online);
             match mode {
-                RunMode::Sharded(shards) if shards > 1 => spec
+                RunMode::Sharded(opts) if opts.shards > 1 => spec
                     .strategy
                     .dispatch(SingleRunSharded {
                         spec,
@@ -418,7 +428,7 @@ fn dispatch_run(
                         topo,
                         mirror,
                         make_app: make,
-                        shards,
+                        opts,
                         _app: std::marker::PhantomData,
                     })
                     .map_err(RunError::Strategy)?,
@@ -566,20 +576,35 @@ pub fn run_grid_prepared(
     // fewer jobs than workers (one huge-N spec, a tail of stragglers),
     // shard each replica so the machine stays saturated. `TA_SHARDS`
     // overrides the choice; results are byte-identical either way.
+    //
+    // Oversubscription policy: the pool runs `min(max_workers, jobs)`
+    // replicas concurrently, so each replica's intra-run engine gets a
+    // thread budget of `max_workers / grid_workers` — the product never
+    // exceeds the pool size. An explicit `TA_SHARDS=S` keeps its S shard
+    // *blocks* (the partition is part of the byte-identical contract's
+    // schedule, never its results) but multiplexes them onto the capped
+    // budget instead of spawning S threads per concurrent replica.
+    let workers = crate::pool::max_workers();
+    let grid_workers = workers.min(jobs.len()).max(1);
+    let thread_budget = (workers / grid_workers).max(1);
     let mode = match crate::pool::shard_override() {
         Some(s) => {
             if s > 1 {
-                RunMode::Sharded(s)
+                RunMode::Sharded(ShardOpts::new(s, s.min(thread_budget)))
             } else {
                 RunMode::Serial
             }
         }
         None => {
-            let workers = crate::pool::max_workers();
             if jobs.len() >= workers {
                 RunMode::Serial
             } else {
-                RunMode::Sharded((workers / jobs.len().max(1)).clamp(1, 8))
+                let shards = thread_budget.clamp(1, 8);
+                if shards > 1 {
+                    RunMode::Sharded(ShardOpts::new(shards, shards))
+                } else {
+                    RunMode::Serial
+                }
             }
         }
     };
@@ -781,14 +806,18 @@ mod tests {
                 RunMode::Serial,
             )
             .unwrap();
-            for shards in [2, 3, 4] {
+            for (shards, pin) in [(2, false), (3, true), (4, false)] {
                 let sharded = dispatch_run(
                     &spec,
                     0,
                     &prepared.topo,
                     &prepared.reference,
                     prepared.frozen_mirror.as_ref(),
-                    RunMode::Sharded(shards),
+                    RunMode::Sharded(ShardOpts {
+                        shards,
+                        threads: 2,
+                        pin,
+                    }),
                 )
                 .unwrap();
                 assert_eq!(serial.metric, sharded.metric, "churn={churn} S={shards}");

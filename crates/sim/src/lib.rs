@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod affinity;
 pub mod config;
 pub mod engine;
 pub mod ids;
@@ -60,7 +61,9 @@ pub mod wheel;
 pub use config::{QueueKind, SimConfig, TickPhase};
 pub use engine::{AlwaysOn, AvailabilityModel, Driver, SimApi, SimStats, Simulation};
 pub use ids::NodeId;
-pub use shard::{BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver, ShardedSimulation};
+pub use shard::{
+    BarrierApi, ShardApi, ShardDriver, ShardOpts, ShardPlan, ShardableDriver, ShardedSimulation,
+};
 pub use time::{SimDuration, SimTime};
 
 /// Convenient glob import for driver implementations.
@@ -70,7 +73,7 @@ pub mod prelude {
     pub use crate::ids::NodeId;
     pub use crate::rng::Xoshiro256pp;
     pub use crate::shard::{
-        BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver, ShardedSimulation,
+        BarrierApi, ShardApi, ShardDriver, ShardOpts, ShardPlan, ShardableDriver, ShardedSimulation,
     };
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -1,0 +1,314 @@
+//! The per-window gate and mailbox exchange of the barrier-free pipeline.
+//!
+//! One [`SegCtl`] is shared by the coordinator and every worker for the
+//! whole run. During a *segment* (a run of consecutive full windows with
+//! no engine-global event inside), all synchronization happens here:
+//!
+//! * workers claim whole shard-window drains off [`WinMeta::next_shard`]
+//!   (the work-stealing claim counter — dynamic assignment replaces the
+//!   old static worker-stride striping, so a worker that finishes early
+//!   steals the next unprocessed shard instead of idling);
+//! * finished shards deposit cross-shard mail into per-destination
+//!   [`SegCtl::mailboxes`] and publish their queue/mail minima;
+//! * the **last finisher** of a window advances the pipeline under the
+//!   gate mutex — including the empty-window skip — and wakes the others.
+//!   No coordinator hop, no full-stop barrier: the only wait is the true
+//!   data dependency (window `k + 1` needs every shard's window-`k`
+//!   mail).
+//!
+//! Early mailbox deposits are harmless by construction: every deposited
+//! message is keyed and due at or after the next window bound, so whether
+//! a destination drains it this window or next, it sits in the queue until
+//! its due time and pops in identical key order.
+
+use std::sync::{Condvar, Mutex};
+
+use super::OutMsg;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a segment stopped, computed by the last finisher and read by the
+/// coordinator once every worker has reported done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum SegOutcome {
+    /// No event (shard queue, mailbox, or pending global) remains at or
+    /// before the horizon: the run is complete.
+    RunDone,
+    /// The next window needs the coordinator (an engine-global event falls
+    /// inside it, or it crosses the horizon): resume from this start.
+    Continue {
+        /// Window start the coordinator resumes from.
+        next_start: SimTime,
+    },
+}
+
+/// Gate state of the window currently in flight (everything the last
+/// finisher needs to advance the pipeline).
+#[derive(Debug)]
+pub(super) struct WinMeta {
+    /// Start of the window being claimed/processed.
+    pub(super) window_start: SimTime,
+    /// Next unclaimed shard of the current window. Claims hand out whole
+    /// shard-window drains, so each runs on exactly one worker and the
+    /// `(origin, counter)` key order is untouched by stealing.
+    pub(super) next_shard: usize,
+    /// Shards finished with the current window.
+    pub(super) finished: usize,
+    /// Minimum queue event time published by finished shards.
+    pub(super) queue_min: Option<SimTime>,
+    /// Minimum due time of cross-shard mail deposited this window (mail
+    /// lives in mailboxes, not queues, so the skip must see it here).
+    pub(super) mail_min: Option<SimTime>,
+    /// The segment (or part-run) is over; claims must stop.
+    pub(super) over: bool,
+    /// Set together with `over` at the end of a segment.
+    pub(super) outcome: Option<SegOutcome>,
+}
+
+/// Shared control block of one sharded run: per-destination mailboxes plus
+/// the window gate. Reset by the quiescent coordinator between dispatches.
+pub(super) struct SegCtl<M> {
+    /// `mailboxes[s]` holds cross-shard mail addressed to shard `s`,
+    /// deposited by finishing shards and drained by `s` at the start of
+    /// its next (part-)window.
+    pub(super) mailboxes: Vec<Mutex<Vec<OutMsg<M>>>>,
+    pub(super) win: Mutex<WinMeta>,
+    pub(super) cv: Condvar,
+    /// First panic payload caught in a worker. The catching worker flips
+    /// [`WinMeta::over`] so peers stop claiming instead of waiting on a
+    /// window that will never finish; the coordinator re-raises after all
+    /// workers report done.
+    pub(super) panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<M> SegCtl<M> {
+    pub(super) fn new(shards: usize) -> Self {
+        SegCtl {
+            mailboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            win: Mutex::new(WinMeta {
+                window_start: SimTime::ZERO,
+                next_shard: 0,
+                finished: 0,
+                queue_min: None,
+                mail_min: None,
+                over: true,
+                outcome: None,
+            }),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Arms the gate for a dispatch starting at `window_start` (a segment)
+    /// or a part-run instant (where only the claim counter matters). Only
+    /// the coordinator calls this, and only while every worker is idle.
+    pub(super) fn arm(&self, window_start: SimTime) {
+        let mut w = self.win.lock().expect("window gate poisoned");
+        w.window_start = window_start;
+        w.next_shard = 0;
+        w.finished = 0;
+        w.queue_min = None;
+        w.mail_min = None;
+        w.over = false;
+        w.outcome = None;
+    }
+
+    /// Records a worker panic and releases everyone: peers stop claiming,
+    /// the coordinator finds the payload after the done-count drains.
+    pub(super) fn poison(&self, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut slot = match self.panic.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.get_or_insert(payload);
+        }
+        let mut w = self.win.lock().expect("window gate poisoned");
+        w.over = true;
+        self.cv.notify_all();
+    }
+
+    /// Takes the stored panic payload, if any.
+    pub(super) fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        match self.panic.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+
+    /// Reads the outcome of a finished segment (the last finisher always
+    /// stores one unless a panic poisoned the run).
+    pub(super) fn take_outcome(&self) -> Option<SegOutcome> {
+        self.win
+            .lock()
+            .expect("window gate poisoned")
+            .outcome
+            .take()
+    }
+}
+
+/// `t` rounded down to a window boundary (windows are aligned multiples of
+/// the transfer time, exactly as the Barrier coordinator aligned its
+/// empty-window jumps).
+#[inline]
+pub(super) fn align_down(t: SimTime, transfer: SimDuration) -> SimTime {
+    SimTime::from_micros(t.as_micros() / transfer.as_micros() * transfer.as_micros())
+}
+
+/// Advances the gate past a fully-finished window: either opens the next
+/// full window of the segment (applying the empty-window skip) or ends the
+/// segment with an outcome. Runs under the gate mutex, on whichever worker
+/// finished last; `global` is the earliest pending engine-global instant
+/// (fixed for the whole segment — globals only fire between segments).
+pub(super) fn advance_window(
+    w: &mut WinMeta,
+    global: Option<SimTime>,
+    end: SimTime,
+    transfer: SimDuration,
+) {
+    let wb = w.window_start + transfer;
+    let mut earliest = global;
+    for m in [w.queue_min, w.mail_min] {
+        earliest = match (earliest, m) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    w.queue_min = None;
+    w.mail_min = None;
+    w.finished = 0;
+    match earliest {
+        // Nothing pending anywhere (and no global train configured): the
+        // run is over — the Barrier coordinator broke out here too,
+        // without a final part-run to the horizon.
+        None => {
+            w.over = true;
+            w.outcome = Some(SegOutcome::RunDone);
+        }
+        Some(t) if t > end => {
+            w.over = true;
+            w.outcome = Some(SegOutcome::RunDone);
+        }
+        Some(t) => {
+            // Empty-window skip: jump to the window holding the earliest
+            // remaining event. Mail due times are always `< wb + transfer`
+            // so any deposited mail anchors the next window at `wb`.
+            let next_start = if t >= wb + transfer {
+                align_down(t, transfer).max(wb)
+            } else {
+                wb
+            };
+            let next_wb = next_start + transfer;
+            let global_inside = global.is_some_and(|g| g < next_wb);
+            if next_wb <= end && !global_inside {
+                w.window_start = next_start;
+                w.next_shard = 0;
+            } else {
+                w.over = true;
+                w.outcome = Some(SegOutcome::Continue { next_start });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(start_us: u64) -> WinMeta {
+        WinMeta {
+            window_start: SimTime::from_micros(start_us),
+            next_shard: 0,
+            finished: 0,
+            queue_min: None,
+            mail_min: None,
+            over: false,
+            outcome: None,
+        }
+    }
+
+    const T: SimDuration = SimDuration::from_micros(1_000);
+
+    #[test]
+    fn advance_opens_adjacent_window() {
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(1_500));
+        advance_window(&mut w, None, SimTime::from_micros(10_000), T);
+        assert!(!w.over);
+        assert_eq!(w.window_start, SimTime::from_micros(1_000));
+        assert_eq!(w.next_shard, 0);
+    }
+
+    #[test]
+    fn advance_skips_empty_windows_aligned() {
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(5_500));
+        advance_window(&mut w, None, SimTime::from_micros(10_000), T);
+        assert!(!w.over);
+        assert_eq!(w.window_start, SimTime::from_micros(5_000));
+    }
+
+    #[test]
+    fn mail_anchors_the_next_window() {
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(9_500));
+        w.mail_min = Some(SimTime::from_micros(1_200));
+        advance_window(&mut w, None, SimTime::from_micros(10_000), T);
+        assert!(!w.over);
+        assert_eq!(w.window_start, SimTime::from_micros(1_000));
+    }
+
+    #[test]
+    fn run_done_when_nothing_pending_or_past_horizon() {
+        let mut w = meta(0);
+        advance_window(&mut w, None, SimTime::from_micros(10_000), T);
+        assert!(w.over);
+        assert_eq!(w.outcome, Some(SegOutcome::RunDone));
+
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(20_000));
+        advance_window(&mut w, None, SimTime::from_micros(10_000), T);
+        assert_eq!(w.outcome, Some(SegOutcome::RunDone));
+    }
+
+    #[test]
+    fn global_inside_next_window_hands_back_to_coordinator() {
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(1_100));
+        let global = Some(SimTime::from_micros(1_500));
+        advance_window(&mut w, global, SimTime::from_micros(10_000), T);
+        assert!(w.over);
+        assert_eq!(
+            w.outcome,
+            Some(SegOutcome::Continue {
+                next_start: SimTime::from_micros(1_000)
+            })
+        );
+    }
+
+    #[test]
+    fn global_at_next_window_bound_does_not_stop_the_segment() {
+        let mut w = meta(0);
+        w.queue_min = Some(SimTime::from_micros(1_100));
+        // Global due exactly at the *end* of the next window: that window
+        // is still a full window (the Barrier loop ran it too, then fired
+        // the global in an inclusive part-run).
+        let global = Some(SimTime::from_micros(2_000));
+        advance_window(&mut w, global, SimTime::from_micros(10_000), T);
+        assert!(!w.over);
+        assert_eq!(w.window_start, SimTime::from_micros(1_000));
+    }
+
+    #[test]
+    fn horizon_crossing_hands_back_to_coordinator() {
+        let mut w = meta(9_000);
+        w.queue_min = Some(SimTime::from_micros(9_800));
+        advance_window(&mut w, None, SimTime::from_micros(10_500), T);
+        assert!(w.over);
+        assert_eq!(
+            w.outcome,
+            Some(SegOutcome::Continue {
+                next_start: SimTime::from_micros(10_000)
+            })
+        );
+    }
+}

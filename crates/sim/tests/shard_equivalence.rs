@@ -2,12 +2,14 @@
 //! with a toy protocol that touches every event type: ticks, deliveries,
 //! reactive replies, timers, churn, sampling, injection, and fault drops.
 //! Serial and sharded runs must be **byte-identical** for every shard
-//! count, thread count, and queue implementation.
+//! count, thread count, pin setting, and queue implementation — including
+//! when the work-stealing claim counter is doing all the load balancing
+//! (the imbalanced-topology test below).
 
 use ta_sim::config::{QueueKind, SimConfig};
 use ta_sim::engine::{AvailabilityModel, Driver, SimApi, Simulation};
 use ta_sim::shard::{
-    BarrierApi, ShardApi, ShardDriver, ShardPlan, ShardableDriver, ShardedSimulation,
+    BarrierApi, ShardApi, ShardDriver, ShardOpts, ShardPlan, ShardableDriver, ShardedSimulation,
 };
 use ta_sim::{NodeId, SimDuration, SimStats, SimTime};
 
@@ -344,6 +346,94 @@ fn thread_count_never_changes_results() {
 }
 
 #[test]
+fn full_shards_threads_pin_matrix_matches_serial() {
+    // The acceptance matrix of the channel pipeline: every
+    // S × threads × pin combination — inline path, single worker,
+    // stealing workers, oversubscribed workers, pinned or not — produces
+    // the serial engine's bytes.
+    let n = 40;
+    let (toy, stats) = run_serial(n, QueueKind::Wheel, 7, 0.0, true);
+    for shards in [1, 2, 3, 4] {
+        for threads in [1, 2, 4] {
+            for pin in [false, true] {
+                let config = cfg(n, QueueKind::Wheel, 7, 0.0);
+                let opts = ShardOpts {
+                    shards,
+                    threads,
+                    pin,
+                };
+                let mut sim =
+                    ShardedSimulation::with_opts(config, &Bouncy { n }, Toy::new(n), opts);
+                sim.run_to_end();
+                let (stoy, sstats) = sim.into_parts();
+                assert_eq!(toy, stoy, "S={shards} T={threads} pin={pin} diverged");
+                assert_eq!(stats, sstats, "S={shards} T={threads} pin={pin} stats");
+            }
+        }
+    }
+}
+
+/// Availability that concentrates nearly all event traffic on the first
+/// node block: shards past the first start with every node offline (no
+/// ticks, no timers — their windows drain instantly), so with `S > T`
+/// workers the claim counter is the only thing keeping them busy. A few
+/// cold nodes come online late so stolen shards also grow real work
+/// mid-run.
+struct HotBlock {
+    hot: usize,
+}
+
+impl AvailabilityModel for HotBlock {
+    fn initially_online(&self, node: NodeId) -> bool {
+        node.index() < self.hot
+    }
+    fn for_each_transition(&self, node: NodeId, f: &mut dyn FnMut(SimTime, bool)) {
+        let i = node.index();
+        if i >= self.hot && i.is_multiple_of(7) {
+            f(SimTime::from_secs(200 + (i as u64 % 13) * 3), true);
+        }
+    }
+}
+
+#[test]
+fn work_stealing_on_imbalanced_shards_is_exact() {
+    let n = 48;
+    let hot = 12; // exactly shard 0 when S = 4
+    let avail = HotBlock { hot };
+    for queue in [QueueKind::Heap, QueueKind::Wheel] {
+        let config = cfg(n, queue, 23, 0.0);
+        let mut serial = Simulation::new(config, &avail, Toy::new(n));
+        serial.run_to_end();
+        let (toy, stats) = serial.into_parts();
+        assert!(stats.messages_delivered > 0);
+        assert!(
+            stats.messages_lost_offline > 0,
+            "hot nodes must be sending into the cold blocks"
+        );
+        for shards in [2, 4] {
+            for threads in [2, 4] {
+                for pin in [false, true] {
+                    let config = cfg(n, queue, 23, 0.0);
+                    let opts = ShardOpts {
+                        shards,
+                        threads,
+                        pin,
+                    };
+                    let mut sim = ShardedSimulation::with_opts(config, &avail, Toy::new(n), opts);
+                    sim.run_to_end();
+                    let (stoy, sstats) = sim.into_parts();
+                    assert_eq!(
+                        toy, stoy,
+                        "{queue:?} S={shards} T={threads} pin={pin} diverged"
+                    );
+                    assert_eq!(stats, sstats, "{queue:?} S={shards} T={threads} pin={pin}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn fault_injection_drops_identically() {
     let n = 32;
     let (toy, stats) = run_serial(n, QueueKind::Heap, 11, 0.3, false);
@@ -396,17 +486,30 @@ fn worker_panics_propagate_instead_of_deadlocking() {
             Bomb
         }
     }
-    let config = cfg(24, QueueKind::Heap, 3, 0.0);
-    let result = std::panic::catch_unwind(|| {
-        let mut sim = ShardedSimulation::new(config, &ta_sim::AlwaysOn, Bomb, 4, 2);
-        sim.run_to_end();
-    });
-    let payload = result.expect_err("the driver panic must propagate");
-    let msg = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
-    assert!(msg.contains("boom"), "unexpected panic payload: {msg}");
+    // Both pin settings: the channel pipeline must poison the window gate,
+    // release the idle workers, and re-raise on the coordinator instead of
+    // leaving anyone parked on a gate that will never open.
+    for pin in [false, true] {
+        let config = cfg(24, QueueKind::Heap, 3, 0.0);
+        let result = std::panic::catch_unwind(|| {
+            let opts = ShardOpts {
+                shards: 4,
+                threads: 2,
+                pin,
+            };
+            let mut sim = ShardedSimulation::with_opts(config, &ta_sim::AlwaysOn, Bomb, opts);
+            sim.run_to_end();
+        });
+        let payload = result.expect_err("the driver panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom"),
+            "pin={pin}: unexpected panic payload: {msg}"
+        );
+    }
 }
 
 #[test]

@@ -16,6 +16,7 @@ fn micro_opts(tag: &str) -> (FigureOpts, PathBuf) {
         out_dir: dir.clone(),
         full: false,
         shards: None,
+        pin: false,
     };
     (opts, dir)
 }
