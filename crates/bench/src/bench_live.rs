@@ -15,7 +15,12 @@
 //! * **histogram_record** — samples/sec of the allocation-free
 //!   log-linear latency histogram's record path;
 //! * **replay** — events/sec of the virtual-clock live-vs-sim replay
-//!   (the cross-validation harness itself).
+//!   (the cross-validation harness itself);
+//! * **persist** — durability overhead and recovery speed: the same
+//!   closed-loop run with the grant/spend journal off vs. on (the
+//!   `persist_journal_on_vs_off` speedup documents the ≤ 10% admit
+//!   overhead bar), and `recover()` records/sec at two journal lengths
+//!   (recovery time must scale with the tail, not the history).
 //!
 //! Results are written as `BENCH_live.json` (override with `--out PATH`);
 //! `--test` runs each workload briefly (CI smoke), `--diff BASELINE`
@@ -30,7 +35,8 @@ use std::time::Duration;
 use criterion::black_box;
 use ta_live::harness::{replay_trace, run_sim_oracle, OracleWorkload};
 use ta_live::histogram::LatencyHistogram;
-use ta_live::loadgen::{run_loadgen, ArrivalMode, BurstMix, LoadGenConfig};
+use ta_live::loadgen::{run_loadgen, run_loadgen_durable, ArrivalMode, BurstMix, LoadGenConfig};
+use ta_live::persist::{recover, PersistConfig, Persistence};
 use ta_live::runtime::LiveRuntime;
 use ta_live::LiveCounters;
 use ta_sim::rng::Xoshiro256pp;
@@ -173,6 +179,80 @@ fn bench_replay(smoke: bool) -> Sample {
     }
 }
 
+fn bench_persist(smoke: bool) -> Vec<Sample> {
+    let (clients, _, _) = scales(smoke);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let cfg = loadgen_cfg(smoke, 2, clients, 64);
+    let scratch = std::env::temp_dir().join(format!("ta-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut samples = Vec::new();
+
+    // The same closed loop, journal off vs. on: the admit path adds one
+    // epoch-cell toggle + a buffered record per decision; everything
+    // else (framing, CRC, fsync) rides the async writer thread.
+    let off = run_loadgen(strategy, &cfg);
+    assert!(off.conserves(), "journal-off books must close");
+    samples.push(Sample {
+        id: "closed_w2_journal_off".into(),
+        value: off.decisions_per_sec(),
+    });
+
+    let dir = scratch.join("overhead");
+    let p = Persistence::open(&PersistConfig::new(&dir), clients, 64).expect("open journal");
+    let (on, _) = run_loadgen_durable(strategy, &cfg, &p, None, None);
+    assert!(on.conserves(), "journal-on books must close");
+    p.shutdown().expect("clean journal shutdown");
+    samples.push(Sample {
+        id: "closed_w2_journal_on".into(),
+        value: on.decisions_per_sec(),
+    });
+
+    // Recovery speed at two journal lengths: records replayed per
+    // second of `recover()` wall clock (manifest + scan + fold + the
+    // conservation check). Doubling the tail should roughly double the
+    // time — visible as the two rows staying in the same decade.
+    let (short, long) = if smoke {
+        (20_000u64, 80_000u64)
+    } else {
+        (100_000u64, 400_000u64)
+    };
+    for (id, records) in [
+        ("recovery_replay_short", short),
+        ("recovery_replay_long", long),
+    ] {
+        let dir = scratch.join(id.rsplit('/').next().unwrap());
+        let (rclients, rshards) = (10_000usize, 16usize);
+        let p = Persistence::open(&PersistConfig::new(&dir), rclients, rshards)
+            .expect("open recovery journal");
+        let block = rclients.div_ceil(rshards);
+        let mut h = p.handle();
+        for i in 0..records {
+            let shard = (i % rshards as u64) as usize;
+            let client = shard * block + (i as usize / rshards) % block;
+            h.enter(shard);
+            h.record(shard, client as u32, 1);
+            h.exit();
+        }
+        drop(h);
+        let stats = p.shutdown().expect("clean journal shutdown");
+        assert_eq!(stats.records, records, "every record must reach disk");
+        let value = measure_events_per_sec(
+            || {
+                let state = recover(&dir).expect("recovery must succeed");
+                assert_eq!(state.replayed, records);
+                records
+            },
+            smoke,
+        );
+        samples.push(Sample {
+            id: id.into(),
+            value,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    samples
+}
+
 /// Runs every section and writes the JSON report; returns the report text.
 pub fn run(smoke: bool, out_path: &str) -> String {
     let (clients, duration, granter_accounts) = scales(smoke);
@@ -187,6 +267,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     live_samples.push(bench_histogram(smoke));
     eprintln!("bench_live: live-vs-sim replay...");
     live_samples.push(bench_replay(smoke));
+    eprintln!("bench_live: persist (journal overhead + recovery)...");
+    let persist_samples = bench_persist(smoke);
 
     let speedups = vec![
         Sample {
@@ -203,6 +285,13 @@ pub fn run(smoke: bool, out_path: &str) -> String {
             id: "contended_sharded_vs_single_shard".into(),
             value: find(&live_samples, "contended/sharded_w4")
                 / find(&live_samples, "contended/single_shard_w4"),
+        },
+        // ≥ 0.9 is the acceptance bar: journaling every grant/spend may
+        // cost at most 10% of closed-loop admission throughput.
+        Sample {
+            id: "persist_journal_on_vs_off".into(),
+            value: find(&persist_samples, "closed_w2_journal_on")
+                / find(&persist_samples, "closed_w2_journal_off"),
         },
     ];
     let scale_samples = vec![
@@ -233,10 +322,11 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"speedup\": \"ratio\" }},"
+        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"persist\": \"decisions/sec (recovery_replay_*: records/sec)\", \"speedup\": \"ratio\" }},"
     );
     json_section(&mut out, "scale", &scale_samples, false);
     json_section(&mut out, "live", &live_samples, false);
+    json_section(&mut out, "persist", &persist_samples, false);
     json_section(&mut out, "speedup", &speedups, true);
     out.push('}');
     out.push('\n');
@@ -301,8 +391,14 @@ mod tests {
             "granter_sweep",
             "histogram_record",
             "replay/virtual_clock",
+            "\"persist\"",
+            "closed_w2_journal_off",
+            "closed_w2_journal_on",
+            "recovery_replay_short",
+            "recovery_replay_long",
             "loadgen_w2_vs_w1",
             "contended_sharded_vs_single_shard",
+            "persist_journal_on_vs_off",
         ] {
             assert!(report.contains(key), "missing {key} in report:\n{report}");
         }

@@ -12,13 +12,39 @@
 //! smoke run gates on. `--crosscheck` additionally replays a small
 //! virtual-clock trace against the discrete-event engine first and fails
 //! on any counter mismatch.
+//!
+//! **Durable mode** (`--journal-dir`): every balance delta is published
+//! through the CRC-framed grant/spend journal and the accounts are
+//! checkpointed with epoch-fenced copy-on-write snapshots
+//! (`--snapshot-every`). A directory that already holds a manifest is
+//! recovered and resumed, so a killed run continues its books.
+//! `--recover` verifies a directory and exits without running load,
+//! with **distinct exit codes** CI can gate on:
+//!
+//! | exit | meaning |
+//! |------|---------|
+//! | 0    | clean: journal tail intact, books conserve exactly |
+//! | 3    | conservation mismatch — recovered books do not close |
+//! | 4    | torn tail / corruption — a damaged suffix was discarded |
+//! | 1    | anything else (I/O, bad flags, conservation after a run) |
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use ta_live::harness::{live_vs_sim_spec, OracleWorkload};
-use ta_live::loadgen::{run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig};
+use ta_live::loadgen::{
+    run_loadgen_durable_spec, run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
+};
+use ta_live::persist::{
+    recover, FaultPlan, PersistConfig, Persistence, RecoveredState, RecoveryError, MANIFEST_FILE,
+};
 use token_account::StrategySpec;
+
+/// Exit code: recovery found books that do not conserve.
+const EXIT_CONSERVATION: u8 = 3;
+/// Exit code: recovery had to discard a torn/corrupt suffix.
+const EXIT_TRUNCATION: u8 = 4;
 
 const USAGE: &str = "options:
   --workers <k>        worker threads (default 2)
@@ -35,6 +61,17 @@ const USAGE: &str = "options:
   --round-ms <ms>      granter round length Δ; 0 disables (default 1000)
   --seed <s>           master seed (default 1)
   --crosscheck         first validate exact live-vs-sim counter equality
+  --journal-dir <dir>  durable mode: grant/spend journal + snapshots in
+                       <dir>; an existing domain is recovered + resumed
+  --snapshot-every <s> checkpoint the accounts every s seconds
+  --commit-ms <ms>     journal group-commit interval (default 20)
+  --no-fsync           skip fsync on journal commits (tests only)
+  --fault <list>       inject faults, comma-separated (overrides the
+                       TA_FAULT env var): kill_writer_mid_frame,
+                       drop_fsync, crash_mid_snapshot, poison_books,
+                       torn_tail, corrupt_crc, corrupt_snapshot
+  --recover            recover + verify --journal-dir, then exit:
+                       0 clean, 3 conservation mismatch, 4 torn tail
   --help               this text";
 
 #[derive(Debug)]
@@ -42,6 +79,12 @@ struct Opts {
     cfg: LoadGenConfig,
     strategy: StrategySpec,
     crosscheck: bool,
+    journal_dir: Option<PathBuf>,
+    snapshot_every: Option<Duration>,
+    commit: Duration,
+    fsync: bool,
+    fault: Option<FaultPlan>,
+    recover_only: bool,
 }
 
 fn parse_strategy(s: &str) -> Result<StrategySpec, String> {
@@ -95,6 +138,12 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
     let mut crosscheck = false;
     let mut rate = 10.0f64;
     let mut open = false;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut snapshot_every: Option<Duration> = None;
+    let mut commit = Duration::from_millis(20);
+    let mut fsync = true;
+    let mut fault: Option<FaultPlan> = None;
+    let mut recover_only = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -162,6 +211,25 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
                 cfg.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
             }
             "--crosscheck" => crosscheck = true,
+            "--journal-dir" => journal_dir = Some(PathBuf::from(value("--journal-dir")?)),
+            "--snapshot-every" => {
+                let v = value("--snapshot-every")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --snapshot-every `{v}`"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--snapshot-every must be positive".into());
+                }
+                snapshot_every = Some(Duration::from_secs_f64(secs));
+            }
+            "--commit-ms" => {
+                let v = value("--commit-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --commit-ms `{v}`"))?;
+                commit = Duration::from_millis(ms);
+            }
+            "--no-fsync" => fsync = false,
+            "--fault" => fault = Some(FaultPlan::parse(&value("--fault")?)?),
+            "--recover" => recover_only = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
@@ -171,11 +239,165 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
             rate_per_client: rate,
         };
     }
+    if recover_only && journal_dir.is_none() {
+        return Err("--recover needs --journal-dir".into());
+    }
     Ok(Some(Opts {
         cfg,
         strategy,
         crosscheck,
+        journal_dir,
+        snapshot_every,
+        commit,
+        fsync,
+        fault,
+        recover_only,
     }))
+}
+
+/// Recovers + verifies a journal directory and maps the outcome onto
+/// the gateable exit codes (`0` clean, `3` conservation, `4` torn
+/// tail), printing a one-line diagnosis for each non-zero case.
+fn report_recovery(dir: &std::path::Path) -> ExitCode {
+    match recover(dir) {
+        Ok(state) => {
+            for t in &state.truncations {
+                eprintln!("recovery truncation: {t}");
+            }
+            println!(
+                "recovered: {} clients over {} shards, balances_sum {}, granted {}, \
+                 burned {}, {} journal record(s) replayed{}",
+                state.clients,
+                state.shards,
+                state.balances_sum(),
+                state.granted_total(),
+                state.burned_total(),
+                state.replayed,
+                match state.snapshot_id {
+                    Some(id) => format!(" on snapshot {id:#x}"),
+                    None => ", journal-only".to_string(),
+                },
+            );
+            if state.truncations.is_empty() {
+                println!("recovery clean: journal tail intact, books conserve exactly");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "recovery TRUNCATED: discarded {} damaged tail(s)/file(s); \
+                     the surviving prefix is verified and consistent",
+                    state.truncations.len()
+                );
+                ExitCode::from(EXIT_TRUNCATION)
+            }
+        }
+        Err(RecoveryError::Conservation { detail }) => {
+            eprintln!("recovery FAILED (conservation): {detail}");
+            ExitCode::from(EXIT_CONSERVATION)
+        }
+        Err(e) => {
+            eprintln!("recovery FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Opens (or recovers + resumes) the durability domain under `dir` and
+/// runs the load generator with the journal attached.
+fn run_durable(
+    opts: &Opts,
+    dir: &std::path::Path,
+    faults: FaultPlan,
+) -> Result<LoadGenReport, ExitCode> {
+    let mut pcfg = PersistConfig::new(dir);
+    pcfg.group_commit = opts.commit;
+    pcfg.fsync = opts.fsync;
+    pcfg.faults = faults;
+
+    let mut cfg = opts.cfg.clone();
+    let recovered: Option<RecoveredState>;
+    let persistence = if dir.join(MANIFEST_FILE).exists() {
+        let state = match recover(dir) {
+            Ok(s) => s,
+            Err(RecoveryError::Conservation { detail }) => {
+                eprintln!("recovery FAILED (conservation): {detail}");
+                return Err(ExitCode::from(EXIT_CONSERVATION));
+            }
+            Err(e) => {
+                eprintln!("recovery FAILED: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        for t in &state.truncations {
+            eprintln!("recovery truncation: {t}");
+        }
+        if state.clients != cfg.clients {
+            eprintln!(
+                "--clients {} does not match the journal manifest ({} clients)",
+                cfg.clients, state.clients
+            );
+            return Err(ExitCode::FAILURE);
+        }
+        cfg.account_shards = state.shards;
+        println!(
+            "resumed: balances_sum {}, {} journal record(s) replayed, {} truncation(s)",
+            state.balances_sum(),
+            state.replayed,
+            state.truncations.len()
+        );
+        let p = Persistence::resume(&pcfg, &state).map_err(|e| {
+            eprintln!("journal resume FAILED: {e}");
+            ExitCode::FAILURE
+        })?;
+        recovered = Some(state);
+        p
+    } else {
+        // The manifest records the *effective* geometry, so mirror the
+        // runtime's shard clamp before writing it.
+        cfg.account_shards = cfg.account_shards.clamp(1, cfg.clients);
+        recovered = None;
+        Persistence::open(&pcfg, cfg.clients, cfg.account_shards).map_err(|e| {
+            eprintln!("journal open FAILED: {e}");
+            ExitCode::FAILURE
+        })?
+    };
+
+    let (report, d) = run_loadgen_durable_spec(
+        opts.strategy,
+        &cfg,
+        &persistence,
+        opts.snapshot_every,
+        recovered.as_ref(),
+    )
+    .map_err(|e| {
+        eprintln!("invalid strategy: {e}");
+        ExitCode::FAILURE
+    })?;
+    println!(
+        "durable: {} snapshot(s) taken, {} failed",
+        d.snapshots, d.snapshot_failures
+    );
+    match persistence.shutdown() {
+        Ok(s) => println!(
+            "journal: {} record(s) / {} frame(s) / {} byte(s) in {} rotation(s), {} fsync(s)",
+            s.records, s.frames, s.bytes, s.segments, s.syncs
+        ),
+        // Expected when a writer fault killed the journal thread.
+        Err(e) => eprintln!("journal writer died: {e}"),
+    }
+    if faults.wants_post_mortem() {
+        match faults.apply_post_mortem(dir) {
+            Ok(wounds) => {
+                for w in wounds {
+                    println!("post-mortem fault applied: {w}");
+                }
+            }
+            Err(e) => {
+                eprintln!("post-mortem fault FAILED: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(report)
 }
 
 fn main() -> ExitCode {
@@ -190,6 +412,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The fault plan: --fault wins over the TA_FAULT env var.
+    let faults = match opts.fault {
+        Some(f) => f,
+        None => match FaultPlan::from_env() {
+            Ok(f) => f,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if opts.recover_only {
+        let dir = opts.journal_dir.as_deref().expect("checked in parse_opts");
+        return report_recovery(dir);
+    }
 
     if opts.crosscheck {
         // Exact gate before spending wall-clock time: the live decision
@@ -223,11 +462,18 @@ fn main() -> ExitCode {
         opts.cfg.mode,
         opts.cfg.duration.as_secs_f64(),
     );
-    let report = match run_loadgen_spec(opts.strategy, &opts.cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("invalid strategy: {e}");
-            return ExitCode::FAILURE;
+    let report = if let Some(dir) = opts.journal_dir.clone() {
+        match run_durable(&opts, &dir, faults) {
+            Ok(r) => r,
+            Err(code) => return code,
+        }
+    } else {
+        match run_loadgen_spec(opts.strategy, &opts.cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("invalid strategy: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -263,14 +509,16 @@ fn main() -> ExitCode {
 
     if report.conserves() {
         println!(
-            "conservation ok: tokens_banked ({}) - reactive_sent ({}) == balances_sum ({})",
-            c.tokens_banked, c.reactive_sent, report.balances_sum
+            "conservation ok: tokens_banked ({}) - reactive_sent ({}) == \
+             balances_sum ({}) - initial ({})",
+            c.tokens_banked, c.reactive_sent, report.balances_sum, report.initial_balances_sum
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "conservation FAILED: tokens_banked ({}) - reactive_sent ({}) != balances_sum ({})",
-            c.tokens_banked, c.reactive_sent, report.balances_sum
+            "conservation FAILED: tokens_banked ({}) - reactive_sent ({}) != \
+             balances_sum ({}) - initial ({})",
+            c.tokens_banked, c.reactive_sent, report.balances_sum, report.initial_balances_sum
         );
         ExitCode::FAILURE
     }
@@ -331,6 +579,49 @@ mod tests {
         assert_eq!(o.cfg.round_period, None);
         assert_eq!(o.cfg.seed, 9);
         assert!(o.crosscheck);
+        assert_eq!(o.journal_dir, None);
+        assert!(o.fsync);
+        assert!(!o.recover_only);
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let o = parse(&[
+            "--journal-dir",
+            "/tmp/ta-journal",
+            "--snapshot-every",
+            "0.25",
+            "--commit-ms",
+            "5",
+            "--no-fsync",
+            "--fault",
+            "torn_tail,crash_mid_snapshot",
+        ])
+        .unwrap();
+        assert_eq!(o.journal_dir, Some(PathBuf::from("/tmp/ta-journal")));
+        assert_eq!(o.snapshot_every, Some(Duration::from_millis(250)));
+        assert_eq!(o.commit, Duration::from_millis(5));
+        assert!(!o.fsync);
+        let f = o.fault.unwrap();
+        assert!(f.torn_tail && f.crash_mid_snapshot);
+        assert!(!f.poison_books);
+
+        let o = parse(&["--recover", "--journal-dir", "d"]).unwrap();
+        assert!(o.recover_only);
+        // Distinct, documented exit codes for the two recovery outcomes.
+        assert_ne!(EXIT_CONSERVATION, EXIT_TRUNCATION);
+        assert!(USAGE.contains("--recover"));
+        assert!(USAGE.contains("--journal-dir"));
+    }
+
+    #[test]
+    fn durability_flag_errors() {
+        // --recover without a directory to recover is an error.
+        assert!(parse(&["--recover"]).is_err());
+        assert!(parse(&["--snapshot-every", "0"]).is_err());
+        assert!(parse(&["--snapshot-every", "nope"]).is_err());
+        assert!(parse(&["--fault", "bogus_mode"]).is_err());
+        assert!(parse(&["--commit-ms", "-1"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Kill-mid-burst crash recovery: SIGKILL the `live` binary while it is
+//! journaling under full load, then prove the recovered state equals an
+//! **independent reference fold** of what survived on disk.
+//!
+//! The reference fold is deliberately test-local: it re-derives the
+//! balances and per-shard books from the newest CRC-valid snapshot plus
+//! every decodable journal frame using only the parsing primitives
+//! (`snapshot::load`, `scan_segment`) — none of `recovery.rs`'s replay
+//! logic — so a bug in recovery cannot hide by agreeing with itself.
+//!
+//! Matrix: workers {1, 4} × shards {1, 4, 16}, per the durability
+//! acceptance criteria.
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ta_live::persist::journal::{list_segments, scan_segment, FramePayload};
+use ta_live::persist::snapshot::{list_snapshot_files, load as load_snapshot, SnapshotData};
+use ta_live::persist::{read_manifest, recover};
+
+/// An independently folded image of the on-disk state.
+struct Reference {
+    balances: Vec<i64>,
+    granted: Vec<u64>,
+    burned: Vec<u64>,
+}
+
+/// Mirrors the contiguous-block shard layout from geometry alone.
+fn shard_of(client: usize, clients: usize, shards: usize) -> usize {
+    let block = clients.div_ceil(shards).max(1);
+    (client / block).min(shards - 1)
+}
+
+/// Folds snapshot + surviving journal prefix into a [`Reference`],
+/// without touching `recovery.rs`'s replay path.
+fn reference_fold(dir: &Path) -> Reference {
+    let m = read_manifest(dir).expect("manifest must survive the kill");
+
+    // Newest CRC-valid snapshot, if any.
+    let snap: Option<SnapshotData> = list_snapshot_files(dir)
+        .unwrap()
+        .into_iter()
+        .rev()
+        .find_map(|(_, p)| load_snapshot(&p).ok());
+
+    let mut balances = vec![0i64; m.clients];
+    let mut granted = vec![0u64; m.shards];
+    let mut burned = vec![0u64; m.shards];
+    let mut watermark = vec![0u64; m.shards];
+    if let Some(s) = &snap {
+        let mut client = 0usize;
+        for (i, sh) in s.shards.iter().enumerate() {
+            granted[i] = sh.granted;
+            burned[i] = sh.burned;
+            watermark[i] = sh.watermark;
+            for &b in &sh.balances {
+                balances[client] = b;
+                client += 1;
+            }
+        }
+        assert_eq!(client, m.clients, "snapshot covers every client");
+    }
+
+    // Replay every decodable frame up to the first damage; deltas
+    // commute, so per-shard sums are order-independent.
+    for (_, path) in list_segments(dir).unwrap() {
+        let scan = scan_segment(&std::fs::read(&path).unwrap());
+        for frame in &scan.frames {
+            let s = frame.shard as usize;
+            match &frame.payload {
+                FramePayload::Deltas(recs) => {
+                    for r in recs {
+                        if r.seq < watermark[s] {
+                            continue; // already inside the snapshot
+                        }
+                        assert_eq!(
+                            shard_of(r.client as usize, m.clients, m.shards),
+                            s,
+                            "journal record landed in the wrong shard"
+                        );
+                        balances[r.client as usize] += i64::from(r.delta);
+                        if r.delta >= 0 {
+                            granted[s] += r.delta as u64;
+                        } else {
+                            burned[s] += (-i64::from(r.delta)) as u64;
+                        }
+                    }
+                }
+                FramePayload::Ranges(recs) => {
+                    for r in recs {
+                        if r.seq < watermark[s] {
+                            continue;
+                        }
+                        let (lo, hi) = (r.lo as usize, r.lo as usize + r.len as usize);
+                        assert!(
+                            shard_of(lo, m.clients, m.shards) == s
+                                && shard_of(hi - 1, m.clients, m.shards) == s,
+                            "range grant crosses a shard boundary"
+                        );
+                        for b in &mut balances[lo..hi] {
+                            *b += 1;
+                        }
+                        granted[s] += u64::from(r.len);
+                    }
+                }
+            }
+        }
+        if scan.error.is_some() {
+            break; // everything after the damage is unreachable
+        }
+    }
+    Reference {
+        balances,
+        granted,
+        burned,
+    }
+}
+
+/// Launches the binary under load, waits for the journal (and at least
+/// one snapshot, when requested) to materialize, and SIGKILLs it.
+fn kill_mid_burst(dir: &Path, workers: usize, shards: usize, snapshots: bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_live"));
+    cmd.args([
+        "--clients",
+        "3000",
+        "--workers",
+        &workers.to_string(),
+        "--shards",
+        &shards.to_string(),
+        "--round-ms",
+        "20",
+        "--duration-secs",
+        "30",
+        "--commit-ms",
+        "1",
+        "--journal-dir",
+    ])
+    .arg(dir)
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    if snapshots {
+        cmd.args(["--snapshot-every", "0.08"]);
+    }
+    let mut child = cmd.spawn().expect("spawn live binary");
+
+    // Poll the directory until there is real work to destroy: tens of
+    // kilobytes of journal, plus a completed snapshot when asked for.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let journal_bytes: u64 = list_segments(dir)
+            .map(|v| {
+                v.iter()
+                    .filter_map(|(_, p)| p.metadata().ok())
+                    .map(|md| md.len())
+                    .sum()
+            })
+            .unwrap_or(0);
+        let snapped = !snapshots
+            || list_snapshot_files(dir)
+                .map(|v| !v.is_empty())
+                .unwrap_or(false);
+        if journal_bytes > 30_000 && snapped {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never grew: bytes={journal_bytes}, snapshot={snapped}"
+        );
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("live binary exited early: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+}
+
+fn check_crash_recovery(workers: usize, shards: usize, snapshots: bool) {
+    let dir = std::env::temp_dir().join(format!(
+        "ta-crash-{}-w{workers}-s{shards}-{snapshots}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    kill_mid_burst(&dir, workers, shards, snapshots);
+
+    let state = recover(&dir).expect("recovery after SIGKILL must succeed");
+    assert_eq!(state.clients, 3000);
+    assert_eq!(state.shards, shards);
+
+    let reference = reference_fold(&dir);
+    assert_eq!(
+        state.balances, reference.balances,
+        "recovered balances != independent fold of the surviving prefix"
+    );
+    assert_eq!(state.granted, reference.granted, "granted books diverge");
+    assert_eq!(state.burned, reference.burned, "burned books diverge");
+
+    // Exact conservation, shard by shard, straight from the fold.
+    for s in 0..shards {
+        let lo = s * 3000usize.div_ceil(shards).max(1);
+        let hi = ((s + 1) * 3000usize.div_ceil(shards).max(1)).min(3000);
+        let sum: i64 = reference.balances[lo.min(3000)..hi].iter().sum();
+        assert_eq!(
+            reference.granted[s] as i64 - reference.burned[s] as i64,
+            sum,
+            "shard {s} books do not conserve"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_mid_burst_1_worker_1_shard() {
+    check_crash_recovery(1, 1, false);
+}
+
+#[test]
+fn kill_mid_burst_1_worker_4_shards() {
+    check_crash_recovery(1, 4, true);
+}
+
+#[test]
+fn kill_mid_burst_1_worker_16_shards() {
+    check_crash_recovery(1, 16, false);
+}
+
+#[test]
+fn kill_mid_burst_4_workers_1_shard() {
+    check_crash_recovery(4, 1, true);
+}
+
+#[test]
+fn kill_mid_burst_4_workers_4_shards() {
+    check_crash_recovery(4, 4, false);
+}
+
+#[test]
+fn kill_mid_burst_4_workers_16_shards() {
+    check_crash_recovery(4, 16, true);
+}

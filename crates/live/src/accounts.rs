@@ -75,6 +75,28 @@ impl ShardedAccounts {
         ShardedAccounts { shards, block, n }
     }
 
+    /// Rebuilds a map from recovered balances, preserving the layout
+    /// rule of [`new`](Self::new) (same `n` and `shards` → identical
+    /// client→shard partition, so journal shard ids stay valid).
+    pub fn from_balances(balances: &[i64], shards: usize) -> Self {
+        let n = balances.len();
+        let shards = shards.clamp(1, n.max(1));
+        let block = n.div_ceil(shards).max(1);
+        let shards = (0..shards)
+            .map(|s| {
+                let lo = s * block;
+                let hi = ((s + 1) * block).min(n);
+                AccountShard {
+                    accounts: balances[lo..hi]
+                        .iter()
+                        .map(|&b| AtomicTokenAccount::new(b))
+                        .collect(),
+                }
+            })
+            .collect();
+        ShardedAccounts { shards, block, n }
+    }
+
     /// Number of accounts.
     #[inline]
     pub fn len(&self) -> usize {
@@ -177,6 +199,21 @@ mod tests {
     #[should_panic(expected = "index out of bounds")]
     fn empty_map_account_lookup_panics_on_index_not_division() {
         let _ = ShardedAccounts::new(0, 4).account(0);
+    }
+
+    #[test]
+    fn from_balances_preserves_layout_and_values() {
+        let balances: Vec<i64> = (0..10).map(|i| i as i64 - 3).collect();
+        let a = ShardedAccounts::from_balances(&balances, 4);
+        let b = ShardedAccounts::new(10, 4);
+        assert_eq!(a.shard_count(), b.shard_count());
+        for s in 0..a.shard_count() {
+            assert_eq!(a.shard_range(s), b.shard_range(s));
+        }
+        for (c, &want) in balances.iter().enumerate() {
+            assert_eq!(a.account(c).balance(), want);
+        }
+        assert_eq!(a.balances_sum(), balances.iter().sum::<i64>());
     }
 
     #[test]

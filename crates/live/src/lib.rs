@@ -14,6 +14,7 @@
 //! | [`histogram`] | allocation-free HDR-style log-linear [`LatencyHistogram`] |
 //! | [`counters`] | [`LiveCounters`] and the exact token-conservation books |
 //! | [`harness`] | live-vs-sim cross-validation: trace recording, exact virtual-clock replay, wall-clock distributional replay |
+//! | [`persist`] | durability: CRC-framed grant/spend journal, epoch-fenced copy-on-write snapshots, verified crash recovery, fault injection |
 //!
 //! The decision hot path is wait-free for grants (`fetch_add`) and
 //! lock-free for spends (a CAS loop that can never overdraw), performs
@@ -36,6 +37,7 @@ pub mod counters;
 pub mod harness;
 pub mod histogram;
 pub mod loadgen;
+pub mod persist;
 pub mod runtime;
 
 pub use accounts::ShardedAccounts;
@@ -46,6 +48,11 @@ pub use harness::{
 };
 pub use histogram::LatencyHistogram;
 pub use loadgen::{
-    run_loadgen, run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
+    run_loadgen, run_loadgen_durable, run_loadgen_durable_spec, run_loadgen_spec, ArrivalMode,
+    BurstMix, DurableStats, LoadGenConfig, LoadGenReport,
+};
+pub use persist::{
+    recover, FaultPlan, JournalHandle, JournalStats, PersistConfig, Persistence, RecoveredState,
+    RecoveryError,
 };
 pub use runtime::LiveRuntime;

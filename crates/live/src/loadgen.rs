@@ -32,6 +32,7 @@ use ta_sim::rng::Xoshiro256pp;
 
 use crate::counters::LiveCounters;
 use crate::histogram::LatencyHistogram;
+use crate::persist::{JournalHandle, Persistence, RecoveredState};
 use crate::runtime::LiveRuntime;
 
 /// How request arrivals are paced.
@@ -112,6 +113,9 @@ pub struct LoadGenReport {
     pub histogram: LatencyHistogram,
     /// Sum of the final account balances.
     pub balances_sum: i64,
+    /// Sum of the balances the run *started* from (non-zero only for
+    /// runs resumed from a recovered state).
+    pub initial_balances_sum: i64,
 }
 
 impl LoadGenReport {
@@ -126,24 +130,91 @@ impl LoadGenReport {
     }
 
     /// Whether the token books close exactly
-    /// (`tokens_banked − reactive_sent == balances_sum`).
+    /// (`tokens_banked − reactive_sent == balances_sum` net of any
+    /// recovered starting balances).
     pub fn conserves(&self) -> bool {
-        self.counters.is_consistent() && self.counters.conserves(self.balances_sum)
+        self.counters.is_consistent()
+            && self
+                .counters
+                .conserves(self.balances_sum - self.initial_balances_sum)
     }
 }
 
 /// Runs the load generator with a concrete (monomorphized) strategy.
 pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenReport {
+    let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
+    run_on_runtime(&runtime, cfg, None, None).0
+}
+
+/// Outcome of the durability side of a [`run_loadgen_durable`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Snapshots completed.
+    pub snapshots: u64,
+    /// Snapshot attempts that failed (I/O errors or injected faults).
+    pub snapshot_failures: u64,
+}
+
+/// Runs the load generator with the journal attached: every worker and
+/// the granter publish their balance deltas through per-thread
+/// [`JournalHandle`]s, and (optionally) a snapshotter thread checkpoints
+/// the accounts every `snapshot_every`.
+///
+/// `recovered` resumes from a verified [`RecoveredState`] (whose
+/// geometry must match `cfg` and the `persistence` manifest); `None`
+/// starts from zero balances. The caller keeps ownership of
+/// `persistence` — call [`Persistence::shutdown`] (or
+/// [`Persistence::sync`]) afterwards to make the tail durable.
+pub fn run_loadgen_durable<S: Strategy>(
+    strategy: S,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+) -> (LoadGenReport, DurableStats) {
+    let runtime = match recovered {
+        Some(state) => {
+            assert_eq!(
+                state.clients, cfg.clients,
+                "recovered client count mismatch"
+            );
+            LiveRuntime::from_recovered(strategy, state)
+        }
+        None => LiveRuntime::new(strategy, cfg.clients, cfg.account_shards),
+    };
+    let manifest = persistence.manifest();
+    assert_eq!(
+        manifest.clients,
+        runtime.accounts().len(),
+        "manifest client count mismatch"
+    );
+    assert_eq!(
+        manifest.shards,
+        runtime.accounts().shard_count(),
+        "manifest shard count mismatch"
+    );
+    run_on_runtime(&runtime, cfg, Some(persistence), snapshot_every)
+}
+
+/// The shared run loop: spawns the granter, the workers, and (durable
+/// runs only) the snapshotter over a caller-built runtime.
+fn run_on_runtime<S: Strategy>(
+    runtime: &LiveRuntime<S>,
+    cfg: &LoadGenConfig,
+    persistence: Option<&Persistence>,
+    snapshot_every: Option<Duration>,
+) -> (LoadGenReport, DurableStats) {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(cfg.clients >= 1, "need at least one client");
-    let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
+    let initial_balances_sum = runtime.balances_sum();
     let stop = AtomicBool::new(false);
     let start = Instant::now();
 
-    let (worker_outcomes, granter_counters) = std::thread::scope(|scope| {
+    let (worker_outcomes, granter_counters, durable) = std::thread::scope(|scope| {
         let granter = cfg.round_period.map(|period| {
             let runtime = &runtime;
             let stop = &stop;
+            let mut journal = persistence.map(Persistence::handle);
             scope.spawn(move || {
                 let mut rng = Xoshiro256pp::stream(cfg.seed, GRANTER_STREAM);
                 let mut counters = LiveCounters::default();
@@ -159,7 +230,12 @@ pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenRepo
                     for s in 0..runtime.accounts().shard_count() {
                         // Proactive sends would leave through a transport
                         // here; the load generator only accounts them.
-                        runtime.round_sweep(s, &mut rng, &mut counters, |_| {});
+                        match journal.as_mut() {
+                            Some(j) => {
+                                runtime.round_sweep_journaled(s, &mut rng, &mut counters, |_| {}, j)
+                            }
+                            None => runtime.round_sweep(s, &mut rng, &mut counters, |_| {}),
+                        };
                     }
                     next += period;
                 }
@@ -167,19 +243,46 @@ pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenRepo
             })
         });
 
+        let snapper = match (persistence, snapshot_every) {
+            (Some(p), Some(every)) => {
+                let runtime = &runtime;
+                let stop = &stop;
+                Some(scope.spawn(move || {
+                    let mut stats = DurableStats::default();
+                    let mut next = every;
+                    while !stop.load(Ordering::Acquire) {
+                        let now = start.elapsed();
+                        if now < next {
+                            std::thread::sleep((next - now).min(Duration::from_millis(5)));
+                            continue;
+                        }
+                        match p.snapshot(runtime.accounts()) {
+                            Ok(_) => stats.snapshots += 1,
+                            Err(_) => stats.snapshot_failures += 1,
+                        }
+                        next += every;
+                    }
+                    stats
+                }))
+            }
+            _ => None,
+        };
+
         let block = cfg.clients.div_ceil(cfg.workers);
         let handles: Vec<_> = (0..cfg.workers)
             .map(|w| {
                 let runtime = &runtime;
+                let journal = persistence.map(Persistence::handle);
                 let lo = (w * block).min(cfg.clients);
                 let hi = ((w + 1) * block).min(cfg.clients);
-                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi))
+                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi, journal))
             })
             .collect();
         let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         stop.store(true, Ordering::Release);
         let granter_counters = granter.map(|g| g.join().unwrap()).unwrap_or_default();
-        (outcomes, granter_counters)
+        let durable = snapper.map(|s| s.join().unwrap()).unwrap_or_default();
+        (outcomes, granter_counters, durable)
     });
     let wall = start.elapsed();
 
@@ -189,13 +292,17 @@ pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenRepo
         counters.merge(c);
         histogram.merge(h);
     }
-    LoadGenReport {
-        counters,
-        workers: cfg.workers,
-        wall,
-        histogram,
-        balances_sum: runtime.balances_sum(),
-    }
+    (
+        LoadGenReport {
+            counters,
+            workers: cfg.workers,
+            wall,
+            histogram,
+            balances_sum: runtime.balances_sum(),
+            initial_balances_sum,
+        },
+        durable,
+    )
 }
 
 /// Stream id of the granter (distinct from every worker's `1 + w`).
@@ -208,6 +315,7 @@ fn worker_loop<S: Strategy>(
     w: u64,
     lo: usize,
     hi: usize,
+    mut journal: Option<JournalHandle>,
 ) -> (LiveCounters, LatencyHistogram) {
     let mut rng = Xoshiro256pp::stream(cfg.seed, 1 + w);
     let mut counters = LiveCounters::default();
@@ -222,6 +330,13 @@ fn worker_loop<S: Strategy>(
         ArrivalMode::Open { rate_per_client } => rate_per_client * block as f64,
     };
     let mut next_arrival = Duration::ZERO;
+    // Durable runs hold the producer's epoch across a chunk of
+    // admissions (re-opened every `ADMIT_FENCE_CHUNK` decisions, and
+    // released around open-loop waits) so the two seq-cst fence
+    // operations amortize over the chunk instead of taxing every
+    // decision.
+    const ADMIT_FENCE_CHUNK: u32 = 256;
+    let mut chunk_left = 0u32;
     loop {
         let now = start.elapsed();
         if now >= deadline {
@@ -238,6 +353,12 @@ fn worker_loop<S: Strategy>(
                 if start.elapsed() + wait >= deadline {
                     break;
                 }
+                if let Some(j) = journal.as_mut() {
+                    if chunk_left > 0 {
+                        chunk_left = 0;
+                        j.exit(); // never sleep inside the epoch
+                    }
+                }
                 if wait > Duration::from_millis(2) {
                     std::thread::sleep(wait - Duration::from_millis(1));
                 }
@@ -245,6 +366,19 @@ fn worker_loop<S: Strategy>(
                     std::hint::spin_loop();
                 }
             }
+        }
+        if let Some(j) = journal.as_mut() {
+            if chunk_left == 0 {
+                j.enter_bulk();
+                chunk_left = ADMIT_FENCE_CHUNK;
+            } else if chunk_left == 1 {
+                // Step out and straight back in: one idle window per
+                // chunk for a waiting snapshotter to slip through.
+                j.exit();
+                j.enter_bulk();
+                chunk_left = ADMIT_FENCE_CHUNK;
+            }
+            chunk_left -= 1;
         }
         let client = lo + rng.below(block) as usize;
         let requests = match cfg.burst {
@@ -254,8 +388,16 @@ fn worker_loop<S: Strategy>(
         for _ in 0..requests {
             let usefulness = Usefulness::from_bool(rng.chance(cfg.useful_probability));
             let t0 = Instant::now();
-            runtime.admit(client, usefulness, &mut rng, &mut counters);
+            match journal.as_mut() {
+                Some(j) => runtime.admit_journaled(client, usefulness, &mut rng, &mut counters, j),
+                None => runtime.admit(client, usefulness, &mut rng, &mut counters),
+            };
             histogram.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    if let Some(j) = journal.as_mut() {
+        if chunk_left > 0 {
+            j.exit();
         }
     }
     (counters, histogram)
@@ -285,6 +427,47 @@ pub fn run_loadgen_spec(
     cfg: &LoadGenConfig,
 ) -> Result<LoadGenReport, InvalidStrategyError> {
     spec.dispatch(LoadGenVisitor { cfg })
+}
+
+/// Monomorphizing bridge for [`run_loadgen_durable`].
+struct DurableVisitor<'a> {
+    cfg: &'a LoadGenConfig,
+    persistence: &'a Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&'a RecoveredState>,
+}
+
+impl StrategyVisitor for DurableVisitor<'_> {
+    type Output = (LoadGenReport, DurableStats);
+    fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> Self::Output {
+        run_loadgen_durable(
+            strategy,
+            self.cfg,
+            self.persistence,
+            self.snapshot_every,
+            self.recovered,
+        )
+    }
+}
+
+/// [`run_loadgen_durable`] for a serializable [`StrategySpec`].
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+pub fn run_loadgen_durable_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+) -> Result<(LoadGenReport, DurableStats), InvalidStrategyError> {
+    spec.dispatch(DurableVisitor {
+        cfg,
+        persistence,
+        snapshot_every,
+        recovered,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,216 @@
+//! Fault injection for the durability subsystem.
+//!
+//! A [`FaultPlan`] is parsed from a comma-separated list (the `TA_FAULT`
+//! environment variable or the `live` bin's `--fault` flag) and has two
+//! kinds of members:
+//!
+//! * **In-process faults** consulted while the domain runs:
+//!   `kill_writer_mid_frame` (the writer makes a half-written frame
+//!   durable and dies), `drop_fsync` (commits skip fsync),
+//!   `crash_mid_snapshot` (the snapshotter writes half a tmp file and
+//!   gives up), `poison_books` (snapshots carry CRC-valid but
+//!   off-by-one grant books — the fault that must trip the conservation
+//!   gate, because no torn tail can).
+//! * **Post-mortem mutilations** applied to the directory after the
+//!   process is gone, simulating sector loss the page cache hid:
+//!   `torn_tail` (cut bytes off the newest segment), `corrupt_crc`
+//!   (flip a byte inside it), `corrupt_snapshot` (flip a byte in the
+//!   newest snapshot).
+//!
+//! Every mode must leave recovery either exact (fold of the surviving
+//! prefix) or loudly failing — the fault sweep in CI checks both.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use super::{journal, snapshot};
+
+/// Which faults to inject. Parsed with [`FaultPlan::parse`];
+/// `FaultPlan::default()` injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Writer syncs a half-written frame and exits after two committed
+    /// frames.
+    pub kill_writer_mid_frame: bool,
+    /// Journal commits skip fsync.
+    pub drop_fsync: bool,
+    /// The snapshotter dies halfway through the tmp write; no further
+    /// snapshots are taken.
+    pub crash_mid_snapshot: bool,
+    /// Snapshots are written with grant books off by one (CRC-valid).
+    pub poison_books: bool,
+    /// Post-mortem: cut bytes off the newest journal segment.
+    pub torn_tail: bool,
+    /// Post-mortem: flip a byte inside the newest journal segment.
+    pub corrupt_crc: bool,
+    /// Post-mortem: flip a byte inside the newest snapshot file.
+    pub corrupt_snapshot: bool,
+}
+
+impl FaultPlan {
+    /// All recognised mode names.
+    pub const MODES: [&'static str; 7] = [
+        "kill_writer_mid_frame",
+        "drop_fsync",
+        "crash_mid_snapshot",
+        "poison_books",
+        "torn_tail",
+        "corrupt_crc",
+        "corrupt_snapshot",
+    ];
+
+    /// Parses a comma-separated mode list ("" → no faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token for anything not in [`Self::MODES`].
+    pub fn parse(list: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for tok in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "kill_writer_mid_frame" => plan.kill_writer_mid_frame = true,
+                "drop_fsync" => plan.drop_fsync = true,
+                "crash_mid_snapshot" => plan.crash_mid_snapshot = true,
+                "poison_books" => plan.poison_books = true,
+                "torn_tail" => plan.torn_tail = true,
+                "corrupt_crc" => plan.corrupt_crc = true,
+                "corrupt_snapshot" => plan.corrupt_snapshot = true,
+                other => return Err(format!("unknown fault mode `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Parses the `TA_FAULT` environment variable (unset → no faults).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::parse`].
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("TA_FAULT") {
+            Ok(list) => Self::parse(&list),
+            Err(_) => Ok(FaultPlan::default()),
+        }
+    }
+
+    /// True if any post-mortem mutilation is requested.
+    pub fn wants_post_mortem(&self) -> bool {
+        self.torn_tail || self.corrupt_crc || self.corrupt_snapshot
+    }
+
+    /// Applies the post-mortem mutilations to a dead domain directory,
+    /// returning a description of each wound inflicted.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error while mutilating.
+    pub fn apply_post_mortem(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut wounds = Vec::new();
+        if self.torn_tail {
+            if let Some((id, path, len)) = newest_nonempty_segment(dir)? {
+                // Frames are ≥ 16 bytes, so shaving 5 always tears the
+                // final frame rather than landing on a boundary.
+                let cut = len.saturating_sub(5);
+                let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+                f.set_len(cut)?;
+                f.sync_data()?;
+                wounds.push(format!(
+                    "torn_tail: segment {id:08x} cut {len} → {cut} bytes"
+                ));
+            }
+        }
+        if self.corrupt_crc {
+            if let Some((id, path, len)) = newest_nonempty_segment(dir)? {
+                flip_byte(&path, len / 2)?;
+                wounds.push(format!(
+                    "corrupt_crc: segment {id:08x} byte {} flipped",
+                    len / 2
+                ));
+            }
+        }
+        if self.corrupt_snapshot {
+            let mut snaps = snapshot::list_snapshot_files(dir)?;
+            if let Some((id, path)) = snaps.pop() {
+                let len = std::fs::metadata(&path)?.len();
+                if len > 0 {
+                    flip_byte(&path, len / 2)?;
+                    wounds.push(format!(
+                        "corrupt_snapshot: snapshot {id:08x} byte {} flipped",
+                        len / 2
+                    ));
+                }
+            }
+        }
+        Ok(wounds)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut put = |f: &mut fmt::Formatter<'_>, on: bool, name: &str| -> fmt::Result {
+            if on {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+            Ok(())
+        };
+        put(f, self.kill_writer_mid_frame, "kill_writer_mid_frame")?;
+        put(f, self.drop_fsync, "drop_fsync")?;
+        put(f, self.crash_mid_snapshot, "crash_mid_snapshot")?;
+        put(f, self.poison_books, "poison_books")?;
+        put(f, self.torn_tail, "torn_tail")?;
+        put(f, self.corrupt_crc, "corrupt_crc")?;
+        put(f, self.corrupt_snapshot, "corrupt_snapshot")?;
+        if first {
+            write!(f, "none")?;
+        }
+        Ok(())
+    }
+}
+
+fn newest_nonempty_segment(dir: &Path) -> io::Result<Option<(u64, std::path::PathBuf, u64)>> {
+    for (id, path) in journal::list_segments(dir)?.into_iter().rev() {
+        let len = std::fs::metadata(&path)?.len();
+        if len > 0 {
+            return Ok(Some((id, path, len)));
+        }
+    }
+    Ok(None)
+}
+
+fn flip_byte(path: &Path, offset: u64) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let i = (offset as usize).min(bytes.len().saturating_sub(1));
+    bytes[i] ^= 0x55;
+    std::fs::write(path, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_all_modes() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        let all = FaultPlan::MODES.join(",");
+        let plan = FaultPlan::parse(&all).unwrap();
+        assert!(plan.kill_writer_mid_frame && plan.drop_fsync && plan.crash_mid_snapshot);
+        assert!(plan.poison_books && plan.torn_tail && plan.corrupt_crc && plan.corrupt_snapshot);
+        assert_eq!(plan.to_string(), all);
+        assert_eq!(FaultPlan::default().to_string(), "none");
+        assert!(FaultPlan::parse("torn_tail, bogus").is_err());
+        assert_eq!(
+            FaultPlan::parse(" torn_tail , corrupt_crc ").unwrap(),
+            FaultPlan {
+                torn_tail: true,
+                corrupt_crc: true,
+                ..FaultPlan::default()
+            }
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! Restart path: snapshot + journal tail → verified account state.
+//!
+//! [`recover`] never serves a silently-wrong state. Its contract:
+//!
+//! 1. **Pick a base.** Load the newest CRC-valid snapshot, falling back
+//!    past torn, corrupt, or partially-written files (each skip is
+//!    reported as a [`Truncation`]). No valid snapshot → start from
+//!    zero balances with zero watermarks.
+//! 2. **Replay the tail.** Scan every journal segment in id order;
+//!    apply each record whose `seq` is at or above its shard's snapshot
+//!    watermark (deltas on distinct sequence numbers commute, so order
+//!    within a shard is irrelevant; duplicates cannot exist because the
+//!    sequence is stamped once per record). The first torn or corrupt
+//!    frame ends the usable journal: later frames — even valid ones —
+//!    are dropped and reported, because the gap makes their prefix
+//!    unknowable.
+//! 3. **Verify conservation.** For every shard the recovered books must
+//!    balance exactly: `granted − burned == Σ balances`, and the same
+//!    globally. A mismatch is [`RecoveryError::Conservation`] — the
+//!    caller must refuse to serve.
+//!
+//! The recovered state is exactly the fold of the surviving record
+//! prefix — the acceptance oracle the crash tests check against.
+
+use std::fmt;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+use super::journal::{self, FrameError};
+use super::{read_manifest, snapshot, Manifest};
+
+/// One event where recovery discarded data it could not trust.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncation {
+    /// The file involved.
+    pub file: PathBuf,
+    /// What was wrong.
+    pub reason: TruncationReason,
+}
+
+/// Why a file (or its tail) was discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// A journal segment ended inside a frame; `kept` bytes survive.
+    TornTail {
+        /// Usable prefix length in bytes.
+        kept: u64,
+    },
+    /// A journal frame failed its CRC (or had a bad magic); the rest of
+    /// the journal is dropped.
+    CorruptFrame {
+        /// Usable prefix length in bytes.
+        kept: u64,
+    },
+    /// A later journal segment was ignored because an earlier one was
+    /// cut short.
+    UnreachableSegment,
+    /// A snapshot file failed to load and was skipped.
+    BadSnapshot {
+        /// The loader's diagnosis.
+        error: String,
+    },
+    /// A leftover `.tmp` file from an interrupted atomic write.
+    AbandonedTmp,
+}
+
+impl fmt::Display for Truncation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.file.file_name().unwrap_or_default().to_string_lossy();
+        match &self.reason {
+            TruncationReason::TornTail { kept } => {
+                write!(f, "{name}: torn tail, kept {kept} bytes")
+            }
+            TruncationReason::CorruptFrame { kept } => {
+                write!(f, "{name}: corrupt frame, kept {kept} bytes")
+            }
+            TruncationReason::UnreachableSegment => {
+                write!(f, "{name}: unreachable past an earlier truncation")
+            }
+            TruncationReason::BadSnapshot { error } => write!(f, "{name}: {error}"),
+            TruncationReason::AbandonedTmp => write!(f, "{name}: abandoned tmp file"),
+        }
+    }
+}
+
+/// A fully-verified recovered state, ready for
+/// [`Persistence::resume`](super::Persistence::resume) and
+/// [`LiveRuntime`](crate::runtime::LiveRuntime) reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Client count (from the manifest).
+    pub clients: usize,
+    /// Shard count (from the manifest).
+    pub shards: usize,
+    /// All balances, in client order.
+    pub balances: Vec<i64>,
+    /// Per-shard cumulative granted tokens.
+    pub granted: Vec<u64>,
+    /// Per-shard cumulative burned tokens.
+    pub burned: Vec<u64>,
+    /// Per-shard next sequence number (for resuming the journal).
+    pub next_seq: Vec<u64>,
+    /// Snapshot the state was based on (`None` = journal-only).
+    pub snapshot_id: Option<u64>,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Data recovery had to discard (torn tails, corrupt frames, bad
+    /// snapshots). Empty after a clean shutdown.
+    pub truncations: Vec<Truncation>,
+}
+
+impl RecoveredState {
+    /// Sum of all recovered balances.
+    pub fn balances_sum(&self) -> i64 {
+        self.balances.iter().sum()
+    }
+
+    /// Total granted across shards.
+    pub fn granted_total(&self) -> u64 {
+        self.granted.iter().sum()
+    }
+
+    /// Total burned across shards.
+    pub fn burned_total(&self) -> u64 {
+        self.burned.iter().sum()
+    }
+}
+
+/// Why recovery refused to produce a state.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The recovered books do not balance: serving them would violate
+    /// token conservation.
+    Conservation {
+        /// Human-readable diagnosis (which shard, expected vs got).
+        detail: String,
+    },
+    /// The directory is not a recoverable domain (missing/corrupt
+    /// manifest) or another I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Conservation { detail } => {
+                write!(f, "conservation mismatch: {detail}")
+            }
+            RecoveryError::Io(e) => write!(f, "recovery i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Recovers the durability domain in `dir`.
+///
+/// # Errors
+///
+/// [`RecoveryError::Conservation`] if the recovered books do not
+/// balance (the caller must not serve); [`RecoveryError::Io`] if the
+/// manifest is missing/corrupt or the filesystem fails. Torn tails and
+/// corrupt files are *not* errors — they are truncations, reported in
+/// [`RecoveredState::truncations`].
+pub fn recover(dir: &Path) -> Result<RecoveredState, RecoveryError> {
+    let manifest = read_manifest(dir)?;
+    let mut truncations = Vec::new();
+
+    // Leftover tmp files are evidence of an interrupted atomic write;
+    // report (and ignore) them.
+    for entry in std::fs::read_dir(dir).map_err(RecoveryError::Io)? {
+        let entry = entry.map_err(RecoveryError::Io)?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            truncations.push(Truncation {
+                file: entry.path(),
+                reason: TruncationReason::AbandonedTmp,
+            });
+        }
+    }
+
+    let base = pick_base(dir, &manifest, &mut truncations)?;
+    let (snapshot_id, mut balances, mut granted, mut burned, watermarks) = base;
+    let mut next_seq = watermarks.clone();
+
+    // Replay every surviving record with seq >= its shard's watermark.
+    let geometry = ShardGeometry::new(manifest.clients, manifest.shards);
+    let mut replayed = 0u64;
+    let mut dead = false;
+    for (_, path) in journal::list_segments(dir)? {
+        if dead {
+            truncations.push(Truncation {
+                file: path,
+                reason: TruncationReason::UnreachableSegment,
+            });
+            continue;
+        }
+        let mut bytes = Vec::new();
+        std::fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        let scan = journal::scan_segment(&bytes);
+        for frame in &scan.frames {
+            let s = frame.shard as usize;
+            if s >= manifest.shards {
+                // A frame for a shard the manifest doesn't know cannot
+                // be applied; treat like corruption.
+                truncations.push(Truncation {
+                    file: path.clone(),
+                    reason: TruncationReason::CorruptFrame {
+                        kept: scan.valid_len as u64,
+                    },
+                });
+                dead = true;
+                break;
+            }
+            match &frame.payload {
+                journal::FramePayload::Deltas(recs) => {
+                    for r in recs {
+                        if r.seq < watermarks[s] {
+                            continue; // already inside the snapshot
+                        }
+                        let c = r.client as usize;
+                        assert!(
+                            geometry.shard_of(c) == s && c < manifest.clients,
+                            "journal record for client {c} outside shard {s}"
+                        );
+                        balances[c] += r.delta as i64;
+                        if r.delta >= 0 {
+                            granted[s] += r.delta as u64;
+                        } else {
+                            burned[s] += r.delta.unsigned_abs() as u64;
+                        }
+                        next_seq[s] = next_seq[s].max(r.seq + 1);
+                        replayed += 1;
+                    }
+                }
+                journal::FramePayload::Ranges(recs) => {
+                    let shard_range = geometry.shard_range(s);
+                    for r in recs {
+                        if r.seq < watermarks[s] {
+                            continue;
+                        }
+                        let lo = r.lo as usize;
+                        let hi = lo + r.len as usize;
+                        assert!(
+                            lo >= shard_range.start && hi <= shard_range.end,
+                            "range grant [{lo}, {hi}) outside shard {s}"
+                        );
+                        for b in &mut balances[lo..hi] {
+                            *b += 1;
+                        }
+                        granted[s] += u64::from(r.len);
+                        next_seq[s] = next_seq[s].max(r.seq + 1);
+                        replayed += 1;
+                    }
+                }
+            }
+        }
+        if dead {
+            continue; // a bad shard id already condemned this segment
+        }
+        if let Some(err) = scan.error {
+            truncations.push(Truncation {
+                file: path,
+                reason: match err {
+                    FrameError::Torn => TruncationReason::TornTail {
+                        kept: scan.valid_len as u64,
+                    },
+                    FrameError::BadMagic | FrameError::BadCrc => TruncationReason::CorruptFrame {
+                        kept: scan.valid_len as u64,
+                    },
+                },
+            });
+            dead = true;
+        }
+    }
+
+    // Conservation: per shard and globally, granted − burned must equal
+    // the sum of balances. This must hold by construction of the fold —
+    // if it doesn't, the files lied (bit rot, poisoned books) and the
+    // state must not be served.
+    for s in 0..manifest.shards {
+        let range = geometry.shard_range(s);
+        let sum: i64 = balances[range].iter().sum();
+        let books = granted[s] as i64 - burned[s] as i64;
+        if books != sum {
+            return Err(RecoveryError::Conservation {
+                detail: format!(
+                    "shard {s}: granted {} − burned {} = {books} but balances sum to {sum}",
+                    granted[s], burned[s]
+                ),
+            });
+        }
+    }
+
+    Ok(RecoveredState {
+        clients: manifest.clients,
+        shards: manifest.shards,
+        balances,
+        granted,
+        burned,
+        next_seq,
+        snapshot_id,
+        replayed,
+        truncations,
+    })
+}
+
+type Base = (Option<u64>, Vec<i64>, Vec<u64>, Vec<u64>, Vec<u64>);
+
+/// Loads the newest valid snapshot (recording a truncation per skipped
+/// file) or falls back to the zero state.
+fn pick_base(
+    dir: &Path,
+    manifest: &Manifest,
+    truncations: &mut Vec<Truncation>,
+) -> Result<Base, RecoveryError> {
+    let mut files = snapshot::list_snapshot_files(dir)?;
+    while let Some((_, path)) = files.pop() {
+        match snapshot::load(&path) {
+            Ok(snap) => {
+                if snap.clients as usize != manifest.clients || snap.shards.len() != manifest.shards
+                {
+                    truncations.push(Truncation {
+                        file: path,
+                        reason: TruncationReason::BadSnapshot {
+                            error: "geometry disagrees with manifest".into(),
+                        },
+                    });
+                    continue;
+                }
+                let mut balances = Vec::with_capacity(manifest.clients);
+                let mut granted = Vec::with_capacity(manifest.shards);
+                let mut burned = Vec::with_capacity(manifest.shards);
+                let mut watermarks = Vec::with_capacity(manifest.shards);
+                for sh in &snap.shards {
+                    balances.extend_from_slice(&sh.balances);
+                    granted.push(sh.granted);
+                    burned.push(sh.burned);
+                    watermarks.push(sh.watermark);
+                }
+                return Ok((Some(snap.id), balances, granted, burned, watermarks));
+            }
+            Err(e) => {
+                truncations.push(Truncation {
+                    file: path,
+                    reason: TruncationReason::BadSnapshot {
+                        error: e.to_string(),
+                    },
+                });
+            }
+        }
+    }
+    Ok((
+        None,
+        vec![0; manifest.clients],
+        vec![0; manifest.shards],
+        vec![0; manifest.shards],
+        vec![0; manifest.shards],
+    ))
+}
+
+/// The client→shard partition rule of
+/// [`ShardedAccounts`](crate::accounts::ShardedAccounts), reproduced
+/// from `(clients, shards)` alone so recovery needs no live map.
+struct ShardGeometry {
+    block: usize,
+    n: usize,
+    shards: usize,
+}
+
+impl ShardGeometry {
+    fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        ShardGeometry {
+            block: n.div_ceil(shards).max(1),
+            n,
+            shards,
+        }
+    }
+
+    fn shard_of(&self, client: usize) -> usize {
+        client / self.block
+    }
+
+    fn shard_range(&self, s: usize) -> std::ops::Range<usize> {
+        let lo = (s * self.block).min(self.n);
+        let hi = ((s + 1) * self.block).min(self.n);
+        debug_assert!(s < self.shards);
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{write_manifest, Manifest};
+    use super::*;
+    use crate::accounts::ShardedAccounts;
+
+    #[test]
+    fn geometry_matches_sharded_accounts() {
+        for (n, shards) in [
+            (10usize, 4usize),
+            (10, 1),
+            (1, 8),
+            (7, 7),
+            (64, 3),
+            (100, 16),
+        ] {
+            let a = ShardedAccounts::new(n, shards);
+            let g = ShardGeometry::new(n, shards);
+            assert_eq!(g.shards, a.shard_count());
+            for s in 0..a.shard_count() {
+                // Trailing over-partitioned shards are empty in both
+                // views but anchor at different (irrelevant) offsets.
+                let (got, want) = (g.shard_range(s), a.shard_range(s));
+                if want.is_empty() {
+                    assert!(got.is_empty(), "({n},{shards}) shard {s}");
+                } else {
+                    assert_eq!(got, want, "({n},{shards}) shard {s}");
+                }
+            }
+            for c in 0..n {
+                assert_eq!(g.shard_of(c), a.shard_of(c));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_domain_recovers_to_zero() {
+        let dir = std::env::temp_dir().join(format!("ta-rec-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_manifest(
+            &dir,
+            &Manifest {
+                clients: 5,
+                shards: 2,
+            },
+        )
+        .unwrap();
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.balances, vec![0; 5]);
+        assert_eq!(state.replayed, 0);
+        assert_eq!(state.snapshot_id, None);
+        assert!(state.truncations.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_io_error() {
+        let dir = std::env::temp_dir().join(format!("ta-rec-noman-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(recover(&dir), Err(RecoveryError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

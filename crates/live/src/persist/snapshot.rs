@@ -1,0 +1,442 @@
+//! Copy-on-write snapshots of [`ShardedAccounts`].
+//!
+//! ## On-disk format
+//!
+//! Snapshot files are `snapshot-<id:08x>.tas`, written to a `.tmp`
+//! sibling, fsynced, renamed into place, and the directory fsynced —
+//! the `atomic_write_json` idiom of SNIPPETS.md Snippet 1, binary
+//! flavour. Layout (little-endian):
+//!
+//! ```text
+//! magic u32 | version u32 | id u64 | first_segment u64
+//! clients u64 | shards u32 | pad u32
+//! per shard: watermark u64 | granted u64 | burned u64 | count u64
+//!            | count × balance i64
+//! crc32 u32   (over everything before it)
+//! ```
+//!
+//! `first_segment` is the journal segment that was active when the
+//! snapshot *started*: every record the snapshot does not already
+//! contain lives in that segment or a later one, which is what makes
+//! segment retirement safe.
+//!
+//! ## Consistency
+//!
+//! [`take`] freezes shards **one at a time**: it raises the shard's
+//! fence, waits for every producer's epoch cell to read idle, then
+//! reads the watermark `W`, the grant/burn books, and the balances.
+//! Because producers stamp sequence numbers and apply balance deltas
+//! strictly inside their epoch (enter → stamp+apply → exit), quiescence
+//! means the copy reflects *exactly* the deltas with `seq < W` — the
+//! replay cutoff recovery uses. All other shards keep admitting
+//! throughout; the journal keeps running even for the fenced shard's
+//! writer-side batches.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+
+use super::journal::WriterMsg;
+use super::{atomic_write, crc32, sync_dir, tmp_path, Persistence, SnapMeta};
+use crate::accounts::ShardedAccounts;
+
+/// Snapshot magic: "TASN".
+pub const SNAPSHOT_MAGIC: u32 = 0x5441_534E;
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Path of snapshot `id` inside `dir`.
+pub fn snapshot_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("snapshot-{id:08x}.tas"))
+}
+
+/// Lists snapshot files in `dir`, sorted by id (no validation).
+pub fn list_snapshot_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name
+            .strip_prefix("snapshot-")
+            .and_then(|rest| rest.strip_suffix(".tas"))
+        {
+            if let Ok(id) = u64::from_str_radix(hex, 16) {
+                out.push((id, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// One shard's slice of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnap {
+    /// Sequence watermark: the snapshot contains exactly the deltas
+    /// with `seq < watermark`; replay applies records with
+    /// `seq >= watermark`.
+    pub watermark: u64,
+    /// Cumulative granted tokens at the watermark.
+    pub granted: u64,
+    /// Cumulative burned tokens at the watermark.
+    pub burned: u64,
+    /// The shard's balances, in client order.
+    pub balances: Vec<i64>,
+}
+
+/// A decoded snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Snapshot id (monotonic per domain).
+    pub id: u64,
+    /// Journal segment active when the snapshot started.
+    pub first_segment: u64,
+    /// Total client count (must match the manifest).
+    pub clients: u64,
+    /// Per-shard state.
+    pub shards: Vec<ShardSnap>,
+}
+
+/// Summary of one completed snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot id.
+    pub id: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Journal segments deleted during retirement.
+    pub retired_segments: u64,
+}
+
+pub(crate) fn encode(
+    id: u64,
+    first_segment: u64,
+    clients: u64,
+    shards: &[ShardSnap],
+    poison_books: bool,
+) -> Vec<u8> {
+    let payload: usize = shards.iter().map(|s| 32 + 8 * s.balances.len()).sum();
+    let mut out = Vec::with_capacity(36 + payload);
+    out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&first_segment.to_le_bytes());
+    out.extend_from_slice(&clients.to_le_bytes());
+    out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    for (i, s) in shards.iter().enumerate() {
+        out.extend_from_slice(&s.watermark.to_le_bytes());
+        // `poison_books` writes a CRC-valid snapshot whose books are off
+        // by one token on shard 0 — the fault that proves the
+        // conservation gate actually fires.
+        let granted = if poison_books && i == 0 {
+            s.granted + 1
+        } else {
+            s.granted
+        };
+        out.extend_from_slice(&granted.to_le_bytes());
+        out.extend_from_slice(&s.burned.to_le_bytes());
+        out.extend_from_slice(&(s.balances.len() as u64).to_le_bytes());
+        for &b in &s.balances {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Loads and validates one snapshot file.
+///
+/// # Errors
+///
+/// Any I/O error, plus `InvalidData` for truncation, bad magic,
+/// version, CRC, or internal inconsistencies — the recovery path treats
+/// all of these as "fall back to an older snapshot".
+pub fn load(path: &Path) -> io::Result<SnapshotData> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"));
+    if bytes.len() < 40 {
+        return Err(bad("truncated header"));
+    }
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc != crc32(&bytes[..bytes.len() - 4]) {
+        return Err(bad("bad crc"));
+    }
+    if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != SNAPSHOT_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != SNAPSHOT_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let first_segment = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let clients = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let shard_count = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+    let mut pos = 40usize;
+    let end = bytes.len() - 4;
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut total = 0u64;
+    for _ in 0..shard_count {
+        if end - pos < 32 {
+            return Err(bad("truncated shard header"));
+        }
+        let watermark = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let granted = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+        let burned = u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().unwrap());
+        let count = u64::from_le_bytes(bytes[pos + 24..pos + 32].try_into().unwrap()) as usize;
+        pos += 32;
+        if end - pos < 8 * count {
+            return Err(bad("truncated balances"));
+        }
+        let mut balances = Vec::with_capacity(count);
+        for i in 0..count {
+            balances.push(i64::from_le_bytes(
+                bytes[pos + 8 * i..pos + 8 * i + 8].try_into().unwrap(),
+            ));
+        }
+        pos += 8 * count;
+        total += count as u64;
+        shards.push(ShardSnap {
+            watermark,
+            granted,
+            burned,
+            balances,
+        });
+    }
+    if pos != end || total != clients {
+        return Err(bad("inconsistent geometry"));
+    }
+    Ok(SnapshotData {
+        id,
+        first_segment,
+        clients,
+        shards,
+    })
+}
+
+/// Metadata of every *valid* snapshot in `dir` (invalid files are
+/// skipped — recovery decides what invalidity means).
+pub(crate) fn list_metas(dir: &Path) -> Vec<SnapMeta> {
+    let mut out = Vec::new();
+    if let Ok(files) = list_snapshot_files(dir) {
+        for (_, path) in files {
+            if let Ok(snap) = load(&path) {
+                out.push(SnapMeta {
+                    id: snap.id,
+                    first_segment: snap.first_segment,
+                });
+            }
+        }
+    }
+    out.sort_unstable_by_key(|m| m.id);
+    out
+}
+
+/// Takes one snapshot (see [`Persistence::snapshot`]).
+pub(crate) fn take(p: &Persistence, accounts: &ShardedAccounts) -> io::Result<SnapshotInfo> {
+    let manifest = p.manifest();
+    assert_eq!(
+        accounts.len(),
+        manifest.clients,
+        "snapshot: client count mismatch"
+    );
+    assert_eq!(
+        accounts.shard_count(),
+        manifest.shards,
+        "snapshot: shard count mismatch"
+    );
+    if p.snapshot_poisoned().load(Ordering::SeqCst) {
+        return Err(io::Error::other(
+            "snapshotting disabled after an injected mid-snapshot crash",
+        ));
+    }
+
+    let id = p.next_snapshot_id().fetch_add(1, Ordering::SeqCst);
+    // Read *before* freezing anything: every record not yet covered by
+    // the copies below is in this segment or a later one.
+    let first_segment = p.active_segment().load(Ordering::SeqCst);
+
+    let mut shards = Vec::with_capacity(manifest.shards);
+    for s in 0..manifest.shards {
+        let (watermark, granted, burned) = p.freeze_shard(s);
+        let balances: Vec<i64> = accounts
+            .shard_accounts(s)
+            .iter()
+            .map(|a| a.balance())
+            .collect();
+        p.unfreeze_shard(s);
+        shards.push(ShardSnap {
+            watermark,
+            granted,
+            burned,
+            balances,
+        });
+    }
+
+    let bytes = encode(
+        id,
+        first_segment,
+        manifest.clients as u64,
+        &shards,
+        p.cfg().faults.poison_books,
+    );
+    let path = snapshot_path(&p.cfg().dir, id);
+
+    if p.cfg().faults.crash_mid_snapshot {
+        // Die half-way through the tmp write: no rename, and no further
+        // snapshots — recovery must fall back past the partial file.
+        let tmp = tmp_path(&path);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes[..bytes.len() / 2])?;
+        f.sync_data()?;
+        p.snapshot_poisoned().store(true, Ordering::SeqCst);
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "fault: crash_mid_snapshot",
+        ));
+    }
+
+    atomic_write(&path, &bytes)?;
+
+    // Retention: keep the newest two snapshots; retire segments older
+    // than the *older* retained snapshot's first segment, so even if the
+    // newest snapshot file is later corrupted, the previous snapshot
+    // plus the surviving segments still reconstruct the full state.
+    let (delete_below, drop_snaps) = {
+        let mut snaps = p.snapshots().lock().expect("snapshot registry");
+        snaps.push(SnapMeta { id, first_segment });
+        snaps.sort_unstable_by_key(|m| m.id);
+        let keep_from = snaps.len().saturating_sub(2);
+        let dropped: Vec<SnapMeta> = snaps.drain(..keep_from).collect();
+        let delete_below = if snaps.len() == 2 {
+            snaps[0].first_segment
+        } else {
+            0
+        };
+        (delete_below, dropped)
+    };
+    for m in &drop_snaps {
+        let _ = fs::remove_file(snapshot_path(&p.cfg().dir, m.id));
+    }
+    if !drop_snaps.is_empty() {
+        sync_dir(&p.cfg().dir)?;
+    }
+
+    // Rotate the journal onto a fresh segment and retire fully-covered
+    // ones. Counting retired segments from the listing delta keeps the
+    // writer protocol simple.
+    let before = super::journal::list_segments(&p.cfg().dir)?.len() as u64;
+    let (ack, done) = channel();
+    p.writer_tx()
+        .send(WriterMsg::Rotate { delete_below, ack })
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "journal writer is gone"))?;
+    done.recv()
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "journal writer died"))??;
+    let after = super::journal::list_segments(&p.cfg().dir)?.len() as u64;
+    // The rotate added one segment; anything else that vanished was
+    // retirement.
+    let retired_segments = (before + 1).saturating_sub(after);
+
+    Ok(SnapshotInfo {
+        id,
+        bytes: bytes.len() as u64,
+        retired_segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            id: 7,
+            first_segment: 3,
+            clients: 5,
+            shards: vec![
+                ShardSnap {
+                    watermark: 100,
+                    granted: 120,
+                    burned: 20,
+                    balances: vec![10, 20, 70],
+                },
+                ShardSnap {
+                    watermark: 40,
+                    granted: 9,
+                    burned: 2,
+                    balances: vec![3, -1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("ta-snap-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let want = sample();
+        let bytes = encode(
+            want.id,
+            want.first_segment,
+            want.clients,
+            &want.shards,
+            false,
+        );
+        let path = snapshot_path(&dir, want.id);
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(load(&path).unwrap(), want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_snapshots_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("ta-snap-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let want = sample();
+        let bytes = encode(
+            want.id,
+            want.first_segment,
+            want.clients,
+            &want.shards,
+            false,
+        );
+        let path = snapshot_path(&dir, 1);
+        // Truncations at every length must fail (never half-load).
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(load(&path).is_err(), "cut at {cut}");
+        }
+        // Any single flipped byte must fail the CRC.
+        for i in (0..bytes.len()).step_by(13) {
+            let mut b = bytes.clone();
+            b[i] ^= 0x10;
+            std::fs::write(&path, &b).unwrap();
+            assert!(load(&path).is_err(), "flip at {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_books_still_crc_valid() {
+        let dir = std::env::temp_dir().join(format!("ta-snap-poison-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let want = sample();
+        let bytes = encode(
+            want.id,
+            want.first_segment,
+            want.clients,
+            &want.shards,
+            true,
+        );
+        let path = snapshot_path(&dir, 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let got = load(&path).unwrap();
+        assert_eq!(got.shards[0].granted, want.shards[0].granted + 1);
+        assert_eq!(got.shards[1], want.shards[1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: counter and histogram merging must equal serial
+//! recording for *arbitrary* partitions of the event stream.
+//!
+//! Recovery compares counters exactly (`granted_total ==
+//! tokens_banked`), so the merge operations the report path relies on
+//! must be exact sums — not approximately right — no matter how events
+//! were interleaved across workers. These properties pin that down:
+//! partition any event sequence across any number of streams, merge in
+//! any order, and the result equals folding the whole sequence into one
+//! accumulator.
+
+use proptest::prelude::*;
+
+use ta_live::{LatencyHistogram, LiveCounters};
+
+/// One admission event, as the runtime counts them.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A round decision: proactive send (`true`) or banked token.
+    Round(bool),
+    /// A request decision: reactive burst of this size (0 = held).
+    Request(u16),
+}
+
+fn apply(c: &mut LiveCounters, e: Ev) {
+    match e {
+        Ev::Round(true) => {
+            c.rounds += 1;
+            c.proactive_sent += 1;
+        }
+        Ev::Round(false) => {
+            c.rounds += 1;
+            c.tokens_banked += 1;
+        }
+        Ev::Request(0) => {
+            c.requests += 1;
+            c.reactive_held += 1;
+        }
+        Ev::Request(x) => {
+            c.requests += 1;
+            c.reactive_sent += x as u64;
+        }
+    }
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        any::<bool>().prop_map(Ev::Round),
+        (0u16..32).prop_map(Ev::Request),
+    ]
+}
+
+proptest! {
+    /// Partition an event stream over up to 8 workers, merge the
+    /// per-worker counters in an arbitrary order: every field equals
+    /// the serial fold, and consistency/conservation are preserved.
+    #[test]
+    fn counters_merge_equals_serial_sum(
+        events in proptest::collection::vec((ev_strategy(), 0usize..8), 0..400),
+        order in any::<u64>(),
+    ) {
+        let mut serial = LiveCounters::default();
+        let mut streams = vec![LiveCounters::default(); 8];
+        for &(e, s) in &events {
+            apply(&mut serial, e);
+            apply(&mut streams[s], e);
+        }
+        // Merge in a pseudo-shuffled order derived from `order`.
+        let mut idx: Vec<usize> = (0..streams.len()).collect();
+        let mut x = order;
+        for i in (1..idx.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            idx.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let mut merged = LiveCounters::default();
+        for i in idx {
+            merged.merge(&streams[i]);
+        }
+        prop_assert_eq!(merged, serial);
+        prop_assert!(merged.is_consistent());
+        // Conservation transports through the merge: the books close
+        // against the sum the serial fold implies.
+        let implied = serial.tokens_banked as i64 - serial.reactive_sent as i64;
+        prop_assert!(merged.conserves(implied));
+        prop_assert_eq!(merged.total_sent(), serial.total_sent());
+    }
+
+    /// Histogram merging over an arbitrary partition equals recording
+    /// everything into one histogram: count, max, mean, and every
+    /// percentile agree exactly.
+    #[test]
+    fn histogram_merge_equals_serial_recording(
+        samples in proptest::collection::vec((0u64..1 << 40, 0usize..6), 0..400),
+        qs in proptest::collection::vec(0.0f64..1.001, 1..8),
+    ) {
+        let mut whole = LatencyHistogram::new();
+        let mut parts = vec![LatencyHistogram::new(); 6];
+        for &(v, p) in &samples {
+            whole.record(v);
+            parts[p].record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.max(), whole.max());
+        // Same integer sum and count → bit-identical mean.
+        prop_assert_eq!(merged.mean().to_bits(), whole.mean().to_bits());
+        for &q in &qs {
+            prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+}
+
+/// The same property exercised with *real* concurrent recording: each
+/// thread owns its accumulator (exactly the load-generator topology),
+/// and the post-join merge equals the serial fold of all events.
+#[test]
+fn concurrent_recording_merges_to_serial_sum() {
+    let events_of = |t: u64| -> Vec<(Ev, u64)> {
+        let mut x = t.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..20_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let ev = match x % 4 {
+                    0 => Ev::Round(x & 16 != 0),
+                    1 => Ev::Request(0),
+                    _ => Ev::Request((x % 9 + 1) as u16),
+                };
+                (ev, x % (1 << 30))
+            })
+            .collect()
+    };
+
+    let joined: Vec<(LiveCounters, LatencyHistogram)> = std::thread::scope(|scope| {
+        (0..4u64)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut c = LiveCounters::default();
+                    let mut h = LatencyHistogram::new();
+                    for (e, sample) in events_of(t) {
+                        apply(&mut c, e);
+                        h.record(sample);
+                    }
+                    (c, h)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+
+    let mut merged_c = LiveCounters::default();
+    let mut merged_h = LatencyHistogram::new();
+    for (c, h) in &joined {
+        merged_c.merge(c);
+        merged_h.merge(h);
+    }
+
+    let mut serial_c = LiveCounters::default();
+    let mut serial_h = LatencyHistogram::new();
+    for t in 0..4 {
+        for (e, sample) in events_of(t) {
+            apply(&mut serial_c, e);
+            serial_h.record(sample);
+        }
+    }
+
+    assert_eq!(merged_c, serial_c);
+    assert!(merged_c.is_consistent());
+    assert_eq!(merged_h.count(), serial_h.count());
+    assert_eq!(merged_h.max(), serial_h.max());
+    assert_eq!(merged_h.mean().to_bits(), serial_h.mean().to_bits());
+    for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+        assert_eq!(merged_h.percentile(q), serial_h.percentile(q));
+    }
+}

@@ -1,0 +1,403 @@
+//! Durability round-trips: journalled runs → recovery must be exact.
+//!
+//! The driver here runs real concurrent traffic (workers calling
+//! `admit_journaled`, a granter calling `round_sweep_journaled`, a
+//! snapshotter freezing shards mid-burst) and then checks the strongest
+//! possible property: after a clean shutdown, `recover` reproduces
+//! every single client balance bit-for-bit; after a simulated crash or
+//! an injected fault, recovery either equals the fold of the surviving
+//! prefix (checked via the conservation books) or fails loudly.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ta_live::persist::{recover, FaultPlan, PersistConfig, Persistence, RecoveryError};
+use ta_live::{LiveCounters, LiveRuntime};
+use ta_sim::rng::Xoshiro256pp;
+use token_account::prelude::*;
+use token_account::Usefulness;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ta-persist-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+struct DriveOutcome {
+    balances: Vec<i64>,
+    counters: LiveCounters,
+    persistence: Option<Persistence>,
+}
+
+/// Drives `workers` admit threads + one granter + one snapshotter over
+/// a journalled runtime, returning the final per-client balances.
+fn drive(
+    dir: &Path,
+    clients: usize,
+    shards: usize,
+    workers: usize,
+    iters: usize,
+    faults: FaultPlan,
+    snapshots: usize,
+) -> DriveOutcome {
+    let mut cfg = PersistConfig::new(dir);
+    cfg.group_commit = Duration::from_millis(2);
+    cfg.buffer_cap = 32;
+    cfg.faults = faults;
+    let rt = LiveRuntime::new(RandomizedTokenAccount::new(2, 6).unwrap(), clients, shards);
+    let shard_count = rt.accounts().shard_count();
+    let p = Persistence::open(&cfg, clients, shard_count).unwrap();
+
+    let counters = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let rt = &rt;
+            let mut j = p.handle();
+            handles.push(scope.spawn(move || {
+                let mut rng = Xoshiro256pp::stream(99, 1 + w as u64);
+                let mut c = LiveCounters::default();
+                for i in 0..iters {
+                    let client = rng.below(clients as u64) as usize;
+                    let useful = Usefulness::from_bool(i % 4 != 0);
+                    rt.admit_journaled(client, useful, &mut rng, &mut c, &mut j);
+                }
+                c
+            }));
+        }
+        let granter = {
+            let rt = &rt;
+            let mut j = p.handle();
+            scope.spawn(move || {
+                let mut rng = Xoshiro256pp::stream(99, u64::MAX);
+                let mut c = LiveCounters::default();
+                for _ in 0..8 {
+                    for s in 0..rt.accounts().shard_count() {
+                        rt.round_sweep_journaled(s, &mut rng, &mut c, |_| {}, &mut j);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                c
+            })
+        };
+        let snapper = {
+            let rt = &rt;
+            let p = &p;
+            scope.spawn(move || {
+                for _ in 0..snapshots {
+                    std::thread::sleep(Duration::from_millis(3));
+                    let _ = p.snapshot(rt.accounts());
+                }
+            })
+        };
+        let mut total = LiveCounters::default();
+        for h in handles {
+            total.merge(&h.join().unwrap());
+        }
+        total.merge(&granter.join().unwrap());
+        snapper.join().unwrap();
+        total
+    });
+
+    DriveOutcome {
+        balances: (0..clients)
+            .map(|c| rt.accounts().account(c).balance())
+            .collect(),
+        counters,
+        persistence: Some(p),
+    }
+}
+
+#[test]
+fn clean_shutdown_recovers_every_balance_exactly() {
+    for (workers, shards) in [(1, 1), (1, 4), (4, 4), (4, 16)] {
+        let dir = temp_dir("clean");
+        let mut out = drive(&dir, 200, shards, workers, 4_000, FaultPlan::default(), 3);
+        let stats = out.persistence.take().unwrap().shutdown().unwrap();
+        assert!(stats.records > 0, "nothing was journalled");
+
+        let state = recover(&dir).unwrap();
+        assert_eq!(
+            state.balances, out.balances,
+            "workers={workers} shards={shards}: balances diverged"
+        );
+        assert!(
+            state.truncations.is_empty(),
+            "clean shutdown must not truncate"
+        );
+        // The books equal the live counters: every banked token was a
+        // +1 grant record, every reactive send a negative delta.
+        assert_eq!(state.granted_total(), out.counters.tokens_banked);
+        assert_eq!(state.burned_total(), out.counters.reactive_sent);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn resume_after_recovery_continues_the_books() {
+    let dir = temp_dir("resume");
+    let mut out = drive(&dir, 100, 4, 2, 2_000, FaultPlan::default(), 2);
+    out.persistence.take().unwrap().shutdown().unwrap();
+
+    let state = recover(&dir).unwrap();
+    let cfg = PersistConfig::new(&dir);
+    let p = Persistence::resume(&cfg, &state).unwrap();
+    let rt = LiveRuntime::from_recovered(SimpleTokenAccount::new(5), &state);
+    assert_eq!(rt.balances_sum(), state.balances_sum());
+
+    // Drive a little more traffic on the resumed domain.
+    let mut j = p.handle();
+    let mut rng = Xoshiro256pp::stream(7, 1);
+    let mut c = LiveCounters::default();
+    for s in 0..rt.accounts().shard_count() {
+        rt.round_sweep_journaled(s, &mut rng, &mut c, |_| {}, &mut j);
+    }
+    for i in 0..500 {
+        rt.admit_journaled(i % 100, Usefulness::Useful, &mut rng, &mut c, &mut j);
+    }
+    drop(j);
+    p.shutdown().unwrap();
+
+    let state2 = recover(&dir).unwrap();
+    let want: Vec<i64> = (0..100)
+        .map(|cl| rt.accounts().account(cl).balance())
+        .collect();
+    assert_eq!(state2.balances, want, "second-generation balances diverged");
+    assert!(state2.truncations.is_empty());
+    // Sequence numbers must not have collided: the second generation's
+    // books extend the first's.
+    assert_eq!(
+        state2.granted_total(),
+        state.granted_total() + c.tokens_banked
+    );
+    assert_eq!(
+        state2.burned_total(),
+        state.burned_total() + c.reactive_sent
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn simulated_crash_recovers_surviving_prefix() {
+    let dir = temp_dir("crash");
+    let mut out = drive(&dir, 150, 4, 2, 3_000, FaultPlan::default(), 2);
+    // Kill the writer: pending (unwritten) batches are discarded.
+    out.persistence.take().unwrap().simulate_crash();
+
+    let state = recover(&dir).unwrap();
+    // The fold of the surviving prefix conserves by construction; what
+    // recovery must guarantee is that it *verified* that and that the
+    // books never exceed what the live run produced.
+    assert_eq!(
+        state.granted_total() as i64 - state.burned_total() as i64,
+        state.balances_sum()
+    );
+    assert!(state.granted_total() <= out.counters.tokens_banked);
+    assert!(state.burned_total() <= out.counters.reactive_sent);
+    for (c, (&rec, &live)) in state.balances.iter().zip(&out.balances).enumerate() {
+        // Per-client balances may lag the live state (lost tail) but a
+        // recovered balance never *invents* tokens the run didn't see.
+        assert!(
+            rec <= live + state.burned_total() as i64,
+            "client {c}: recovered {rec} vs live {live}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn writer_killed_mid_frame_leaves_recoverable_torn_tail() {
+    let dir = temp_dir("midframe");
+    let faults = FaultPlan {
+        kill_writer_mid_frame: true,
+        ..FaultPlan::default()
+    };
+    let mut out = drive(&dir, 100, 4, 2, 4_000, faults, 0);
+    // The writer died on its own; shutdown just reaps it.
+    let _ = out.persistence.take().unwrap().shutdown();
+
+    let state = recover(&dir).unwrap();
+    assert!(
+        state
+            .truncations
+            .iter()
+            .any(|t| t.to_string().contains("torn tail")),
+        "expected a torn-tail truncation, got {:?}",
+        state.truncations
+    );
+    assert_eq!(
+        state.granted_total() as i64 - state.burned_total() as i64,
+        state.balances_sum()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_snapshot_crash_falls_back() {
+    let dir = temp_dir("midsnap");
+    let faults = FaultPlan {
+        crash_mid_snapshot: true,
+        ..FaultPlan::default()
+    };
+    let mut out = drive(&dir, 100, 4, 2, 2_000, faults, 3);
+    out.persistence.take().unwrap().shutdown().unwrap();
+
+    let state = recover(&dir).unwrap();
+    // The partial tmp is reported, never loaded.
+    assert!(
+        state
+            .truncations
+            .iter()
+            .any(|t| t.to_string().contains("tmp")),
+        "expected an abandoned-tmp report, got {:?}",
+        state.truncations
+    );
+    assert_eq!(state.snapshot_id, None, "no snapshot ever completed");
+    assert_eq!(
+        state.balances, out.balances,
+        "journal-only recovery must be exact"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn poisoned_books_fail_loudly() {
+    let dir = temp_dir("poison");
+    let faults = FaultPlan {
+        poison_books: true,
+        ..FaultPlan::default()
+    };
+    let mut out = drive(&dir, 100, 4, 2, 2_000, faults, 2);
+    out.persistence.take().unwrap().shutdown().unwrap();
+
+    match recover(&dir) {
+        Err(RecoveryError::Conservation { detail }) => {
+            assert!(
+                detail.contains("shard"),
+                "diagnosis names the shard: {detail}"
+            );
+        }
+        other => panic!("poisoned books must trip the conservation gate, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn post_mortem_mutilations_recover_or_fall_back() {
+    // torn_tail and corrupt_crc on the newest segment: the prefix
+    // survives and conserves. corrupt_snapshot: recovery falls back to
+    // an older snapshot (or zero) and still conserves.
+    for mode in ["torn_tail", "corrupt_crc", "corrupt_snapshot"] {
+        let dir = temp_dir(mode);
+        let mut out = drive(&dir, 120, 4, 2, 3_000, FaultPlan::default(), 2);
+        out.persistence.take().unwrap().shutdown().unwrap();
+
+        let plan = FaultPlan::parse(mode).unwrap();
+        let wounds = plan.apply_post_mortem(&dir).unwrap();
+        assert!(!wounds.is_empty(), "{mode}: nothing was mutilated");
+
+        let state = recover(&dir).unwrap_or_else(|e| panic!("{mode}: recovery refused: {e}"));
+        assert_eq!(
+            state.granted_total() as i64 - state.burned_total() as i64,
+            state.balances_sum(),
+            "{mode}: recovered books must balance"
+        );
+        assert!(
+            !state.truncations.is_empty(),
+            "{mode}: the wound must be reported"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn retention_keeps_two_snapshots_and_retires_segments() {
+    let dir = temp_dir("retain");
+    let mut out = drive(&dir, 100, 4, 2, 3_000, FaultPlan::default(), 5);
+    out.persistence.take().unwrap().shutdown().unwrap();
+
+    let snaps = ta_live::persist::snapshot::list_snapshot_files(&dir).unwrap();
+    assert!(
+        snaps.len() <= 2,
+        "retention must keep at most two snapshots, found {}",
+        snaps.len()
+    );
+    if snaps.len() == 2 {
+        // Segments below the older snapshot's first_segment are gone.
+        let older = ta_live::persist::snapshot::load(&snaps[0].1).unwrap();
+        let segs = ta_live::persist::journal::list_segments(&dir).unwrap();
+        assert!(
+            segs.iter().all(|&(id, _)| id >= older.first_segment),
+            "covered segments must be retired"
+        );
+    }
+    let state = recover(&dir).unwrap();
+    assert_eq!(state.balances, out.balances, "retention broke recovery");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durable_loadgen_runs_and_recovers() {
+    use ta_live::{run_loadgen_durable, ArrivalMode, LoadGenConfig};
+
+    let dir = temp_dir("loadgen");
+    let cfg = LoadGenConfig {
+        clients: 2_000,
+        workers: 2,
+        account_shards: 8,
+        duration: Duration::from_millis(150),
+        mode: ArrivalMode::Closed,
+        useful_probability: 0.8,
+        burst: None,
+        round_period: Some(Duration::from_millis(20)),
+        seed: 11,
+    };
+    let mut pcfg = PersistConfig::new(&dir);
+    pcfg.group_commit = Duration::from_millis(5);
+    let p = Persistence::open(&pcfg, cfg.clients, 8).unwrap();
+    let (report, durable) = run_loadgen_durable(
+        RandomizedTokenAccount::new(2, 6).unwrap(),
+        &cfg,
+        &p,
+        Some(Duration::from_millis(30)),
+        None,
+    );
+    let stats = p.shutdown().unwrap();
+    assert!(
+        report.conserves(),
+        "durable run broke conservation: {:?}",
+        report.counters
+    );
+    assert!(report.counters.requests > 0);
+    assert!(stats.records > 0);
+    assert!(durable.snapshots >= 1, "snapshotter never ran");
+
+    let state = recover(&dir).unwrap();
+    assert!(state.truncations.is_empty());
+    assert_eq!(state.balances_sum(), report.balances_sum);
+    assert_eq!(state.granted_total(), report.counters.tokens_banked);
+    assert_eq!(state.burned_total(), report.counters.reactive_sent);
+
+    // Resume the same domain and keep going: conservation must hold
+    // across the generation boundary.
+    let p2 = Persistence::resume(&pcfg, &state).unwrap();
+    let (report2, _) = run_loadgen_durable(
+        RandomizedTokenAccount::new(2, 6).unwrap(),
+        &cfg,
+        &p2,
+        None,
+        Some(&state),
+    );
+    p2.shutdown().unwrap();
+    assert_eq!(report2.initial_balances_sum, state.balances_sum());
+    assert!(report2.conserves(), "resumed run broke conservation");
+    let state2 = recover(&dir).unwrap();
+    assert_eq!(state2.balances_sum(), report2.balances_sum);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
