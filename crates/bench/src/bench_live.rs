@@ -20,7 +20,11 @@
 //!   closed-loop run with the grant/spend journal off vs. on (the
 //!   `persist_journal_on_vs_off` speedup documents the ≤ 10% admit
 //!   overhead bar), and `recover()` records/sec at two journal lengths
-//!   (recovery time must scale with the tail, not the history).
+//!   (recovery time must scale with the tail, not the history);
+//! * **telemetry** — introspection overhead: the same closed loop with
+//!   no registry, with counters only (`--trace-sample 0`), and with
+//!   1-in-64 decision tracing; `counters_only_vs_off` documents the
+//!   ≥ 0.95× acceptance bar for the always-on counter path.
 //!
 //! Results are written as `BENCH_live.json` (override with `--out PATH`);
 //! `--test` runs each workload briefly (CI smoke), `--diff BASELINE`
@@ -35,10 +39,12 @@ use std::time::Duration;
 use criterion::black_box;
 use ta_live::harness::{replay_trace, run_sim_oracle, OracleWorkload};
 use ta_live::histogram::LatencyHistogram;
-use ta_live::loadgen::{run_loadgen, run_loadgen_durable, ArrivalMode, BurstMix, LoadGenConfig};
+use ta_live::loadgen::{
+    run_loadgen, run_loadgen_durable, run_loadgen_observed, ArrivalMode, BurstMix, LoadGenConfig,
+};
 use ta_live::persist::{recover, PersistConfig, Persistence};
 use ta_live::runtime::LiveRuntime;
-use ta_live::LiveCounters;
+use ta_live::{LiveCounters, LiveTelemetry};
 use ta_sim::rng::Xoshiro256pp;
 use token_account::prelude::*;
 
@@ -253,6 +259,54 @@ fn bench_persist(smoke: bool) -> Vec<Sample> {
     samples
 }
 
+fn bench_telemetry(smoke: bool) -> Vec<Sample> {
+    let (clients, _, _) = scales(smoke);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let cfg = loadgen_cfg(smoke, 2, clients, 64);
+    let mut samples = Vec::new();
+
+    // The closed-loop reference with no registry at all.
+    let off = run_loadgen(strategy, &cfg);
+    assert!(off.conserves(), "telemetry-off books must close");
+    samples.push(Sample {
+        id: "closed_w2_telemetry_off".into(),
+        value: off.decisions_per_sec(),
+    });
+
+    // Counters only (`--trace-sample 0`): per decision the hot path pays
+    // one relaxed load + two branches; deltas are published every 256
+    // decisions. The acceptance bar is ≥ 0.95× of the row above.
+    let telem = LiveTelemetry::new(cfg.workers, 0, LiveTelemetry::DEFAULT_RING_CAPACITY);
+    let counters_only = run_loadgen_observed(strategy, &cfg, &telem);
+    assert!(counters_only.conserves(), "counters-only books must close");
+    let snap = telem.snapshot();
+    assert_eq!(
+        snap.counter_by_name("admit_requests"),
+        Some(counters_only.counters.requests),
+        "registry totals must equal the run's own books"
+    );
+    samples.push(Sample {
+        id: "closed_w2_counters_only".into(),
+        value: counters_only.decisions_per_sec(),
+    });
+
+    // Tracing at the CI smoke sample rate (1-in-64) on top.
+    let telem = LiveTelemetry::new(cfg.workers, 64, LiveTelemetry::DEFAULT_RING_CAPACITY);
+    let traced = run_loadgen_observed(strategy, &cfg, &telem);
+    assert!(traced.conserves(), "traced books must close");
+    samples.push(Sample {
+        id: "closed_w2_traced_s64".into(),
+        value: traced.decisions_per_sec(),
+    });
+
+    // The on/off closed-loop ratio the acceptance bar reads directly.
+    samples.push(Sample {
+        id: "counters_only_vs_off".into(),
+        value: counters_only.decisions_per_sec() / off.decisions_per_sec(),
+    });
+    samples
+}
+
 /// Runs every section and writes the JSON report; returns the report text.
 pub fn run(smoke: bool, out_path: &str) -> String {
     let (clients, duration, granter_accounts) = scales(smoke);
@@ -269,6 +323,8 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     live_samples.push(bench_replay(smoke));
     eprintln!("bench_live: persist (journal overhead + recovery)...");
     let persist_samples = bench_persist(smoke);
+    eprintln!("bench_live: telemetry (counters / tracing overhead)...");
+    let telemetry_samples = bench_telemetry(smoke);
 
     let speedups = vec![
         Sample {
@@ -322,11 +378,12 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"persist\": \"decisions/sec (recovery_replay_*: records/sec)\", \"speedup\": \"ratio\" }},"
+        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"persist\": \"decisions/sec (recovery_replay_*: records/sec)\", \"telemetry\": \"decisions/sec (counters_only_vs_off: ratio)\", \"speedup\": \"ratio\" }},"
     );
     json_section(&mut out, "scale", &scale_samples, false);
     json_section(&mut out, "live", &live_samples, false);
     json_section(&mut out, "persist", &persist_samples, false);
+    json_section(&mut out, "telemetry", &telemetry_samples, false);
     json_section(&mut out, "speedup", &speedups, true);
     out.push('}');
     out.push('\n');
@@ -396,6 +453,11 @@ mod tests {
             "closed_w2_journal_on",
             "recovery_replay_short",
             "recovery_replay_long",
+            "\"telemetry\"",
+            "closed_w2_telemetry_off",
+            "closed_w2_counters_only",
+            "closed_w2_traced_s64",
+            "counters_only_vs_off",
             "loadgen_w2_vs_w1",
             "contended_sharded_vs_single_shard",
             "persist_journal_on_vs_off",

@@ -641,9 +641,52 @@ fn bench_shard_sync(smoke: bool) -> Vec<Sample> {
                     smoke,
                 ),
             });
+            // Work-distribution counts from one representative run: the
+            // gate counts claims/steals/skips unconditionally (they live
+            // under the gate lock), so no profiling env is needed.
+            let prof = shard_gossip_profile(&topo, rounds, shards, threads);
+            for (what, value) in [
+                ("gate_claims", prof.claims),
+                ("gate_steals", prof.steals),
+                ("gate_skipped", prof.skipped_windows),
+            ] {
+                samples.push(Sample {
+                    id: format!("{what}/s{shards}_t{threads}"),
+                    value: value as f64,
+                });
+            }
         }
     }
     samples
+}
+
+/// Runs the sharded gossip workload once and returns its profile block
+/// (only the unconditional gate counts are meaningful without
+/// `TA_PROFILE=1`).
+fn shard_gossip_profile(
+    topo: &Arc<ta_overlay::Topology>,
+    rounds: u64,
+    shards: usize,
+    threads: usize,
+) -> ta_telemetry::ProfileData {
+    use ta_apps::gossip_learning::GossipLearning;
+    use ta_sim::shard::ShardedSimulation;
+    let n = topo.n();
+    let cfg = SimConfig::builder(n)
+        .delta(paper::DELTA)
+        .transfer_time(paper::TRANSFER_TIME)
+        .duration(paper::DELTA * rounds)
+        .sample_period(paper::DELTA)
+        .queue(QueueKind::Wheel)
+        .seed(37)
+        .build()
+        .expect("valid bench config");
+    let app = GossipLearning::new(n, paper::TRANSFER_TIME, &vec![true; n]);
+    let strategy = RandomizedTokenAccount::new(5, 10).expect("valid strategy");
+    let proto = TokenProtocol::new(Arc::clone(topo), strategy, app, vec![true; n]);
+    let mut sim = ShardedSimulation::new(cfg, &AlwaysOn, proto, shards, threads);
+    sim.run_to_end();
+    sim.profile()
 }
 
 /// The `shard` section: S=1 overhead against the monomorphized serial

@@ -28,17 +28,25 @@
 //! | 4    | torn tail / corruption — a damaged suffix was discarded |
 //! | 1    | anything else (I/O, bad flags, conservation after a run) |
 
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ta_live::harness::{live_vs_sim_spec, OracleWorkload};
 use ta_live::loadgen::{
-    run_loadgen_durable_spec, run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
+    run_loadgen_durable_observed_spec, run_loadgen_durable_spec, run_loadgen_observed_spec,
+    run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
 };
 use ta_live::persist::{
     recover, FaultPlan, PersistConfig, Persistence, RecoveredState, RecoveryError, MANIFEST_FILE,
 };
+use ta_live::telem::c as tc;
+use ta_live::LiveTelemetry;
+use ta_telemetry::{stats_line, EventLine, TraceRecord};
 use token_account::StrategySpec;
 
 /// Exit code: recovery found books that do not conserve.
@@ -72,6 +80,12 @@ const USAGE: &str = "options:
                        torn_tail, corrupt_crc, corrupt_snapshot
   --recover            recover + verify --journal-dir, then exit:
                        0 clean, 3 conservation mismatch, 4 torn tail
+  --stats-every <ms>   emit one schema-versioned JSON stats line
+                       (ta-stats/v1) every <ms> milliseconds
+  --trace-out <path>   drain sampled decision-trace records to <path>
+                       as JSONL (implies --trace-sample 1 unless set)
+  --trace-sample <n>   sample every n-th admission decision into the
+                       trace ring; 0 = counters only, no tracing
   --help               this text";
 
 #[derive(Debug)]
@@ -85,6 +99,24 @@ struct Opts {
     fsync: bool,
     fault: Option<FaultPlan>,
     recover_only: bool,
+    stats_every: Option<Duration>,
+    trace_out: Option<PathBuf>,
+    trace_sample: Option<u32>,
+}
+
+impl Opts {
+    /// Telemetry is built when any introspection knob was given.
+    fn telemetry_on(&self) -> bool {
+        self.stats_every.is_some() || self.trace_out.is_some() || self.trace_sample.is_some()
+    }
+
+    /// Effective sample interval: an explicit `--trace-sample` wins;
+    /// `--trace-out` alone traces every decision; stats alone trace
+    /// nothing (counters only).
+    fn sample_interval(&self) -> u32 {
+        self.trace_sample
+            .unwrap_or(u32::from(self.trace_out.is_some()))
+    }
 }
 
 fn parse_strategy(s: &str) -> Result<StrategySpec, String> {
@@ -144,6 +176,9 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
     let mut fsync = true;
     let mut fault: Option<FaultPlan> = None;
     let mut recover_only = false;
+    let mut stats_every: Option<Duration> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_sample: Option<u32> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -230,6 +265,19 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
             "--no-fsync" => fsync = false,
             "--fault" => fault = Some(FaultPlan::parse(&value("--fault")?)?),
             "--recover" => recover_only = true,
+            "--stats-every" => {
+                let v = value("--stats-every")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --stats-every `{v}`"))?;
+                if ms == 0 {
+                    return Err("--stats-every must be at least 1 ms".into());
+                }
+                stats_every = Some(Duration::from_millis(ms));
+            }
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-sample" => {
+                let v = value("--trace-sample")?;
+                trace_sample = Some(v.parse().map_err(|_| format!("bad --trace-sample `{v}`"))?);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
@@ -252,7 +300,16 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
         fsync,
         fault,
         recover_only,
+        stats_every,
+        trace_out,
+        trace_sample,
     }))
+}
+
+/// Prints a diagnosis line to stderr (failures and damage reports go to
+/// stderr; the happy path uses [`EventLine::emit`] on stdout).
+fn fail_line(line: EventLine) {
+    eprintln!("{}", line.finish());
 }
 
 /// Recovers + verifies a journal directory and maps the outcome onto
@@ -262,40 +319,56 @@ fn report_recovery(dir: &std::path::Path) -> ExitCode {
     match recover(dir) {
         Ok(state) => {
             for t in &state.truncations {
-                eprintln!("recovery truncation: {t}");
+                fail_line(EventLine::new("recovery_truncation").kv("detail", t));
             }
-            println!(
-                "recovered: {} clients over {} shards, balances_sum {}, granted {}, \
-                 burned {}, {} journal record(s) replayed{}",
-                state.clients,
-                state.shards,
-                state.balances_sum(),
-                state.granted_total(),
-                state.burned_total(),
-                state.replayed,
-                match state.snapshot_id {
-                    Some(id) => format!(" on snapshot {id:#x}"),
-                    None => ", journal-only".to_string(),
-                },
-            );
+            EventLine::new("recovered")
+                .kv("clients", state.clients)
+                .kv("shards", state.shards)
+                .kv("balances_sum", state.balances_sum())
+                .kv("granted", state.granted_total())
+                .kv("burned", state.burned_total())
+                .kv("replayed", state.replayed)
+                .kv(
+                    "snapshot",
+                    match state.snapshot_id {
+                        Some(id) => format!("{id:#x}"),
+                        None => "none".to_string(),
+                    },
+                )
+                .emit();
             if state.truncations.is_empty() {
-                println!("recovery clean: journal tail intact, books conserve exactly");
+                EventLine::new("recovery")
+                    .kv("ok", true)
+                    .kv("detail", "journal tail intact, books conserve exactly")
+                    .emit();
                 ExitCode::SUCCESS
             } else {
-                eprintln!(
-                    "recovery TRUNCATED: discarded {} damaged tail(s)/file(s); \
-                     the surviving prefix is verified and consistent",
-                    state.truncations.len()
+                fail_line(
+                    EventLine::new("recovery")
+                        .kv("ok", false)
+                        .kv("reason", "truncated")
+                        .kv("discarded", state.truncations.len())
+                        .kv("detail", "surviving prefix is verified and consistent"),
                 );
                 ExitCode::from(EXIT_TRUNCATION)
             }
         }
         Err(RecoveryError::Conservation { detail }) => {
-            eprintln!("recovery FAILED (conservation): {detail}");
+            fail_line(
+                EventLine::new("recovery")
+                    .kv("ok", false)
+                    .kv("reason", "conservation")
+                    .kv("detail", detail),
+            );
             ExitCode::from(EXIT_CONSERVATION)
         }
         Err(e) => {
-            eprintln!("recovery FAILED: {e}");
+            fail_line(
+                EventLine::new("recovery")
+                    .kv("ok", false)
+                    .kv("reason", "error")
+                    .kv("detail", e),
+            );
             ExitCode::FAILURE
         }
     }
@@ -307,6 +380,7 @@ fn run_durable(
     opts: &Opts,
     dir: &std::path::Path,
     faults: FaultPlan,
+    telem: Option<&LiveTelemetry>,
 ) -> Result<LoadGenReport, ExitCode> {
     let mut pcfg = PersistConfig::new(dir);
     pcfg.group_commit = opts.commit;
@@ -319,33 +393,50 @@ fn run_durable(
         let state = match recover(dir) {
             Ok(s) => s,
             Err(RecoveryError::Conservation { detail }) => {
-                eprintln!("recovery FAILED (conservation): {detail}");
+                fail_line(
+                    EventLine::new("recovery")
+                        .kv("ok", false)
+                        .kv("reason", "conservation")
+                        .kv("detail", detail),
+                );
                 return Err(ExitCode::from(EXIT_CONSERVATION));
             }
             Err(e) => {
-                eprintln!("recovery FAILED: {e}");
+                fail_line(
+                    EventLine::new("recovery")
+                        .kv("ok", false)
+                        .kv("reason", "error")
+                        .kv("detail", e),
+                );
                 return Err(ExitCode::FAILURE);
             }
         };
         for t in &state.truncations {
-            eprintln!("recovery truncation: {t}");
+            fail_line(EventLine::new("recovery_truncation").kv("detail", t));
         }
         if state.clients != cfg.clients {
-            eprintln!(
-                "--clients {} does not match the journal manifest ({} clients)",
-                cfg.clients, state.clients
+            fail_line(
+                EventLine::new("recovery")
+                    .kv("ok", false)
+                    .kv("reason", "geometry")
+                    .kv("flag_clients", cfg.clients)
+                    .kv("manifest_clients", state.clients),
             );
             return Err(ExitCode::FAILURE);
         }
         cfg.account_shards = state.shards;
-        println!(
-            "resumed: balances_sum {}, {} journal record(s) replayed, {} truncation(s)",
-            state.balances_sum(),
-            state.replayed,
-            state.truncations.len()
-        );
+        EventLine::new("resumed")
+            .kv("balances_sum", state.balances_sum())
+            .kv("replayed", state.replayed)
+            .kv("truncations", state.truncations.len())
+            .emit();
         let p = Persistence::resume(&pcfg, &state).map_err(|e| {
-            eprintln!("journal resume FAILED: {e}");
+            fail_line(
+                EventLine::new("journal")
+                    .kv("ok", false)
+                    .kv("reason", "resume")
+                    .kv("detail", e),
+            );
             ExitCode::FAILURE
         })?;
         recovered = Some(state);
@@ -356,43 +447,67 @@ fn run_durable(
         cfg.account_shards = cfg.account_shards.clamp(1, cfg.clients);
         recovered = None;
         Persistence::open(&pcfg, cfg.clients, cfg.account_shards).map_err(|e| {
-            eprintln!("journal open FAILED: {e}");
+            fail_line(
+                EventLine::new("journal")
+                    .kv("ok", false)
+                    .kv("reason", "open")
+                    .kv("detail", e),
+            );
             ExitCode::FAILURE
         })?
     };
 
-    let (report, d) = run_loadgen_durable_spec(
-        opts.strategy,
-        &cfg,
-        &persistence,
-        opts.snapshot_every,
-        recovered.as_ref(),
-    )
-    .map_err(|e| {
+    let run = match telem {
+        Some(t) => run_loadgen_durable_observed_spec(
+            opts.strategy,
+            &cfg,
+            &persistence,
+            opts.snapshot_every,
+            recovered.as_ref(),
+            t,
+        ),
+        None => run_loadgen_durable_spec(
+            opts.strategy,
+            &cfg,
+            &persistence,
+            opts.snapshot_every,
+            recovered.as_ref(),
+        ),
+    };
+    let (report, d) = run.map_err(|e| {
         eprintln!("invalid strategy: {e}");
         ExitCode::FAILURE
     })?;
-    println!(
-        "durable: {} snapshot(s) taken, {} failed",
-        d.snapshots, d.snapshot_failures
-    );
+    EventLine::new("durable")
+        .kv("snapshots", d.snapshots)
+        .kv("snapshot_failures", d.snapshot_failures)
+        .emit();
     match persistence.shutdown() {
-        Ok(s) => println!(
-            "journal: {} record(s) / {} frame(s) / {} byte(s) in {} rotation(s), {} fsync(s)",
-            s.records, s.frames, s.bytes, s.segments, s.syncs
-        ),
+        Ok(s) => EventLine::new("journal")
+            .kv("ok", true)
+            .kv("records", s.records)
+            .kv("frames", s.frames)
+            .kv("bytes", s.bytes)
+            .kv("rotations", s.segments)
+            .kv("fsyncs", s.syncs)
+            .emit(),
         // Expected when a writer fault killed the journal thread.
-        Err(e) => eprintln!("journal writer died: {e}"),
+        Err(e) => fail_line(
+            EventLine::new("journal")
+                .kv("ok", false)
+                .kv("reason", "writer_died")
+                .kv("detail", e),
+        ),
     }
     if faults.wants_post_mortem() {
         match faults.apply_post_mortem(dir) {
             Ok(wounds) => {
                 for w in wounds {
-                    println!("post-mortem fault applied: {w}");
+                    EventLine::new("fault").kv("applied", w).emit();
                 }
             }
             Err(e) => {
-                eprintln!("post-mortem fault FAILED: {e}");
+                fail_line(EventLine::new("fault").kv("ok", false).kv("detail", e));
                 return Err(ExitCode::FAILURE);
             }
         }
@@ -437,13 +552,19 @@ fn main() -> ExitCode {
         let workload = OracleWorkload::quick(50, opts.cfg.seed);
         match live_vs_sim_spec(opts.strategy, &workload, opts.cfg.workers.max(1), 8) {
             Ok(cv) if cv.exact_match() => {
-                println!(
-                    "crosscheck ok: live == sim exactly ({} rounds, {} requests)",
-                    cv.sim.counters.rounds, cv.sim.counters.requests
-                );
+                EventLine::new("crosscheck")
+                    .kv("ok", true)
+                    .kv("rounds", cv.sim.counters.rounds)
+                    .kv("requests", cv.sim.counters.requests)
+                    .emit();
             }
             Ok(cv) => {
-                eprintln!("crosscheck FAILED: sim {:?} != live {:?}", cv.sim, cv.live);
+                fail_line(
+                    EventLine::new("crosscheck")
+                        .kv("ok", false)
+                        .kv("sim", format!("{:?}", cv.sim))
+                        .kv("live", format!("{:?}", cv.live)),
+                );
                 return ExitCode::FAILURE;
             }
             Err(e) => {
@@ -462,13 +583,88 @@ fn main() -> ExitCode {
         opts.cfg.mode,
         opts.cfg.duration.as_secs_f64(),
     );
+    // Optional introspection: counters + stats lines + trace collector.
+    let telem = opts.telemetry_on().then(|| {
+        LiveTelemetry::new(
+            opts.cfg.workers,
+            opts.sample_interval(),
+            LiveTelemetry::DEFAULT_RING_CAPACITY,
+        )
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+
+    // Stats thread: one self-describing JSON line per interval, read
+    // lock-free off the registry.
+    let stats_thread = match (telem.as_ref(), opts.stats_every) {
+        (Some(t), Some(every)) => {
+            let t = Arc::clone(t);
+            let stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(every);
+                    println!(
+                        "{}",
+                        stats_line(&t.snapshot(), t0.elapsed().as_millis() as u64)
+                    );
+                }
+            }))
+        }
+        _ => None,
+    };
+
+    // Trace collector: takes exclusive ownership of the per-worker rings
+    // and drains them into JSONL (or just counts, without --trace-out).
+    let collector = telem.as_ref().filter(|t| t.gate().get() > 0).map(|t| {
+        let mut consumers = t.take_consumers();
+        let stop = Arc::clone(&stop);
+        let out_path = opts.trace_out.clone();
+        std::thread::spawn(move || -> io::Result<u64> {
+            let mut writer = match &out_path {
+                Some(p) => Some(BufWriter::new(File::create(p)?)),
+                None => None,
+            };
+            let mut buf: Vec<TraceRecord> = Vec::new();
+            let mut lines = 0u64;
+            loop {
+                let mut drained = 0;
+                for cons in consumers.iter_mut() {
+                    drained += cons.drain(&mut buf);
+                }
+                for rec in buf.drain(..) {
+                    if let Some(w) = writer.as_mut() {
+                        w.write_all(rec.to_json().as_bytes())?;
+                        w.write_all(b"\n")?;
+                    }
+                    lines += 1;
+                }
+                if drained == 0 {
+                    // Workers are joined before `stop` is raised, so
+                    // an empty sweep after it means the rings are dry.
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            if let Some(mut w) = writer {
+                w.flush()?;
+            }
+            Ok(lines)
+        })
+    });
+
     let report = if let Some(dir) = opts.journal_dir.clone() {
-        match run_durable(&opts, &dir, faults) {
+        match run_durable(&opts, &dir, faults, telem.as_deref()) {
             Ok(r) => r,
             Err(code) => return code,
         }
     } else {
-        match run_loadgen_spec(opts.strategy, &opts.cfg) {
+        let run = match telem.as_ref() {
+            Some(t) => run_loadgen_observed_spec(opts.strategy, &opts.cfg, t),
+            None => run_loadgen_spec(opts.strategy, &opts.cfg),
+        };
+        match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("invalid strategy: {e}");
@@ -476,6 +672,38 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    // The run has returned (workers joined, all telemetry flushed):
+    // release the introspection threads and settle the trace books.
+    stop.store(true, Ordering::Relaxed);
+    let trace_lines = collector.map(|h| h.join().expect("trace collector panicked"));
+    if let Some(h) = stats_thread {
+        h.join().expect("stats thread panicked");
+    }
+    if let Some(t) = telem.as_ref() {
+        let snap = t.snapshot();
+        if opts.stats_every.is_some() {
+            println!("{}", stats_line(&snap, t0.elapsed().as_millis() as u64));
+        }
+        match trace_lines {
+            Some(Ok(lines)) => EventLine::new("trace")
+                .kv("lines", lines)
+                .kv("sampled", snap.counter(tc::TRACE_SAMPLED))
+                .kv("dropped", snap.counter(tc::TRACE_DROPPED))
+                .kv(
+                    "out",
+                    opts.trace_out
+                        .as_ref()
+                        .map_or("-".to_string(), |p| p.display().to_string()),
+                )
+                .emit(),
+            Some(Err(e)) => {
+                fail_line(EventLine::new("trace").kv("ok", false).kv("detail", e));
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+    }
 
     let c = &report.counters;
     println!(
@@ -507,19 +735,17 @@ fn main() -> ExitCode {
         report.balances_sum,
     );
 
+    let conservation = EventLine::new("conservation")
+        .kv("ok", report.conserves())
+        .kv("tokens_banked", c.tokens_banked)
+        .kv("reactive_sent", c.reactive_sent)
+        .kv("balances_sum", report.balances_sum)
+        .kv("initial", report.initial_balances_sum);
     if report.conserves() {
-        println!(
-            "conservation ok: tokens_banked ({}) - reactive_sent ({}) == \
-             balances_sum ({}) - initial ({})",
-            c.tokens_banked, c.reactive_sent, report.balances_sum, report.initial_balances_sum
-        );
+        conservation.emit();
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "conservation FAILED: tokens_banked ({}) - reactive_sent ({}) != \
-             balances_sum ({}) - initial ({})",
-            c.tokens_banked, c.reactive_sent, report.balances_sum, report.initial_balances_sum
-        );
+        fail_line(conservation);
         ExitCode::FAILURE
     }
 }
@@ -612,6 +838,40 @@ mod tests {
         assert_ne!(EXIT_CONSERVATION, EXIT_TRUNCATION);
         assert!(USAGE.contains("--recover"));
         assert!(USAGE.contains("--journal-dir"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        // Off by default: no registry, no threads, untouched hot path.
+        let o = parse(&[]).unwrap();
+        assert!(!o.telemetry_on());
+        assert_eq!(o.sample_interval(), 0);
+
+        let o = parse(&["--stats-every", "200"]).unwrap();
+        assert!(o.telemetry_on());
+        assert_eq!(o.stats_every, Some(Duration::from_millis(200)));
+        // Stats alone: counters only, no tracing.
+        assert_eq!(o.sample_interval(), 0);
+
+        // --trace-out alone traces every decision.
+        let o = parse(&["--trace-out", "/tmp/trace.jsonl"]).unwrap();
+        assert!(o.telemetry_on());
+        assert_eq!(o.trace_out, Some(PathBuf::from("/tmp/trace.jsonl")));
+        assert_eq!(o.sample_interval(), 1);
+
+        // An explicit sample interval wins; 0 means counters only.
+        let o = parse(&["--trace-out", "t", "--trace-sample", "64"]).unwrap();
+        assert_eq!(o.sample_interval(), 64);
+        let o = parse(&["--trace-sample", "0"]).unwrap();
+        assert!(o.telemetry_on());
+        assert_eq!(o.sample_interval(), 0);
+
+        assert!(parse(&["--stats-every", "0"]).is_err());
+        assert!(parse(&["--stats-every", "nope"]).is_err());
+        assert!(parse(&["--trace-sample", "-1"]).is_err());
+        assert!(USAGE.contains("--stats-every"));
+        assert!(USAGE.contains("--trace-out"));
+        assert!(USAGE.contains("--trace-sample"));
     }
 
     #[test]

@@ -56,9 +56,15 @@ impl Report {
         out
     }
 
-    /// Prints the report to stdout.
+    /// Prints the report to stdout, followed by the `profile` block of
+    /// every run executed since the last print (present only under
+    /// `TA_PROFILE=1`; see [`crate::runner::take_profile`]).
     pub fn print(&self) {
         print!("{}", self.render());
+        let profile = crate::runner::take_profile();
+        if !profile.is_empty() {
+            print!("\n-- profile\n{}", profile.render());
+        }
     }
 }
 

@@ -44,6 +44,7 @@ use ta_sim::engine::{SimStats, Simulation};
 use ta_sim::rng::{SplitMix64, Xoshiro256pp};
 use ta_sim::shard::{ShardOpts, ShardedSimulation};
 use ta_sim::NodeId;
+use ta_telemetry::ProfileData;
 use token_account::{InvalidStrategyError, Strategy, StrategyVisitor};
 
 use crate::spec::{AppKind, ChurnKind, ExperimentSpec, TopologyKind};
@@ -119,6 +120,34 @@ pub struct RunOutcome {
     /// Messages sent per transfer-time slot (burstiness histogram,
     /// Section 3.4; the paper's setup has 100 slots per round Δ).
     pub sends_per_slot: Vec<u64>,
+    /// Engine self-profiling totals (all-zero unless `TA_PROFILE=1`).
+    pub profile: ProfileData,
+}
+
+/// `TA_PROFILE=1` turns on engine self-profiling for every run in the
+/// process (checked once; the per-event cost is a dead branch otherwise).
+fn profiling_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("TA_PROFILE").is_ok_and(|v| v == "1"))
+}
+
+/// Process-wide profile accumulator: every profiled run merges here, and
+/// [`take_profile`] drains it for the report's `profile` block.
+static PROFILE: std::sync::Mutex<Option<ProfileData>> = std::sync::Mutex::new(None);
+
+fn note_profile(p: &ProfileData) {
+    let mut total = PROFILE.lock().expect("profile accumulator");
+    total.get_or_insert_with(ProfileData::default).merge(p);
+}
+
+/// Drains the accumulated self-profiling totals of every run executed
+/// since the last call (always empty unless `TA_PROFILE=1`).
+pub fn take_profile() -> ProfileData {
+    PROFILE
+        .lock()
+        .expect("profile accumulator")
+        .take()
+        .unwrap_or_default()
 }
 
 /// Aggregated counters over all runs of an experiment.
@@ -147,6 +176,9 @@ pub struct ExperimentResult {
     pub runs: Vec<RunOutcome>,
     /// Aggregated counters.
     pub stats: AggregateStats,
+    /// Merged engine self-profiling totals over all runs (all-zero
+    /// unless `TA_PROFILE=1`).
+    pub profile: ProfileData,
 }
 
 /// Builds the topology for a spec (shared across runs, as in the paper:
@@ -278,8 +310,13 @@ where
         );
         let mut sim = ShardedSimulation::with_opts(cfg, &schedule, proto, self.opts);
         sim.run_to_end();
+        let profile = if profiling_enabled() {
+            sim.profile()
+        } else {
+            ProfileData::default()
+        };
         let (proto, sim_stats) = sim.into_parts();
-        Ok(outcome_of(proto.into_results(), sim_stats))
+        Ok(outcome_of(proto.into_results(), sim_stats, profile))
     }
 }
 
@@ -356,13 +393,18 @@ where
 fn outcome_of<A>(
     results: ta_apps::protocol::ProtocolResults<A>,
     sim_stats: SimStats,
+    profile: ProfileData,
 ) -> RunOutcome {
+    if !profile.is_empty() {
+        note_profile(&profile);
+    }
     RunOutcome {
         metric: results.metric,
         tokens: results.tokens,
         protocol: results.stats,
         sim: sim_stats,
         sends_per_slot: results.sends_per_slot,
+        profile,
     }
 }
 
@@ -384,8 +426,13 @@ where
     let proto = build_protocol(spec, topo, mirror, &schedule, make_app, strategy);
     let mut sim = Simulation::new(cfg, &schedule, proto);
     sim.run_to_end();
+    let profile = if profiling_enabled() {
+        *sim.profile().data()
+    } else {
+        ProfileData::default()
+    };
     let (proto, sim_stats) = sim.into_parts();
-    Ok(outcome_of(proto.into_results(), sim_stats))
+    Ok(outcome_of(proto.into_results(), sim_stats, profile))
 }
 
 fn dispatch_run(
@@ -650,12 +697,17 @@ fn aggregate(spec: &ExperimentSpec, runs: Vec<RunOutcome>) -> ExperimentResult {
             / n_runs,
         mean_ticks: runs.iter().map(|r| r.sim.ticks_fired as f64).sum::<f64>() / n_runs,
     };
+    let mut profile = ProfileData::default();
+    for r in &runs {
+        profile.merge(&r.profile);
+    }
     ExperimentResult {
         spec: spec.clone(),
         metric,
         tokens,
         runs,
         stats,
+        profile,
     }
 }
 

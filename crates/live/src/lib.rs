@@ -15,6 +15,7 @@
 //! | [`counters`] | [`LiveCounters`] and the exact token-conservation books |
 //! | [`harness`] | live-vs-sim cross-validation: trace recording, exact virtual-clock replay, wall-clock distributional replay |
 //! | [`persist`] | durability: CRC-framed grant/spend journal, epoch-fenced copy-on-write snapshots, verified crash recovery, fault injection |
+//! | [`telem`] | optional runtime introspection: counter catalog, per-worker trace rings, sampling gate (`ta-telemetry`-backed) |
 //!
 //! The decision hot path is wait-free for grants (`fetch_add`) and
 //! lock-free for spends (a CAS loop that can never overdraw), performs
@@ -39,6 +40,7 @@ pub mod histogram;
 pub mod loadgen;
 pub mod persist;
 pub mod runtime;
+pub mod telem;
 
 pub use accounts::ShardedAccounts;
 pub use counters::LiveCounters;
@@ -48,11 +50,14 @@ pub use harness::{
 };
 pub use histogram::LatencyHistogram;
 pub use loadgen::{
-    run_loadgen, run_loadgen_durable, run_loadgen_durable_spec, run_loadgen_spec, ArrivalMode,
-    BurstMix, DurableStats, LoadGenConfig, LoadGenReport,
+    run_loadgen, run_loadgen_durable, run_loadgen_durable_observed,
+    run_loadgen_durable_observed_spec, run_loadgen_durable_spec, run_loadgen_observed,
+    run_loadgen_observed_spec, run_loadgen_spec, ArrivalMode, BurstMix, DurableStats,
+    LoadGenConfig, LoadGenReport,
 };
 pub use persist::{
     recover, FaultPlan, JournalHandle, JournalStats, PersistConfig, Persistence, RecoveredState,
     RecoveryError,
 };
 pub use runtime::LiveRuntime;
+pub use telem::LiveTelemetry;

@@ -34,6 +34,7 @@ use crate::counters::LiveCounters;
 use crate::histogram::LatencyHistogram;
 use crate::persist::{JournalHandle, Persistence, RecoveredState};
 use crate::runtime::LiveRuntime;
+use crate::telem::{c, LaneFlush, LiveTelemetry, WorkerTelem};
 
 /// How request arrivals are paced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,7 +144,19 @@ impl LoadGenReport {
 /// Runs the load generator with a concrete (monomorphized) strategy.
 pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenReport {
     let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
-    run_on_runtime(&runtime, cfg, None, None).0
+    run_on_runtime(&runtime, cfg, None, None, None).0
+}
+
+/// [`run_loadgen`] with telemetry attached: workers publish counter
+/// deltas to `telem`'s registry and sampled decisions to its trace
+/// rings while the run is in flight.
+pub fn run_loadgen_observed<S: Strategy>(
+    strategy: S,
+    cfg: &LoadGenConfig,
+    telem: &LiveTelemetry,
+) -> LoadGenReport {
+    let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
+    run_on_runtime(&runtime, cfg, None, None, Some(telem)).0
 }
 
 /// Outcome of the durability side of a [`run_loadgen_durable`] run.
@@ -172,6 +185,38 @@ pub fn run_loadgen_durable<S: Strategy>(
     snapshot_every: Option<Duration>,
     recovered: Option<&RecoveredState>,
 ) -> (LoadGenReport, DurableStats) {
+    run_loadgen_durable_inner(strategy, cfg, persistence, snapshot_every, recovered, None)
+}
+
+/// [`run_loadgen_durable`] with telemetry attached: additionally
+/// instruments the journal writer, snapshot freezes, and (for resumed
+/// runs) recovery replay progress.
+pub fn run_loadgen_durable_observed<S: Strategy>(
+    strategy: S,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+    telem: &LiveTelemetry,
+) -> (LoadGenReport, DurableStats) {
+    run_loadgen_durable_inner(
+        strategy,
+        cfg,
+        persistence,
+        snapshot_every,
+        recovered,
+        Some(telem),
+    )
+}
+
+fn run_loadgen_durable_inner<S: Strategy>(
+    strategy: S,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+    telem: Option<&LiveTelemetry>,
+) -> (LoadGenReport, DurableStats) {
     let runtime = match recovered {
         Some(state) => {
             assert_eq!(
@@ -193,7 +238,10 @@ pub fn run_loadgen_durable<S: Strategy>(
         runtime.accounts().shard_count(),
         "manifest shard count mismatch"
     );
-    run_on_runtime(&runtime, cfg, Some(persistence), snapshot_every)
+    if let (Some(t), Some(state)) = (telem, recovered) {
+        t.note_recovery_replayed(state.replayed);
+    }
+    run_on_runtime(&runtime, cfg, Some(persistence), snapshot_every, telem)
 }
 
 /// The shared run loop: spawns the granter, the workers, and (durable
@@ -203,9 +251,13 @@ fn run_on_runtime<S: Strategy>(
     cfg: &LoadGenConfig,
     persistence: Option<&Persistence>,
     snapshot_every: Option<Duration>,
+    telem: Option<&LiveTelemetry>,
 ) -> (LoadGenReport, DurableStats) {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(cfg.clients >= 1, "need at least one client");
+    if let (Some(p), Some(t)) = (persistence, telem) {
+        p.attach_telemetry(t.persist_handle());
+    }
     let initial_balances_sum = runtime.balances_sum();
     let stop = AtomicBool::new(false);
     let start = Instant::now();
@@ -215,6 +267,7 @@ fn run_on_runtime<S: Strategy>(
             let runtime = &runtime;
             let stop = &stop;
             let mut journal = persistence.map(Persistence::handle);
+            let mut flush = telem.map(|t| LaneFlush::new(t.granter_handle()));
             scope.spawn(move || {
                 let mut rng = Xoshiro256pp::stream(cfg.seed, GRANTER_STREAM);
                 let mut counters = LiveCounters::default();
@@ -227,15 +280,24 @@ fn run_on_runtime<S: Strategy>(
                         std::thread::sleep((next - now).min(Duration::from_millis(5)));
                         continue;
                     }
+                    let mut swept = 0u64;
                     for s in 0..runtime.accounts().shard_count() {
                         // Proactive sends would leave through a transport
                         // here; the load generator only accounts them.
-                        match journal.as_mut() {
+                        swept += match journal.as_mut() {
                             Some(j) => {
                                 runtime.round_sweep_journaled(s, &mut rng, &mut counters, |_| {}, j)
                             }
                             None => runtime.round_sweep(s, &mut rng, &mut counters, |_| {}),
                         };
+                    }
+                    if let Some(f) = flush.as_mut() {
+                        // One delta publish per whole-accounts pass: the
+                        // sweep loop itself stays untouched.
+                        f.handle()
+                            .add(c::GRANTER_SWEEPS, runtime.accounts().shard_count() as u64);
+                        f.handle().add(c::GRANTER_ACCOUNTS, swept);
+                        f.flush(&counters);
                     }
                     next += period;
                 }
@@ -273,9 +335,10 @@ fn run_on_runtime<S: Strategy>(
             .map(|w| {
                 let runtime = &runtime;
                 let journal = persistence.map(Persistence::handle);
+                let wt = telem.map(|t| t.worker(w));
                 let lo = (w * block).min(cfg.clients);
                 let hi = ((w + 1) * block).min(cfg.clients);
-                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi, journal))
+                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi, journal, wt))
             })
             .collect();
         let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -316,6 +379,7 @@ fn worker_loop<S: Strategy>(
     lo: usize,
     hi: usize,
     mut journal: Option<JournalHandle>,
+    mut telem: Option<WorkerTelem>,
 ) -> (LiveCounters, LatencyHistogram) {
     let mut rng = Xoshiro256pp::stream(cfg.seed, 1 + w);
     let mut counters = LiveCounters::default();
@@ -388,17 +452,25 @@ fn worker_loop<S: Strategy>(
         for _ in 0..requests {
             let usefulness = Usefulness::from_bool(rng.chance(cfg.useful_probability));
             let t0 = Instant::now();
-            match journal.as_mut() {
+            let decision = match journal.as_mut() {
                 Some(j) => runtime.admit_journaled(client, usefulness, &mut rng, &mut counters, j),
                 None => runtime.admit(client, usefulness, &mut rng, &mut counters),
             };
             histogram.record(t0.elapsed().as_nanos() as u64);
+            if let Some(t) = telem.as_mut() {
+                t.decision(&counters, client, decision, || {
+                    runtime.accounts().account(client).balance()
+                });
+            }
         }
     }
     if let Some(j) = journal.as_mut() {
         if chunk_left > 0 {
             j.exit();
         }
+    }
+    if let Some(t) = telem {
+        t.finish(&counters);
     }
     (counters, histogram)
 }
@@ -408,12 +480,14 @@ fn worker_loop<S: Strategy>(
 /// with the strategy type known statically.
 struct LoadGenVisitor<'a> {
     cfg: &'a LoadGenConfig,
+    telem: Option<&'a LiveTelemetry>,
 }
 
 impl StrategyVisitor for LoadGenVisitor<'_> {
     type Output = LoadGenReport;
     fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> LoadGenReport {
-        run_loadgen(strategy, self.cfg)
+        let runtime = LiveRuntime::new(strategy, self.cfg.clients, self.cfg.account_shards);
+        run_on_runtime(&runtime, self.cfg, None, None, self.telem).0
     }
 }
 
@@ -426,7 +500,23 @@ pub fn run_loadgen_spec(
     spec: StrategySpec,
     cfg: &LoadGenConfig,
 ) -> Result<LoadGenReport, InvalidStrategyError> {
-    spec.dispatch(LoadGenVisitor { cfg })
+    spec.dispatch(LoadGenVisitor { cfg, telem: None })
+}
+
+/// [`run_loadgen_observed`] for a serializable [`StrategySpec`].
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+pub fn run_loadgen_observed_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+    telem: &LiveTelemetry,
+) -> Result<LoadGenReport, InvalidStrategyError> {
+    spec.dispatch(LoadGenVisitor {
+        cfg,
+        telem: Some(telem),
+    })
 }
 
 /// Monomorphizing bridge for [`run_loadgen_durable`].
@@ -435,17 +525,19 @@ struct DurableVisitor<'a> {
     persistence: &'a Persistence,
     snapshot_every: Option<Duration>,
     recovered: Option<&'a RecoveredState>,
+    telem: Option<&'a LiveTelemetry>,
 }
 
 impl StrategyVisitor for DurableVisitor<'_> {
     type Output = (LoadGenReport, DurableStats);
     fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> Self::Output {
-        run_loadgen_durable(
+        run_loadgen_durable_inner(
             strategy,
             self.cfg,
             self.persistence,
             self.snapshot_every,
             self.recovered,
+            self.telem,
         )
     }
 }
@@ -467,6 +559,29 @@ pub fn run_loadgen_durable_spec(
         persistence,
         snapshot_every,
         recovered,
+        telem: None,
+    })
+}
+
+/// [`run_loadgen_durable_observed`] for a serializable [`StrategySpec`].
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+pub fn run_loadgen_durable_observed_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+    telem: &LiveTelemetry,
+) -> Result<(LoadGenReport, DurableStats), InvalidStrategyError> {
+    spec.dispatch(DurableVisitor {
+        cfg,
+        persistence,
+        snapshot_every,
+        recovered,
+        telem: Some(telem),
     })
 }
 
@@ -525,6 +640,34 @@ mod tests {
             report.counters.requests > 3_000,
             "open loop too slow: {} requests",
             report.counters.requests
+        );
+    }
+
+    #[test]
+    fn observed_run_registry_matches_merged_counters_exactly() {
+        let cfg = tiny(ArrivalMode::Closed);
+        let telem = LiveTelemetry::new(cfg.workers, 1, 1 << 16);
+        let report = run_loadgen_observed(RandomizedTokenAccount::new(2, 6).unwrap(), &cfg, &telem);
+        assert!(report.conserves());
+        let snap = telem.snapshot();
+        let m = &report.counters;
+        assert_eq!(snap.counter(c::ADMIT_REQUESTS), m.requests);
+        assert_eq!(snap.counter(c::ADMIT_REACTIVE_SENT), m.reactive_sent);
+        assert_eq!(snap.counter(c::ADMIT_REACTIVE_HELD), m.reactive_held);
+        assert_eq!(snap.counter(c::ROUND_ROUNDS), m.rounds);
+        assert_eq!(snap.counter(c::ROUND_PROACTIVE_SENT), m.proactive_sent);
+        assert_eq!(snap.counter(c::ROUND_TOKENS_BANKED), m.tokens_banked);
+        assert_eq!(snap.counter(c::GRANTER_ACCOUNTS), m.rounds);
+        // Sample interval 1: every decision sampled; ring accounting
+        // closes against the sampled total.
+        assert_eq!(snap.counter(c::TRACE_SAMPLED), m.requests);
+        let mut out = Vec::new();
+        for mut cons in telem.take_consumers() {
+            cons.drain(&mut out);
+        }
+        assert_eq!(
+            out.len() as u64 + snap.counter(c::TRACE_DROPPED),
+            snap.counter(c::TRACE_SAMPLED)
         );
     }
 

@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use super::{crc32, EpochCell, PersistConfig, PersistShared};
+use crate::telem::{c, g};
 
 /// One journalled balance change: `delta` tokens (positive = grant,
 /// negative = reactive spend) applied to `client`, stamped with the
@@ -316,11 +317,12 @@ pub(crate) fn spawn_writer(
     rx: Receiver<WriterMsg>,
     first_segment: u64,
     active_segment: Arc<AtomicU64>,
+    shared: Arc<PersistShared>,
 ) -> io::Result<JoinHandle<io::Result<JournalStats>>> {
     let file = open_segment(&cfg.dir, first_segment)?;
     std::thread::Builder::new()
         .name("ta-journal".into())
-        .spawn(move || writer_loop(cfg, rx, file, first_segment, active_segment))
+        .spawn(move || writer_loop(cfg, rx, file, first_segment, active_segment, shared))
 }
 
 fn open_segment(dir: &Path, id: u64) -> io::Result<File> {
@@ -337,21 +339,58 @@ struct Writer {
     pending: Vec<u8>,
     stats: JournalStats,
     committed_frames: u64,
+    shared: Arc<PersistShared>,
 }
 
 impl Writer {
     /// Writes and (configurably) fsyncs the pending buffer.
     fn commit(&mut self) -> io::Result<()> {
         if !self.pending.is_empty() {
-            self.file.write_all(&self.pending)?;
+            match self.shared.telem.get() {
+                Some(h) => {
+                    let t0 = Instant::now();
+                    self.file.write_all(&self.pending)?;
+                    h.add(c::JOURNAL_FLUSH_NS, t0.elapsed().as_nanos() as u64);
+                    h.incr(c::JOURNAL_FLUSHES);
+                }
+                None => self.file.write_all(&self.pending)?,
+            }
             self.stats.bytes += self.pending.len() as u64;
             self.pending.clear();
         }
         if self.cfg.fsync && !self.cfg.faults.drop_fsync {
-            self.file.sync_data()?;
-            self.stats.syncs += 1;
+            self.fsync()?;
         }
         Ok(())
+    }
+
+    /// One timed, counted `sync_data` (durability points only).
+    fn fsync(&mut self) -> io::Result<()> {
+        match self.shared.telem.get() {
+            Some(h) => {
+                let t0 = Instant::now();
+                self.file.sync_data()?;
+                h.add(c::JOURNAL_FSYNC_NS, t0.elapsed().as_nanos() as u64);
+                h.incr(c::JOURNAL_FSYNCS);
+            }
+            None => self.file.sync_data()?,
+        }
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Frame-level accounting after encoding one frame into `pending`.
+    fn note_frame(&mut self, range: bool, encoded: usize) {
+        if let Some(h) = self.shared.telem.get() {
+            if range {
+                h.incr(c::JOURNAL_FRAMES_RANGE);
+                h.add(c::JOURNAL_BYTES_RANGE, encoded as u64);
+            } else {
+                h.incr(c::JOURNAL_FRAMES_DELTA);
+                h.add(c::JOURNAL_BYTES_DELTA, encoded as u64);
+            }
+            h.gauge_add(g::JOURNAL_QUEUE_DEPTH, -1);
+        }
     }
 
     /// The `kill_writer_mid_frame` fault: after at least two committed
@@ -384,6 +423,7 @@ fn writer_loop(
     file: File,
     first_segment: u64,
     active_segment: Arc<AtomicU64>,
+    shared: Arc<PersistShared>,
 ) -> io::Result<JournalStats> {
     let group = cfg.group_commit.max(Duration::from_micros(100));
     let mut w = Writer {
@@ -396,6 +436,7 @@ fn writer_loop(
             ..JournalStats::default()
         },
         committed_frames: 0,
+        shared,
     };
     let mut deadline = Instant::now() + group;
     loop {
@@ -425,7 +466,9 @@ fn writer_loop(
                         encode_frame(shard, &recs, &mut frame);
                         return w.die_mid_frame(&frame);
                     }
+                    let before = w.pending.len();
                     encode_frame(shard, &recs, &mut w.pending);
+                    w.note_frame(false, w.pending.len() - before);
                     w.stats.frames += 1;
                     w.stats.records += recs.len() as u64;
                     w.committed_frames += 1;
@@ -436,7 +479,9 @@ fn writer_loop(
                         encode_range_frame(shard, &recs, &mut frame);
                         return w.die_mid_frame(&frame);
                     }
+                    let before = w.pending.len();
                     encode_range_frame(shard, &recs, &mut w.pending);
+                    w.note_frame(true, w.pending.len() - before);
                     w.stats.frames += 1;
                     w.stats.records += recs.len() as u64;
                     w.committed_frames += 1;
@@ -457,7 +502,7 @@ fn writer_loop(
                     if res.is_ok() && !w.cfg.fsync && !w.cfg.faults.drop_fsync {
                         // `sync` promises durability even when periodic
                         // fsync is off.
-                        res = w.file.sync_data().map(|()| w.stats.syncs += 1);
+                        res = w.fsync();
                     }
                     let _ = ack.send(res);
                     deadline = Instant::now() + group;
@@ -465,8 +510,7 @@ fn writer_loop(
                 WriterMsg::Shutdown => {
                     w.commit()?;
                     if !w.cfg.fsync && !w.cfg.faults.drop_fsync {
-                        w.file.sync_data()?;
-                        w.stats.syncs += 1;
+                        w.fsync()?;
                     }
                     return Ok(w.stats);
                 }
@@ -591,6 +635,16 @@ impl JournalHandle {
         }
     }
 
+    /// Queue accounting for one batch handed to the writer (per ~cap
+    /// records, not per record — the telemetry check is one cold load).
+    #[inline]
+    fn note_batch(&self) {
+        if let Some(h) = self.shared.telem.get() {
+            h.incr(c::JOURNAL_BATCHES);
+            h.gauge_add(g::JOURNAL_QUEUE_DEPTH, 1);
+        }
+    }
+
     /// Leaves the current operation; the outermost exit publishes all
     /// its effects to the snapshotter.
     #[inline]
@@ -644,6 +698,7 @@ impl JournalHandle {
                 shard: shard as u32,
                 recs,
             });
+            self.note_batch();
         }
         let buf = &mut self.bufs[shard];
         buf.push(DeltaRec { seq, client, delta });
@@ -654,6 +709,7 @@ impl JournalHandle {
                 shard: shard as u32,
                 recs,
             });
+            self.note_batch();
         }
     }
 
@@ -677,11 +733,13 @@ impl JournalHandle {
                 shard: shard as u32,
                 recs,
             });
+            self.note_batch();
         }
     }
 
     /// Hands every non-empty buffer to the writer.
     pub fn flush(&mut self) {
+        let mut sent = 0u64;
         for (shard, buf) in self.bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let recs = std::mem::replace(buf, Vec::with_capacity(self.cap));
@@ -689,6 +747,7 @@ impl JournalHandle {
                     shard: shard as u32,
                     recs,
                 });
+                sent += 1;
             }
         }
         for (shard, buf) in self.range_bufs.iter_mut().enumerate() {
@@ -698,6 +757,13 @@ impl JournalHandle {
                     shard: shard as u32,
                     recs,
                 });
+                sent += 1;
+            }
+        }
+        if sent > 0 {
+            if let Some(h) = self.shared.telem.get() {
+                h.add(c::JOURNAL_BATCHES, sent);
+                h.gauge_add(g::JOURNAL_QUEUE_DEPTH, sent as i64);
             }
         }
     }

@@ -51,11 +51,12 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use journal::WriterMsg;
+use ta_telemetry::Handle as TelemetryHandle;
 
 /// Configuration of one durability domain (one journal directory).
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +189,12 @@ pub struct PersistShared {
     /// shards) check this single counter instead of every per-shard
     /// fence when re-entering.
     pub(crate) snap_pending: AtomicUsize,
+    /// Telemetry handle for the persistence lane, set at most once per
+    /// domain (see [`Persistence::attach_telemetry`]). Producers, the
+    /// writer, and the snapshotter all publish through it; its cells
+    /// tolerate the multi-writer `fetch_add`s because every touch is on
+    /// a cold path (per batch / commit / freeze, never per record).
+    pub(crate) telem: OnceLock<TelemetryHandle>,
 }
 
 impl PersistShared {
@@ -392,11 +399,17 @@ impl Persistence {
             epochs: Mutex::new(Vec::new()),
             buffer_cap: cfg.buffer_cap.max(1),
             snap_pending: AtomicUsize::new(0),
+            telem: OnceLock::new(),
         });
         let (tx, rx) = channel();
         let active_segment = Arc::new(AtomicU64::new(first_segment));
-        let writer =
-            journal::spawn_writer(cfg.clone(), rx, first_segment, Arc::clone(&active_segment))?;
+        let writer = journal::spawn_writer(
+            cfg.clone(),
+            rx,
+            first_segment,
+            Arc::clone(&active_segment),
+            Arc::clone(&shared),
+        )?;
         Ok(Persistence {
             shared,
             tx,
@@ -424,6 +437,15 @@ impl Persistence {
     /// worker, the granter, or a test driver).
     pub fn handle(&self) -> JournalHandle {
         JournalHandle::new(Arc::clone(&self.shared), self.tx.clone())
+    }
+
+    /// Attaches a telemetry lane handle to this domain: the journal
+    /// writer starts reporting frame/flush/fsync counters, producers
+    /// report batch hand-offs and queue depth, and snapshots report
+    /// freeze durations — all against [`crate::telem`]'s catalog.
+    /// Subsequent calls are ignored (the first handle wins).
+    pub fn attach_telemetry(&self, handle: TelemetryHandle) {
+        let _ = self.shared.telem.set(handle);
     }
 
     /// Takes one copy-on-write snapshot of `accounts` (which must be the

@@ -262,6 +262,7 @@ pub(crate) fn take(p: &Persistence, accounts: &ShardedAccounts) -> io::Result<Sn
 
     let mut shards = Vec::with_capacity(manifest.shards);
     for s in 0..manifest.shards {
+        let t0 = std::time::Instant::now();
         let (watermark, granted, burned) = p.freeze_shard(s);
         let balances: Vec<i64> = accounts
             .shard_accounts(s)
@@ -269,6 +270,13 @@ pub(crate) fn take(p: &Persistence, accounts: &ShardedAccounts) -> io::Result<Sn
             .map(|a| a.balance())
             .collect();
         p.unfreeze_shard(s);
+        if let Some(h) = p.shared().telem.get() {
+            h.incr(crate::telem::c::SNAPSHOT_FREEZES);
+            h.add(
+                crate::telem::c::SNAPSHOT_FREEZE_NS,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         shards.push(ShardSnap {
             watermark,
             granted,

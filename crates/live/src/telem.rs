@@ -1,0 +1,477 @@
+//! Live-runtime telemetry: the counter catalog, per-worker trace rings,
+//! and the sampling gate.
+//!
+//! [`LiveTelemetry`] owns one `ta-telemetry` [`Registry`] with a lane
+//! per worker plus three helper lanes (granter, journal writer,
+//! control), and one SPSC [`TraceRing`](ta_telemetry::TraceRing) per
+//! worker. Attaching it to a load-generator run is optional and — by
+//! design — nearly free:
+//!
+//! * Workers accumulate into their existing thread-local
+//!   [`LiveCounters`] exactly as before and publish *deltas* to their
+//!   registry lane once per [`WorkerTelem::FLUSH_CHUNK`] decisions, so
+//!   the hot path gains one decrement, one branch, and one sampler
+//!   check per decision.
+//! * Decision tracing is gated by a [`SampleGate`]: at `N = 0` the
+//!   per-decision cost is a single relaxed load and a branch; at
+//!   `N = k` every `k`-th decision reads the post-decision balance and
+//!   pushes one 32-byte record into the worker's ring.
+//! * The journal writer, snapshotter, and recovery path publish through
+//!   a [`Handle`] stashed in the persistence domain (see
+//!   [`crate::persist::Persistence::attach_telemetry`]); those paths
+//!   are off the admission hot path entirely.
+//!
+//! The catalog below is the single source of truth for counter/gauge
+//! slot indices; a unit test pins the constants to the name arrays.
+
+use std::sync::{Arc, Mutex};
+
+use ta_telemetry::{
+    mono_ns, trace_ring, Handle, Registry, SampleGate, Sampler, Snapshot, TraceConsumer,
+    TraceProducer, TraceRecord,
+};
+use token_account::live::Decision;
+
+use crate::counters::LiveCounters;
+
+/// Counter slot indices, in [`COUNTERS`] order.
+pub mod c {
+    /// Admission decisions made by workers.
+    pub const ADMIT_REQUESTS: usize = 0;
+    /// Reactive messages sent (tokens burned).
+    pub const ADMIT_REACTIVE_SENT: usize = 1;
+    /// Requests that admitted nothing.
+    pub const ADMIT_REACTIVE_HELD: usize = 2;
+    /// Round decisions (granter sweep entries).
+    pub const ROUND_ROUNDS: usize = 3;
+    /// Rounds that resolved to a proactive send.
+    pub const ROUND_PROACTIVE_SENT: usize = 4;
+    /// Rounds that banked their token.
+    pub const ROUND_TOKENS_BANKED: usize = 5;
+    /// Whole-shard granter sweeps completed.
+    pub const GRANTER_SWEEPS: usize = 6;
+    /// Accounts walked by granter sweeps.
+    pub const GRANTER_ACCOUNTS: usize = 7;
+    /// Producer batches handed to the journal writer.
+    pub const JOURNAL_BATCHES: usize = 8;
+    /// Delta frames encoded by the writer.
+    pub const JOURNAL_FRAMES_DELTA: usize = 9;
+    /// Range frames encoded by the writer.
+    pub const JOURNAL_FRAMES_RANGE: usize = 10;
+    /// Bytes of encoded delta frames.
+    pub const JOURNAL_BYTES_DELTA: usize = 11;
+    /// Bytes of encoded range frames.
+    pub const JOURNAL_BYTES_RANGE: usize = 12;
+    /// Group commits that wrote pending bytes.
+    pub const JOURNAL_FLUSHES: usize = 13;
+    /// Wall nanoseconds spent in commit `write(2)` calls.
+    pub const JOURNAL_FLUSH_NS: usize = 14;
+    /// fsync calls issued by the writer.
+    pub const JOURNAL_FSYNCS: usize = 15;
+    /// Wall nanoseconds spent in fsync calls.
+    pub const JOURNAL_FSYNC_NS: usize = 16;
+    /// Shard freezes taken by the snapshotter.
+    pub const SNAPSHOT_FREEZES: usize = 17;
+    /// Wall nanoseconds shards spent frozen (fence raise → lift).
+    pub const SNAPSHOT_FREEZE_NS: usize = 18;
+    /// Journal records replayed during crash recovery.
+    pub const RECOVERY_REPLAYED: usize = 19;
+    /// Decisions sampled into trace rings (pushed + dropped).
+    pub const TRACE_SAMPLED: usize = 20;
+    /// Sampled decisions whose verdict was a reactive send.
+    pub const TRACE_SAMPLED_SENT: usize = 21;
+    /// Sampled decisions whose verdict was a hold.
+    pub const TRACE_SAMPLED_HELD: usize = 22;
+    /// Sampled records dropped because a ring was full.
+    pub const TRACE_DROPPED: usize = 23;
+}
+
+/// Gauge slot indices, in [`GAUGES`] order.
+pub mod g {
+    /// Producer batches enqueued to the journal writer and not yet
+    /// encoded (incremented by producers, decremented by the writer).
+    pub const JOURNAL_QUEUE_DEPTH: usize = 0;
+}
+
+/// The counter catalog (slot order is the [`c`] constants' order).
+pub const COUNTERS: &[&str] = &[
+    "admit_requests",
+    "admit_reactive_sent",
+    "admit_reactive_held",
+    "round_rounds",
+    "round_proactive_sent",
+    "round_tokens_banked",
+    "granter_sweeps",
+    "granter_accounts",
+    "journal_batches",
+    "journal_frames_delta",
+    "journal_frames_range",
+    "journal_bytes_delta",
+    "journal_bytes_range",
+    "journal_flushes",
+    "journal_flush_ns",
+    "journal_fsyncs",
+    "journal_fsync_ns",
+    "snapshot_freezes",
+    "snapshot_freeze_ns",
+    "recovery_replayed",
+    "trace_sampled",
+    "trace_sampled_sent",
+    "trace_sampled_held",
+    "trace_dropped",
+];
+
+/// The gauge catalog (slot order is the [`g`] constants' order).
+pub const GAUGES: &[&str] = &["journal_queue_depth"];
+
+/// Helper lanes appended after the per-worker lanes.
+const GRANTER_LANE: usize = 0;
+const PERSIST_LANE: usize = 1;
+const CONTROL_LANE: usize = 2;
+const EXTRA_LANES: usize = 3;
+
+/// Telemetry state for one live run (see the [module docs](self)).
+/// Build once, share via `Arc`, attach to a run with the `_observed`
+/// load-generator entry points.
+#[derive(Debug)]
+pub struct LiveTelemetry {
+    registry: Arc<Registry>,
+    gate: Arc<SampleGate>,
+    workers: usize,
+    producers: Mutex<Vec<Option<TraceProducer>>>,
+    consumers: Mutex<Vec<Option<TraceConsumer>>>,
+}
+
+impl LiveTelemetry {
+    /// Default per-worker trace-ring capacity (slots).
+    pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+    /// Builds telemetry for `workers` worker lanes with the given trace
+    /// sample interval (`0` = tracing off) and per-worker ring capacity.
+    pub fn new(workers: usize, sample: u32, ring_capacity: usize) -> Arc<Self> {
+        let workers = workers.max(1);
+        let (producers, consumers) = (0..workers)
+            .map(|_| {
+                let (p, cons) = trace_ring(ring_capacity);
+                (Some(p), Some(cons))
+            })
+            .unzip();
+        Arc::new(LiveTelemetry {
+            registry: Registry::new(COUNTERS, GAUGES, workers + EXTRA_LANES),
+            gate: SampleGate::new(sample),
+            workers,
+            producers: Mutex::new(producers),
+            consumers: Mutex::new(consumers),
+        })
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// One epoch-consistent counter sweep.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The shared trace sampling gate (runtime-adjustable).
+    pub fn gate(&self) -> &Arc<SampleGate> {
+        &self.gate
+    }
+
+    /// Worker lanes this telemetry was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The granter thread's lane handle.
+    pub fn granter_handle(&self) -> Handle {
+        self.registry.handle(self.workers + GRANTER_LANE)
+    }
+
+    /// The persistence lane handle (journal writer, snapshotter, and
+    /// producer queue accounting — multi-writer, which the registry's
+    /// relaxed `fetch_add` cells tolerate; these paths are rare).
+    pub fn persist_handle(&self) -> Handle {
+        self.registry.handle(self.workers + PERSIST_LANE)
+    }
+
+    /// The control lane handle (recovery notes, collector accounting).
+    pub fn control_handle(&self) -> Handle {
+        self.registry.handle(self.workers + CONTROL_LANE)
+    }
+
+    /// Records journal replay progress from a completed recovery.
+    pub fn note_recovery_replayed(&self, records: u64) {
+        self.control_handle().add(c::RECOVERY_REPLAYED, records);
+    }
+
+    /// Takes every remaining trace consumer (collector-thread side).
+    /// Consumers already taken are skipped, so a collector and a final
+    /// drain cannot double-own a ring.
+    pub fn take_consumers(&self) -> Vec<TraceConsumer> {
+        let mut slots = self.consumers.lock().expect("consumer registry");
+        slots.iter_mut().filter_map(Option::take).collect()
+    }
+
+    /// Builds worker `w`'s per-thread telemetry state, taking ownership
+    /// of its trace-ring producer.
+    pub(crate) fn worker(&self, w: usize) -> WorkerTelem {
+        let producer = self
+            .producers
+            .lock()
+            .expect("producer registry")
+            .get_mut(w)
+            .and_then(Option::take);
+        WorkerTelem {
+            flush: LaneFlush::new(self.registry.handle(w.min(self.workers - 1))),
+            sampler: Sampler::new(Arc::clone(&self.gate)),
+            producer,
+            sampled: 0,
+            sampled_sent: 0,
+            sampled_held: 0,
+            last_dropped: 0,
+            left: WorkerTelem::FLUSH_CHUNK,
+        }
+    }
+}
+
+/// Publishes [`LiveCounters`] deltas to one registry lane: keeps the
+/// last-published copy and adds the difference, so the thread's own
+/// counters stay the plain non-atomic hot-path accumulators they always
+/// were.
+#[derive(Debug)]
+pub(crate) struct LaneFlush {
+    handle: Handle,
+    last: LiveCounters,
+}
+
+impl LaneFlush {
+    pub(crate) fn new(handle: Handle) -> Self {
+        LaneFlush {
+            handle,
+            last: LiveCounters::default(),
+        }
+    }
+
+    pub(crate) fn handle(&self) -> &Handle {
+        &self.handle
+    }
+
+    /// Publishes everything `now` gained since the last flush.
+    pub(crate) fn flush(&mut self, now: &LiveCounters) {
+        let h = &self.handle;
+        h.add(c::ADMIT_REQUESTS, now.requests - self.last.requests);
+        h.add(
+            c::ADMIT_REACTIVE_SENT,
+            now.reactive_sent - self.last.reactive_sent,
+        );
+        h.add(
+            c::ADMIT_REACTIVE_HELD,
+            now.reactive_held - self.last.reactive_held,
+        );
+        h.add(c::ROUND_ROUNDS, now.rounds - self.last.rounds);
+        h.add(
+            c::ROUND_PROACTIVE_SENT,
+            now.proactive_sent - self.last.proactive_sent,
+        );
+        h.add(
+            c::ROUND_TOKENS_BANKED,
+            now.tokens_banked - self.last.tokens_banked,
+        );
+        self.last = *now;
+    }
+}
+
+/// One worker thread's telemetry state: its lane flusher, its sampler,
+/// and (when tracing) its ring producer.
+#[derive(Debug)]
+pub(crate) struct WorkerTelem {
+    flush: LaneFlush,
+    sampler: Sampler,
+    producer: Option<TraceProducer>,
+    sampled: u64,
+    sampled_sent: u64,
+    sampled_held: u64,
+    last_dropped: u64,
+    left: u32,
+}
+
+impl WorkerTelem {
+    /// Decisions between counter-delta flushes. Matches the journal's
+    /// epoch-fence chunk so both amortizations stride together.
+    pub(crate) const FLUSH_CHUNK: u32 = 256;
+
+    /// Per-decision hook: sample-maybe, then flush counter deltas once
+    /// per chunk. `balance_after` is only evaluated for sampled
+    /// decisions.
+    #[inline]
+    pub(crate) fn decision(
+        &mut self,
+        counters: &LiveCounters,
+        client: usize,
+        decision: Decision,
+        balance_after: impl FnOnce() -> i64,
+    ) {
+        if self.sampler.hit() {
+            self.sample(client, decision, balance_after());
+        }
+        self.left -= 1;
+        if self.left == 0 {
+            self.flush_now(counters);
+            self.left = Self::FLUSH_CHUNK;
+        }
+    }
+
+    #[cold]
+    fn sample(&mut self, client: usize, decision: Decision, balance_after: i64) {
+        let (verdict, cost) = match decision {
+            Decision::ReactiveSend(x) => (TraceRecord::SENT, x as u32),
+            _ => (TraceRecord::HELD, 0),
+        };
+        self.sampled += 1;
+        if verdict == TraceRecord::SENT {
+            self.sampled_sent += 1;
+        } else {
+            self.sampled_held += 1;
+        }
+        if let Some(p) = self.producer.as_mut() {
+            p.push(TraceRecord {
+                mono_ns: mono_ns(),
+                balance_after,
+                client: client as u32,
+                cost,
+                verdict,
+            });
+        }
+    }
+
+    fn flush_now(&mut self, counters: &LiveCounters) {
+        self.flush.flush(counters);
+        let h = self.flush.handle();
+        h.add(c::TRACE_SAMPLED, std::mem::take(&mut self.sampled));
+        h.add(
+            c::TRACE_SAMPLED_SENT,
+            std::mem::take(&mut self.sampled_sent),
+        );
+        h.add(
+            c::TRACE_SAMPLED_HELD,
+            std::mem::take(&mut self.sampled_held),
+        );
+        if let Some(p) = self.producer.as_ref() {
+            let dropped = p.ring().dropped();
+            h.add(c::TRACE_DROPPED, dropped - self.last_dropped);
+            self.last_dropped = dropped;
+        }
+    }
+
+    /// Final flush at worker exit: everything the chunk stride missed.
+    pub(crate) fn finish(mut self, counters: &LiveCounters) {
+        self.flush_now(counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_constants_match_names() {
+        assert_eq!(COUNTERS[c::ADMIT_REQUESTS], "admit_requests");
+        assert_eq!(COUNTERS[c::ADMIT_REACTIVE_SENT], "admit_reactive_sent");
+        assert_eq!(COUNTERS[c::ADMIT_REACTIVE_HELD], "admit_reactive_held");
+        assert_eq!(COUNTERS[c::ROUND_ROUNDS], "round_rounds");
+        assert_eq!(COUNTERS[c::ROUND_PROACTIVE_SENT], "round_proactive_sent");
+        assert_eq!(COUNTERS[c::ROUND_TOKENS_BANKED], "round_tokens_banked");
+        assert_eq!(COUNTERS[c::GRANTER_SWEEPS], "granter_sweeps");
+        assert_eq!(COUNTERS[c::GRANTER_ACCOUNTS], "granter_accounts");
+        assert_eq!(COUNTERS[c::JOURNAL_BATCHES], "journal_batches");
+        assert_eq!(COUNTERS[c::JOURNAL_FRAMES_DELTA], "journal_frames_delta");
+        assert_eq!(COUNTERS[c::JOURNAL_FRAMES_RANGE], "journal_frames_range");
+        assert_eq!(COUNTERS[c::JOURNAL_BYTES_DELTA], "journal_bytes_delta");
+        assert_eq!(COUNTERS[c::JOURNAL_BYTES_RANGE], "journal_bytes_range");
+        assert_eq!(COUNTERS[c::JOURNAL_FLUSHES], "journal_flushes");
+        assert_eq!(COUNTERS[c::JOURNAL_FLUSH_NS], "journal_flush_ns");
+        assert_eq!(COUNTERS[c::JOURNAL_FSYNCS], "journal_fsyncs");
+        assert_eq!(COUNTERS[c::JOURNAL_FSYNC_NS], "journal_fsync_ns");
+        assert_eq!(COUNTERS[c::SNAPSHOT_FREEZES], "snapshot_freezes");
+        assert_eq!(COUNTERS[c::SNAPSHOT_FREEZE_NS], "snapshot_freeze_ns");
+        assert_eq!(COUNTERS[c::RECOVERY_REPLAYED], "recovery_replayed");
+        assert_eq!(COUNTERS[c::TRACE_SAMPLED], "trace_sampled");
+        assert_eq!(COUNTERS[c::TRACE_SAMPLED_SENT], "trace_sampled_sent");
+        assert_eq!(COUNTERS[c::TRACE_SAMPLED_HELD], "trace_sampled_held");
+        assert_eq!(COUNTERS[c::TRACE_DROPPED], "trace_dropped");
+        assert_eq!(COUNTERS.len(), 24);
+        assert_eq!(GAUGES[g::JOURNAL_QUEUE_DEPTH], "journal_queue_depth");
+    }
+
+    #[test]
+    fn lane_flush_publishes_exact_deltas() {
+        let t = LiveTelemetry::new(2, 0, 16);
+        let mut flush = LaneFlush::new(t.registry().handle(0));
+        let mut counters = LiveCounters {
+            requests: 10,
+            reactive_sent: 4,
+            reactive_held: 6,
+            ..LiveCounters::default()
+        };
+        flush.flush(&counters);
+        counters.requests += 5;
+        counters.reactive_sent += 2;
+        counters.reactive_held += 3;
+        counters.rounds += 7;
+        counters.tokens_banked += 7;
+        flush.flush(&counters);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(c::ADMIT_REQUESTS), 15);
+        assert_eq!(snap.counter(c::ADMIT_REACTIVE_SENT), 6);
+        assert_eq!(snap.counter(c::ADMIT_REACTIVE_HELD), 9);
+        assert_eq!(snap.counter(c::ROUND_ROUNDS), 7);
+        assert_eq!(snap.counter(c::ROUND_TOKENS_BANKED), 7);
+    }
+
+    #[test]
+    fn worker_telem_samples_and_counts_exactly() {
+        let t = LiveTelemetry::new(1, 1, 1024);
+        let mut wt = t.worker(0);
+        let mut counters = LiveCounters::default();
+        for i in 0..600u64 {
+            counters.requests += 1;
+            let d = if i % 3 == 0 {
+                counters.reactive_sent += 2;
+                Decision::ReactiveSend(2)
+            } else {
+                counters.reactive_held += 1;
+                Decision::Hold
+            };
+            wt.decision(&counters, i as usize, d, || 42 - i as i64);
+        }
+        wt.finish(&counters);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(c::ADMIT_REQUESTS), 600);
+        assert_eq!(snap.counter(c::TRACE_SAMPLED), 600);
+        assert_eq!(snap.counter(c::TRACE_SAMPLED_SENT), 200);
+        assert_eq!(snap.counter(c::TRACE_SAMPLED_HELD), 400);
+        assert_eq!(snap.counter(c::TRACE_DROPPED), 0);
+        let mut out = Vec::new();
+        for mut cons in t.take_consumers() {
+            cons.drain(&mut out);
+        }
+        assert_eq!(out.len(), 600);
+        let sent: u64 = out
+            .iter()
+            .filter(|r| r.verdict == TraceRecord::SENT)
+            .map(|r| u64::from(r.cost))
+            .sum();
+        assert_eq!(sent, counters.reactive_sent);
+        assert_eq!(out[0].balance_after, 42);
+    }
+
+    #[test]
+    fn consumers_are_taken_once() {
+        let t = LiveTelemetry::new(3, 0, 16);
+        assert_eq!(t.take_consumers().len(), 3);
+        assert!(t.take_consumers().is_empty());
+    }
+}

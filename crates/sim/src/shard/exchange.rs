@@ -41,10 +41,29 @@ pub(super) enum SegOutcome {
     },
 }
 
+/// Work-distribution totals accumulated by the gate across a whole run
+/// (never reset by [`SegCtl::arm`]). Counted unconditionally — each is
+/// one add under a lock the claim/advance path already holds — and
+/// surfaced through `ShardedSimulation::profile` and the `shard_sync`
+/// bench rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(super) struct GateStats {
+    /// Shard-window claims handed out by the work-stealing counter.
+    pub(super) claims: u64,
+    /// Claims where the claiming worker drained a shard other than its
+    /// own index (i.e. actual steals; inline coordinator claims are not
+    /// attributed).
+    pub(super) steals: u64,
+    /// Windows skipped by the empty-window fast-forward.
+    pub(super) skipped: u64,
+}
+
 /// Gate state of the window currently in flight (everything the last
 /// finisher needs to advance the pipeline).
 #[derive(Debug)]
 pub(super) struct WinMeta {
+    /// Run-lifetime work-distribution totals (see [`GateStats`]).
+    pub(super) stats: GateStats,
     /// Start of the window being claimed/processed.
     pub(super) window_start: SimTime,
     /// Next unclaimed shard of the current window. Claims hand out whole
@@ -85,6 +104,7 @@ impl<M> SegCtl<M> {
         SegCtl {
             mailboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             win: Mutex::new(WinMeta {
+                stats: GateStats::default(),
                 window_start: SimTime::ZERO,
                 next_shard: 0,
                 finished: 0,
@@ -133,6 +153,11 @@ impl<M> SegCtl<M> {
             Ok(mut guard) => guard.take(),
             Err(poisoned) => poisoned.into_inner().take(),
         }
+    }
+
+    /// Reads the run-lifetime work-distribution totals.
+    pub(super) fn gate_stats(&self) -> GateStats {
+        self.win.lock().expect("window gate poisoned").stats
     }
 
     /// Reads the outcome of a finished segment (the last finisher always
@@ -197,6 +222,8 @@ pub(super) fn advance_window(
             } else {
                 wb
             };
+            w.stats.skipped +=
+                (next_start.as_micros() - wb.as_micros()) / transfer.as_micros().max(1);
             let next_wb = next_start + transfer;
             let global_inside = global.is_some_and(|g| g < next_wb);
             if next_wb <= end && !global_inside {
@@ -216,6 +243,7 @@ mod tests {
 
     fn meta(start_us: u64) -> WinMeta {
         WinMeta {
+            stats: GateStats::default(),
             window_start: SimTime::from_micros(start_us),
             next_shard: 0,
             finished: 0,
@@ -245,6 +273,8 @@ mod tests {
         advance_window(&mut w, None, SimTime::from_micros(10_000), T);
         assert!(!w.over);
         assert_eq!(w.window_start, SimTime::from_micros(5_000));
+        // Jumped over windows [1000,2000)..[4000,5000): four skips.
+        assert_eq!(w.stats.skipped, 4);
     }
 
     #[test]

@@ -731,6 +731,21 @@ impl<D: ShardableDriver> ShardedSimulation<D> {
         on_core!(self, c => c.merged_stats())
     }
 
+    /// Self-profiling totals merged across shards. Claim/steal/skip
+    /// counts are always collected (one add under an already-held gate
+    /// lock); batch-size histograms, window wall time, and mailbox
+    /// depths require profiling (`TA_PROFILE=1` or
+    /// [`set_profiling`](Self::set_profiling)).
+    pub fn profile(&self) -> ta_telemetry::ProfileData {
+        on_core!(self, c => c.merged_profile())
+    }
+
+    /// Forces self-profiling on or off for every shard engine,
+    /// overriding the `TA_PROFILE` environment default.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        on_core!(mut self, c => c.set_profiling(enabled))
+    }
+
     /// Consumes the simulation, reassembling the driver and returning it
     /// with the merged statistics.
     pub fn into_parts(self) -> (D, SimStats) {

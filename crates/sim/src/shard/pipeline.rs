@@ -20,7 +20,9 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
-use super::exchange::{SegCtl, SegOutcome};
+use ta_telemetry::ProfileData;
+
+use super::exchange::{GateStats, SegCtl, SegOutcome};
 use super::worker::{self, ShardEngine, Work};
 use super::{BarrierApi, SEv, ShardOpts, ShardPlan, ShardableDriver};
 use crate::config::SimConfig;
@@ -82,6 +84,9 @@ pub(super) struct SCore<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>>> {
     /// Inline-path mailbox/deposit scratch (the coordinator acts as the
     /// only worker when `threads <= 1`).
     scratch: worker::Scratch<D::Msg>,
+    /// Gate work-distribution totals accumulated across dispatches (the
+    /// gate itself lives only for one `run_to_end`).
+    gate_stats: GateStats,
     pub(super) now: SimTime,
     pub(super) finished: bool,
 }
@@ -134,6 +139,7 @@ impl<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>> + Send> SCore<D, Q> {
             gstats: SimStats::default(),
             sends_scratch: Vec::new(),
             scratch: worker::Scratch::new(plan_shards),
+            gate_stats: GateStats::default(),
             now: SimTime::ZERO,
             finished: false,
             cfg,
@@ -213,6 +219,10 @@ impl<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>> + Send> SCore<D, Q> {
                 }
             });
         }
+        let g = ctl.gate_stats();
+        self.gate_stats.claims += g.claims;
+        self.gate_stats.steals += g.steals;
+        self.gate_stats.skipped += g.skipped;
         self.engines = engines;
         self.now = end;
         self.finished = true;
@@ -292,7 +302,7 @@ impl<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>> + Send> SCore<D, Q> {
             }
             None => {
                 let transfer = self.cfg.transfer_time();
-                worker::run_segment(engines, ctl, global, end, transfer, &mut self.scratch);
+                worker::run_segment(engines, ctl, None, global, end, transfer, &mut self.scratch);
             }
         }
         ctl.take_outcome()
@@ -424,6 +434,28 @@ impl<D: ShardableDriver, Q: EventQueue<SEv<D::Msg>> + Send> SCore<D, Q> {
             stats.merge(&e.lock().expect("shard engine lock poisoned").kernel.stats);
         }
         stats
+    }
+
+    /// Self-profiling totals merged across shards, plus the gate's
+    /// always-on claim/steal/skip counts.
+    pub(super) fn merged_profile(&self) -> ProfileData {
+        let mut data = ProfileData::default();
+        for e in &self.engines {
+            data.merge(e.lock().expect("shard engine lock poisoned").profile.data());
+        }
+        data.claims += self.gate_stats.claims;
+        data.steals += self.gate_stats.steals;
+        data.skipped_windows += self.gate_stats.skipped;
+        data
+    }
+
+    /// Forces batch/window/mailbox profiling on or off for every shard
+    /// engine (overrides the `TA_PROFILE` environment default).
+    pub(super) fn set_profiling(&mut self, enabled: bool) {
+        for e in &mut self.engines {
+            e.get_mut().expect("shard engine lock poisoned").profile =
+                ta_telemetry::Profile::forced(enabled);
+        }
     }
 
     pub(super) fn into_parts(self) -> (D, SimStats) {

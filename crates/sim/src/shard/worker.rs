@@ -13,6 +13,8 @@
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
+use ta_telemetry::Profile;
+
 use super::exchange::{advance_window, SegCtl};
 use super::{Ctx, OutMsg, SEv, ShardApi, ShardDriver, ShardKernel, ShardPlan};
 use crate::config::SimConfig;
@@ -76,6 +78,10 @@ pub(super) struct ShardEngine<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> {
     /// `grouper` (owned nodes only — deliveries never cross shards).
     run_scratch: Vec<(NodeId, NodeId, Option<D::Msg>)>,
     grouper: RunGrouper,
+    /// Batch/window/mailbox self-profiling (no-op unless `TA_PROFILE=1`
+    /// or forced on; the gate's claim/steal/skip totals are counted
+    /// separately and unconditionally, see [`super::exchange::GateStats`]).
+    pub(super) profile: Profile,
 }
 
 impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
@@ -158,6 +164,7 @@ impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
             batch: ReadyBatch::new(),
             run_scratch: Vec::new(),
             grouper: RunGrouper::new(base, owned),
+            profile: Profile::from_env(),
         };
         engine.flush_pending();
         engine
@@ -195,6 +202,7 @@ impl<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>> ShardEngine<D, Q> {
             let Some(t) = self.batch.time() else { break };
             debug_assert!(t >= self.kernel.now, "time went backwards");
             self.kernel.now = t;
+            self.profile.batch(self.batch.len());
             self.consume_batch();
             self.flush_pending();
         }
@@ -388,6 +396,7 @@ fn drain_mailbox<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
         let mut mb = mailbox.lock().expect("shard mailbox poisoned");
         std::mem::swap(&mut *mb, &mut scratch.drain);
     }
+    engine.profile.mailbox(scratch.drain.len());
     for m in scratch.drain.drain(..) {
         engine.queue.push_keyed(
             m.time,
@@ -435,10 +444,13 @@ fn deposit_outbox<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
 /// the inline coordinator): claim shard-windows off the gate, run them,
 /// deposit mail, and let the last finisher of each window advance the
 /// pipeline. Returns when the gate goes `over` (segment finished, or a
-/// peer panicked).
+/// peer panicked). `me` is the participant's worker index (`None` for
+/// the inline coordinator): a claim of a shard other than `me` counts
+/// as a steal in the gate totals.
 pub(super) fn run_segment<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
     engines: &[Mutex<ShardEngine<D, Q>>],
     ctl: &SegCtl<D::Msg>,
+    me: Option<usize>,
     global: Option<SimTime>,
     end: SimTime,
     transfer: SimDuration,
@@ -458,6 +470,8 @@ pub(super) fn run_segment<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
                 if w.next_shard < shards {
                     let s = w.next_shard;
                     w.next_shard += 1;
+                    w.stats.claims += 1;
+                    w.stats.steals += u64::from(me.is_some_and(|i| i != s));
                     break (s, w.window_start + transfer);
                 }
                 w = ctl.cv.wait(w).expect("window gate poisoned");
@@ -466,9 +480,13 @@ pub(super) fn run_segment<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
         // The shard-window drain proper, off the gate lock.
         let (queue_min, mail_min) = {
             let mut e = engines[shard].lock().expect("shard engine lock poisoned");
+            let started = e.profile.is_enabled().then(std::time::Instant::now);
             drain_mailbox(&ctl.mailboxes[shard], &mut e, scratch);
             e.run_window(wb, false);
             let mail_min = deposit_outbox(&mut e, ctl, scratch);
+            if let Some(t0) = started {
+                e.profile.window(t0.elapsed().as_nanos() as u64);
+            }
             (e.queue.peek_time(), mail_min)
         };
         // Publish and, as the last finisher, advance the window.
@@ -543,9 +561,15 @@ pub(super) fn worker_loop<D: ShardDriver, Q: EventQueue<SEv<D::Msg>>>(
         // released: the run unwinds on the coordinator instead of
         // deadlocking the pipeline.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
-            Work::Segment { global, end } => {
-                run_segment(engines, ctl, global, end, transfer, &mut scratch)
-            }
+            Work::Segment { global, end } => run_segment(
+                engines,
+                ctl,
+                Some(index),
+                global,
+                end,
+                transfer,
+                &mut scratch,
+            ),
             Work::Part { t } => run_part(engines, ctl, t, &mut scratch),
         }));
         if let Err(payload) = result {

@@ -1,0 +1,148 @@
+//! The shared output grammar: `event=...` key-value diagnostic lines and
+//! the schema-versioned JSON stats line.
+//!
+//! Both forms carry the same data model — an event name plus ordered
+//! `key=value` pairs — so one parser covers every line the runtime
+//! prints: diagnostics are logfmt (`event=recovery ok=true records=42`),
+//! periodic stats are one JSON object per line with a `schema` tag
+//! ([`STATS_SCHEMA`]) so downstream tooling can diff them across
+//! versions.
+
+use crate::Snapshot;
+
+/// Schema tag of [`stats_line`] output. Bump the suffix when the line's
+/// structure (not its counter catalog) changes shape.
+pub const STATS_SCHEMA: &str = "ta-stats/v1";
+
+/// Builder for one `event=<name> key=value ...` diagnostic line.
+///
+/// Values render bare when they contain no spaces, quotes, or `=`;
+/// otherwise they are double-quoted with `\"`/`\\` escapes. Keys are
+/// trusted (static, lowercase, no spaces).
+#[derive(Debug, Clone)]
+pub struct EventLine {
+    buf: String,
+}
+
+impl EventLine {
+    /// Starts a line for `event`.
+    pub fn new(event: &str) -> Self {
+        EventLine {
+            buf: format!("event={event}"),
+        }
+    }
+
+    /// Appends `key=value` using the value's `Display` form.
+    pub fn kv(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        let v = value.to_string();
+        self.buf.push(' ');
+        self.buf.push_str(key);
+        self.buf.push('=');
+        if v.is_empty() || v.contains([' ', '"', '=']) {
+            self.buf.push('"');
+            for ch in v.chars() {
+                if ch == '"' || ch == '\\' {
+                    self.buf.push('\\');
+                }
+                self.buf.push(ch);
+            }
+            self.buf.push('"');
+        } else {
+            self.buf.push_str(&v);
+        }
+        self
+    }
+
+    /// The finished line (no trailing newline).
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Prints the line to stdout.
+    pub fn emit(self) {
+        println!("{}", self.finish());
+    }
+}
+
+/// Renders one self-describing stats line from a registry [`Snapshot`]:
+///
+/// ```json
+/// {"schema":"ta-stats/v1","seq":3,"uptime_ms":600,
+///  "counters":{"admit_requests":123,...},"gauges":{"journal_queue_depth":0,...}}
+/// ```
+///
+/// Counter/gauge keys come from the registry's static catalog in slot
+/// order, so two lines from the same binary are machine-diffable
+/// field-by-field; `seq` is the snapshot epoch (strictly increasing).
+pub fn stats_line(snapshot: &Snapshot, uptime_ms: u64) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"schema\":\"");
+    out.push_str(STATS_SCHEMA);
+    out.push_str("\",\"seq\":");
+    out.push_str(&snapshot.epoch.to_string());
+    out.push_str(",\"uptime_ms\":");
+    out.push_str(&uptime_ms.to_string());
+    out.push_str(",\"counters\":{");
+    for (i, (name, value)) in snapshot.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snapshot.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn event_line_quotes_only_when_needed() {
+        let line = EventLine::new("recovery")
+            .kv("ok", true)
+            .kv("records", 42)
+            .kv("detail", "books closed")
+            .kv("path", "/tmp/x")
+            .kv("msg", "a \"b\" c")
+            .finish();
+        assert_eq!(
+            line,
+            "event=recovery ok=true records=42 detail=\"books closed\" path=/tmp/x msg=\"a \\\"b\\\" c\""
+        );
+    }
+
+    #[test]
+    fn empty_and_equals_values_are_quoted() {
+        let line = EventLine::new("x").kv("a", "").kv("b", "k=v").finish();
+        assert_eq!(line, "event=x a=\"\" b=\"k=v\"");
+    }
+
+    #[test]
+    fn stats_line_is_schema_tagged_and_complete() {
+        let reg = Registry::new(&["requests", "sent"], &["depth"], 2);
+        reg.handle(0).add(0, 7);
+        reg.handle(1).add(1, 2);
+        reg.handle(1).gauge_add(0, -3);
+        let line = stats_line(&reg.snapshot(), 1500);
+        assert!(line.starts_with("{\"schema\":\"ta-stats/v1\",\"seq\":0,"));
+        assert!(line.contains("\"uptime_ms\":1500"));
+        assert!(line.contains("\"counters\":{\"requests\":7,\"sent\":2}"));
+        assert!(line.contains("\"gauges\":{\"depth\":-3}"));
+        assert!(line.ends_with("}}"));
+    }
+}

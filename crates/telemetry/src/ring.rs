@@ -1,0 +1,365 @@
+//! Ring-buffer decision tracing: SPSC rings of compact trace records,
+//! with a 1-in-N sampling gate whose off state is one branch.
+//!
+//! Each worker owns a [`TraceProducer`]; a collector thread owns the
+//! matching [`TraceConsumer`]s and drains them into JSONL. The ring is
+//! bounded and *lossy by accounting*: when full, the producer drops the
+//! record and counts it, so `pushed == drained + dropped` holds exactly
+//! at every quiescent point — the collector can state precisely how much
+//! of the stream it saw.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::CachePadded;
+
+/// One admission decision, 32 bytes in memory. `verdict` is
+/// [`TraceRecord::HELD`] or [`TraceRecord::SENT`]; `cost` is the tokens
+/// burned (0 when held); `balance_after` is the account balance right
+/// after the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceRecord {
+    /// Monotonic timestamp ([`crate::mono_ns`]).
+    pub mono_ns: u64,
+    /// Account balance after the decision applied.
+    pub balance_after: i64,
+    /// Client id.
+    pub client: u32,
+    /// Tokens burned by the decision.
+    pub cost: u32,
+    /// Decision verdict code.
+    pub verdict: u8,
+}
+
+impl TraceRecord {
+    /// The request was held (no reactive send).
+    pub const HELD: u8 = 0;
+    /// The request was admitted as a reactive send of `cost` tokens.
+    pub const SENT: u8 = 1;
+
+    /// Encodes to the 25-byte wire layout
+    /// (`mono_ns:u64 | balance_after:i64 | client:u32 | cost:u32 | verdict:u8`,
+    /// little-endian) used by binary trace dumps.
+    pub fn encode(&self) -> [u8; 25] {
+        let mut b = [0u8; 25];
+        b[..8].copy_from_slice(&self.mono_ns.to_le_bytes());
+        b[8..16].copy_from_slice(&self.balance_after.to_le_bytes());
+        b[16..20].copy_from_slice(&self.client.to_le_bytes());
+        b[20..24].copy_from_slice(&self.cost.to_le_bytes());
+        b[24] = self.verdict;
+        b
+    }
+
+    /// Decodes the [`encode`](Self::encode) layout.
+    pub fn decode(b: &[u8; 25]) -> Self {
+        TraceRecord {
+            mono_ns: u64::from_le_bytes(b[..8].try_into().unwrap()),
+            balance_after: i64::from_le_bytes(b[8..16].try_into().unwrap()),
+            client: u32::from_le_bytes(b[16..20].try_into().unwrap()),
+            cost: u32::from_le_bytes(b[20..24].try_into().unwrap()),
+            verdict: b[24],
+        }
+    }
+
+    /// One JSON object line for collector output (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_ns\":{},\"client\":{},\"cost\":{},\"verdict\":{},\"balance\":{}}}",
+            self.mono_ns, self.client, self.cost, self.verdict, self.balance_after
+        )
+    }
+}
+
+/// The shared state of one SPSC ring (see the [module docs](self)).
+/// Indices are free-running; `head` is owned by the consumer, `tail` by
+/// the producer.
+pub struct TraceRing {
+    mask: usize,
+    slots: Box<[UnsafeCell<TraceRecord>]>,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot `i` is written by the producer only while `i` is outside
+// the published `[head, tail)` window and read by the consumer only
+// while inside it; the Release store on `tail` (push) and `head` (drain)
+// publishes each transition.
+unsafe impl Sync for TraceRing {}
+unsafe impl Send for TraceRing {}
+
+impl TraceRing {
+    /// Records pushed (including dropped ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Builds a ring of `capacity` slots (rounded up to a power of two,
+/// minimum 2) and returns its two endpoints.
+pub fn trace_ring(capacity: usize) -> (TraceProducer, TraceConsumer) {
+    let cap = capacity.max(2).next_power_of_two();
+    let ring = Arc::new(TraceRing {
+        mask: cap - 1,
+        slots: (0..cap)
+            .map(|_| UnsafeCell::new(TraceRecord::default()))
+            .collect(),
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        pushed: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    });
+    (
+        TraceProducer {
+            ring: Arc::clone(&ring),
+            cached_head: 0,
+        },
+        TraceConsumer { ring },
+    )
+}
+
+/// The single producer endpoint of a [`TraceRing`].
+#[derive(Debug)]
+pub struct TraceProducer {
+    ring: Arc<TraceRing>,
+    /// Consumer position as of the last full-ring check: the producer
+    /// only re-reads the shared `head` when the cached window looks
+    /// exhausted, keeping the common push to one shared load.
+    cached_head: usize,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.pushed())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl TraceProducer {
+    /// Pushes `rec`; returns `false` (and counts a drop) if the ring is
+    /// full. Never blocks.
+    #[inline]
+    pub fn push(&mut self, rec: TraceRecord) -> bool {
+        let ring = &*self.ring;
+        ring.pushed.fetch_add(1, Ordering::Relaxed);
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head) >= ring.slots.len() {
+            self.cached_head = ring.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) >= ring.slots.len() {
+                ring.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        // SAFETY: `tail` is outside the published window (checked above)
+        // and only this producer writes slots.
+        unsafe {
+            *ring.slots[tail & ring.mask].get() = rec;
+        }
+        ring.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Shared ring accounting.
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+}
+
+/// The single consumer endpoint of a [`TraceRing`].
+#[derive(Debug)]
+pub struct TraceConsumer {
+    ring: Arc<TraceRing>,
+}
+
+impl TraceConsumer {
+    /// Drains every currently-published record into `out`; returns how
+    /// many were drained.
+    pub fn drain(&mut self, out: &mut Vec<TraceRecord>) -> usize {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Acquire);
+        let mut head = ring.head.0.load(Ordering::Relaxed);
+        let n = tail.wrapping_sub(head);
+        out.reserve(n);
+        while head != tail {
+            // SAFETY: `head` is inside the published window and only this
+            // consumer reads-and-retires slots.
+            out.push(unsafe { *ring.slots[head & ring.mask].get() });
+            head = head.wrapping_add(1);
+        }
+        ring.head.0.store(head, Ordering::Release);
+        n
+    }
+
+    /// Shared ring accounting.
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+}
+
+/// The shared sampling knob: `N = 0` disables tracing, `N = k` samples
+/// every `k`-th decision per producer. Runtime-adjustable.
+#[derive(Debug)]
+pub struct SampleGate {
+    n: AtomicU32,
+}
+
+impl SampleGate {
+    /// Builds a gate with the initial sample interval.
+    pub fn new(n: u32) -> Arc<Self> {
+        Arc::new(SampleGate {
+            n: AtomicU32::new(n),
+        })
+    }
+
+    /// Current interval.
+    pub fn get(&self) -> u32 {
+        self.n.load(Ordering::Relaxed)
+    }
+
+    /// Changes the interval (0 = off) for every attached [`Sampler`].
+    pub fn set(&self, n: u32) {
+        self.n.store(n, Ordering::Relaxed);
+    }
+}
+
+/// Per-worker sampling state. [`hit`](Sampler::hit) is the per-decision
+/// check: one relaxed load of the gate (a cached, read-mostly line) and
+/// one branch when tracing is off — the "zero-overhead when off"
+/// contract of the tentpole.
+#[derive(Debug)]
+pub struct Sampler {
+    gate: Arc<SampleGate>,
+    countdown: u32,
+}
+
+impl Sampler {
+    /// Attaches a sampler to `gate`.
+    pub fn new(gate: Arc<SampleGate>) -> Self {
+        Sampler { gate, countdown: 0 }
+    }
+
+    /// Returns `true` on every `N`-th call (per this sampler); always
+    /// `false` while the gate is 0.
+    #[inline]
+    pub fn hit(&mut self) -> bool {
+        let n = self.gate.n.load(Ordering::Relaxed);
+        if n == 0 {
+            return false;
+        }
+        self.countdown += 1;
+        if self.countdown >= n {
+            self.countdown = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            mono_ns: i,
+            balance_after: i as i64 - 5,
+            client: i as u32,
+            cost: (i % 3) as u32,
+            verdict: (i % 2) as u8,
+        }
+    }
+
+    #[test]
+    fn roundtrip_codec() {
+        let r = rec(12345);
+        assert_eq!(TraceRecord::decode(&r.encode()), r);
+        assert!(r.to_json().contains("\"client\":12345"));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = trace_ring(100);
+        assert_eq!(p.ring().capacity(), 128);
+        let (p, _c) = trace_ring(0);
+        assert_eq!(p.ring().capacity(), 2);
+    }
+
+    #[test]
+    fn drops_exactly_when_full_and_drain_recovers() {
+        let (mut p, mut c) = trace_ring(4);
+        for i in 0..6 {
+            p.push(rec(i));
+        }
+        assert_eq!(p.ring().pushed(), 6);
+        assert_eq!(p.ring().dropped(), 2);
+        let mut out = Vec::new();
+        assert_eq!(c.drain(&mut out), 4);
+        assert_eq!(
+            out.iter().map(|r| r.mono_ns).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        // Space freed: pushes succeed again and accounting stays exact.
+        assert!(p.push(rec(6)));
+        assert_eq!(c.drain(&mut out), 1);
+        assert_eq!(p.ring().pushed(), 7);
+        assert_eq!(p.ring().pushed() - p.ring().dropped(), out.len() as u64);
+    }
+
+    #[test]
+    fn sampler_off_never_hits_and_interval_is_exact() {
+        let gate = SampleGate::new(0);
+        let mut s = Sampler::new(Arc::clone(&gate));
+        assert!((0..100).all(|_| !s.hit()));
+        gate.set(4);
+        let hits = (0..100).filter(|_| s.hit()).count();
+        assert_eq!(hits, 25);
+        gate.set(1);
+        assert!((0..10).all(|_| s.hit()));
+    }
+
+    #[test]
+    fn spsc_accounting_is_exact_under_concurrency() {
+        let (mut p, mut c) = trace_ring(64);
+        const N: u64 = 200_000;
+        let consumer = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            loop {
+                c.drain(&mut out);
+                if c.ring().pushed() == N
+                    && c.ring().pushed() - c.ring().dropped() == out.len() as u64
+                {
+                    // All pushes done and every surviving record drained.
+                    let expected = c.ring().pushed() - c.ring().dropped();
+                    if out.len() as u64 == expected {
+                        break;
+                    }
+                }
+                std::hint::spin_loop();
+            }
+            out
+        });
+        for i in 0..N {
+            p.push(rec(i));
+        }
+        let out = consumer.join().unwrap();
+        // Exactness: drained + dropped == pushed, order preserved, no dups.
+        assert_eq!(out.len() as u64 + p.ring().dropped(), N);
+        assert!(out.windows(2).all(|w| w[0].mono_ns < w[1].mono_ns));
+    }
+}

@@ -5,6 +5,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`core`] (`token-account`) | the paper's contribution: accounts, strategies, Algorithm 4, mean-field analysis |
+//! | [`telemetry`] (`ta-telemetry`) | dependency-free counters, decision-trace rings, self-profiling |
 //! | [`sim`] (`ta-sim`) | deterministic discrete-event engine (PeerSim substitute) |
 //! | [`overlay`] (`ta-overlay`) | k-out & Watts–Strogatz overlays, peer sampling, spectral tools |
 //! | [`churn`] (`ta-churn`) | availability schedules & the synthetic smartphone trace |
@@ -29,6 +30,9 @@
 
 /// The paper's contribution: the `token-account` crate.
 pub use token_account as core;
+
+/// Zero-overhead runtime introspection: counters, tracing, profiling.
+pub use ta_telemetry as telemetry;
 
 /// The discrete-event simulation substrate.
 pub use ta_sim as sim;
