@@ -22,9 +22,13 @@
 //!   overhead bar), and `recover()` records/sec at two journal lengths
 //!   (recovery time must scale with the tail, not the history);
 //! * **telemetry** — introspection overhead: the same closed loop with
-//!   no registry, with counters only (`--trace-sample 0`), and with
-//!   1-in-64 decision tracing; `counters_only_vs_off` documents the
-//!   ≥ 0.95× acceptance bar for the always-on counter path.
+//!   no registry, with counters only (`--trace-sample 0`), with 1-in-64
+//!   decision tracing, and with the full observability plane scraped
+//!   over TCP (an active `WATCH 200` + `TRACE 64` subscriber for the
+//!   whole run); `counters_only_vs_off` documents the ≥ 0.95×
+//!   acceptance bar for the always-on counter path, and
+//!   `obs_scraped_vs_traced_s64` the same ≥ 0.95× bar for serving a
+//!   live scraper.
 //!
 //! Results are written as `BENCH_live.json` (override with `--out PATH`);
 //! `--test` runs each workload briefly (CI smoke), `--diff BASELINE`
@@ -42,6 +46,7 @@ use ta_live::histogram::LatencyHistogram;
 use ta_live::loadgen::{
     run_loadgen, run_loadgen_durable, run_loadgen_observed, ArrivalMode, BurstMix, LoadGenConfig,
 };
+use ta_live::obs::{ObsServer, StatsPump, TraceBus};
 use ta_live::persist::{recover, PersistConfig, Persistence};
 use ta_live::runtime::LiveRuntime;
 use ta_live::{LiveCounters, LiveTelemetry};
@@ -299,12 +304,77 @@ fn bench_telemetry(smoke: bool) -> Vec<Sample> {
         value: traced.decisions_per_sec(),
     });
 
+    // The full observability plane under an active scraper: stats pump,
+    // trace bus, and the TCP server, with one connection holding
+    // `WATCH 200` and another holding `TRACE 64` for the whole run.
+    // Same 1-in-64 gate as the row above, so the delta is purely the
+    // obs plane + scraper.
+    let telem = LiveTelemetry::new(cfg.workers, 64, LiveTelemetry::DEFAULT_RING_CAPACITY);
+    let pump = StatsPump::start(
+        std::sync::Arc::clone(&telem),
+        std::time::Instant::now(),
+        None,
+    );
+    let bus = TraceBus::start(&telem, None);
+    let server = ObsServer::spawn(
+        "127.0.0.1:0",
+        &telem,
+        std::sync::Arc::clone(&pump),
+        std::sync::Arc::clone(&bus),
+    )
+    .expect("bind obs server on loopback");
+    let addr = server.addr();
+    let watch = std::thread::spawn(move || drain_obs_stream(addr, "WATCH 200\n"));
+    let trace = std::thread::spawn(move || drain_obs_stream(addr, "TRACE 64\n"));
+    let scraped = run_loadgen_observed(strategy, &cfg, &telem);
+    assert!(scraped.conserves(), "scraped books must close");
+    pump.finalize();
+    bus.finish(&telem.snapshot()).expect("trace bus finish");
+    server.shutdown();
+    let watch_lines = watch.join().expect("watch subscriber");
+    let trace_lines = trace.join().expect("trace subscriber");
+    assert!(
+        watch_lines > 0 && trace_lines > 0,
+        "subscribers must have received data ({watch_lines} watch, {trace_lines} trace)"
+    );
+    samples.push(Sample {
+        id: "closed_w2_obs_scraped".into(),
+        value: scraped.decisions_per_sec(),
+    });
+
     // The on/off closed-loop ratio the acceptance bar reads directly.
     samples.push(Sample {
         id: "counters_only_vs_off".into(),
         value: counters_only.decisions_per_sec() / off.decisions_per_sec(),
     });
+    // Acceptance bar ≥ 0.95 on multi-core hosts: serving a live
+    // WATCH + TRACE scraper may cost at most 5% of the equivalently-
+    // traced closed loop — the drop-and-count queues exist precisely so
+    // a subscriber never back-pressures admission. On a 1-core
+    // container (see `meta`/`host_cores`) the pump, bus, server, and
+    // subscriber threads time-slice against the workers, so the ratio
+    // there measures scheduling, not the obs plane's cost.
+    samples.push(Sample {
+        id: "obs_scraped_vs_traced_s64".into(),
+        value: scraped.decisions_per_sec() / traced.decisions_per_sec(),
+    });
     samples
+}
+
+/// Connects to the obs server, issues one streaming verb, and reads
+/// lines until the server closes the stream; returns the line count.
+fn drain_obs_stream(addr: std::net::SocketAddr, verb: &str) -> u64 {
+    use std::io::{BufRead, BufReader, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect obs server");
+    conn.write_all(verb.as_bytes()).expect("send verb");
+    let mut lines = 0u64;
+    for line in BufReader::new(conn).lines() {
+        if line.is_err() {
+            break;
+        }
+        lines += 1;
+    }
+    lines
 }
 
 /// Runs every section and writes the JSON report; returns the report text.
@@ -378,7 +448,7 @@ pub fn run(smoke: bool, out_path: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"persist\": \"decisions/sec (recovery_replay_*: records/sec)\", \"telemetry\": \"decisions/sec (counters_only_vs_off: ratio)\", \"speedup\": \"ratio\" }},"
+        "  \"units\": {{ \"live\": \"decisions/sec (granter_sweep: accounts/sec, replay: events/sec)\", \"persist\": \"decisions/sec (recovery_replay_*: records/sec)\", \"telemetry\": \"decisions/sec (counters_only_vs_off, obs_scraped_vs_traced_s64: ratio)\", \"speedup\": \"ratio\" }},"
     );
     json_section(&mut out, "scale", &scale_samples, false);
     json_section(&mut out, "live", &live_samples, false);
@@ -457,7 +527,9 @@ mod tests {
             "closed_w2_telemetry_off",
             "closed_w2_counters_only",
             "closed_w2_traced_s64",
+            "closed_w2_obs_scraped",
             "counters_only_vs_off",
+            "obs_scraped_vs_traced_s64",
             "loadgen_w2_vs_w1",
             "contended_sharded_vs_single_shard",
             "persist_journal_on_vs_off",

@@ -5,14 +5,18 @@
 
 use std::process::ExitCode;
 
-use ta_experiments::cli::FigureOpts;
+use ta_experiments::cli::{self, FigureOpts};
 use ta_experiments::figures;
 
 fn main() -> ExitCode {
     let opts = match FigureOpts::parse(std::env::args().skip(1)) {
         Ok(opts) => opts,
+        Err(e) if e.is_help() => {
+            println!("{}", cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
-            eprintln!("{e}");
+            cli::fail_event("all", e);
             return ExitCode::FAILURE;
         }
     };
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
     match figures::fig1::run(&opts) {
         Ok(report) => report.print(),
         Err(e) => {
-            eprintln!("fig1 failed: {e}");
+            cli::fail_event("fig1", e);
             failed = true;
         }
     }
@@ -41,7 +45,7 @@ fn main() -> ExitCode {
         match step(&opts) {
             Ok(report) => report.print(),
             Err(e) => {
-                eprintln!("{name} failed: {e}");
+                cli::fail_event(name, e);
                 failed = true;
             }
         }

@@ -4,14 +4,18 @@
 
 use std::process::ExitCode;
 
-use ta_experiments::cli::FigureOpts;
+use ta_experiments::cli::{self, FigureOpts};
 use ta_experiments::figures::burstiness;
 
 fn main() -> ExitCode {
     let opts = match FigureOpts::parse(std::env::args().skip(1)) {
         Ok(opts) => opts,
+        Err(e) if e.is_help() => {
+            println!("{}", cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
-            eprintln!("{e}");
+            cli::fail_event("burstiness", e);
             return ExitCode::FAILURE;
         }
     };
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("burstiness failed: {e}");
+            cli::fail_event("burstiness", e);
             ExitCode::FAILURE
         }
     }

@@ -28,11 +28,8 @@
 //! | 4    | torn tail / corruption — a damaged suffix was discarded |
 //! | 1    | anything else (I/O, bad flags, conservation after a run) |
 
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,12 +38,13 @@ use ta_live::loadgen::{
     run_loadgen_durable_observed_spec, run_loadgen_durable_spec, run_loadgen_observed_spec,
     run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
 };
+use ta_live::obs::{ObsServer, StatsPump, TraceBus};
 use ta_live::persist::{
     recover, FaultPlan, PersistConfig, Persistence, RecoveredState, RecoveryError, MANIFEST_FILE,
 };
 use ta_live::telem::c as tc;
 use ta_live::LiveTelemetry;
-use ta_telemetry::{stats_line, EventLine, TraceRecord};
+use ta_telemetry::EventLine;
 use token_account::StrategySpec;
 
 /// Exit code: recovery found books that do not conserve.
@@ -81,11 +79,14 @@ const USAGE: &str = "options:
   --recover            recover + verify --journal-dir, then exit:
                        0 clean, 3 conservation mismatch, 4 torn tail
   --stats-every <ms>   emit one schema-versioned JSON stats line
-                       (ta-stats/v1) every <ms> milliseconds
+                       (ta-stats/v2) every <ms> milliseconds
   --trace-out <path>   drain sampled decision-trace records to <path>
                        as JSONL (implies --trace-sample 1 unless set)
   --trace-sample <n>   sample every n-th admission decision into the
                        trace ring; 0 = counters only, no tracing
+  --obs-listen <addr>  serve the observability line protocol on <addr>
+                       (e.g. 127.0.0.1:9900): STATS one-shot, WATCH <ms>
+                       pushed stats, TRACE <n> sampled decision records
   --help               this text";
 
 #[derive(Debug)]
@@ -102,12 +103,16 @@ struct Opts {
     stats_every: Option<Duration>,
     trace_out: Option<PathBuf>,
     trace_sample: Option<u32>,
+    obs_listen: Option<String>,
 }
 
 impl Opts {
     /// Telemetry is built when any introspection knob was given.
     fn telemetry_on(&self) -> bool {
-        self.stats_every.is_some() || self.trace_out.is_some() || self.trace_sample.is_some()
+        self.stats_every.is_some()
+            || self.trace_out.is_some()
+            || self.trace_sample.is_some()
+            || self.obs_listen.is_some()
     }
 
     /// Effective sample interval: an explicit `--trace-sample` wins;
@@ -179,6 +184,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
     let mut stats_every: Option<Duration> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_sample: Option<u32> = None;
+    let mut obs_listen: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -278,6 +284,13 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
                 let v = value("--trace-sample")?;
                 trace_sample = Some(v.parse().map_err(|_| format!("bad --trace-sample `{v}`"))?);
             }
+            "--obs-listen" => {
+                let v = value("--obs-listen")?;
+                if !v.contains(':') {
+                    return Err(format!("bad --obs-listen `{v}` (want host:port)"));
+                }
+                obs_listen = Some(v);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
@@ -303,6 +316,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
         stats_every,
         trace_out,
         trace_sample,
+        obs_listen,
     }))
 }
 
@@ -591,68 +605,49 @@ fn main() -> ExitCode {
             LiveTelemetry::DEFAULT_RING_CAPACITY,
         )
     });
-    let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
 
-    // Stats thread: one self-describing JSON line per interval, read
-    // lock-free off the registry.
-    let stats_thread = match (telem.as_ref(), opts.stats_every) {
-        (Some(t), Some(every)) => {
-            let t = Arc::clone(t);
-            let stop = Arc::clone(&stop);
-            Some(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(every);
-                    println!(
-                        "{}",
-                        stats_line(&t.snapshot(), t0.elapsed().as_millis() as u64)
-                    );
-                }
-            }))
+    // Stats pump: the single producer of ta-stats/v2 lines, feeding
+    // stdout (--stats-every) and WATCH subscribers from one snapshot
+    // stream, so `seq` stays one monotone sequence across sinks.
+    let pump = match telem.as_ref() {
+        Some(t) if opts.stats_every.is_some() || opts.obs_listen.is_some() => {
+            Some(StatsPump::start(Arc::clone(t), t0, opts.stats_every))
         }
         _ => None,
     };
 
-    // Trace collector: takes exclusive ownership of the per-worker rings
-    // and drains them into JSONL (or just counts, without --trace-out).
-    let collector = telem.as_ref().filter(|t| t.gate().get() > 0).map(|t| {
-        let mut consumers = t.take_consumers();
-        let stop = Arc::clone(&stop);
-        let out_path = opts.trace_out.clone();
-        std::thread::spawn(move || -> io::Result<u64> {
-            let mut writer = match &out_path {
-                Some(p) => Some(BufWriter::new(File::create(p)?)),
-                None => None,
-            };
-            let mut buf: Vec<TraceRecord> = Vec::new();
-            let mut lines = 0u64;
-            loop {
-                let mut drained = 0;
-                for cons in consumers.iter_mut() {
-                    drained += cons.drain(&mut buf);
+    // Trace bus: exclusive owner of the per-worker rings; drains them
+    // into the --trace-out JSONL file and fans records out to TRACE
+    // subscribers. Built whenever tracing is armed or the server could
+    // arm it at runtime.
+    let bus = match telem.as_ref() {
+        Some(t) if t.gate().get() > 0 || opts.obs_listen.is_some() => {
+            Some(TraceBus::start(t, opts.trace_out.clone()))
+        }
+        _ => None,
+    };
+
+    let server = match (
+        &opts.obs_listen,
+        telem.as_ref(),
+        pump.as_ref(),
+        bus.as_ref(),
+    ) {
+        (Some(addr), Some(t), Some(p), Some(b)) => {
+            match ObsServer::spawn(addr, t, Arc::clone(p), Arc::clone(b)) {
+                Ok(s) => {
+                    EventLine::new("obs").kv("listen", s.addr()).emit();
+                    Some(s)
                 }
-                for rec in buf.drain(..) {
-                    if let Some(w) = writer.as_mut() {
-                        w.write_all(rec.to_json().as_bytes())?;
-                        w.write_all(b"\n")?;
-                    }
-                    lines += 1;
-                }
-                if drained == 0 {
-                    // Workers are joined before `stop` is raised, so
-                    // an empty sweep after it means the rings are dry.
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
+                Err(e) => {
+                    fail_line(EventLine::new("obs").kv("ok", false).kv("detail", e));
+                    return ExitCode::FAILURE;
                 }
             }
-            if let Some(mut w) = writer {
-                w.flush()?;
-            }
-            Ok(lines)
-        })
-    });
+        }
+        _ => None,
+    };
 
     let report = if let Some(dir) = opts.journal_dir.clone() {
         match run_durable(&opts, &dir, faults, telem.as_deref()) {
@@ -674,19 +669,16 @@ fn main() -> ExitCode {
     };
 
     // The run has returned (workers joined, all telemetry flushed):
-    // release the introspection threads and settle the trace books.
-    stop.store(true, Ordering::Relaxed);
-    let trace_lines = collector.map(|h| h.join().expect("trace collector panicked"));
-    if let Some(h) = stats_thread {
-        h.join().expect("stats thread panicked");
+    // finalize the stats stream (one last identical line to stdout and
+    // every WATCH subscriber), close the trace books with an EOS trailer
+    // per TRACE subscriber, then retire the server.
+    if let Some(p) = pump.as_ref() {
+        p.finalize();
     }
-    if let Some(t) = telem.as_ref() {
-        let snap = t.snapshot();
-        if opts.stats_every.is_some() {
-            println!("{}", stats_line(&snap, t0.elapsed().as_millis() as u64));
-        }
-        match trace_lines {
-            Some(Ok(lines)) => EventLine::new("trace")
+    if let Some(b) = bus.as_ref() {
+        let snap = telem.as_ref().expect("bus implies telemetry").snapshot();
+        match b.finish(&snap) {
+            Ok(lines) => EventLine::new("trace")
                 .kv("lines", lines)
                 .kv("sampled", snap.counter(tc::TRACE_SAMPLED))
                 .kv("dropped", snap.counter(tc::TRACE_DROPPED))
@@ -697,12 +689,14 @@ fn main() -> ExitCode {
                         .map_or("-".to_string(), |p| p.display().to_string()),
                 )
                 .emit(),
-            Some(Err(e)) => {
+            Err(e) => {
                 fail_line(EventLine::new("trace").kv("ok", false).kv("detail", e));
                 return ExitCode::FAILURE;
             }
-            None => {}
         }
+    }
+    if let Some(s) = server {
+        s.shutdown();
     }
 
     let c = &report.counters;
@@ -866,12 +860,22 @@ mod tests {
         assert!(o.telemetry_on());
         assert_eq!(o.sample_interval(), 0);
 
+        // --obs-listen alone turns telemetry on (the server needs the
+        // registry), and the address must look like host:port.
+        let o = parse(&["--obs-listen", "127.0.0.1:9900"]).unwrap();
+        assert!(o.telemetry_on());
+        assert_eq!(o.obs_listen, Some("127.0.0.1:9900".to_string()));
+        assert_eq!(o.sample_interval(), 0);
+        assert!(parse(&["--obs-listen", "9900"]).is_err());
+        assert!(parse(&["--obs-listen"]).is_err());
+
         assert!(parse(&["--stats-every", "0"]).is_err());
         assert!(parse(&["--stats-every", "nope"]).is_err());
         assert!(parse(&["--trace-sample", "-1"]).is_err());
         assert!(USAGE.contains("--stats-every"));
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--trace-sample"));
+        assert!(USAGE.contains("--obs-listen"));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! `live-top`: a rate view over a running `live --obs-listen` server.
+//!
+//! ```text
+//! cargo run --release -p ta-experiments --bin live_top -- \
+//!     --addr 127.0.0.1:9900 --every 500
+//! ```
+//!
+//! Subscribes with `WATCH <ms>`, diffs consecutive `ta-stats/v2`
+//! snapshots into rates (decisions/sec, reactive-held ratio, journal
+//! bytes/sec, admit/fsync p99), and renders a compact refreshing table.
+//! `--once` prints a single header + row after one interval and exits —
+//! the CI-friendly probe mode. Exits non-zero when the server is
+//! unreachable or speaks the wrong schema.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ta_experiments::scope::{render_header, render_row, Rates, ScopeClient, Stats};
+
+const USAGE: &str = "options:
+  --addr <host:port>  observability server to connect to (required)
+  --every <ms>        watch interval in milliseconds (default 500)
+  --once              print one header + one rate row, then exit
+  --help              this text";
+
+#[derive(Debug, PartialEq)]
+struct Opts {
+    addr: String,
+    every: Duration,
+    once: bool,
+}
+
+/// Parses options; `Ok(None)` means `--help` was requested.
+fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, String> {
+    let mut addr: Option<String> = None;
+    let mut every = Duration::from_millis(500);
+    let mut once = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--every" => {
+                let v = value("--every")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --every `{v}`"))?;
+                if ms == 0 {
+                    return Err("--every must be at least 1 ms".into());
+                }
+                every = Duration::from_millis(ms);
+            }
+            "--once" => once = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required (see --help)")?;
+    Ok(Some(Opts { addr, every, once }))
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let mut client =
+        ScopeClient::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    client.watch(opts.every)?;
+    let mut prev: Option<Stats> = None;
+    let mut rows = 0u64;
+    println!("{}", render_header());
+    loop {
+        let line = client.next_line()?;
+        if line.is_empty() {
+            // EOF: the server finalized (run over) or went away. Having
+            // rendered at least one rate row is a success.
+            return if rows > 0 {
+                Ok(())
+            } else {
+                Err("stream ended before two snapshots arrived".into())
+            };
+        }
+        let cur = Stats::parse(&line)?;
+        if let Some(p) = prev.as_ref() {
+            if let Some(rates) = Rates::between(p, &cur) {
+                println!("{}", render_row(&cur, &rates));
+                rows += 1;
+                if opts.once {
+                    return Ok(());
+                }
+            }
+        }
+        prev = Some(cur);
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("live-top: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        parse_opts(args.iter().map(|s| s.to_string())).map(|o| o.expect("not a --help parse"))
+    }
+
+    #[test]
+    fn flags_parse_and_validate() {
+        let o = parse(&["--addr", "127.0.0.1:9900"]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:9900");
+        assert_eq!(o.every, Duration::from_millis(500));
+        assert!(!o.once);
+        let o = parse(&["--addr", "h:1", "--every", "200", "--once"]).unwrap();
+        assert_eq!(o.every, Duration::from_millis(200));
+        assert!(o.once);
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--addr", "h:1", "--every", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(USAGE.contains("--once"));
+        assert_eq!(
+            parse_opts(["--help".to_string()]).map(|o| o.is_none()),
+            Ok(true)
+        );
+    }
+}

@@ -2,14 +2,18 @@
 
 use std::process::ExitCode;
 
-use ta_experiments::cli::FigureOpts;
+use ta_experiments::cli::{self, FigureOpts};
 use ta_experiments::figures::sweep;
 
 fn main() -> ExitCode {
     let opts = match FigureOpts::parse(std::env::args().skip(1)) {
         Ok(opts) => opts,
+        Err(e) if e.is_help() => {
+            println!("{}", cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
-            eprintln!("{e}");
+            cli::fail_event("sweep", e);
             return ExitCode::FAILURE;
         }
     };
@@ -20,7 +24,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("sweep failed: {e}");
+            cli::fail_event("sweep", e);
             ExitCode::FAILURE
         }
     }

@@ -19,6 +19,8 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use ta_telemetry::EventLine;
+
 /// Parsed figure options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FigureOpts {
@@ -70,7 +72,29 @@ impl fmt::Display for ParseOptsError {
     }
 }
 
+impl ParseOptsError {
+    /// True when this "error" is actually a `--help` request carrying
+    /// the usage text: binaries print [`USAGE`] to stdout and exit 0.
+    #[must_use]
+    pub fn is_help(&self) -> bool {
+        self.0 == USAGE
+    }
+}
+
 impl std::error::Error for ParseOptsError {}
+
+/// Prints a structured failure diagnostic to stderr, in the same
+/// `event=<bin> ok=false detail=...` grammar the live runtime emits,
+/// so harness logs stay machine-greppable end to end.
+pub fn fail_event(bin: &str, detail: impl fmt::Display) {
+    eprintln!(
+        "{}",
+        EventLine::new(bin)
+            .kv("ok", false)
+            .kv("detail", detail)
+            .finish()
+    );
+}
 
 /// The usage string printed by `--help`.
 pub const USAGE: &str = "options:\n  --n <nodes>     network size override\n  --runs <k>      runs per configuration\n  --rounds <k>    proactive rounds (paper: 1000)\n  --seed <s>      master seed (default 1)\n  --out <dir>     output directory (default: results)\n  --shards <s>    intra-run shards per replica (default: auto; results\n                  are identical for every value)\n  --pin           pin intra-run shard workers to cores (wall-clock only)\n  --full          paper-scale defaults\n  --help          this text";
@@ -236,5 +260,13 @@ mod tests {
         assert!(parse(&["--pin"]).unwrap().pin);
         assert!(!parse(&[]).unwrap().pin);
         assert!(USAGE.contains("--pin"));
+    }
+
+    #[test]
+    fn help_is_distinguishable_from_real_errors() {
+        assert!(parse(&["--help"]).unwrap_err().is_help());
+        assert!(parse(&["-h"]).unwrap_err().is_help());
+        assert!(!parse(&["--bogus"]).unwrap_err().is_help());
+        assert!(!parse(&["--n", "abc"]).unwrap_err().is_help());
     }
 }

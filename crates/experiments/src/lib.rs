@@ -39,6 +39,7 @@ pub mod figures;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod scope;
 pub mod spec;
 
 pub use cli::FigureOpts;

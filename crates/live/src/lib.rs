@@ -15,7 +15,8 @@
 //! | [`counters`] | [`LiveCounters`] and the exact token-conservation books |
 //! | [`harness`] | live-vs-sim cross-validation: trace recording, exact virtual-clock replay, wall-clock distributional replay |
 //! | [`persist`] | durability: CRC-framed grant/spend journal, epoch-fenced copy-on-write snapshots, verified crash recovery, fault injection |
-//! | [`telem`] | optional runtime introspection: counter catalog, per-worker trace rings, sampling gate (`ta-telemetry`-backed) |
+//! | [`telem`] | optional runtime introspection: counter catalog, latency-histogram catalog, per-worker trace rings, sampling gate (`ta-telemetry`-backed) |
+//! | [`obs`] | the networked observability plane: [`StatsPump`] (one `ta-stats/v2` producer, N sinks), [`TraceBus`] (trace fan-out with exact drop accounting), [`ObsServer`] (`STATS`/`WATCH`/`TRACE` line protocol over TCP) |
 //!
 //! The decision hot path is wait-free for grants (`fetch_add`) and
 //! lock-free for spends (a CAS loop that can never overdraw), performs
@@ -38,6 +39,7 @@ pub mod counters;
 pub mod harness;
 pub mod histogram;
 pub mod loadgen;
+pub mod obs;
 pub mod persist;
 pub mod runtime;
 pub mod telem;
@@ -55,6 +57,7 @@ pub use loadgen::{
     run_loadgen_observed_spec, run_loadgen_spec, ArrivalMode, BurstMix, DurableStats,
     LoadGenConfig, LoadGenReport,
 };
+pub use obs::{ObsServer, StatsPump, TraceBus, TraceSub};
 pub use persist::{
     recover, FaultPlan, JournalHandle, JournalStats, PersistConfig, Persistence, RecoveredState,
     RecoveryError,

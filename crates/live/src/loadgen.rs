@@ -34,7 +34,7 @@ use crate::counters::LiveCounters;
 use crate::histogram::LatencyHistogram;
 use crate::persist::{JournalHandle, Persistence, RecoveredState};
 use crate::runtime::LiveRuntime;
-use crate::telem::{c, LaneFlush, LiveTelemetry, WorkerTelem};
+use crate::telem::{c, h, LaneFlush, LiveTelemetry, WorkerTelem};
 
 /// How request arrivals are paced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,6 +280,7 @@ fn run_on_runtime<S: Strategy>(
                         std::thread::sleep((next - now).min(Duration::from_millis(5)));
                         continue;
                     }
+                    let sweep_start = Instant::now();
                     let mut swept = 0u64;
                     for s in 0..runtime.accounts().shard_count() {
                         // Proactive sends would leave through a transport
@@ -293,10 +294,18 @@ fn run_on_runtime<S: Strategy>(
                     }
                     if let Some(f) = flush.as_mut() {
                         // One delta publish per whole-accounts pass: the
-                        // sweep loop itself stays untouched.
+                        // sweep loop itself stays untouched. Jitter is how
+                        // late past its deadline this pass started; sweep
+                        // duration is the whole-accounts walk above.
                         f.handle()
                             .add(c::GRANTER_SWEEPS, runtime.accounts().shard_count() as u64);
                         f.handle().add(c::GRANTER_ACCOUNTS, swept);
+                        f.handle()
+                            .hist_record(h::ROUND_JITTER_NS, (now - next).as_nanos() as u64);
+                        f.handle().hist_record(
+                            h::GRANTER_SWEEP_NS,
+                            sweep_start.elapsed().as_nanos() as u64,
+                        );
                         f.flush(&counters);
                     }
                     next += period;
@@ -458,7 +467,7 @@ fn worker_loop<S: Strategy>(
             };
             histogram.record(t0.elapsed().as_nanos() as u64);
             if let Some(t) = telem.as_mut() {
-                t.decision(&counters, client, decision, || {
+                t.decision(&counters, &histogram, client, decision, || {
                     runtime.accounts().account(client).balance()
                 });
             }
@@ -470,7 +479,7 @@ fn worker_loop<S: Strategy>(
         }
     }
     if let Some(t) = telem {
-        t.finish(&counters);
+        t.finish(&counters, &histogram);
     }
     (counters, histogram)
 }

@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use super::{crc32, EpochCell, PersistConfig, PersistShared};
-use crate::telem::{c, g};
+use crate::telem::{c, g, h as th};
 
 /// One journalled balance change: `delta` tokens (positive = grant,
 /// negative = reactive spend) applied to `client`, stamped with the
@@ -292,10 +292,21 @@ pub struct JournalStats {
 /// Messages from producers / the snapshotter to the writer thread.
 #[derive(Debug)]
 pub(crate) enum WriterMsg {
-    /// A producer's shard buffer of per-client deltas.
-    Batch { shard: u32, recs: Vec<DeltaRec> },
-    /// A producer's shard buffer of run-length grants.
-    BatchRange { shard: u32, recs: Vec<RangeRec> },
+    /// A producer's shard buffer of per-client deltas. `sent_ns` is the
+    /// enqueue timestamp ([`ta_telemetry::mono_ns`]); the writer turns it
+    /// into the enqueue→commit wait histogram at group-commit time.
+    Batch {
+        shard: u32,
+        recs: Vec<DeltaRec>,
+        sent_ns: u64,
+    },
+    /// A producer's shard buffer of run-length grants (same `sent_ns`
+    /// contract as [`WriterMsg::Batch`]).
+    BatchRange {
+        shard: u32,
+        recs: Vec<RangeRec>,
+        sent_ns: u64,
+    },
     /// Commit, close the current segment, open the next one, and delete
     /// segments with id below `delete_below`.
     Rotate {
@@ -337,6 +348,9 @@ struct Writer {
     file: File,
     segment: u64,
     pending: Vec<u8>,
+    /// Enqueue timestamps of batches encoded into `pending` but not yet
+    /// committed; drained into the enqueue→commit histogram at commit.
+    pending_sent: Vec<u64>,
     stats: JournalStats,
     committed_frames: u64,
     shared: Arc<PersistShared>,
@@ -361,6 +375,15 @@ impl Writer {
         if self.cfg.fsync && !self.cfg.faults.drop_fsync {
             self.fsync()?;
         }
+        // The group-commit wait per batch: enqueue to durable write. The
+        // list drains even without telemetry so it cannot grow unbounded.
+        if let Some(h) = self.shared.telem.get() {
+            let now = ta_telemetry::mono_ns();
+            for sent in &self.pending_sent {
+                h.hist_record(th::JOURNAL_COMMIT_NS, now.saturating_sub(*sent));
+            }
+        }
+        self.pending_sent.clear();
         Ok(())
     }
 
@@ -370,8 +393,10 @@ impl Writer {
             Some(h) => {
                 let t0 = Instant::now();
                 self.file.sync_data()?;
-                h.add(c::JOURNAL_FSYNC_NS, t0.elapsed().as_nanos() as u64);
+                let elapsed = t0.elapsed().as_nanos() as u64;
+                h.add(c::JOURNAL_FSYNC_NS, elapsed);
                 h.incr(c::JOURNAL_FSYNCS);
+                h.hist_record(th::FSYNC_NS, elapsed);
             }
             None => self.file.sync_data()?,
         }
@@ -431,6 +456,7 @@ fn writer_loop(
         file,
         segment: first_segment,
         pending: Vec::with_capacity(64 * 1024),
+        pending_sent: Vec::new(),
         stats: JournalStats {
             segments: 1,
             ..JournalStats::default()
@@ -460,7 +486,11 @@ fn writer_loop(
         };
         loop {
             match msg {
-                WriterMsg::Batch { shard, recs } => {
+                WriterMsg::Batch {
+                    shard,
+                    recs,
+                    sent_ns,
+                } => {
                     if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
                         let mut frame = Vec::new();
                         encode_frame(shard, &recs, &mut frame);
@@ -469,11 +499,16 @@ fn writer_loop(
                     let before = w.pending.len();
                     encode_frame(shard, &recs, &mut w.pending);
                     w.note_frame(false, w.pending.len() - before);
+                    w.pending_sent.push(sent_ns);
                     w.stats.frames += 1;
                     w.stats.records += recs.len() as u64;
                     w.committed_frames += 1;
                 }
-                WriterMsg::BatchRange { shard, recs } => {
+                WriterMsg::BatchRange {
+                    shard,
+                    recs,
+                    sent_ns,
+                } => {
                     if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
                         let mut frame = Vec::new();
                         encode_range_frame(shard, &recs, &mut frame);
@@ -482,6 +517,7 @@ fn writer_loop(
                     let before = w.pending.len();
                     encode_range_frame(shard, &recs, &mut w.pending);
                     w.note_frame(true, w.pending.len() - before);
+                    w.pending_sent.push(sent_ns);
                     w.stats.frames += 1;
                     w.stats.records += recs.len() as u64;
                     w.committed_frames += 1;
@@ -697,6 +733,7 @@ impl JournalHandle {
             let _ = self.tx.send(WriterMsg::Batch {
                 shard: shard as u32,
                 recs,
+                sent_ns: ta_telemetry::mono_ns(),
             });
             self.note_batch();
         }
@@ -708,6 +745,7 @@ impl JournalHandle {
             let _ = self.tx.send(WriterMsg::Batch {
                 shard: shard as u32,
                 recs,
+                sent_ns: ta_telemetry::mono_ns(),
             });
             self.note_batch();
         }
@@ -732,6 +770,7 @@ impl JournalHandle {
             let _ = self.tx.send(WriterMsg::BatchRange {
                 shard: shard as u32,
                 recs,
+                sent_ns: ta_telemetry::mono_ns(),
             });
             self.note_batch();
         }
@@ -746,6 +785,7 @@ impl JournalHandle {
                 let _ = self.tx.send(WriterMsg::Batch {
                     shard: shard as u32,
                     recs,
+                    sent_ns: ta_telemetry::mono_ns(),
                 });
                 sent += 1;
             }
@@ -756,6 +796,7 @@ impl JournalHandle {
                 let _ = self.tx.send(WriterMsg::BatchRange {
                     shard: shard as u32,
                     recs,
+                    sent_ns: ta_telemetry::mono_ns(),
                 });
                 sent += 1;
             }

@@ -27,8 +27,8 @@
 use std::sync::{Arc, Mutex};
 
 use ta_telemetry::{
-    mono_ns, trace_ring, Handle, Registry, SampleGate, Sampler, Snapshot, TraceConsumer,
-    TraceProducer, TraceRecord,
+    mono_ns, trace_ring, Handle, LatencyHistogram, Registry, SampleGate, Sampler, Snapshot,
+    TraceConsumer, TraceProducer, TraceRecord,
 };
 use token_account::live::Decision;
 
@@ -84,6 +84,18 @@ pub mod c {
     pub const TRACE_SAMPLED_HELD: usize = 22;
     /// Sampled records dropped because a ring was full.
     pub const TRACE_DROPPED: usize = 23;
+    /// Connections accepted by the observability server.
+    pub const OBS_CONNECTIONS: usize = 24;
+    /// `STATS` one-shot requests served over the wire.
+    pub const OBS_STATS_REQUESTS: usize = 25;
+    /// Stats lines pushed to `WATCH` subscribers.
+    pub const OBS_WATCH_LINES: usize = 26;
+    /// Trace records streamed to `TRACE` subscribers.
+    pub const OBS_TRACE_STREAMED: usize = 27;
+    /// Stats lines dropped because a `WATCH` connection queue was full.
+    pub const OBS_DROPPED_WATCH: usize = 28;
+    /// Trace records dropped because a `TRACE` connection queue was full.
+    pub const OBS_DROPPED_TRACE: usize = 29;
 }
 
 /// Gauge slot indices, in [`GAUGES`] order.
@@ -119,10 +131,45 @@ pub const COUNTERS: &[&str] = &[
     "trace_sampled_sent",
     "trace_sampled_held",
     "trace_dropped",
+    "obs_connections",
+    "obs_stats_requests",
+    "obs_watch_lines",
+    "obs_trace_streamed",
+    "obs_dropped_watch",
+    "obs_dropped_trace",
 ];
 
 /// The gauge catalog (slot order is the [`g`] constants' order).
 pub const GAUGES: &[&str] = &["journal_queue_depth"];
+
+/// Histogram slot indices, in [`HISTS`] order. All values are wall
+/// nanoseconds; together they attribute where a decision's time goes —
+/// the admit call itself, the durability pipeline behind it
+/// (enqueue→commit wait, fsync), and the granter's round cadence
+/// (sweep duration, deadline punctuality).
+pub mod h {
+    /// Admission (`admit`/`admit_journaled`) call latency per decision.
+    pub const ADMIT_NS: usize = 0;
+    /// Journal batch enqueue→group-commit wait (send to durable write).
+    pub const JOURNAL_COMMIT_NS: usize = 1;
+    /// Individual fsync call duration (named `fsync_ns` on the wire; the
+    /// counter catalog already owns `journal_fsync_ns` for the total).
+    pub const FSYNC_NS: usize = 2;
+    /// Whole-accounts granter sweep duration (all shards, one pass).
+    pub const GRANTER_SWEEP_NS: usize = 3;
+    /// Round-deadline punctuality jitter: how late past its deadline a
+    /// sweep pass actually started.
+    pub const ROUND_JITTER_NS: usize = 4;
+}
+
+/// The histogram catalog (slot order is the [`h`] constants' order).
+pub const HISTS: &[&str] = &[
+    "admit_ns",
+    "journal_commit_ns",
+    "fsync_ns",
+    "granter_sweep_ns",
+    "round_jitter_ns",
+];
 
 /// Helper lanes appended after the per-worker lanes.
 const GRANTER_LANE: usize = 0;
@@ -157,7 +204,7 @@ impl LiveTelemetry {
             })
             .unzip();
         Arc::new(LiveTelemetry {
-            registry: Registry::new(COUNTERS, GAUGES, workers + EXTRA_LANES),
+            registry: Registry::with_hists(COUNTERS, GAUGES, HISTS, workers + EXTRA_LANES),
             gate: SampleGate::new(sample),
             workers,
             producers: Mutex::new(producers),
@@ -232,6 +279,7 @@ impl LiveTelemetry {
             sampled_sent: 0,
             sampled_held: 0,
             last_dropped: 0,
+            hist_last: LatencyHistogram::new(),
             left: WorkerTelem::FLUSH_CHUNK,
         }
     }
@@ -285,7 +333,8 @@ impl LaneFlush {
 }
 
 /// One worker thread's telemetry state: its lane flusher, its sampler,
-/// and (when tracing) its ring producer.
+/// its last-published latency histogram copy, and (when tracing) its
+/// ring producer.
 #[derive(Debug)]
 pub(crate) struct WorkerTelem {
     flush: LaneFlush,
@@ -295,6 +344,7 @@ pub(crate) struct WorkerTelem {
     sampled_sent: u64,
     sampled_held: u64,
     last_dropped: u64,
+    hist_last: LatencyHistogram,
     left: u32,
 }
 
@@ -303,13 +353,16 @@ impl WorkerTelem {
     /// epoch-fence chunk so both amortizations stride together.
     pub(crate) const FLUSH_CHUNK: u32 = 256;
 
-    /// Per-decision hook: sample-maybe, then flush counter deltas once
-    /// per chunk. `balance_after` is only evaluated for sampled
-    /// decisions.
+    /// Per-decision hook: sample-maybe, then flush counter and
+    /// latency-histogram deltas once per chunk. `hist` is the worker's
+    /// own running admit-latency histogram (published as bucket deltas,
+    /// so the per-decision record stays a plain array increment);
+    /// `balance_after` is only evaluated for sampled decisions.
     #[inline]
     pub(crate) fn decision(
         &mut self,
         counters: &LiveCounters,
+        hist: &LatencyHistogram,
         client: usize,
         decision: Decision,
         balance_after: impl FnOnce() -> i64,
@@ -319,7 +372,7 @@ impl WorkerTelem {
         }
         self.left -= 1;
         if self.left == 0 {
-            self.flush_now(counters);
+            self.flush_now(counters, hist);
             self.left = Self::FLUSH_CHUNK;
         }
     }
@@ -347,7 +400,7 @@ impl WorkerTelem {
         }
     }
 
-    fn flush_now(&mut self, counters: &LiveCounters) {
+    fn flush_now(&mut self, counters: &LiveCounters, hist: &LatencyHistogram) {
         self.flush.flush(counters);
         let h = self.flush.handle();
         h.add(c::TRACE_SAMPLED, std::mem::take(&mut self.sampled));
@@ -359,6 +412,7 @@ impl WorkerTelem {
             c::TRACE_SAMPLED_HELD,
             std::mem::take(&mut self.sampled_held),
         );
+        h.hist_flush_delta(h::ADMIT_NS, hist, &mut self.hist_last);
         if let Some(p) = self.producer.as_ref() {
             let dropped = p.ring().dropped();
             h.add(c::TRACE_DROPPED, dropped - self.last_dropped);
@@ -367,8 +421,8 @@ impl WorkerTelem {
     }
 
     /// Final flush at worker exit: everything the chunk stride missed.
-    pub(crate) fn finish(mut self, counters: &LiveCounters) {
-        self.flush_now(counters);
+    pub(crate) fn finish(mut self, counters: &LiveCounters, hist: &LatencyHistogram) {
+        self.flush_now(counters, hist);
     }
 }
 
@@ -402,8 +456,20 @@ mod tests {
         assert_eq!(COUNTERS[c::TRACE_SAMPLED_SENT], "trace_sampled_sent");
         assert_eq!(COUNTERS[c::TRACE_SAMPLED_HELD], "trace_sampled_held");
         assert_eq!(COUNTERS[c::TRACE_DROPPED], "trace_dropped");
-        assert_eq!(COUNTERS.len(), 24);
+        assert_eq!(COUNTERS[c::OBS_CONNECTIONS], "obs_connections");
+        assert_eq!(COUNTERS[c::OBS_STATS_REQUESTS], "obs_stats_requests");
+        assert_eq!(COUNTERS[c::OBS_WATCH_LINES], "obs_watch_lines");
+        assert_eq!(COUNTERS[c::OBS_TRACE_STREAMED], "obs_trace_streamed");
+        assert_eq!(COUNTERS[c::OBS_DROPPED_WATCH], "obs_dropped_watch");
+        assert_eq!(COUNTERS[c::OBS_DROPPED_TRACE], "obs_dropped_trace");
+        assert_eq!(COUNTERS.len(), 30);
         assert_eq!(GAUGES[g::JOURNAL_QUEUE_DEPTH], "journal_queue_depth");
+        assert_eq!(HISTS[h::ADMIT_NS], "admit_ns");
+        assert_eq!(HISTS[h::JOURNAL_COMMIT_NS], "journal_commit_ns");
+        assert_eq!(HISTS[h::FSYNC_NS], "fsync_ns");
+        assert_eq!(HISTS[h::GRANTER_SWEEP_NS], "granter_sweep_ns");
+        assert_eq!(HISTS[h::ROUND_JITTER_NS], "round_jitter_ns");
+        assert_eq!(HISTS.len(), 5);
     }
 
     #[test]
@@ -436,8 +502,10 @@ mod tests {
         let t = LiveTelemetry::new(1, 1, 1024);
         let mut wt = t.worker(0);
         let mut counters = LiveCounters::default();
+        let mut hist = LatencyHistogram::new();
         for i in 0..600u64 {
             counters.requests += 1;
+            hist.record(100 + i);
             let d = if i % 3 == 0 {
                 counters.reactive_sent += 2;
                 Decision::ReactiveSend(2)
@@ -445,11 +513,15 @@ mod tests {
                 counters.reactive_held += 1;
                 Decision::Hold
             };
-            wt.decision(&counters, i as usize, d, || 42 - i as i64);
+            wt.decision(&counters, &hist, i as usize, d, || 42 - i as i64);
         }
-        wt.finish(&counters);
+        wt.finish(&counters, &hist);
         let snap = t.snapshot();
         assert_eq!(snap.counter(c::ADMIT_REQUESTS), 600);
+        let admit = snap.hist(h::ADMIT_NS);
+        assert_eq!(admit.count(), 600);
+        assert_eq!(admit.sum(), hist.sum());
+        assert_eq!(admit.max(), hist.max());
         assert_eq!(snap.counter(c::TRACE_SAMPLED), 600);
         assert_eq!(snap.counter(c::TRACE_SAMPLED_SENT), 200);
         assert_eq!(snap.counter(c::TRACE_SAMPLED_HELD), 400);

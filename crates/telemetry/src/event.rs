@@ -11,8 +11,10 @@
 use crate::Snapshot;
 
 /// Schema tag of [`stats_line`] output. Bump the suffix when the line's
-/// structure (not its counter catalog) changes shape.
-pub const STATS_SCHEMA: &str = "ta-stats/v1";
+/// structure (not its counter catalog) changes shape. v2 extends v1
+/// with a `histograms` section (sparse bucket counts + precomputed
+/// percentiles per registered histogram).
+pub const STATS_SCHEMA: &str = "ta-stats/v2";
 
 /// Builder for one `event=<name> key=value ...` diagnostic line.
 ///
@@ -67,15 +69,21 @@ impl EventLine {
 /// Renders one self-describing stats line from a registry [`Snapshot`]:
 ///
 /// ```json
-/// {"schema":"ta-stats/v1","seq":3,"uptime_ms":600,
-///  "counters":{"admit_requests":123,...},"gauges":{"journal_queue_depth":0,...}}
+/// {"schema":"ta-stats/v2","seq":3,"uptime_ms":600,
+///  "counters":{"admit_requests":123,...},"gauges":{"journal_queue_depth":0,...},
+///  "histograms":{"admit_ns":{"count":123,"sum":4567,"max":980,
+///    "p50":35,"p90":62,"p99":240,"p999":720,"buckets":[[35,100],[62,23]]},...}}
 /// ```
 ///
-/// Counter/gauge keys come from the registry's static catalog in slot
-/// order, so two lines from the same binary are machine-diffable
+/// Counter/gauge/histogram keys come from the registry's static catalog
+/// in slot order, so two lines from the same binary are machine-diffable
 /// field-by-field; `seq` is the snapshot epoch (strictly increasing).
+/// Histogram buckets are sparse `[index, count]` pairs over the shared
+/// log-linear binning ([`crate::hist::bucket_value`] recovers each
+/// bucket's lower bound); p50/p90/p99/p999 are precomputed so consumers
+/// need no bucket math for the headline percentiles.
 pub fn stats_line(snapshot: &Snapshot, uptime_ms: u64) -> String {
-    let mut out = String::with_capacity(256);
+    let mut out = String::with_capacity(512);
     out.push_str("{\"schema\":\"");
     out.push_str(STATS_SCHEMA);
     out.push_str("\",\"seq\":");
@@ -101,6 +109,38 @@ pub fn stats_line(snapshot: &Snapshot, uptime_ms: u64) -> String {
         out.push_str(name);
         out.push_str("\":");
         out.push_str(&value.to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.hists().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\":{\"count\":");
+        out.push_str(&h.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&h.sum().to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&h.max().to_string());
+        for (key, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            out.push_str(&h.percentile(q).to_string());
+        }
+        out.push_str(",\"buckets\":[");
+        for (j, (idx, count)) in h.nonzero_buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&idx.to_string());
+            out.push(',');
+            out.push_str(&count.to_string());
+            out.push(']');
+        }
+        out.push_str("]}");
     }
     out.push_str("}}");
     out
@@ -139,10 +179,39 @@ mod tests {
         reg.handle(1).add(1, 2);
         reg.handle(1).gauge_add(0, -3);
         let line = stats_line(&reg.snapshot(), 1500);
-        assert!(line.starts_with("{\"schema\":\"ta-stats/v1\",\"seq\":0,"));
+        assert!(line.starts_with("{\"schema\":\"ta-stats/v2\",\"seq\":0,"));
         assert!(line.contains("\"uptime_ms\":1500"));
         assert!(line.contains("\"counters\":{\"requests\":7,\"sent\":2}"));
         assert!(line.contains("\"gauges\":{\"depth\":-3}"));
-        assert!(line.ends_with("}}"));
+        // No registered histograms: the section is present but empty.
+        assert!(line.ends_with("\"histograms\":{}}"));
+    }
+
+    #[test]
+    fn stats_line_histograms_carry_sparse_buckets_and_percentiles() {
+        let reg = Registry::with_hists(&["requests"], &[], &["admit_ns", "idle_ns"], 1);
+        let h = reg.handle(0);
+        for v in [40u64, 40, 41, 900] {
+            h.hist_record(0, v);
+        }
+        let line = stats_line(&reg.snapshot(), 10);
+        assert!(
+            line.contains("\"histograms\":{\"admit_ns\":{\"count\":4,\"sum\":1021,\"max\":900,")
+        );
+        assert!(line.contains("\"p50\":40,"));
+        assert!(line.contains("\"p999\":"));
+        // Sparse pairs: unit-width buckets in the 32..64 octave keep 40
+        // and 41 distinct, 900 lands in a third bucket.
+        let buckets = line
+            .split("\"admit_ns\":")
+            .nth(1)
+            .and_then(|s| s.split("\"buckets\":[").nth(1))
+            .and_then(|s| s.split("]}").next())
+            .unwrap();
+        assert_eq!(buckets.split("],[").count(), 3, "sparse pairs: {buckets}");
+        assert!(buckets.starts_with("[40,2"), "bucket encoding: {buckets}");
+        // The second (empty) histogram renders with zero buckets.
+        assert!(line.contains("\"idle_ns\":{\"count\":0,\"sum\":0,\"max\":0"));
+        assert!(line.contains("\"buckets\":[]}"));
     }
 }

@@ -4,11 +4,17 @@
 //! the simulation engines, and the bench/CI harnesses:
 //!
 //! * [`Registry`] — cache-line-padded per-lane (worker/shard) relaxed
-//!   atomic counters and gauges registered by static name, snapshot-read
-//!   by an epoch-consistent sweep (the same single-writer-merge idiom as
-//!   `LiveCounters`): every cell is written by exactly one lane and is
-//!   monotonic, so successive [`Registry::snapshot`] sweeps never observe
-//!   torn or decreasing totals.
+//!   atomic counters, gauges, and log-linear histogram instruments
+//!   registered by static name, snapshot-read by an epoch-consistent
+//!   sweep (the same single-writer-merge idiom as `LiveCounters`): every
+//!   cell is written by exactly one lane and is monotonic, so successive
+//!   [`Registry::snapshot`] sweeps never observe torn or decreasing
+//!   totals.
+//! * [`LatencyHistogram`] — the owned, allocation-free HDR-style
+//!   log-linear histogram (32 sub-buckets per octave, ~3% relative
+//!   precision) behind both per-worker latency books and the registry's
+//!   registered histogram instruments; p50/p90/p99/p999 extraction and
+//!   bucket-exact merge.
 //! * [`TraceRing`] — a fixed-capacity SPSC ring of compact binary
 //!   [`TraceRecord`]s with exact push/drop accounting, drained by a
 //!   collector thread. Producers sample decisions 1-in-N through a
@@ -28,11 +34,13 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod hist;
 mod profile;
 mod registry;
 mod ring;
 
 pub use event::{stats_line, EventLine, STATS_SCHEMA};
+pub use hist::LatencyHistogram;
 pub use profile::{Profile, ProfileData, BATCH_BUCKETS};
 pub use registry::{Handle, Registry, Snapshot};
 pub use ring::{

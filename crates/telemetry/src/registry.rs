@@ -23,6 +23,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::hist::{bucket_index, LatencyHistogram, BUCKETS};
+
 /// Atomic cells per lane block. Counter and gauge slots share the block;
 /// a registry asserts `counters + gauges <= SLOTS` at construction.
 const SLOTS: usize = 48;
@@ -42,12 +44,36 @@ impl LaneBlock {
     }
 }
 
-/// A named set of per-lane counters and gauges (see the [module
-/// docs](self)).
+/// One lane's buckets for one registered histogram, aligned like
+/// [`LaneBlock`] so two lanes' hot buckets never share a cache line.
+/// The same monotonic single-writer contract as counters applies
+/// bucket-wise: `sum` is monotonic, `max` only ever rises (`fetch_max`).
+#[repr(C, align(128))]
+struct HistBlock {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistBlock {
+    fn new() -> Self {
+        HistBlock {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A named set of per-lane counters, gauges, and histograms (see the
+/// [module docs](self)).
 pub struct Registry {
     counter_names: &'static [&'static str],
     gauge_names: &'static [&'static str],
+    hist_names: &'static [&'static str],
     lanes: Box<[LaneBlock]>,
+    /// Lane-major: `hists[lane * hist_names.len() + h]`.
+    hists: Box<[HistBlock]>,
     /// Sweep sequence number: bumped per snapshot so emitted stats lines
     /// carry a total order even when intervals jitter.
     epoch: AtomicU64,
@@ -74,19 +100,40 @@ impl Registry {
         gauge_names: &'static [&'static str],
         lanes: usize,
     ) -> Arc<Self> {
+        Self::with_hists(counter_names, gauge_names, &[], lanes)
+    }
+
+    /// [`Registry::new`] plus a catalog of registered histogram
+    /// instruments: each lane gets a padded block of relaxed atomic
+    /// buckets per histogram (one writer per lane, swept like counters).
+    ///
+    /// # Panics
+    /// Like [`Registry::new`], on slot overflow or any duplicated name
+    /// across the three catalogs.
+    pub fn with_hists(
+        counter_names: &'static [&'static str],
+        gauge_names: &'static [&'static str],
+        hist_names: &'static [&'static str],
+        lanes: usize,
+    ) -> Arc<Self> {
         assert!(
             counter_names.len() + gauge_names.len() <= SLOTS,
             "catalog exceeds {SLOTS} slots"
         );
         let mut seen = Vec::new();
-        for name in counter_names.iter().chain(gauge_names) {
+        for name in counter_names.iter().chain(gauge_names).chain(hist_names) {
             assert!(!seen.contains(name), "duplicate telemetry name {name:?}");
             seen.push(name);
         }
+        let lanes = lanes.max(1);
         Arc::new(Registry {
             counter_names,
             gauge_names,
-            lanes: (0..lanes.max(1)).map(|_| LaneBlock::new()).collect(),
+            hist_names,
+            lanes: (0..lanes).map(|_| LaneBlock::new()).collect(),
+            hists: (0..lanes * hist_names.len())
+                .map(|_| HistBlock::new())
+                .collect(),
             epoch: AtomicU64::new(0),
         })
     }
@@ -117,6 +164,16 @@ impl Registry {
         self.gauge_names.iter().position(|n| *n == name)
     }
 
+    /// The histogram catalog, in slot order.
+    pub fn hist_names(&self) -> &'static [&'static str] {
+        self.hist_names
+    }
+
+    /// Slot index of a histogram name.
+    pub fn hist_index(&self, name: &str) -> Option<usize> {
+        self.hist_names.iter().position(|n| *n == name)
+    }
+
     /// The update handle for `lane`.
     ///
     /// # Panics
@@ -130,7 +187,8 @@ impl Registry {
     }
 
     /// One epoch-consistent sweep over every lane: relaxed loads of
-    /// monotonic single-writer cells, summed per name.
+    /// monotonic single-writer cells, summed per name (histogram blocks
+    /// are merged bucket-wise the same way).
     pub fn snapshot(&self) -> Snapshot {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
         let n = self.counter_names.len();
@@ -144,12 +202,31 @@ impl Registry {
                 *total = total.wrapping_add(lane.cells[n + j].load(Ordering::Relaxed));
             }
         }
+        let nh = self.hist_names.len();
+        let mut hists = Vec::with_capacity(nh);
+        let mut buckets = vec![0u64; BUCKETS];
+        for h in 0..nh {
+            buckets.iter_mut().for_each(|b| *b = 0);
+            let mut sum = 0u64;
+            let mut max = 0u64;
+            for lane in 0..self.lanes.len() {
+                let block = &self.hists[lane * nh + h];
+                for (total, cell) in buckets.iter_mut().zip(block.counts.iter()) {
+                    *total += cell.load(Ordering::Relaxed);
+                }
+                sum = sum.wrapping_add(block.sum.load(Ordering::Relaxed));
+                max = max.max(block.max.load(Ordering::Relaxed));
+            }
+            hists.push(LatencyHistogram::from_parts(&buckets, sum, max));
+        }
         Snapshot {
             epoch,
             counter_names: self.counter_names,
             gauge_names: self.gauge_names,
+            hist_names: self.hist_names,
             counters,
             gauges: gauges.into_iter().map(|g| g as i64).collect(),
+            hists,
         }
     }
 }
@@ -184,6 +261,59 @@ impl Handle {
         self.registry.lanes[self.lane].cells[slot].fetch_add(v as u64, Ordering::Relaxed);
     }
 
+    /// Records one sample into histogram slot `h` on this lane: one
+    /// relaxed bucket increment, one relaxed sum add, one `fetch_max`.
+    /// Cheap enough for cold sites (fsyncs, sweeps); hot paths should
+    /// accumulate into an owned [`LatencyHistogram`] and publish deltas
+    /// with [`hist_merge`](Self::hist_merge) instead.
+    #[inline]
+    pub fn hist_record(&self, h: usize, value: u64) {
+        let block = self.hist_block(h);
+        block.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        block.sum.fetch_add(value, Ordering::Relaxed);
+        block.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges an owned histogram's samples into histogram slot `h`:
+    /// bucket-wise adds of the non-empty buckets. Pass a *delta* (what
+    /// was recorded since the last merge), not a running total.
+    pub fn hist_merge(&self, h: usize, delta: &LatencyHistogram) {
+        let block = self.hist_block(h);
+        for (idx, c) in delta.nonzero_buckets() {
+            block.counts[idx].fetch_add(c, Ordering::Relaxed);
+        }
+        block.sum.fetch_add(delta.sum(), Ordering::Relaxed);
+        block.max.fetch_max(delta.max(), Ordering::Relaxed);
+    }
+
+    /// Publishes the difference between a running total `now` and the
+    /// previously published copy `last` into histogram slot `h`, then
+    /// advances `last` — the delta-flush idiom hot paths use so the
+    /// per-sample cost stays a plain non-atomic array increment.
+    pub fn hist_flush_delta(&self, h: usize, now: &LatencyHistogram, last: &mut LatencyHistogram) {
+        if now.count() == last.count() {
+            return;
+        }
+        let block = self.hist_block(h);
+        for ((idx, cur), prev) in now.buckets().iter().enumerate().zip(last.buckets()) {
+            let diff = cur - prev;
+            if diff > 0 {
+                block.counts[idx].fetch_add(diff, Ordering::Relaxed);
+            }
+        }
+        block
+            .sum
+            .fetch_add(now.sum() - last.sum(), Ordering::Relaxed);
+        block.max.fetch_max(now.max(), Ordering::Relaxed);
+        last.clone_from(now);
+    }
+
+    #[inline]
+    fn hist_block(&self, h: usize) -> &HistBlock {
+        let nh = self.registry.hist_names.len();
+        &self.registry.hists[self.lane * nh + h]
+    }
+
     /// The registry this handle writes into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
@@ -202,8 +332,10 @@ pub struct Snapshot {
     pub epoch: u64,
     counter_names: &'static [&'static str],
     gauge_names: &'static [&'static str],
+    hist_names: &'static [&'static str],
     counters: Vec<u64>,
     gauges: Vec<i64>,
+    hists: Vec<LatencyHistogram>,
 }
 
 impl Snapshot {
@@ -241,6 +373,25 @@ impl Snapshot {
             .iter()
             .copied()
             .zip(self.gauges.iter().copied())
+    }
+
+    /// The merged histogram of slot `h` (all lanes summed bucket-wise).
+    #[inline]
+    pub fn hist(&self, h: usize) -> &LatencyHistogram {
+        &self.hists[h]
+    }
+
+    /// The named merged histogram (`None` if not in the catalog).
+    pub fn hist_by_name(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.hist_names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| &self.hists[i])
+    }
+
+    /// `(name, histogram)` pairs for every histogram, in slot order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> + '_ {
+        self.hist_names.iter().copied().zip(self.hists.iter())
     }
 }
 
@@ -299,5 +450,68 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_names_panic() {
         let _ = Registry::new(&["a", "a"], &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_hist_names_panic() {
+        let _ = Registry::with_hists(&["a"], &[], &["a"], 1);
+    }
+
+    const HISTS: &[&str] = &["admit_ns", "sweep_ns"];
+
+    #[test]
+    fn hist_record_and_merge_sum_across_lanes() {
+        let reg = Registry::with_hists(COUNTERS, GAUGES, HISTS, 2);
+        reg.handle(0).hist_record(0, 100);
+        reg.handle(0).hist_record(0, 200);
+        reg.handle(1).hist_record(0, 10_000);
+        reg.handle(1).hist_record(1, 7);
+
+        let mut owned = LatencyHistogram::new();
+        owned.record(100);
+        owned.record(200);
+        owned.record(10_000);
+
+        let snap = reg.snapshot();
+        let h = snap.hist(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), owned.sum());
+        assert_eq!(h.max(), 10_000);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.percentile(q), owned.percentile(q));
+        }
+        assert_eq!(snap.hist(1).count(), 1);
+        assert_eq!(snap.hist_by_name("sweep_ns").unwrap().max(), 7);
+        assert!(snap.hist_by_name("missing").is_none());
+        assert_eq!(snap.hists().count(), 2);
+        assert_eq!(reg.hist_index("sweep_ns"), Some(1));
+        assert_eq!(reg.hist_names(), HISTS);
+    }
+
+    #[test]
+    fn hist_flush_delta_publishes_exact_differences() {
+        let reg = Registry::with_hists(COUNTERS, GAUGES, HISTS, 1);
+        let h = reg.handle(0);
+        let mut now = LatencyHistogram::new();
+        let mut last = LatencyHistogram::new();
+        now.record(50);
+        now.record(60);
+        h.hist_flush_delta(0, &now, &mut last);
+        assert_eq!(reg.snapshot().hist(0).count(), 2);
+        // Unchanged running total: flush publishes nothing.
+        h.hist_flush_delta(0, &now, &mut last);
+        assert_eq!(reg.snapshot().hist(0).count(), 2);
+        now.record(50);
+        now.record(1 << 20);
+        h.hist_flush_delta(0, &now, &mut last);
+        let snap = reg.snapshot();
+        assert_eq!(snap.hist(0).count(), 4);
+        assert_eq!(snap.hist(0).sum(), now.sum());
+        assert_eq!(snap.hist(0).max(), now.max());
+        // Registered totals equal the owned running histogram exactly.
+        for q in [0.5, 0.99] {
+            assert_eq!(snap.hist(0).percentile(q), now.percentile(q));
+        }
     }
 }

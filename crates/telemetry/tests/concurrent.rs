@@ -5,10 +5,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ta_telemetry::{trace_ring, Registry, TraceRecord};
+use ta_telemetry::{trace_ring, LatencyHistogram, Registry, TraceRecord};
 
 const COUNTERS: &[&str] = &["a", "b", "c"];
 const GAUGES: &[&str] = &["g"];
+const HISTS: &[&str] = &["lat_ns"];
 
 /// Readers sweeping concurrently with 8 writer threads never observe a
 /// torn or decreasing total, and the final sweep is exact.
@@ -91,6 +92,76 @@ fn final_sweep_is_exact() {
     let snap = reg.snapshot();
     assert_eq!(snap.counter(0), WRITERS as u64 * PER_WRITER);
     assert_eq!(snap.gauge(0), (WRITERS as u64 * PER_WRITER) as i64);
+}
+
+/// Readers sweeping concurrently with 8 histogram writers never observe
+/// decreasing books, and the final sweep is bucket-exact against an
+/// owned oracle histogram fed the same samples.
+#[test]
+fn hist_snapshots_stay_consistent_under_8_writers() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 200_000;
+    let reg = Registry::with_hists(COUNTERS, GAUGES, HISTS, WRITERS);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Deterministic per-writer sample: spreads across several octaves.
+    let sample = |i: u64| (i % 1024) + 1;
+
+    let sweeps = std::thread::scope(|s| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|lane| {
+                let h = reg.handle(lane);
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        h.hist_record(0, sample(i));
+                    }
+                })
+            })
+            .collect();
+        let stop_reader = Arc::clone(&stop);
+        let reg_reader = Arc::clone(&reg);
+        let reader = s.spawn(move || {
+            let mut sweeps = 0u64;
+            let (mut last_count, mut last_sum, mut last_max) = (0u64, 0u64, 0u64);
+            while !stop_reader.load(Ordering::Relaxed) {
+                let snap = reg_reader.snapshot();
+                let hist = snap.hist(0);
+                assert!(hist.count() >= last_count, "count decreased");
+                assert!(hist.sum() >= last_sum, "sum decreased");
+                assert!(hist.max() >= last_max, "max decreased");
+                // Quantiles stay ordered on every (possibly mid-write)
+                // sweep; each lane block is relaxed-atomic, never torn.
+                assert!(hist.percentile(0.5) <= hist.percentile(0.99));
+                assert!(hist.percentile(0.99) <= hist.percentile(0.999));
+                (last_count, last_sum, last_max) = (hist.count(), hist.sum(), hist.max());
+                sweeps += 1;
+            }
+            sweeps
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap()
+    });
+    assert!(sweeps > 0, "reader must have swept at least once");
+
+    let mut oracle = LatencyHistogram::new();
+    for _ in 0..WRITERS {
+        for i in 0..PER_WRITER {
+            oracle.record(sample(i));
+        }
+    }
+    let snap = reg.snapshot();
+    let hist = snap.hist(0);
+    assert_eq!(hist.count(), oracle.count());
+    assert_eq!(hist.sum(), oracle.sum());
+    assert_eq!(hist.max(), oracle.max());
+    assert_eq!(hist.buckets(), oracle.buckets());
+    assert_eq!(
+        snap.hist_by_name("lat_ns").map(LatencyHistogram::count),
+        Some(oracle.count())
+    );
 }
 
 /// A concurrent producer/consumer pair over a small ring: every pushed
