@@ -26,7 +26,16 @@
 //! | 0    | clean: journal tail intact, books conserve exactly |
 //! | 3    | conservation mismatch — recovered books do not close |
 //! | 4    | torn tail / corruption — a damaged suffix was discarded |
+//! | 5    | journal failed persistently under `--on-journal-fail exit` |
 //! | 1    | anything else (I/O, bad flags, conservation after a run) |
+//!
+//! **Self-healing** (`--on-journal-fail`): every run carries a health
+//! board — the journal writer, granter, trace bus, and stats pump
+//! heartbeat on it, a supervisor marks stale components Degraded and
+//! restarts a stalled granter, and the writer retries transient IO
+//! errors with bounded backoff before enacting the chosen policy
+//! (`degrade` keeps admitting with durability suspended, `halt` closes
+//! admissions, `exit` additionally exits 5).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,9 +43,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ta_live::harness::{live_vs_sim_spec, OracleWorkload};
+use ta_live::health::{HealthBoard, OnJournalFail};
 use ta_live::loadgen::{
-    run_loadgen_durable_observed_spec, run_loadgen_durable_spec, run_loadgen_observed_spec,
-    run_loadgen_spec, ArrivalMode, BurstMix, LoadGenConfig, LoadGenReport,
+    run_loadgen_durable_supervised_spec, run_loadgen_supervised_spec, ArrivalMode, BurstMix,
+    LoadGenConfig, LoadGenReport,
 };
 use ta_live::obs::{ObsServer, StatsPump, TraceBus};
 use ta_live::persist::{
@@ -51,6 +61,9 @@ use token_account::StrategySpec;
 const EXIT_CONSERVATION: u8 = 3;
 /// Exit code: recovery had to discard a torn/corrupt suffix.
 const EXIT_TRUNCATION: u8 = 4;
+/// Exit code: the journal failed persistently and the policy was
+/// `--on-journal-fail exit`.
+const EXIT_JOURNAL_FAIL: u8 = 5;
 
 const USAGE: &str = "options:
   --workers <k>        worker threads (default 2)
@@ -75,7 +88,15 @@ const USAGE: &str = "options:
   --fault <list>       inject faults, comma-separated (overrides the
                        TA_FAULT env var): kill_writer_mid_frame,
                        drop_fsync, crash_mid_snapshot, poison_books,
-                       torn_tail, corrupt_crc, corrupt_snapshot
+                       torn_tail, corrupt_crc, corrupt_snapshot,
+                       io_error_n:<k> (k transient write errors),
+                       enospc_after:<bytes> (disk full past a budget),
+                       slow_io_ms:<ms>, writer_hang, granter_stall
+  --on-journal-fail <p> policy when the journal writer fails past its
+                       retry budget: degrade (default; keep admitting,
+                       durability suspended, writer restarts when the
+                       disk recovers), halt (close admissions, finish
+                       cleanly), exit (like halt, then exit 5)
   --recover            recover + verify --journal-dir, then exit:
                        0 clean, 3 conservation mismatch, 4 torn tail
   --stats-every <ms>   emit one schema-versioned JSON stats line
@@ -99,6 +120,7 @@ struct Opts {
     commit: Duration,
     fsync: bool,
     fault: Option<FaultPlan>,
+    on_journal_fail: OnJournalFail,
     recover_only: bool,
     stats_every: Option<Duration>,
     trace_out: Option<PathBuf>,
@@ -180,6 +202,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
     let mut commit = Duration::from_millis(20);
     let mut fsync = true;
     let mut fault: Option<FaultPlan> = None;
+    let mut on_journal_fail = OnJournalFail::default();
     let mut recover_only = false;
     let mut stats_every: Option<Duration> = None;
     let mut trace_out: Option<PathBuf> = None;
@@ -270,6 +293,9 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
             }
             "--no-fsync" => fsync = false,
             "--fault" => fault = Some(FaultPlan::parse(&value("--fault")?)?),
+            "--on-journal-fail" => {
+                on_journal_fail = OnJournalFail::parse(&value("--on-journal-fail")?)?;
+            }
             "--recover" => recover_only = true,
             "--stats-every" => {
                 let v = value("--stats-every")?;
@@ -312,6 +338,7 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
         commit,
         fsync,
         fault,
+        on_journal_fail,
         recover_only,
         stats_every,
         trace_out,
@@ -395,6 +422,7 @@ fn run_durable(
     dir: &std::path::Path,
     faults: FaultPlan,
     telem: Option<&LiveTelemetry>,
+    board: &Arc<HealthBoard>,
 ) -> Result<LoadGenReport, ExitCode> {
     let mut pcfg = PersistConfig::new(dir);
     pcfg.group_commit = opts.commit;
@@ -471,23 +499,15 @@ fn run_durable(
         })?
     };
 
-    let run = match telem {
-        Some(t) => run_loadgen_durable_observed_spec(
-            opts.strategy,
-            &cfg,
-            &persistence,
-            opts.snapshot_every,
-            recovered.as_ref(),
-            t,
-        ),
-        None => run_loadgen_durable_spec(
-            opts.strategy,
-            &cfg,
-            &persistence,
-            opts.snapshot_every,
-            recovered.as_ref(),
-        ),
-    };
+    let run = run_loadgen_durable_supervised_spec(
+        opts.strategy,
+        &cfg,
+        &persistence,
+        opts.snapshot_every,
+        recovered.as_ref(),
+        telem,
+        board,
+    );
     let (report, d) = run.map_err(|e| {
         eprintln!("invalid strategy: {e}");
         ExitCode::FAILURE
@@ -607,12 +627,22 @@ fn main() -> ExitCode {
     });
     let t0 = Instant::now();
 
+    // Every run carries a health board: components heartbeat on it, the
+    // supervisor enforces the --on-journal-fail policy, and stats lines
+    // grow a `health` section.
+    let board = HealthBoard::new(opts.on_journal_fail);
+    if faults.granter_stall {
+        board.arm_granter_stall();
+    }
+
     // Stats pump: the single producer of ta-stats/v2 lines, feeding
     // stdout (--stats-every) and WATCH subscribers from one snapshot
     // stream, so `seq` stays one monotone sequence across sinks.
     let pump = match telem.as_ref() {
         Some(t) if opts.stats_every.is_some() || opts.obs_listen.is_some() => {
-            Some(StatsPump::start(Arc::clone(t), t0, opts.stats_every))
+            let p = StatsPump::start(Arc::clone(t), t0, opts.stats_every);
+            p.attach_health(Arc::clone(&board));
+            Some(p)
         }
         _ => None,
     };
@@ -623,7 +653,9 @@ fn main() -> ExitCode {
     // arm it at runtime.
     let bus = match telem.as_ref() {
         Some(t) if t.gate().get() > 0 || opts.obs_listen.is_some() => {
-            Some(TraceBus::start(t, opts.trace_out.clone()))
+            let b = TraceBus::start(t, opts.trace_out.clone());
+            b.attach_health(Arc::clone(&board));
+            Some(b)
         }
         _ => None,
     };
@@ -650,16 +682,12 @@ fn main() -> ExitCode {
     };
 
     let report = if let Some(dir) = opts.journal_dir.clone() {
-        match run_durable(&opts, &dir, faults, telem.as_deref()) {
+        match run_durable(&opts, &dir, faults, telem.as_deref(), &board) {
             Ok(r) => r,
             Err(code) => return code,
         }
     } else {
-        let run = match telem.as_ref() {
-            Some(t) => run_loadgen_observed_spec(opts.strategy, &opts.cfg, t),
-            None => run_loadgen_spec(opts.strategy, &opts.cfg),
-        };
-        match run {
+        match run_loadgen_supervised_spec(opts.strategy, &opts.cfg, telem.as_deref(), &board) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("invalid strategy: {e}");
@@ -729,6 +757,30 @@ fn main() -> ExitCode {
         report.balances_sum,
     );
 
+    // The health ledger: one machine-greppable line closing the
+    // self-healing books (CI asserts these against the fault plan).
+    if let Some(t) = telem.as_ref() {
+        let snap = t.snapshot();
+        EventLine::new("health")
+            .kv("policy", opts.on_journal_fail)
+            .kv("degradations", snap.counter(tc::HEALTH_DEGRADATIONS))
+            .kv("io_retries", snap.counter(tc::JOURNAL_IO_RETRIES))
+            .kv("io_errors", snap.counter(tc::JOURNAL_IO_ERRORS))
+            .kv("dropped_records", snap.counter(tc::JOURNAL_DROPPED_RECORDS))
+            .kv("writer_restarts", snap.counter(tc::JOURNAL_WRITER_RESTARTS))
+            .kv("granter_restarts", snap.counter(tc::GRANTER_RESTARTS))
+            .kv("faults_injected", snap.counter(tc::FAULTS_INJECTED))
+            .kv(
+                "durability",
+                if board.durability_suspended() {
+                    "suspended"
+                } else {
+                    "ok"
+                },
+            )
+            .emit();
+    }
+
     let conservation = EventLine::new("conservation")
         .kv("ok", report.conserves())
         .kv("tokens_banked", c.tokens_banked)
@@ -737,6 +789,16 @@ fn main() -> ExitCode {
         .kv("initial", report.initial_balances_sum);
     if report.conserves() {
         conservation.emit();
+        if board.abort_requested() {
+            // The books closed, but the journal died under the `exit`
+            // policy: make that visible as a distinct exit code.
+            fail_line(
+                EventLine::new("journal_policy")
+                    .kv("policy", opts.on_journal_fail)
+                    .kv("exit", EXIT_JOURNAL_FAIL),
+            );
+            return ExitCode::from(EXIT_JOURNAL_FAIL);
+        }
         ExitCode::SUCCESS
     } else {
         fail_line(conservation);
@@ -876,6 +938,43 @@ mod tests {
         assert!(USAGE.contains("--trace-out"));
         assert!(USAGE.contains("--trace-sample"));
         assert!(USAGE.contains("--obs-listen"));
+    }
+
+    #[test]
+    fn on_journal_fail_and_transient_faults_parse() {
+        // Degrade is the default policy.
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.on_journal_fail, OnJournalFail::Degrade);
+        for (flag, want) in [
+            ("degrade", OnJournalFail::Degrade),
+            ("halt", OnJournalFail::Halt),
+            ("exit", OnJournalFail::Exit),
+        ] {
+            let o = parse(&["--on-journal-fail", flag]).unwrap();
+            assert_eq!(o.on_journal_fail, want);
+        }
+        assert!(parse(&["--on-journal-fail", "panic"]).is_err());
+        assert!(parse(&["--on-journal-fail"]).is_err());
+
+        let o = parse(&[
+            "--fault",
+            "io_error_n:3,enospc_after:4096,slow_io_ms:2,writer_hang,granter_stall",
+        ])
+        .unwrap();
+        let f = o.fault.unwrap();
+        assert_eq!(f.io_error_n, 3);
+        assert_eq!(f.enospc_after, 4096);
+        assert_eq!(f.slow_io_ms, 2);
+        assert!(f.writer_hang && f.granter_stall);
+        assert!(parse(&["--fault", "io_error_n"]).is_err());
+        assert!(parse(&["--fault", "enospc_after:zero"]).is_err());
+
+        assert!(USAGE.contains("--on-journal-fail"));
+        assert!(USAGE.contains("io_error_n"));
+        assert!(USAGE.contains("granter_stall"));
+        // The new exit code stays distinct from the recovery codes.
+        assert_ne!(EXIT_JOURNAL_FAIL, EXIT_CONSERVATION);
+        assert_ne!(EXIT_JOURNAL_FAIL, EXIT_TRUNCATION);
     }
 
     #[test]

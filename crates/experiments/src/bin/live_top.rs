@@ -9,8 +9,14 @@
 //! snapshots into rates (decisions/sec, reactive-held ratio, journal
 //! bytes/sec, admit/fsync p99), and renders a compact refreshing table.
 //! `--once` prints a single header + row after one interval and exits —
-//! the CI-friendly probe mode. Exits non-zero when the server is
+//! the CI-friendly probe mode, failing fast when the server is
 //! unreachable or speaks the wrong schema.
+//!
+//! Without `--once` the watch is **resilient**: a server that is not up
+//! yet, restarts, or drops the connection is retried with capped
+//! exponential backoff (250 ms doubling to 5 s), and the budget resets
+//! after every session that rendered at least one row. A clean finalize
+//! after a healthy session still exits 0.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -57,35 +63,78 @@ fn parse_opts<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Opts>, S
     Ok(Some(Opts { addr, every, once }))
 }
 
-fn run(opts: &Opts) -> Result<(), String> {
-    let mut client =
-        ScopeClient::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
-    client.watch(opts.every)?;
-    let mut prev: Option<Stats> = None;
+/// First reconnect delay; doubles per failed session up to
+/// [`BACKOFF_CAP`].
+const BACKOFF_INITIAL: Duration = Duration::from_millis(250);
+/// Reconnect delay ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+/// Consecutive failed sessions before giving up for good.
+const MAX_ATTEMPTS: u32 = 8;
+
+/// The next reconnect delay: double, capped.
+fn next_backoff(d: Duration) -> Duration {
+    d.saturating_mul(2).min(BACKOFF_CAP)
+}
+
+/// One watch session: connect, subscribe, render rows until the stream
+/// ends. Returns how many rate rows were rendered alongside the outcome
+/// (`Ok` = the stream ended cleanly, `Err` = connect/stream/parse
+/// failure).
+fn run_session(opts: &Opts) -> (u64, Result<(), String>) {
     let mut rows = 0u64;
-    println!("{}", render_header());
-    loop {
-        let line = client.next_line()?;
-        if line.is_empty() {
-            // EOF: the server finalized (run over) or went away. Having
-            // rendered at least one rate row is a success.
-            return if rows > 0 {
-                Ok(())
-            } else {
-                Err("stream ended before two snapshots arrived".into())
-            };
-        }
-        let cur = Stats::parse(&line)?;
-        if let Some(p) = prev.as_ref() {
-            if let Some(rates) = Rates::between(p, &cur) {
-                println!("{}", render_row(&cur, &rates));
-                rows += 1;
-                if opts.once {
-                    return Ok(());
+    let outcome = (|| {
+        let mut client =
+            ScopeClient::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+        client.watch(opts.every)?;
+        let mut prev: Option<Stats> = None;
+        println!("{}", render_header());
+        loop {
+            let line = client.next_line()?;
+            if line.is_empty() {
+                // EOF: the server finalized (run over) or went away.
+                return Ok(());
+            }
+            let cur = Stats::parse(&line)?;
+            if let Some(p) = prev.as_ref() {
+                if let Some(rates) = Rates::between(p, &cur) {
+                    println!("{}", render_row(&cur, &rates));
+                    rows += 1;
+                    if opts.once {
+                        return Ok(());
+                    }
                 }
             }
+            prev = Some(cur);
         }
-        prev = Some(cur);
+    })();
+    (rows, outcome)
+}
+
+/// The resilient watch: retries failed sessions with capped exponential
+/// backoff, forgiving the spent budget after every session that
+/// rendered at least one row.
+fn run_resilient(opts: &Opts) -> Result<(), String> {
+    let mut backoff = BACKOFF_INITIAL;
+    let mut failures = 0u32;
+    loop {
+        let (rows, outcome) = run_session(opts);
+        if rows > 0 {
+            backoff = BACKOFF_INITIAL;
+            failures = 0;
+        }
+        let err = match outcome {
+            // A clean end after a healthy session: the run is over.
+            Ok(()) if rows > 0 => return Ok(()),
+            Ok(()) => "stream ended before two snapshots arrived".to_string(),
+            Err(e) => e,
+        };
+        failures += 1;
+        if failures >= MAX_ATTEMPTS {
+            return Err(format!("giving up after {failures} attempts: {err}"));
+        }
+        eprintln!("live-top: {err}; reconnecting in {}ms", backoff.as_millis());
+        std::thread::sleep(backoff);
+        backoff = next_backoff(backoff);
     }
 }
 
@@ -101,7 +150,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&opts) {
+    // --once stays fail-fast (the CI probe mode); the interactive watch
+    // reconnects through server restarts.
+    let outcome = if opts.once {
+        match run_session(&opts) {
+            (rows, Ok(())) if rows > 0 => Ok(()),
+            (_, Ok(())) => Err("stream ended before two snapshots arrived".to_string()),
+            (_, Err(e)) => Err(e),
+        }
+    } else {
+        run_resilient(&opts)
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("live-top: {msg}");
@@ -135,5 +195,21 @@ mod tests {
             parse_opts(["--help".to_string()]).map(|o| o.is_none()),
             Ok(true)
         );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut d = BACKOFF_INITIAL;
+        let mut seen = vec![d];
+        for _ in 0..6 {
+            d = next_backoff(d);
+            seen.push(d);
+        }
+        assert_eq!(seen[0], Duration::from_millis(250));
+        assert_eq!(seen[1], Duration::from_millis(500));
+        assert_eq!(seen[2], Duration::from_millis(1000));
+        assert!(seen.iter().all(|d| *d <= BACKOFF_CAP));
+        assert_eq!(*seen.last().unwrap(), BACKOFF_CAP);
+        assert_eq!(next_backoff(BACKOFF_CAP), BACKOFF_CAP);
     }
 }

@@ -274,6 +274,10 @@ pub struct Stats {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram views by name.
     pub histograms: BTreeMap<String, HistView>,
+    /// Component health states (`journal_writer`, `granter`, …) plus
+    /// the failure `policy` and `durability` status, when the producer
+    /// runs under a supervision board. Empty otherwise.
+    pub health: BTreeMap<String, String>,
 }
 
 impl Stats {
@@ -332,7 +336,22 @@ impl Stats {
                 );
             }
         }
+        if let Some(Json::Obj(members)) = v.get("health") {
+            for (name, val) in members {
+                if let Json::Str(s) = val {
+                    stats.health.insert(name.clone(), s.clone());
+                }
+            }
+        }
         Ok(stats)
+    }
+
+    /// Whether any supervised component reports a non-healthy state.
+    pub fn degraded(&self) -> bool {
+        self.health
+            .iter()
+            .any(|(k, v)| k != "policy" && k != "durability" && v != "healthy")
+            || self.health.get("durability").is_some_and(|v| v != "ok")
     }
 
     fn counter(&self, name: &str) -> u64 {
@@ -521,6 +540,37 @@ mod tests {
         assert!(admit.max >= 40_000);
         // Only v2 is understood.
         assert!(Stats::parse(&line.replace("ta-stats/v2", "ta-stats/v1")).is_err());
+        // No health section → empty map, not an error.
+        assert!(stats.health.is_empty());
+        assert!(!stats.degraded());
+    }
+
+    #[test]
+    fn health_section_parses_and_flags_degradation() {
+        let reg = Registry::new(&["admit_requests"], &[], 1);
+        let healthy = concat!(
+            r#"{"policy":"degrade","journal_writer":"healthy","granter":"healthy","#,
+            r#""trace_bus":"healthy","stats_pump":"healthy","durability":"ok"}"#
+        );
+        let line =
+            ta_telemetry::stats_line_with(&reg.snapshot(), 900, &[("health", healthy.to_string())]);
+        let stats = Stats::parse(&line).unwrap();
+        assert_eq!(stats.health["policy"], "degrade");
+        assert_eq!(stats.health["journal_writer"], "healthy");
+        assert_eq!(stats.health.len(), 6);
+        assert!(!stats.degraded());
+        // A failed writer or suspended durability flips the flag; the
+        // policy field alone never does.
+        let degraded = Stats::parse(&line.replace(
+            r#""journal_writer":"healthy""#,
+            r#""journal_writer":"failed""#,
+        ))
+        .unwrap();
+        assert!(degraded.degraded());
+        let suspended =
+            Stats::parse(&line.replace(r#""durability":"ok""#, r#""durability":"suspended""#))
+                .unwrap();
+        assert!(suspended.degraded());
     }
 
     fn synthetic(seq: u64, uptime_ms: u64, requests: u64, held: u64, bytes: u64) -> Stats {

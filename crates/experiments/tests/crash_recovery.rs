@@ -212,6 +212,107 @@ fn check_crash_recovery(workers: usize, shards: usize, snapshots: bool) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Pulls one `key=value` integer out of an `event=` line.
+fn event_field(stdout: &str, event: &str, key: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(&format!("event={event}")))
+        .unwrap_or_else(|| panic!("no event={event} line in:\n{stdout}"));
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= field in: {line}"))
+}
+
+/// The degraded-mode leg of the matrix: the binary runs **to
+/// completion** through an injected disk-full outage under
+/// `--on-journal-fail degrade`. It must keep admitting (exit 0 with the
+/// conservation gate green), restart the writer once space returns, and
+/// leave a directory whose fold still reconciles exactly — the books
+/// survive a mid-run hole in the journal.
+#[test]
+fn degraded_run_survives_disk_full_and_reconciles() {
+    let dir = std::env::temp_dir().join(format!("ta-crash-degrade-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_live"))
+        .args([
+            "--clients",
+            "3000",
+            "--workers",
+            "4",
+            "--shards",
+            "4",
+            "--round-ms",
+            "20",
+            "--duration-secs",
+            "4",
+            "--commit-ms",
+            "1",
+            "--stats-every",
+            "200",
+            "--fault",
+            "enospc_after:30000",
+            "--on-journal-fail",
+            "degrade",
+            "--journal-dir",
+        ])
+        .arg(&dir)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run live binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "degrade policy must keep the run green, got {}:\n{stdout}",
+        out.status
+    );
+
+    // The health ledger closes the self-healing books: durability was
+    // suspended (records dropped) and the writer came back.
+    assert!(event_field(&stdout, "health", "dropped_records") > 0);
+    assert!(
+        event_field(&stdout, "health", "writer_restarts") >= 1,
+        "the writer never restarted:\n{stdout}"
+    );
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.starts_with("event=health") && l.contains("durability=ok")),
+        "durability must be back by shutdown:\n{stdout}"
+    );
+
+    // Recovery agrees with the independent fold, and the fold conserves
+    // shard by shard despite the dropped slice.
+    let state = recover(&dir).expect("recovery after a degraded run must succeed");
+    let reference = reference_fold(&dir);
+    assert_eq!(state.balances, reference.balances, "balances diverge");
+    assert_eq!(state.granted, reference.granted, "granted books diverge");
+    assert_eq!(state.burned, reference.burned, "burned books diverge");
+    for s in 0..4usize {
+        let block = 3000usize.div_ceil(4).max(1);
+        let (lo, hi) = (s * block, ((s + 1) * block).min(3000));
+        let sum: i64 = reference.balances[lo..hi].iter().sum();
+        assert_eq!(
+            reference.granted[s] as i64 - reference.burned[s] as i64,
+            sum,
+            "shard {s} books do not conserve"
+        );
+    }
+
+    // And the recover-only mode of the binary agrees too (exit 0).
+    let rec = Command::new(env!("CARGO_BIN_EXE_live"))
+        .args(["--recover", "--journal-dir"])
+        .arg(&dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .status()
+        .expect("run live --recover");
+    assert!(rec.success(), "live --recover rejected the directory");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn kill_mid_burst_1_worker_1_shard() {
     check_crash_recovery(1, 1, false);

@@ -15,6 +15,7 @@
 //! | [`counters`] | [`LiveCounters`] and the exact token-conservation books |
 //! | [`harness`] | live-vs-sim cross-validation: trace recording, exact virtual-clock replay, wall-clock distributional replay |
 //! | [`persist`] | durability: CRC-framed grant/spend journal, epoch-fenced copy-on-write snapshots, verified crash recovery, fault injection |
+//! | [`health`] | component supervision: per-component health state machines (Healthy → Degraded → Failed) fed by heartbeats, the `--on-journal-fail` degraded-mode policy, watchdog-driven restarts |
 //! | [`telem`] | optional runtime introspection: counter catalog, latency-histogram catalog, per-worker trace rings, sampling gate (`ta-telemetry`-backed) |
 //! | [`obs`] | the networked observability plane: [`StatsPump`] (one `ta-stats/v2` producer, N sinks), [`TraceBus`] (trace fan-out with exact drop accounting), [`ObsServer`] (`STATS`/`WATCH`/`TRACE` line protocol over TCP) |
 //!
@@ -37,6 +38,7 @@
 pub mod accounts;
 pub mod counters;
 pub mod harness;
+pub mod health;
 pub mod histogram;
 pub mod loadgen;
 pub mod obs;
@@ -50,11 +52,13 @@ pub use harness::{
     live_vs_sim, live_vs_sim_spec, replay_realtime, replay_trace, run_sim_oracle, ArrivalTrace,
     CrossValidation, OracleWorkload, TraceEvent, TraceKind,
 };
+pub use health::{Component, HealthBoard, HealthState, OnJournalFail};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{
     run_loadgen, run_loadgen_durable, run_loadgen_durable_observed,
-    run_loadgen_durable_observed_spec, run_loadgen_durable_spec, run_loadgen_observed,
-    run_loadgen_observed_spec, run_loadgen_spec, ArrivalMode, BurstMix, DurableStats,
+    run_loadgen_durable_observed_spec, run_loadgen_durable_spec,
+    run_loadgen_durable_supervised_spec, run_loadgen_observed, run_loadgen_observed_spec,
+    run_loadgen_spec, run_loadgen_supervised_spec, ArrivalMode, BurstMix, DurableStats,
     LoadGenConfig, LoadGenReport,
 };
 pub use obs::{ObsServer, StatsPump, TraceBus, TraceSub};

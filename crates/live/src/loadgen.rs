@@ -22,15 +22,18 @@
 //! closes the token-conservation books exactly — under any interleaving —
 //! via [`LiveCounters::conserves`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use token_account::spec::{StrategySpec, StrategyVisitor};
 use token_account::{InvalidStrategyError, Strategy, Usefulness};
 
 use ta_sim::rng::Xoshiro256pp;
+use ta_telemetry::mono_ns;
 
 use crate::counters::LiveCounters;
+use crate::health::{Component, HealthBoard, COMPONENTS};
 use crate::histogram::LatencyHistogram;
 use crate::persist::{JournalHandle, Persistence, RecoveredState};
 use crate::runtime::LiveRuntime;
@@ -144,7 +147,7 @@ impl LoadGenReport {
 /// Runs the load generator with a concrete (monomorphized) strategy.
 pub fn run_loadgen<S: Strategy>(strategy: S, cfg: &LoadGenConfig) -> LoadGenReport {
     let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
-    run_on_runtime(&runtime, cfg, None, None, None).0
+    run_on_runtime(&runtime, cfg, None, None, None, None).0
 }
 
 /// [`run_loadgen`] with telemetry attached: workers publish counter
@@ -156,7 +159,7 @@ pub fn run_loadgen_observed<S: Strategy>(
     telem: &LiveTelemetry,
 ) -> LoadGenReport {
     let runtime = LiveRuntime::new(strategy, cfg.clients, cfg.account_shards);
-    run_on_runtime(&runtime, cfg, None, None, Some(telem)).0
+    run_on_runtime(&runtime, cfg, None, None, Some(telem), None).0
 }
 
 /// Outcome of the durability side of a [`run_loadgen_durable`] run.
@@ -185,7 +188,15 @@ pub fn run_loadgen_durable<S: Strategy>(
     snapshot_every: Option<Duration>,
     recovered: Option<&RecoveredState>,
 ) -> (LoadGenReport, DurableStats) {
-    run_loadgen_durable_inner(strategy, cfg, persistence, snapshot_every, recovered, None)
+    run_loadgen_durable_inner(
+        strategy,
+        cfg,
+        persistence,
+        snapshot_every,
+        recovered,
+        None,
+        None,
+    )
 }
 
 /// [`run_loadgen_durable`] with telemetry attached: additionally
@@ -206,9 +217,11 @@ pub fn run_loadgen_durable_observed<S: Strategy>(
         snapshot_every,
         recovered,
         Some(telem),
+        None,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_loadgen_durable_inner<S: Strategy>(
     strategy: S,
     cfg: &LoadGenConfig,
@@ -216,6 +229,7 @@ fn run_loadgen_durable_inner<S: Strategy>(
     snapshot_every: Option<Duration>,
     recovered: Option<&RecoveredState>,
     telem: Option<&LiveTelemetry>,
+    board: Option<&Arc<HealthBoard>>,
 ) -> (LoadGenReport, DurableStats) {
     let runtime = match recovered {
         Some(state) => {
@@ -241,76 +255,78 @@ fn run_loadgen_durable_inner<S: Strategy>(
     if let (Some(t), Some(state)) = (telem, recovered) {
         t.note_recovery_replayed(state.replayed);
     }
-    run_on_runtime(&runtime, cfg, Some(persistence), snapshot_every, telem)
+    run_on_runtime(
+        &runtime,
+        cfg,
+        Some(persistence),
+        snapshot_every,
+        telem,
+        board,
+    )
 }
 
-/// The shared run loop: spawns the granter, the workers, and (durable
-/// runs only) the snapshotter over a caller-built runtime.
+/// The shared run loop: spawns the granter, the workers, (durable runs
+/// only) the snapshotter, and (supervised runs only) the health
+/// supervisor over a caller-built runtime.
 fn run_on_runtime<S: Strategy>(
     runtime: &LiveRuntime<S>,
     cfg: &LoadGenConfig,
     persistence: Option<&Persistence>,
     snapshot_every: Option<Duration>,
     telem: Option<&LiveTelemetry>,
+    board: Option<&Arc<HealthBoard>>,
 ) -> (LoadGenReport, DurableStats) {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(cfg.clients >= 1, "need at least one client");
     if let (Some(p), Some(t)) = (persistence, telem) {
         p.attach_telemetry(t.persist_handle());
     }
+    if let Some(b) = board {
+        if let Some(p) = persistence {
+            p.attach_health(Arc::clone(b));
+        }
+        if let Some(t) = telem {
+            b.attach_telemetry(t.control_handle());
+        }
+    }
+    let board = board.map(Arc::as_ref);
     let initial_balances_sum = runtime.balances_sum();
     let stop = AtomicBool::new(false);
+    let granter_shared = GranterShared::default();
     let start = Instant::now();
 
-    let (worker_outcomes, granter_counters, durable) = std::thread::scope(|scope| {
+    let (worker_outcomes, durable) = std::thread::scope(|scope| {
         let granter = cfg.round_period.map(|period| {
-            let runtime = &runtime;
+            spawn_granter(
+                scope,
+                runtime,
+                cfg,
+                period,
+                start,
+                &stop,
+                &granter_shared,
+                persistence,
+                telem,
+                board,
+                0,
+            )
+        });
+
+        let supervisor = board.map(|board| {
             let stop = &stop;
-            let mut journal = persistence.map(Persistence::handle);
-            let mut flush = telem.map(|t| LaneFlush::new(t.granter_handle()));
+            let shared = &granter_shared;
             scope.spawn(move || {
-                let mut rng = Xoshiro256pp::stream(cfg.seed, GRANTER_STREAM);
-                let mut counters = LiveCounters::default();
-                let mut next = period;
-                while !stop.load(Ordering::Acquire) {
-                    let now = start.elapsed();
-                    if now < next {
-                        // Sleep in small slices so a stop request is seen
-                        // promptly even with long rounds.
-                        std::thread::sleep((next - now).min(Duration::from_millis(5)));
-                        continue;
-                    }
-                    let sweep_start = Instant::now();
-                    let mut swept = 0u64;
-                    for s in 0..runtime.accounts().shard_count() {
-                        // Proactive sends would leave through a transport
-                        // here; the load generator only accounts them.
-                        swept += match journal.as_mut() {
-                            Some(j) => {
-                                runtime.round_sweep_journaled(s, &mut rng, &mut counters, |_| {}, j)
-                            }
-                            None => runtime.round_sweep(s, &mut rng, &mut counters, |_| {}),
-                        };
-                    }
-                    if let Some(f) = flush.as_mut() {
-                        // One delta publish per whole-accounts pass: the
-                        // sweep loop itself stays untouched. Jitter is how
-                        // late past its deadline this pass started; sweep
-                        // duration is the whole-accounts walk above.
-                        f.handle()
-                            .add(c::GRANTER_SWEEPS, runtime.accounts().shard_count() as u64);
-                        f.handle().add(c::GRANTER_ACCOUNTS, swept);
-                        f.handle()
-                            .hist_record(h::ROUND_JITTER_NS, (now - next).as_nanos() as u64);
-                        f.handle().hist_record(
-                            h::GRANTER_SWEEP_NS,
-                            sweep_start.elapsed().as_nanos() as u64,
-                        );
-                        f.flush(&counters);
-                    }
-                    next += period;
-                }
-                counters
+                supervisor_loop(
+                    scope,
+                    runtime,
+                    cfg,
+                    start,
+                    stop,
+                    shared,
+                    persistence,
+                    telem,
+                    board,
+                );
             })
         });
 
@@ -347,18 +363,23 @@ fn run_on_runtime<S: Strategy>(
                 let wt = telem.map(|t| t.worker(w));
                 let lo = (w * block).min(cfg.clients);
                 let hi = ((w + 1) * block).min(cfg.clients);
-                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi, journal, wt))
+                scope.spawn(move || worker_loop(runtime, cfg, w as u64, lo, hi, journal, wt, board))
             })
             .collect();
         let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         stop.store(true, Ordering::Release);
-        let granter_counters = granter.map(|g| g.join().unwrap()).unwrap_or_default();
+        if let Some(g) = granter {
+            g.join().unwrap();
+        }
+        if let Some(s) = supervisor {
+            s.join().unwrap();
+        }
         let durable = snapper.map(|s| s.join().unwrap()).unwrap_or_default();
-        (outcomes, granter_counters, durable)
+        (outcomes, durable)
     });
     let wall = start.elapsed();
 
-    let mut counters = granter_counters;
+    let mut counters = granter_shared.counters.into_inner().unwrap();
     let mut histogram = LatencyHistogram::new();
     for (c, h) in &worker_outcomes {
         counters.merge(c);
@@ -377,10 +398,204 @@ fn run_on_runtime<S: Strategy>(
     )
 }
 
-/// Stream id of the granter (distinct from every worker's `1 + w`).
+/// Stream id of generation-0 of the granter (distinct from every
+/// worker's `1 + w`); replacement generation `g` uses
+/// `GRANTER_STREAM - g` so it never replays randomness the superseded
+/// instance already consumed.
 const GRANTER_STREAM: u64 = u64::MAX;
 
+/// How often the supervisor sweeps the health board.
+const SUPERVISOR_SWEEP: Duration = Duration::from_millis(25);
+/// Heartbeat staleness past which an armed component is marked Degraded.
+const HEARTBEAT_DEADLINE_NS: u64 = 300_000_000;
+/// Granter staleness past which the watchdog spawns a replacement.
+const GRANTER_RESTART_NS: u64 = 450_000_000;
+/// Restart budget and spacing: self-healing, not a restart storm.
+const GRANTER_RESTART_MAX: u32 = 5;
+const GRANTER_RESTART_COOLDOWN: Duration = Duration::from_millis(500);
+/// How long the injected `granter_stall` fault plays dead — past the
+/// watchdog threshold, so a restart is guaranteed.
+const GRANTER_STALL: Duration = Duration::from_millis(900);
+
+/// State shared by every granter generation and the supervisor.
+#[derive(Debug, Default)]
+struct GranterShared {
+    /// Next unswept round index. A granter claims round `r` with a CAS
+    /// `r → r+1` *before* sweeping, so even while a stalled generation
+    /// and its replacement overlap, no round's grants are ever applied
+    /// twice — conservation holds across restarts by construction.
+    round_claim: AtomicU64,
+    /// Current granter generation; the supervisor bumps it to supersede
+    /// a stalled instance, which exits when it next observes the bump.
+    generation: AtomicU64,
+    /// Every generation merges its counters here on exit.
+    counters: Mutex<LiveCounters>,
+}
+
+/// Spawns one granter generation onto the run's scope.
+#[allow(clippy::too_many_arguments)]
+fn spawn_granter<'scope, S: Strategy>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    runtime: &'scope LiveRuntime<S>,
+    cfg: &'scope LoadGenConfig,
+    period: Duration,
+    start: Instant,
+    stop: &'scope AtomicBool,
+    shared: &'scope GranterShared,
+    persistence: Option<&'scope Persistence>,
+    telem: Option<&'scope LiveTelemetry>,
+    board: Option<&'scope HealthBoard>,
+    generation: u64,
+) -> std::thread::ScopedJoinHandle<'scope, ()> {
+    let journal = persistence.map(Persistence::handle);
+    let flush = telem.map(|t| LaneFlush::new(t.granter_handle()));
+    scope.spawn(move || {
+        granter_loop(
+            runtime, cfg, period, start, stop, shared, journal, flush, board, generation,
+        );
+    })
+}
+
+/// One granter generation: claims rounds off the shared counter and
+/// sweeps them until stopped or superseded.
+#[allow(clippy::too_many_arguments)]
+fn granter_loop<S: Strategy>(
+    runtime: &LiveRuntime<S>,
+    cfg: &LoadGenConfig,
+    period: Duration,
+    start: Instant,
+    stop: &AtomicBool,
+    shared: &GranterShared,
+    mut journal: Option<JournalHandle>,
+    mut flush: Option<LaneFlush>,
+    board: Option<&HealthBoard>,
+    generation: u64,
+) {
+    let mut rng = Xoshiro256pp::stream(cfg.seed, GRANTER_STREAM - generation);
+    let mut counters = LiveCounters::default();
+    let period_ns = period.as_nanos().max(1) as u64;
+    while !stop.load(Ordering::Acquire) && shared.generation.load(Ordering::Acquire) == generation {
+        if let Some(b) = board {
+            b.beat(Component::Granter);
+        }
+        let round = shared.round_claim.load(Ordering::Acquire);
+        let due = Duration::from_nanos(period_ns.saturating_mul(round + 1));
+        let now = start.elapsed();
+        if now < due {
+            // Sleep in small slices so a stop request is seen promptly
+            // even with long rounds.
+            std::thread::sleep((due - now).min(Duration::from_millis(5)));
+            continue;
+        }
+        if shared
+            .round_claim
+            .compare_exchange(round, round + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue; // another generation already owns this round
+        }
+        let sweep_start = Instant::now();
+        let mut swept = 0u64;
+        for s in 0..runtime.accounts().shard_count() {
+            // Proactive sends would leave through a transport here; the
+            // load generator only accounts them.
+            swept += match journal.as_mut() {
+                Some(j) => runtime.round_sweep_journaled(s, &mut rng, &mut counters, |_| {}, j),
+                None => runtime.round_sweep(s, &mut rng, &mut counters, |_| {}),
+            };
+            if let Some(b) = board {
+                b.beat(Component::Granter);
+            }
+        }
+        if let Some(f) = flush.as_mut() {
+            // One delta publish per whole-accounts pass: the sweep loop
+            // itself stays untouched. Jitter is how late past its
+            // deadline this pass started; sweep duration is the
+            // whole-accounts walk above.
+            f.handle()
+                .add(c::GRANTER_SWEEPS, runtime.accounts().shard_count() as u64);
+            f.handle().add(c::GRANTER_ACCOUNTS, swept);
+            f.handle()
+                .hist_record(h::ROUND_JITTER_NS, (now - due).as_nanos() as u64);
+            f.handle()
+                .hist_record(h::GRANTER_SWEEP_NS, sweep_start.elapsed().as_nanos() as u64);
+            f.flush(&counters);
+        }
+        if let Some(b) = board {
+            if b.take_granter_stall() {
+                // Injected fault: go dark past the watchdog deadline.
+                // The supervisor spawns a fresh generation; this one
+                // exits via the generation check on wake-up.
+                std::thread::sleep(GRANTER_STALL);
+            }
+        }
+    }
+    if let Some(f) = flush.as_mut() {
+        f.flush(&counters);
+    }
+    shared.counters.lock().unwrap().merge(&counters);
+}
+
+/// The health supervisor: sweeps the board a few times per heartbeat
+/// deadline, and restarts the granter when its beat goes stale.
+#[allow(clippy::too_many_arguments)]
+fn supervisor_loop<'scope, S: Strategy>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    runtime: &'scope LiveRuntime<S>,
+    cfg: &'scope LoadGenConfig,
+    start: Instant,
+    stop: &'scope AtomicBool,
+    shared: &'scope GranterShared,
+    persistence: Option<&'scope Persistence>,
+    telem: Option<&'scope LiveTelemetry>,
+    board: &'scope HealthBoard,
+) {
+    let mut replacements = Vec::new();
+    let mut restarts = 0u32;
+    let mut cooldown_until = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(SUPERVISOR_SWEEP);
+        let now_ns = mono_ns();
+        for component in COMPONENTS {
+            board.supervise_beat(component, now_ns, HEARTBEAT_DEADLINE_NS);
+        }
+        let beat = board.last_beat_ns(Component::Granter);
+        if let Some(period) = cfg.round_period {
+            if beat != 0
+                && now_ns.saturating_sub(beat) > GRANTER_RESTART_NS
+                && restarts < GRANTER_RESTART_MAX
+                && Instant::now() >= cooldown_until
+            {
+                // Supersede the stalled generation: it exits (and merges
+                // its counters) when it next wakes; the shared round
+                // claim guarantees the overlap can't double-grant.
+                let generation = shared.generation.fetch_add(1, Ordering::AcqRel) + 1;
+                board.count(c::GRANTER_RESTARTS);
+                replacements.push(spawn_granter(
+                    scope,
+                    runtime,
+                    cfg,
+                    period,
+                    start,
+                    stop,
+                    shared,
+                    persistence,
+                    telem,
+                    Some(board),
+                    generation,
+                ));
+                restarts += 1;
+                cooldown_until = Instant::now() + GRANTER_RESTART_COOLDOWN;
+            }
+        }
+    }
+    for r in replacements {
+        let _ = r.join();
+    }
+}
+
 /// One worker: drives its client block until the deadline.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: Strategy>(
     runtime: &LiveRuntime<S>,
     cfg: &LoadGenConfig,
@@ -389,6 +604,7 @@ fn worker_loop<S: Strategy>(
     hi: usize,
     mut journal: Option<JournalHandle>,
     mut telem: Option<WorkerTelem>,
+    board: Option<&HealthBoard>,
 ) -> (LiveCounters, LatencyHistogram) {
     let mut rng = Xoshiro256pp::stream(cfg.seed, 1 + w);
     let mut counters = LiveCounters::default();
@@ -414,6 +630,11 @@ fn worker_loop<S: Strategy>(
         let now = start.elapsed();
         if now >= deadline {
             break;
+        }
+        if let Some(b) = board {
+            if !b.admission_open() {
+                break; // halt/exit policy fired: refuse new admissions
+            }
         }
         if let ArrivalMode::Open { .. } = cfg.mode {
             if rate <= 0.0 {
@@ -490,13 +711,14 @@ fn worker_loop<S: Strategy>(
 struct LoadGenVisitor<'a> {
     cfg: &'a LoadGenConfig,
     telem: Option<&'a LiveTelemetry>,
+    board: Option<&'a Arc<HealthBoard>>,
 }
 
 impl StrategyVisitor for LoadGenVisitor<'_> {
     type Output = LoadGenReport;
     fn visit<S: Strategy + Clone + 'static>(self, strategy: S) -> LoadGenReport {
         let runtime = LiveRuntime::new(strategy, self.cfg.clients, self.cfg.account_shards);
-        run_on_runtime(&runtime, self.cfg, None, None, self.telem).0
+        run_on_runtime(&runtime, self.cfg, None, None, self.telem, self.board).0
     }
 }
 
@@ -509,7 +731,11 @@ pub fn run_loadgen_spec(
     spec: StrategySpec,
     cfg: &LoadGenConfig,
 ) -> Result<LoadGenReport, InvalidStrategyError> {
-    spec.dispatch(LoadGenVisitor { cfg, telem: None })
+    spec.dispatch(LoadGenVisitor {
+        cfg,
+        telem: None,
+        board: None,
+    })
 }
 
 /// [`run_loadgen_observed`] for a serializable [`StrategySpec`].
@@ -525,6 +751,28 @@ pub fn run_loadgen_observed_spec(
     spec.dispatch(LoadGenVisitor {
         cfg,
         telem: Some(telem),
+        board: None,
+    })
+}
+
+/// [`run_loadgen_spec`] under supervision: spawns the health supervisor
+/// alongside the run, wires granter/worker heartbeats and admission
+/// gating through `board`, and (with `telem`) shadows health transitions
+/// into the registry.
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+pub fn run_loadgen_supervised_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+    telem: Option<&LiveTelemetry>,
+    board: &Arc<HealthBoard>,
+) -> Result<LoadGenReport, InvalidStrategyError> {
+    spec.dispatch(LoadGenVisitor {
+        cfg,
+        telem,
+        board: Some(board),
     })
 }
 
@@ -535,6 +783,7 @@ struct DurableVisitor<'a> {
     snapshot_every: Option<Duration>,
     recovered: Option<&'a RecoveredState>,
     telem: Option<&'a LiveTelemetry>,
+    board: Option<&'a Arc<HealthBoard>>,
 }
 
 impl StrategyVisitor for DurableVisitor<'_> {
@@ -547,6 +796,7 @@ impl StrategyVisitor for DurableVisitor<'_> {
             self.snapshot_every,
             self.recovered,
             self.telem,
+            self.board,
         )
     }
 }
@@ -569,6 +819,7 @@ pub fn run_loadgen_durable_spec(
         snapshot_every,
         recovered,
         telem: None,
+        board: None,
     })
 }
 
@@ -591,6 +842,34 @@ pub fn run_loadgen_durable_observed_spec(
         snapshot_every,
         recovered,
         telem: Some(telem),
+        board: None,
+    })
+}
+
+/// [`run_loadgen_durable_spec`] under supervision: additionally attaches
+/// the board to the journal writer — IO retry/backoff and the
+/// `--on-journal-fail` policy activate — and arms the granter watchdog.
+///
+/// # Errors
+///
+/// Propagates [`InvalidStrategyError`] from the strategy constructor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_loadgen_durable_supervised_spec(
+    spec: StrategySpec,
+    cfg: &LoadGenConfig,
+    persistence: &Persistence,
+    snapshot_every: Option<Duration>,
+    recovered: Option<&RecoveredState>,
+    telem: Option<&LiveTelemetry>,
+    board: &Arc<HealthBoard>,
+) -> Result<(LoadGenReport, DurableStats), InvalidStrategyError> {
+    spec.dispatch(DurableVisitor {
+        cfg,
+        persistence,
+        snapshot_every,
+        recovered,
+        telem,
+        board: Some(board),
     })
 }
 
@@ -677,6 +956,50 @@ mod tests {
         assert_eq!(
             out.len() as u64 + snap.counter(c::TRACE_DROPPED),
             snap.counter(c::TRACE_SAMPLED)
+        );
+    }
+
+    #[test]
+    fn supervised_run_restarts_a_stalled_granter_and_conserves() {
+        use crate::health::{HealthBoard, OnJournalFail};
+        let mut cfg = tiny(ArrivalMode::Closed);
+        // Long enough for: first sweep (~20ms) → injected 900ms stall →
+        // watchdog restart (~450ms in) → replacement sweeps more rounds.
+        cfg.duration = Duration::from_millis(1500);
+        cfg.clients = 200;
+        let telem = LiveTelemetry::new(cfg.workers, 0, 0);
+        let board = HealthBoard::new(OnJournalFail::Degrade);
+        board.arm_granter_stall();
+        let report = run_loadgen_supervised_spec(
+            StrategySpec::Randomized { a: 2, c: 6 },
+            &cfg,
+            Some(&telem),
+            &board,
+        )
+        .unwrap();
+        assert!(
+            report.conserves(),
+            "books must close across a granter restart: {:?}",
+            report.counters
+        );
+        assert!(report.counters.rounds > 0, "granter must have swept");
+        let snap = telem.snapshot();
+        assert!(
+            snap.counter(c::GRANTER_RESTARTS) >= 1,
+            "watchdog must have restarted the stalled granter"
+        );
+        // The replacement beat again, so the supervisor walked the
+        // granter back to Healthy before the run ended.
+        assert_eq!(
+            board.state(crate::health::Component::Granter),
+            crate::health::HealthState::Healthy
+        );
+        // Registry totals still agree with the merged counters even
+        // though two generations contributed.
+        assert_eq!(snap.counter(c::ROUND_ROUNDS), report.counters.rounds);
+        assert_eq!(
+            snap.counter(c::ROUND_TOKENS_BANKED),
+            report.counters.tokens_banked
         );
     }
 

@@ -35,12 +35,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ta_telemetry::{stats_line, Handle, Snapshot, TraceConsumer, TraceRecord};
+use ta_telemetry::{stats_line, stats_line_with, Handle, Snapshot, TraceConsumer, TraceRecord};
 
+use crate::health::{Component, HealthBoard};
 use crate::telem::{c, LiveTelemetry};
 
 /// Bounded stats lines queued per `WATCH` subscriber.
@@ -65,6 +66,7 @@ struct PumpShared {
     stdout_every: Option<Duration>,
     sinks: Mutex<Vec<WatchSink>>,
     control: Handle,
+    health: OnceLock<Arc<HealthBoard>>,
 }
 
 #[derive(Debug)]
@@ -91,6 +93,7 @@ impl StatsPump {
             stdout_every,
             sinks: Mutex::new(Vec::new()),
             control,
+            health: OnceLock::new(),
         });
         let loop_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -101,6 +104,13 @@ impl StatsPump {
             shared,
             thread: Mutex::new(Some(thread)),
         })
+    }
+
+    /// Attaches a health board: the pump heartbeats as
+    /// [`Component::StatsPump`] and every rendered line carries a
+    /// `health` section. First attach wins.
+    pub fn attach_health(&self, board: Arc<HealthBoard>) {
+        let _ = self.shared.health.set(board);
     }
 
     /// Renders one stats line right now (the `STATS` one-shot). Shares
@@ -154,15 +164,20 @@ impl StatsPump {
 }
 
 fn render(shared: &PumpShared) -> String {
-    stats_line(
-        &shared.telem.snapshot(),
-        shared.start.elapsed().as_millis() as u64,
-    )
+    let snap = shared.telem.snapshot();
+    let uptime_ms = shared.start.elapsed().as_millis() as u64;
+    match shared.health.get() {
+        Some(board) => stats_line_with(&snap, uptime_ms, &[("health", board.render_json())]),
+        None => stats_line(&snap, uptime_ms),
+    }
 }
 
 fn pump_loop(shared: &PumpShared) {
     let mut stdout_next = shared.stdout_every.map(|e| Instant::now() + e);
     while !shared.stop.load(Ordering::Acquire) {
+        if let Some(b) = shared.health.get() {
+            b.beat(Component::StatsPump);
+        }
         std::thread::sleep(Duration::from_millis(1));
         let now = Instant::now();
         let stdout_due = stdout_next.is_some_and(|n| now >= n);
@@ -244,6 +259,7 @@ struct BusShared {
     drained: AtomicU64,
     subs: Mutex<Vec<BusSink>>,
     control: Handle,
+    health: OnceLock<Arc<HealthBoard>>,
 }
 
 #[derive(Debug)]
@@ -265,6 +281,7 @@ impl TraceBus {
             drained: AtomicU64::new(0),
             subs: Mutex::new(Vec::new()),
             control: telem.control_handle(),
+            health: OnceLock::new(),
         });
         let loop_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -275,6 +292,12 @@ impl TraceBus {
             shared,
             thread: Mutex::new(Some(thread)),
         })
+    }
+
+    /// Attaches a health board: the collector heartbeats as
+    /// [`Component::TraceBus`] on every drain sweep. First attach wins.
+    pub fn attach_health(&self, board: Arc<HealthBoard>) {
+        let _ = self.shared.health.set(board);
     }
 
     /// Subscribes a `TRACE` sink (bounded queue, drop-and-count).
@@ -336,6 +359,9 @@ fn bus_loop(
     let mut buf: Vec<TraceRecord> = Vec::new();
     let mut lines = 0u64;
     loop {
+        if let Some(b) = shared.health.get() {
+            b.beat(Component::TraceBus);
+        }
         let mut drained = 0;
         for cons in consumers.iter_mut() {
             drained += cons.drain(&mut buf);
@@ -614,6 +640,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn attached_board_puts_a_health_section_on_every_line() {
+        use crate::health::{HealthState, OnJournalFail};
+        let telem = LiveTelemetry::new(1, 0, 16);
+        let pump = StatsPump::start(Arc::clone(&telem), Instant::now(), None);
+        let board = HealthBoard::new(OnJournalFail::Halt);
+        pump.attach_health(Arc::clone(&board));
+        board.set_state(Component::Granter, HealthState::Degraded);
+        let line = pump.render_now();
+        assert!(line.starts_with("{\"schema\":\"ta-stats/v2\""), "{line}");
+        assert!(
+            line.contains(",\"health\":{\"policy\":\"halt\""),
+            "no health section: {line}"
+        );
+        assert!(line.contains("\"granter\":\"degraded\""), "{line}");
+        assert!(line.ends_with("\"durability\":\"ok\"}}"), "{line}");
+        // The pump heartbeats as StatsPump once the board is attached.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while board.last_beat_ns(Component::StatsPump) == 0 {
+            assert!(Instant::now() < deadline, "pump never beat");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pump.finalize();
     }
 
     #[test]

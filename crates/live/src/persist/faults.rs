@@ -1,8 +1,8 @@
 //! Fault injection for the durability subsystem.
 //!
 //! A [`FaultPlan`] is parsed from a comma-separated list (the `TA_FAULT`
-//! environment variable or the `live` bin's `--fault` flag) and has two
-//! kinds of members:
+//! environment variable or the `live` bin's `--fault` flag) and has
+//! three kinds of members:
 //!
 //! * **In-process faults** consulted while the domain runs:
 //!   `kill_writer_mid_frame` (the writer makes a half-written frame
@@ -11,6 +11,15 @@
 //!   gives up), `poison_books` (snapshots carry CRC-valid but
 //!   off-by-one grant books — the fault that must trip the conservation
 //!   gate, because no torn tail can).
+//! * **Transient faults** fed to the journal writer's IO shim (the
+//!   self-healing path): `io_error_n:<k>` (the next `k` writes fail
+//!   with a retryable `EINTR`-style error), `enospc_after:<bytes>` (the
+//!   disk "fills" after that many journal bytes and stays full for a
+//!   fixed number of attempts before space returns), `slow_io_ms:<d>`
+//!   (every write stalls `d` ms), `writer_hang` (the writer sleeps once
+//!   long enough to miss its heartbeat deadline), `granter_stall` (the
+//!   granter does the same). All are deterministic in attempt counts,
+//!   so CI can assert health-counter/injection agreement.
 //! * **Post-mortem mutilations** applied to the directory after the
 //!   process is gone, simulating sector loss the page cache hid:
 //!   `torn_tail` (cut bytes off the newest segment), `corrupt_crc`
@@ -18,7 +27,7 @@
 //!   newest snapshot).
 //!
 //! Every mode must leave recovery either exact (fold of the surviving
-//! prefix) or loudly failing — the fault sweep in CI checks both.
+//! records) or loudly failing — the fault sweep in CI checks both.
 
 use std::fmt;
 use std::io;
@@ -46,11 +55,29 @@ pub struct FaultPlan {
     pub corrupt_crc: bool,
     /// Post-mortem: flip a byte inside the newest snapshot file.
     pub corrupt_snapshot: bool,
+    /// Transient: the next `k` journal writes fail with a retryable
+    /// error (`io_error_n:<k>`; 0 = off).
+    pub io_error_n: u32,
+    /// Transient: journal writes fail with `StorageFull` once this many
+    /// bytes have been written (`enospc_after:<bytes>`; 0 = off). The
+    /// outage lasts a fixed number of failed attempts, then space
+    /// "returns" for good.
+    pub enospc_after: u64,
+    /// Transient: every journal write stalls this many milliseconds
+    /// (`slow_io_ms:<d>`; 0 = off).
+    pub slow_io_ms: u64,
+    /// Transient: the journal writer sleeps once, long enough to miss
+    /// its heartbeat deadline, then resumes.
+    pub writer_hang: bool,
+    /// Transient: the granter sleeps once past its round deadline, long
+    /// enough for the watchdog to restart it.
+    pub granter_stall: bool,
 }
 
 impl FaultPlan {
-    /// All recognised mode names.
-    pub const MODES: [&'static str; 7] = [
+    /// All recognised mode names (parameterised modes are listed
+    /// without their `:<arg>` suffix).
+    pub const MODES: [&'static str; 12] = [
         "kill_writer_mid_frame",
         "drop_fsync",
         "crash_mid_snapshot",
@@ -58,17 +85,44 @@ impl FaultPlan {
         "torn_tail",
         "corrupt_crc",
         "corrupt_snapshot",
+        "io_error_n",
+        "enospc_after",
+        "slow_io_ms",
+        "writer_hang",
+        "granter_stall",
     ];
 
     /// Parses a comma-separated mode list ("" → no faults).
+    /// Parameterised modes take a `:<number>` argument
+    /// (`io_error_n:3`, `enospc_after:30000`, `slow_io_ms:2`).
     ///
     /// # Errors
     ///
-    /// Returns the offending token for anything not in [`Self::MODES`].
+    /// Returns the offending token for anything not in [`Self::MODES`],
+    /// for a parameterised mode with a missing/zero/malformed argument,
+    /// and for an argument on a mode that takes none.
     pub fn parse(list: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::default();
         for tok in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-            match tok {
+            let (name, arg) = match tok.split_once(':') {
+                Some((name, arg)) => (name.trim(), Some(arg.trim())),
+                None => (tok, None),
+            };
+            fn numeric<T: std::str::FromStr + PartialEq + Default>(
+                name: &str,
+                arg: Option<&str>,
+            ) -> Result<T, String> {
+                let arg =
+                    arg.ok_or_else(|| format!("fault mode `{name}` needs a `:<n>` argument"))?;
+                match arg.parse::<T>() {
+                    Ok(v) if v != T::default() => Ok(v),
+                    _ => Err(format!("bad fault argument `{arg}` for `{name}`")),
+                }
+            }
+            if arg.is_some() && !matches!(name, "io_error_n" | "enospc_after" | "slow_io_ms") {
+                return Err(format!("fault mode `{name}` takes no argument"));
+            }
+            match name {
                 "kill_writer_mid_frame" => plan.kill_writer_mid_frame = true,
                 "drop_fsync" => plan.drop_fsync = true,
                 "crash_mid_snapshot" => plan.crash_mid_snapshot = true,
@@ -76,6 +130,11 @@ impl FaultPlan {
                 "torn_tail" => plan.torn_tail = true,
                 "corrupt_crc" => plan.corrupt_crc = true,
                 "corrupt_snapshot" => plan.corrupt_snapshot = true,
+                "io_error_n" => plan.io_error_n = numeric(name, arg)?,
+                "enospc_after" => plan.enospc_after = numeric(name, arg)?,
+                "slow_io_ms" => plan.slow_io_ms = numeric(name, arg)?,
+                "writer_hang" => plan.writer_hang = true,
+                "granter_stall" => plan.granter_stall = true,
                 other => return Err(format!("unknown fault mode `{other}`")),
             }
         }
@@ -166,6 +225,31 @@ impl fmt::Display for FaultPlan {
         put(f, self.torn_tail, "torn_tail")?;
         put(f, self.corrupt_crc, "corrupt_crc")?;
         put(f, self.corrupt_snapshot, "corrupt_snapshot")?;
+        let mut put_arg = |f: &mut fmt::Formatter<'_>, value: u64, name: &str| -> fmt::Result {
+            if value != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}:{value}")?;
+                first = false;
+            }
+            Ok(())
+        };
+        put_arg(f, u64::from(self.io_error_n), "io_error_n")?;
+        put_arg(f, self.enospc_after, "enospc_after")?;
+        put_arg(f, self.slow_io_ms, "slow_io_ms")?;
+        let mut put = |f: &mut fmt::Formatter<'_>, on: bool, name: &str| -> fmt::Result {
+            if on {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+            Ok(())
+        };
+        put(f, self.writer_hang, "writer_hang")?;
+        put(f, self.granter_stall, "granter_stall")?;
         if first {
             write!(f, "none")?;
         }
@@ -197,10 +281,16 @@ mod tests {
     #[test]
     fn parse_roundtrips_all_modes() {
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
-        let all = FaultPlan::MODES.join(",");
-        let plan = FaultPlan::parse(&all).unwrap();
+        let all = "kill_writer_mid_frame,drop_fsync,crash_mid_snapshot,poison_books,torn_tail,\
+                   corrupt_crc,corrupt_snapshot,io_error_n:3,enospc_after:30000,slow_io_ms:2,\
+                   writer_hang,granter_stall";
+        let plan = FaultPlan::parse(all).unwrap();
         assert!(plan.kill_writer_mid_frame && plan.drop_fsync && plan.crash_mid_snapshot);
         assert!(plan.poison_books && plan.torn_tail && plan.corrupt_crc && plan.corrupt_snapshot);
+        assert_eq!(plan.io_error_n, 3);
+        assert_eq!(plan.enospc_after, 30_000);
+        assert_eq!(plan.slow_io_ms, 2);
+        assert!(plan.writer_hang && plan.granter_stall);
         assert_eq!(plan.to_string(), all);
         assert_eq!(FaultPlan::default().to_string(), "none");
         assert!(FaultPlan::parse("torn_tail, bogus").is_err());
@@ -212,5 +302,30 @@ mod tests {
                 ..FaultPlan::default()
             }
         );
+    }
+
+    #[test]
+    fn parameterised_modes_validate_their_arguments() {
+        // Missing, zero, and malformed arguments are all rejected with
+        // the offending token in the message.
+        for bad in [
+            "io_error_n",
+            "io_error_n:",
+            "io_error_n:0",
+            "io_error_n:-1",
+            "io_error_n:many",
+            "enospc_after:0x10",
+            "slow_io_ms:1.5",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains('`'), "{bad}: {err}");
+        }
+        // Arguments on argument-less modes are rejected too.
+        assert!(FaultPlan::parse("writer_hang:5").is_err());
+        assert!(FaultPlan::parse("torn_tail:1").is_err());
+        // Whitespace around the colon is tolerated.
+        let plan = FaultPlan::parse(" io_error_n : 7 ").unwrap();
+        assert_eq!(plan.io_error_n, 7);
+        assert_eq!(plan.to_string(), "io_error_n:7");
     }
 }

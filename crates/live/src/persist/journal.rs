@@ -48,7 +48,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use super::faults::FaultPlan;
 use super::{crc32, EpochCell, PersistConfig, PersistShared};
+use crate::health::{Component, HealthState, OnJournalFail};
 use crate::telem::{c, g, h as th};
 
 /// One journalled balance change: `delta` tokens (positive = grant,
@@ -94,30 +96,57 @@ pub const DELTA_FRAME_OVERHEAD: usize = 24;
 /// Range-frame overhead (magic + shard + count + crc).
 pub const RANGE_FRAME_OVERHEAD: usize = 16;
 
-/// Appends one encoded delta frame for `shard` to `out`. Records are
-/// packed to 8 bytes: the header carries the first record's sequence
-/// in full, each record only its `u16` offset from it — the producer
-/// flushes its buffer before that window or an `i16` delta would
-/// overflow, so the narrowing here is infallible by construction.
-/// Reactive burns dominate journal volume at full load; halving their
-/// wire size halves the writer's `write(2)` traffic, which profiling
-/// shows is where journal overhead actually lives.
-pub fn encode_frame(shard: u32, recs: &[DeltaRec], out: &mut Vec<u8>) {
-    let base = recs.first().map_or(0, |r| r.seq);
-    let start = out.len();
-    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-    out.extend_from_slice(&shard.to_le_bytes());
-    out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
-    out.extend_from_slice(&base.to_le_bytes());
-    for r in recs {
-        let off = u16::try_from(r.seq - base).expect("seq window overflowed a frame");
-        let delta = i16::try_from(r.delta).expect("delta overflowed a record");
-        out.extend_from_slice(&off.to_le_bytes());
-        out.extend_from_slice(&delta.to_le_bytes());
-        out.extend_from_slice(&r.client.to_le_bytes());
+/// Appends encoded delta frames for `shard` to `out`, returning how
+/// many frames were written (≥ 1). Records are packed to 8 bytes: the
+/// header carries the first record's sequence in full, each record only
+/// its `u16` offset from it. The producer flushes its buffer before
+/// that window or an `i16` delta would overflow, so one batch is one
+/// frame in practice — but no input may kill the writer from the encode
+/// path, so a record past the offset window forces a frame split and a
+/// delta wider than `i16` is split across wire records under the same
+/// sequence (the recovery fold sums them back). Reactive burns dominate
+/// journal volume at full load; halving their wire size halves the
+/// writer's `write(2)` traffic, which profiling shows is where journal
+/// overhead actually lives.
+pub fn encode_frame(shard: u32, recs: &[DeltaRec], out: &mut Vec<u8>) -> usize {
+    let mut frames = 0usize;
+    let mut i = 0usize;
+    loop {
+        let base = recs.get(i).map_or(0, |r| r.seq);
+        let start = out.len();
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&shard.to_le_bytes());
+        let count_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&base.to_le_bytes());
+        let mut count = 0u32;
+        while let Some(r) = recs.get(i) {
+            let off = match r.seq.checked_sub(base).and_then(|d| u16::try_from(d).ok()) {
+                Some(off) => off,
+                None => break, // outside this frame's window: split
+            };
+            let mut rem = r.delta;
+            loop {
+                let chunk = rem.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+                out.extend_from_slice(&off.to_le_bytes());
+                out.extend_from_slice(&(chunk as i16).to_le_bytes());
+                out.extend_from_slice(&r.client.to_le_bytes());
+                count += 1;
+                rem -= chunk;
+                if rem == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        out[count_pos..count_pos + 4].copy_from_slice(&count.to_le_bytes());
+        let crc = crc32(&out[start + 4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        frames += 1;
+        if i >= recs.len() {
+            return frames;
+        }
     }
-    let crc = crc32(&out[start + 4..]);
-    out.extend_from_slice(&crc.to_le_bytes());
 }
 
 /// Appends one encoded range frame for `shard` to `out`. Range records
@@ -343,6 +372,116 @@ fn open_segment(dir: &Path, id: u64) -> io::Result<File> {
         .open(segment_path(dir, id))
 }
 
+/// How many times a retryable IO error is retried before the writer
+/// escalates to its failure policy.
+const MAX_IO_RETRIES: u32 = 10;
+/// How many consecutive failed attempts an injected `enospc_after`
+/// outage lasts before space "returns" for good (write attempts and
+/// restart probes both count), keeping chaos runs deterministic in
+/// attempts rather than wall time.
+const ENOSPC_OUTAGE_ATTEMPTS: u32 = 6;
+/// How long the injected `writer_hang` fault stalls the writer — past
+/// the supervisor's heartbeat deadline, so the hang is visible as a
+/// Degraded→Healthy cycle.
+const WRITER_HANG: Duration = Duration::from_millis(800);
+/// Restart-probe backoff bounds while the writer is draining.
+const PROBE_INITIAL: Duration = Duration::from_millis(50);
+const PROBE_MAX: Duration = Duration::from_millis(500);
+
+/// Deterministic transient-fault injection in front of the writer's
+/// `write(2)` calls (see [`FaultPlan`]'s transient modes). `injected`
+/// counts every perturbation; the writer publishes it as the
+/// `faults_injected` counter so CI can assert injection/health-counter
+/// agreement.
+#[derive(Debug)]
+struct IoShim {
+    io_errors_left: u32,
+    enospc_at: u64,
+    enospc_tripped: bool,
+    enospc_fails_left: u32,
+    slow_ms: u64,
+    hang_pending: bool,
+    bytes: u64,
+    injected: u64,
+}
+
+impl IoShim {
+    fn new(faults: &FaultPlan) -> Self {
+        IoShim {
+            io_errors_left: faults.io_error_n,
+            enospc_at: if faults.enospc_after == 0 {
+                u64::MAX
+            } else {
+                faults.enospc_after
+            },
+            enospc_tripped: false,
+            enospc_fails_left: ENOSPC_OUTAGE_ATTEMPTS,
+            slow_ms: faults.slow_io_ms,
+            hang_pending: faults.writer_hang,
+            bytes: 0,
+            injected: 0,
+        }
+    }
+
+    /// Consults the shim before a write of `len` bytes (0 = a restart
+    /// probe). `Err` means the fault fired instead of the write.
+    fn check(&mut self, len: usize) -> io::Result<()> {
+        if self.hang_pending {
+            self.hang_pending = false;
+            self.injected += 1;
+            std::thread::sleep(WRITER_HANG);
+        }
+        if self.slow_ms > 0 && len > 0 {
+            self.injected += 1;
+            std::thread::sleep(Duration::from_millis(self.slow_ms));
+        }
+        if self.io_errors_left > 0 {
+            self.io_errors_left -= 1;
+            self.injected += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient io error",
+            ));
+        }
+        if self.enospc_at != u64::MAX
+            && (self.enospc_tripped || self.bytes + len as u64 > self.enospc_at)
+        {
+            self.enospc_tripped = true;
+            if self.enospc_fails_left > 0 {
+                self.enospc_fails_left -= 1;
+                self.injected += 1;
+                return Err(io::Error::other("injected disk full (ENOSPC)"));
+            }
+            // The outage is over: space returns for good.
+            self.enospc_at = u64::MAX;
+            self.enospc_tripped = false;
+        }
+        self.bytes += len as u64;
+        Ok(())
+    }
+}
+
+/// True for error kinds worth retrying with backoff (transient by
+/// nature); everything else escalates straight to the failure policy.
+fn retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Bounded exponential backoff with multiplicative jitter: 1 ms
+/// doubling to a 100 ms cap, plus up to 25% from a cheap LCG so
+/// concurrent retriers don't thunder in phase.
+fn backoff_delay(attempt: u32, seed: &mut u64) -> Duration {
+    let base_us = (1u64 << attempt.saturating_sub(1).min(20)).min(100) * 1000;
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let jitter_us = (*seed >> 33) % (base_us / 4 + 1);
+    Duration::from_micros(base_us + jitter_us)
+}
+
 struct Writer {
     cfg: PersistConfig,
     file: File,
@@ -351,15 +490,26 @@ struct Writer {
     /// Enqueue timestamps of batches encoded into `pending` but not yet
     /// committed; drained into the enqueue→commit histogram at commit.
     pending_sent: Vec<u64>,
+    /// Logical records encoded into `pending` but not yet committed
+    /// (what gets counted as dropped if the writer fails here).
+    pending_records: u64,
     stats: JournalStats,
     committed_frames: u64,
     shared: Arc<PersistShared>,
+    shim: IoShim,
+    /// Degraded drain mode: durability suspended, batches dropped and
+    /// counted, periodic probes for disk recovery.
+    draining: bool,
+    probe_at: Option<Instant>,
+    probe_backoff: Duration,
+    jitter_seed: u64,
 }
 
 impl Writer {
     /// Writes and (configurably) fsyncs the pending buffer.
     fn commit(&mut self) -> io::Result<()> {
         if !self.pending.is_empty() {
+            self.shim_check(self.pending.len())?;
             match self.shared.telem.get() {
                 Some(h) => {
                     let t0 = Instant::now();
@@ -371,6 +521,7 @@ impl Writer {
             }
             self.stats.bytes += self.pending.len() as u64;
             self.pending.clear();
+            self.pending_records = 0;
         }
         if self.cfg.fsync && !self.cfg.faults.drop_fsync {
             self.fsync()?;
@@ -404,14 +555,159 @@ impl Writer {
         Ok(())
     }
 
-    /// Frame-level accounting after encoding one frame into `pending`.
-    fn note_frame(&mut self, range: bool, encoded: usize) {
+    /// Runs the fault shim in front of a write of `len` bytes,
+    /// publishing any perturbations it injected.
+    fn shim_check(&mut self, len: usize) -> io::Result<()> {
+        let before = self.shim.injected;
+        let res = self.shim.check(len);
+        let delta = self.shim.injected - before;
+        if delta > 0 {
+            if let Some(h) = self.shared.telem.get() {
+                h.add(c::FAULTS_INJECTED, delta);
+            }
+        }
+        res
+    }
+
+    /// Commits with the self-healing envelope: retryable IO errors are
+    /// retried with bounded exponential backoff + jitter; persistent
+    /// failure escalates to the health board's journal policy and flips
+    /// the writer into drain mode instead of killing the thread. With
+    /// no board attached (tests, bench harnesses) the first error
+    /// propagates exactly as it always did.
+    fn commit_guarded(&mut self) -> io::Result<()> {
+        if self.draining {
+            self.drop_pending();
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.commit() {
+                Ok(()) => {
+                    if attempt > 0 {
+                        // Recovered within the retry budget: clear the
+                        // Degraded mark the retry loop set.
+                        if let Some(board) = self.shared.health.get() {
+                            if board.state(Component::JournalWriter) == HealthState::Degraded {
+                                board.set_state(Component::JournalWriter, HealthState::Healthy);
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                Err(e) => e,
+            };
+            if let Some(h) = self.shared.telem.get() {
+                h.incr(c::JOURNAL_IO_ERRORS);
+            }
+            let Some(board) = self.shared.health.get() else {
+                return Err(err);
+            };
+            board.beat(Component::JournalWriter);
+            if retryable(err.kind()) && attempt < MAX_IO_RETRIES {
+                attempt += 1;
+                if let Some(h) = self.shared.telem.get() {
+                    h.incr(c::JOURNAL_IO_RETRIES);
+                }
+                if board.state(Component::JournalWriter) == HealthState::Healthy {
+                    board.set_state(Component::JournalWriter, HealthState::Degraded);
+                }
+                std::thread::sleep(backoff_delay(attempt, &mut self.jitter_seed));
+                continue;
+            }
+            self.enter_drain();
+            return Ok(());
+        }
+    }
+
+    /// Escalation: enact the journal failure policy and switch to drain
+    /// mode (drop-and-count batches, probe for disk recovery).
+    fn enter_drain(&mut self) {
+        if let Some(board) = self.shared.health.get() {
+            board.journal_failed();
+        }
+        self.drop_pending();
+        self.draining = true;
+        self.probe_backoff = PROBE_INITIAL;
+        self.probe_at = Some(Instant::now() + self.probe_backoff);
+    }
+
+    /// Drops the uncommitted pending buffer, counting its records.
+    fn drop_pending(&mut self) {
+        if self.pending_records > 0 {
+            if let Some(h) = self.shared.telem.get() {
+                h.add(c::JOURNAL_DROPPED_RECORDS, self.pending_records);
+            }
+        }
+        self.pending.clear();
+        self.pending_sent.clear();
+        self.pending_records = 0;
+    }
+
+    /// Drain-mode handling of one incoming batch: consume it, count its
+    /// records as dropped, and keep the queue-depth gauge balanced.
+    fn drop_batch(&mut self, records: u64) {
+        if let Some(h) = self.shared.telem.get() {
+            h.add(c::JOURNAL_DROPPED_RECORDS, records);
+            h.gauge_add(g::JOURNAL_QUEUE_DEPTH, -1);
+        }
+    }
+
+    /// While draining under the degrade policy: probe the disk with
+    /// capped backoff; on success restart onto a fresh segment and
+    /// resume durability.
+    fn maybe_probe(&mut self, active_segment: &AtomicU64) {
+        if !self.draining {
+            return;
+        }
+        let due = self.probe_at.is_some_and(|at| Instant::now() >= at);
+        if !due {
+            return;
+        }
+        let Some(board) = self.shared.health.get().cloned() else {
+            self.probe_at = None;
+            return;
+        };
+        if board.policy() != OnJournalFail::Degrade {
+            // halt/exit: the run is winding down; no restart.
+            self.probe_at = None;
+            return;
+        }
+        board.beat(Component::JournalWriter);
+        let probe = self.shim_check(0).and_then(|()| {
+            let file = open_segment(&self.cfg.dir, self.segment + 1)?;
+            super::sync_dir(&self.cfg.dir)?;
+            Ok(file)
+        });
+        match probe {
+            Ok(file) => {
+                self.segment += 1;
+                self.file = file;
+                self.stats.segments += 1;
+                active_segment.store(self.segment, Ordering::SeqCst);
+                self.draining = false;
+                self.probe_at = None;
+                board.journal_recovered();
+                if let Some(h) = self.shared.telem.get() {
+                    h.incr(c::JOURNAL_WRITER_RESTARTS);
+                }
+            }
+            Err(_) => {
+                self.probe_backoff = (self.probe_backoff * 2).min(PROBE_MAX);
+                self.probe_at = Some(Instant::now() + self.probe_backoff);
+            }
+        }
+    }
+
+    /// Frame-level accounting after encoding one batch (`frames` frames
+    /// — more than one when the encoder had to split) into `pending`.
+    fn note_frame(&mut self, range: bool, encoded: usize, frames: u64) {
         if let Some(h) = self.shared.telem.get() {
             if range {
-                h.incr(c::JOURNAL_FRAMES_RANGE);
+                h.add(c::JOURNAL_FRAMES_RANGE, frames);
                 h.add(c::JOURNAL_BYTES_RANGE, encoded as u64);
             } else {
-                h.incr(c::JOURNAL_FRAMES_DELTA);
+                h.add(c::JOURNAL_FRAMES_DELTA, frames);
                 h.add(c::JOURNAL_BYTES_DELTA, encoded as u64);
             }
             h.gauge_add(g::JOURNAL_QUEUE_DEPTH, -1);
@@ -430,7 +726,10 @@ impl Writer {
     }
 
     fn rotate(&mut self, delete_below: u64) -> io::Result<()> {
-        self.commit()?;
+        self.commit_guarded()?;
+        if self.draining {
+            return Err(io::Error::other("journal degraded: durability suspended"));
+        }
         self.segment += 1;
         self.file = open_segment(&self.cfg.dir, self.segment)?;
         for (id, path) in list_segments(&self.cfg.dir)? {
@@ -451,36 +750,51 @@ fn writer_loop(
     shared: Arc<PersistShared>,
 ) -> io::Result<JournalStats> {
     let group = cfg.group_commit.max(Duration::from_micros(100));
+    let shim = IoShim::new(&cfg.faults);
+    let jitter_seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0x9E37_79B9, |d| d.subsec_nanos() as u64)
+        | 1;
     let mut w = Writer {
         cfg,
         file,
         segment: first_segment,
         pending: Vec::with_capacity(64 * 1024),
         pending_sent: Vec::new(),
+        pending_records: 0,
         stats: JournalStats {
             segments: 1,
             ..JournalStats::default()
         },
         committed_frames: 0,
         shared,
+        shim,
+        draining: false,
+        probe_at: None,
+        probe_backoff: PROBE_INITIAL,
+        jitter_seed,
     };
     let mut deadline = Instant::now() + group;
     loop {
+        if let Some(board) = w.shared.health.get() {
+            board.beat(Component::JournalWriter);
+        }
         let timeout = deadline.saturating_duration_since(Instant::now());
         // Block for the first message, then drain greedily with
         // try_recv: a burst of producer flushes costs one wakeup, not
         // one park/unpark round trip per send. Draining batches does
         // NOT commit — bytes accumulate in `pending` until the group
         // deadline (or an explicit Sync/Rotate/Shutdown).
-        let mut msg = match rx.recv_timeout(timeout) {
+        let mut msg = match rx.recv_timeout(timeout.min(group)) {
             Ok(m) => m,
             Err(RecvTimeoutError::Timeout) => {
-                w.commit()?;
+                w.commit_guarded()?;
+                w.maybe_probe(&active_segment);
                 deadline = Instant::now() + group;
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => {
-                w.commit()?;
+                w.commit_guarded()?;
                 return Ok(w.stats);
             }
         };
@@ -491,62 +805,101 @@ fn writer_loop(
                     recs,
                     sent_ns,
                 } => {
-                    if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
-                        let mut frame = Vec::new();
-                        encode_frame(shard, &recs, &mut frame);
-                        return w.die_mid_frame(&frame);
+                    if w.draining {
+                        w.drop_batch(recs.len() as u64);
+                    } else {
+                        if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
+                            let mut frame = Vec::new();
+                            encode_frame(shard, &recs, &mut frame);
+                            return w.die_mid_frame(&frame);
+                        }
+                        let before = w.pending.len();
+                        let frames = encode_frame(shard, &recs, &mut w.pending) as u64;
+                        w.note_frame(false, w.pending.len() - before, frames);
+                        w.pending_sent.push(sent_ns);
+                        w.pending_records += recs.len() as u64;
+                        w.stats.frames += frames;
+                        w.stats.records += recs.len() as u64;
+                        w.committed_frames += frames;
                     }
-                    let before = w.pending.len();
-                    encode_frame(shard, &recs, &mut w.pending);
-                    w.note_frame(false, w.pending.len() - before);
-                    w.pending_sent.push(sent_ns);
-                    w.stats.frames += 1;
-                    w.stats.records += recs.len() as u64;
-                    w.committed_frames += 1;
                 }
                 WriterMsg::BatchRange {
                     shard,
                     recs,
                     sent_ns,
                 } => {
-                    if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
-                        let mut frame = Vec::new();
-                        encode_range_frame(shard, &recs, &mut frame);
-                        return w.die_mid_frame(&frame);
+                    if w.draining {
+                        w.drop_batch(recs.len() as u64);
+                    } else {
+                        if w.cfg.faults.kill_writer_mid_frame && w.committed_frames >= 2 {
+                            let mut frame = Vec::new();
+                            encode_range_frame(shard, &recs, &mut frame);
+                            return w.die_mid_frame(&frame);
+                        }
+                        let before = w.pending.len();
+                        encode_range_frame(shard, &recs, &mut w.pending);
+                        w.note_frame(true, w.pending.len() - before, 1);
+                        w.pending_sent.push(sent_ns);
+                        w.pending_records += recs.len() as u64;
+                        w.stats.frames += 1;
+                        w.stats.records += recs.len() as u64;
+                        w.committed_frames += 1;
                     }
-                    let before = w.pending.len();
-                    encode_range_frame(shard, &recs, &mut w.pending);
-                    w.note_frame(true, w.pending.len() - before);
-                    w.pending_sent.push(sent_ns);
-                    w.stats.frames += 1;
-                    w.stats.records += recs.len() as u64;
-                    w.committed_frames += 1;
                 }
                 WriterMsg::Rotate { delete_below, ack } => {
-                    let res = w.rotate(delete_below);
-                    let ok = res.is_ok();
-                    let _ = ack.send(res);
-                    if !ok {
-                        return Ok(w.stats);
+                    if w.draining {
+                        let _ =
+                            ack.send(Err(io::Error::other("journal degraded: rotation refused")));
+                    } else {
+                        let res = w.rotate(delete_below);
+                        let ok = res.is_ok();
+                        match (ok, w.shared.health.get()) {
+                            (true, _) => {
+                                let _ = ack.send(res);
+                                w.stats.segments += 1;
+                                active_segment.store(w.segment, Ordering::SeqCst);
+                                deadline = Instant::now() + group;
+                            }
+                            (false, Some(_)) => {
+                                // Supervised: survive the failed rotation
+                                // in drain mode (commit_guarded may have
+                                // already escalated; this is idempotent).
+                                w.enter_drain();
+                                let _ = ack.send(res);
+                            }
+                            (false, None) => {
+                                let _ = ack.send(res);
+                                return Ok(w.stats);
+                            }
+                        }
                     }
-                    w.stats.segments += 1;
-                    active_segment.store(w.segment, Ordering::SeqCst);
-                    deadline = Instant::now() + group;
                 }
                 WriterMsg::Sync(ack) => {
-                    let mut res = w.commit();
-                    if res.is_ok() && !w.cfg.fsync && !w.cfg.faults.drop_fsync {
-                        // `sync` promises durability even when periodic
-                        // fsync is off.
-                        res = w.fsync();
+                    if w.draining {
+                        let _ = ack.send(Err(io::Error::other("journal degraded: sync refused")));
+                    } else {
+                        let mut res = w.commit_guarded();
+                        if res.is_ok() && w.draining {
+                            res = Err(io::Error::other("journal degraded: sync refused"));
+                        }
+                        if res.is_ok() && !w.cfg.fsync && !w.cfg.faults.drop_fsync {
+                            // `sync` promises durability even when periodic
+                            // fsync is off.
+                            res = w.fsync();
+                        }
+                        let _ = ack.send(res);
+                        deadline = Instant::now() + group;
                     }
-                    let _ = ack.send(res);
-                    deadline = Instant::now() + group;
                 }
                 WriterMsg::Shutdown => {
-                    w.commit()?;
-                    if !w.cfg.fsync && !w.cfg.faults.drop_fsync {
-                        w.fsync()?;
+                    w.commit_guarded()?;
+                    if !w.draining && !w.cfg.fsync && !w.cfg.faults.drop_fsync {
+                        if let Err(e) = w.fsync() {
+                            if w.shared.health.get().is_none() {
+                                return Err(e);
+                            }
+                            w.enter_drain();
+                        }
                     }
                     return Ok(w.stats);
                 }
@@ -556,9 +909,13 @@ fn writer_loop(
                 }
             }
             // A saturated channel must not starve the group-commit
-            // deadline: commit mid-drain once it passes.
+            // deadline: commit mid-drain once it passes. Beat here too —
+            // a saturated channel must not starve the heartbeat either.
             if Instant::now() >= deadline {
-                w.commit()?;
+                if let Some(board) = w.shared.health.get() {
+                    board.beat(Component::JournalWriter);
+                }
+                w.commit_guarded()?;
                 deadline = Instant::now() + group;
             }
             match rx.try_recv() {
@@ -566,6 +923,7 @@ fn writer_loop(
                 Err(_) => break,
             }
         }
+        w.maybe_probe(&active_segment);
     }
 }
 
@@ -870,6 +1228,113 @@ mod tests {
         assert_eq!(scan.frames[2].payload, FramePayload::Deltas(Vec::new()));
         assert_eq!(scan.frames[3].shard, 5);
         assert_eq!(scan.frames[3].payload, FramePayload::Ranges(ranges));
+    }
+
+    #[test]
+    fn encode_splits_frames_instead_of_panicking() {
+        // A sequence window wider than u16 forces a frame split.
+        let wide = vec![
+            DeltaRec {
+                seq: 100,
+                client: 1,
+                delta: 5,
+            },
+            DeltaRec {
+                seq: 100 + u64::from(u16::MAX),
+                client: 2,
+                delta: -3,
+            },
+            DeltaRec {
+                seq: 100 + u64::from(u16::MAX) + 1,
+                client: 3,
+                delta: 7,
+            },
+        ];
+        let mut bytes = Vec::new();
+        assert_eq!(encode_frame(4, &wide, &mut bytes), 2);
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.error, None);
+        assert_eq!(scan.frames.len(), 2);
+        let all: Vec<DeltaRec> = scan
+            .frames
+            .iter()
+            .flat_map(|f| match &f.payload {
+                FramePayload::Deltas(r) => r.clone(),
+                FramePayload::Ranges(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(all, wide);
+
+        // A delta wider than i16 splits across wire records under the
+        // same sequence; the fold recovers the exact total.
+        let fat = vec![DeltaRec {
+            seq: 9,
+            client: 5,
+            delta: 100_000,
+        }];
+        let mut bytes = Vec::new();
+        assert_eq!(encode_frame(0, &fat, &mut bytes), 1);
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.error, None);
+        match &scan.frames[0].payload {
+            FramePayload::Deltas(r) => {
+                assert!(r.len() > 1);
+                assert!(r.iter().all(|x| x.seq == 9 && x.client == 5));
+                assert_eq!(r.iter().map(|x| i64::from(x.delta)).sum::<i64>(), 100_000);
+            }
+            FramePayload::Ranges(_) => unreachable!(),
+        }
+        let neg = vec![DeltaRec {
+            seq: 0,
+            client: 1,
+            delta: -40_000,
+        }];
+        let mut bytes = Vec::new();
+        encode_frame(0, &neg, &mut bytes);
+        match &scan_segment(&bytes).frames[0].payload {
+            FramePayload::Deltas(r) => {
+                assert_eq!(r.iter().map(|x| i64::from(x.delta)).sum::<i64>(), -40_000);
+            }
+            FramePayload::Ranges(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn io_shim_faults_are_deterministic_in_attempts() {
+        let plan = FaultPlan::parse("io_error_n:2,enospc_after:100").unwrap();
+        let mut shim = IoShim::new(&plan);
+        // First two writes fail with a retryable kind.
+        assert_eq!(
+            shim.check(10).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(
+            shim.check(10).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        // Then writes pass until the byte budget is exceeded…
+        assert!(shim.check(60).is_ok());
+        assert!(shim.check(40).is_ok());
+        // …the first write past the budget trips the outage, after which
+        // every attempt (even zero-length probes) fails until exactly
+        // ENOSPC_OUTAGE_ATTEMPTS attempts have burned; then space returns.
+        assert!(shim.check(10).is_err());
+        for _ in 1..ENOSPC_OUTAGE_ATTEMPTS {
+            assert!(shim.check(0).is_err());
+        }
+        assert!(shim.check(1_000_000).is_ok());
+        assert_eq!(shim.injected, 2 + u64::from(ENOSPC_OUTAGE_ATTEMPTS));
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_grows() {
+        let mut seed = 12345u64;
+        let d1 = backoff_delay(1, &mut seed);
+        assert!(d1 >= Duration::from_millis(1) && d1 < Duration::from_millis(2));
+        for attempt in 1..=40 {
+            let d = backoff_delay(attempt, &mut seed);
+            assert!(d <= Duration::from_millis(125), "attempt {attempt}: {d:?}");
+        }
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub struct PersistShared {
     /// tolerate the multi-writer `fetch_add`s because every touch is on
     /// a cold path (per batch / commit / freeze, never per record).
     pub(crate) telem: OnceLock<TelemetryHandle>,
+    /// Health board for the supervised runtime, set at most once per
+    /// domain (see [`Persistence::attach_health`]). With a board
+    /// attached, the journal writer heartbeats, retries transient IO
+    /// errors, and enacts the journal failure policy instead of dying;
+    /// without one it propagates the first error exactly as before.
+    pub(crate) health: OnceLock<Arc<crate::health::HealthBoard>>,
 }
 
 impl PersistShared {
@@ -400,6 +406,7 @@ impl Persistence {
             buffer_cap: cfg.buffer_cap.max(1),
             snap_pending: AtomicUsize::new(0),
             telem: OnceLock::new(),
+            health: OnceLock::new(),
         });
         let (tx, rx) = channel();
         let active_segment = Arc::new(AtomicU64::new(first_segment));
@@ -446,6 +453,15 @@ impl Persistence {
     /// Subsequent calls are ignored (the first handle wins).
     pub fn attach_telemetry(&self, handle: TelemetryHandle) {
         let _ = self.shared.telem.set(handle);
+    }
+
+    /// Attaches a health board to this domain, arming the journal
+    /// writer's self-healing path: heartbeats, retry/backoff on
+    /// transient IO errors, and the configured `--on-journal-fail`
+    /// policy on persistent failure (instead of thread death).
+    /// Subsequent calls are ignored (the first board wins).
+    pub fn attach_health(&self, board: Arc<crate::health::HealthBoard>) {
+        let _ = self.shared.health.set(board);
     }
 
     /// Takes one copy-on-write snapshot of `accounts` (which must be the

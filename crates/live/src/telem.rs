@@ -96,6 +96,20 @@ pub mod c {
     pub const OBS_DROPPED_WATCH: usize = 28;
     /// Trace records dropped because a `TRACE` connection queue was full.
     pub const OBS_DROPPED_TRACE: usize = 29;
+    /// Journal commit attempts retried after a retryable IO error.
+    pub const JOURNAL_IO_RETRIES: usize = 30;
+    /// IO errors observed by the journal writer (retryable or not).
+    pub const JOURNAL_IO_ERRORS: usize = 31;
+    /// Journal records dropped while durability was suspended.
+    pub const JOURNAL_DROPPED_RECORDS: usize = 32;
+    /// Journal writer restarts onto a fresh segment after a failure.
+    pub const JOURNAL_WRITER_RESTARTS: usize = 33;
+    /// Granter sweep threads restarted by the supervisor.
+    pub const GRANTER_RESTARTS: usize = 34;
+    /// Health state transitions toward a worse state (per component).
+    pub const HEALTH_DEGRADATIONS: usize = 35;
+    /// Transient faults injected by the IO shim (`FaultPlan`).
+    pub const FAULTS_INJECTED: usize = 36;
 }
 
 /// Gauge slot indices, in [`GAUGES`] order.
@@ -103,6 +117,16 @@ pub mod g {
     /// Producer batches enqueued to the journal writer and not yet
     /// encoded (incremented by producers, decremented by the writer).
     pub const JOURNAL_QUEUE_DEPTH: usize = 0;
+    /// Journal writer health (0 healthy, 1 degraded, 2 failed).
+    pub const HEALTH_JOURNAL_WRITER: usize = 1;
+    /// Granter health (0 healthy, 1 degraded, 2 failed).
+    pub const HEALTH_GRANTER: usize = 2;
+    /// Trace collector health (0 healthy, 1 degraded, 2 failed).
+    pub const HEALTH_TRACE_BUS: usize = 3;
+    /// Stats pump health (0 healthy, 1 degraded, 2 failed).
+    pub const HEALTH_STATS_PUMP: usize = 4;
+    /// 1 while durability is suspended (degrade policy), else 0.
+    pub const DURABILITY_SUSPENDED: usize = 5;
 }
 
 /// The counter catalog (slot order is the [`c`] constants' order).
@@ -137,10 +161,24 @@ pub const COUNTERS: &[&str] = &[
     "obs_trace_streamed",
     "obs_dropped_watch",
     "obs_dropped_trace",
+    "journal_io_retries",
+    "journal_io_errors",
+    "journal_dropped_records",
+    "journal_writer_restarts",
+    "granter_restarts",
+    "health_degradations",
+    "faults_injected",
 ];
 
 /// The gauge catalog (slot order is the [`g`] constants' order).
-pub const GAUGES: &[&str] = &["journal_queue_depth"];
+pub const GAUGES: &[&str] = &[
+    "journal_queue_depth",
+    "health_journal_writer",
+    "health_granter",
+    "health_trace_bus",
+    "health_stats_pump",
+    "durability_suspended",
+];
 
 /// Histogram slot indices, in [`HISTS`] order. All values are wall
 /// nanoseconds; together they attribute where a decision's time goes —
@@ -462,8 +500,27 @@ mod tests {
         assert_eq!(COUNTERS[c::OBS_TRACE_STREAMED], "obs_trace_streamed");
         assert_eq!(COUNTERS[c::OBS_DROPPED_WATCH], "obs_dropped_watch");
         assert_eq!(COUNTERS[c::OBS_DROPPED_TRACE], "obs_dropped_trace");
-        assert_eq!(COUNTERS.len(), 30);
+        assert_eq!(COUNTERS[c::JOURNAL_IO_RETRIES], "journal_io_retries");
+        assert_eq!(COUNTERS[c::JOURNAL_IO_ERRORS], "journal_io_errors");
+        assert_eq!(
+            COUNTERS[c::JOURNAL_DROPPED_RECORDS],
+            "journal_dropped_records"
+        );
+        assert_eq!(
+            COUNTERS[c::JOURNAL_WRITER_RESTARTS],
+            "journal_writer_restarts"
+        );
+        assert_eq!(COUNTERS[c::GRANTER_RESTARTS], "granter_restarts");
+        assert_eq!(COUNTERS[c::HEALTH_DEGRADATIONS], "health_degradations");
+        assert_eq!(COUNTERS[c::FAULTS_INJECTED], "faults_injected");
+        assert_eq!(COUNTERS.len(), 37);
         assert_eq!(GAUGES[g::JOURNAL_QUEUE_DEPTH], "journal_queue_depth");
+        assert_eq!(GAUGES[g::HEALTH_JOURNAL_WRITER], "health_journal_writer");
+        assert_eq!(GAUGES[g::HEALTH_GRANTER], "health_granter");
+        assert_eq!(GAUGES[g::HEALTH_TRACE_BUS], "health_trace_bus");
+        assert_eq!(GAUGES[g::HEALTH_STATS_PUMP], "health_stats_pump");
+        assert_eq!(GAUGES[g::DURABILITY_SUSPENDED], "durability_suspended");
+        assert_eq!(GAUGES.len(), 6);
         assert_eq!(HISTS[h::ADMIT_NS], "admit_ns");
         assert_eq!(HISTS[h::JOURNAL_COMMIT_NS], "journal_commit_ns");
         assert_eq!(HISTS[h::FSYNC_NS], "fsync_ns");

@@ -1,0 +1,136 @@
+//! Property-style tests for [`FaultPlan::parse`]: the grammar and its
+//! `Display` form are exact inverses over the whole plan space, and
+//! every malformed spec is rejected with the offending token named.
+//!
+//! No external property-testing crate — plans are generated from the
+//! workspace's own `Xoshiro256pp`, so failures reproduce from the
+//! printed seed.
+
+use ta_live::persist::FaultPlan;
+use ta_sim::rng::Xoshiro256pp;
+
+/// Draws a random plan, exercising every field independently.
+fn random_plan(rng: &mut Xoshiro256pp) -> FaultPlan {
+    FaultPlan {
+        kill_writer_mid_frame: rng.below(2) == 1,
+        drop_fsync: rng.below(2) == 1,
+        crash_mid_snapshot: rng.below(2) == 1,
+        poison_books: rng.below(2) == 1,
+        torn_tail: rng.below(2) == 1,
+        corrupt_crc: rng.below(2) == 1,
+        corrupt_snapshot: rng.below(2) == 1,
+        io_error_n: if rng.below(2) == 1 {
+            1 + rng.below(1_000) as u32
+        } else {
+            0
+        },
+        enospc_after: if rng.below(2) == 1 {
+            1 + rng.below(1_000_000_000)
+        } else {
+            0
+        },
+        slow_io_ms: if rng.below(2) == 1 {
+            1 + rng.below(10_000)
+        } else {
+            0
+        },
+        writer_hang: rng.below(2) == 1,
+        granter_stall: rng.below(2) == 1,
+    }
+}
+
+#[test]
+fn display_then_parse_roundtrips_random_plans() {
+    let mut rng = Xoshiro256pp::stream(2018, 1);
+    for trial in 0..2_000 {
+        let plan = random_plan(&mut rng);
+        let spec = plan.to_string();
+        if plan == FaultPlan::default() {
+            assert_eq!(spec, "none", "trial {trial}");
+            continue;
+        }
+        let back = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("trial {trial}: `{spec}` failed to re-parse: {e}"));
+        assert_eq!(back, plan, "trial {trial}: `{spec}` did not round-trip");
+    }
+}
+
+#[test]
+fn parse_is_insensitive_to_whitespace_and_token_order() {
+    let mut rng = Xoshiro256pp::stream(2018, 2);
+    for trial in 0..500 {
+        let plan = random_plan(&mut rng);
+        let spec = plan.to_string();
+        if plan == FaultPlan::default() {
+            continue;
+        }
+        // Shuffle the token list (Fisher–Yates on the rng) and sprinkle
+        // whitespace; the parse must not care.
+        let mut toks: Vec<&str> = spec.split(',').collect();
+        for i in (1..toks.len()).rev() {
+            toks.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let shuffled: Vec<String> = toks.iter().map(|t| format!(" {t} ")).collect();
+        let messy = shuffled.join(",");
+        let back = FaultPlan::parse(&messy)
+            .unwrap_or_else(|e| panic!("trial {trial}: `{messy}` failed: {e}"));
+        assert_eq!(back, plan, "trial {trial}: `{messy}` parsed differently");
+    }
+}
+
+#[test]
+fn unknown_modes_and_malformed_arguments_always_name_the_token() {
+    let mut rng = Xoshiro256pp::stream(2018, 3);
+    // Random garbage tokens never parse, and the error carries the
+    // offending token in backticks so the CLI message is actionable.
+    for trial in 0..500 {
+        let len = 1 + rng.below(12) as usize;
+        let tok: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
+        if FaultPlan::MODES.contains(&tok.as_str()) {
+            continue; // drew a real bare mode by chance
+        }
+        let err = FaultPlan::parse(&tok)
+            .err()
+            .unwrap_or_else(|| panic!("trial {trial}: `{tok}` parsed"));
+        assert!(err.contains('`'), "trial {trial}: unquoted error `{err}`");
+    }
+    // Every parameterised mode rejects missing/zero/garbage arguments;
+    // every bare mode rejects any argument at all.
+    for mode in ["io_error_n", "enospc_after", "slow_io_ms"] {
+        for bad in ["", "0", "-3", "xyz", "1.5"] {
+            let spec = format!("{mode}:{bad}");
+            assert!(FaultPlan::parse(&spec).is_err(), "`{spec}` parsed");
+        }
+        assert!(FaultPlan::parse(mode).is_err(), "bare `{mode}` parsed");
+    }
+    for mode in FaultPlan::MODES {
+        if matches!(mode, "io_error_n" | "enospc_after" | "slow_io_ms") {
+            continue;
+        }
+        assert!(FaultPlan::parse(mode).is_ok(), "bare `{mode}` rejected");
+        let spec = format!("{mode}:1");
+        assert!(FaultPlan::parse(&spec).is_err(), "`{spec}` parsed");
+    }
+}
+
+#[test]
+fn a_poisoned_token_anywhere_rejects_the_whole_list() {
+    let mut rng = Xoshiro256pp::stream(2018, 4);
+    for trial in 0..300 {
+        let plan = random_plan(&mut rng);
+        let spec = plan.to_string();
+        if plan == FaultPlan::default() {
+            continue;
+        }
+        let mut toks: Vec<String> = spec.split(',').map(str::to_string).collect();
+        let at = rng.below(toks.len() as u64 + 1) as usize;
+        toks.insert(at.min(toks.len()), "bogus_mode".to_string());
+        let poisoned = toks.join(",");
+        assert!(
+            FaultPlan::parse(&poisoned).is_err(),
+            "trial {trial}: `{poisoned}` parsed despite the bogus token"
+        );
+    }
+}

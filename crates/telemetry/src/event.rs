@@ -83,6 +83,18 @@ impl EventLine {
 /// bucket's lower bound); p50/p90/p99/p999 are precomputed so consumers
 /// need no bucket math for the headline percentiles.
 pub fn stats_line(snapshot: &Snapshot, uptime_ms: u64) -> String {
+    stats_line_with(snapshot, uptime_ms, &[])
+}
+
+/// [`stats_line`] plus caller-supplied top-level sections.
+///
+/// Each `(key, value)` extra is appended after the `histograms` section
+/// as `,"key":value` — `value` must already be valid JSON (an object,
+/// array, string, or number). Extras are additive: consumers that read
+/// only the known keys are unaffected, so the schema tag stays
+/// [`STATS_SCHEMA`]. The live runtime uses this for its `health`
+/// section.
+pub fn stats_line_with(snapshot: &Snapshot, uptime_ms: u64, extras: &[(&str, String)]) -> String {
     let mut out = String::with_capacity(512);
     out.push_str("{\"schema\":\"");
     out.push_str(STATS_SCHEMA);
@@ -142,7 +154,14 @@ pub fn stats_line(snapshot: &Snapshot, uptime_ms: u64) -> String {
         }
         out.push_str("]}");
     }
-    out.push_str("}}");
+    out.push('}');
+    for (key, value) in extras {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(value);
+    }
+    out.push('}');
     out
 }
 
@@ -185,6 +204,25 @@ mod tests {
         assert!(line.contains("\"gauges\":{\"depth\":-3}"));
         // No registered histograms: the section is present but empty.
         assert!(line.ends_with("\"histograms\":{}}"));
+    }
+
+    #[test]
+    fn stats_line_with_appends_extras_after_histograms() {
+        let reg = Registry::new(&["requests"], &[], 1);
+        let snap = reg.snapshot();
+        let plain = stats_line(&snap, 5);
+        let extras = [
+            ("health", "{\"granter\":\"healthy\"}".to_string()),
+            ("note", "7".to_string()),
+        ];
+        let line = stats_line_with(&snap, 5, &extras);
+        // The extras ride after the histograms section, inside the root
+        // object; with no extras the output is byte-identical to the
+        // plain form.
+        assert!(
+            line.ends_with("\"histograms\":{},\"health\":{\"granter\":\"healthy\"},\"note\":7}")
+        );
+        assert_eq!(stats_line_with(&snap, 5, &[]), plain);
     }
 
     #[test]
